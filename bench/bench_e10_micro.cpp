@@ -1,0 +1,137 @@
+// E10 — Microbenchmarks (google-benchmark): raw capacity of the simulation
+// substrate. These justify the experiment scales used elsewhere (hundreds
+// of thousands of atomic steps per run complete in milliseconds).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "action/action_system.hpp"
+#include "detect/heartbeat_detector.hpp"
+#include "graph/conflict_graph.hpp"
+#include "harness/rig.hpp"
+#include "mc/reduction_model.hpp"
+#include "reduce/extraction.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace wfd;
+
+class NullProcess final : public sim::Process {
+ public:
+  void on_step(sim::Context&) override {}
+};
+
+class ChatterProcess final : public sim::Process {
+ public:
+  explicit ChatterProcess(sim::ProcessId peer) : peer_(peer) {}
+  void on_message(sim::Context&, const sim::Message&) override {}
+  void on_step(sim::Context& ctx) override {
+    ctx.send(peer_, 0, sim::Payload{1, 0, 0, 0});
+  }
+
+ private:
+  sim::ProcessId peer_;
+};
+
+void BM_RngNext(benchmark::State& state) {
+  sim::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_EngineStepNoMessages(benchmark::State& state) {
+  sim::Engine engine(sim::EngineConfig{.seed = 1});
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    engine.add_process(std::make_unique<NullProcess>());
+  }
+  engine.init();
+  for (auto _ : state) engine.step();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineStepNoMessages)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_EngineStepWithMessaging(benchmark::State& state) {
+  sim::Engine engine(sim::EngineConfig{.seed = 1});
+  const auto n = static_cast<sim::ProcessId>(state.range(0));
+  for (sim::ProcessId p = 0; p < n; ++p) {
+    engine.add_process(std::make_unique<ChatterProcess>((p + 1) % n));
+  }
+  engine.init();
+  for (auto _ : state) engine.step();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineStepWithMessaging)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_ActionSystemDispatch(benchmark::State& state) {
+  sim::Engine engine(sim::EngineConfig{.seed = 1});
+  auto system = std::make_shared<action::ActionSystem>();
+  for (int i = 0; i < 8; ++i) {
+    system->add_action("a" + std::to_string(i),
+                       [](sim::Context&) { return true; },
+                       [](sim::Context&) {});
+  }
+  auto host = std::make_unique<sim::ComponentHost>();
+  host->add_component(system, {0});
+  engine.add_process(std::move(host));
+  engine.init();
+  for (auto _ : state) engine.step();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ActionSystemDispatch);
+
+void BM_HeartbeatDetectorSystem(benchmark::State& state) {
+  sim::Engine engine(sim::EngineConfig{.seed = 1});
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (sim::ProcessId p = 0; p < n; ++p) {
+    auto host = std::make_unique<sim::ComponentHost>();
+    host->add_component(
+        std::make_shared<detect::HeartbeatDetector>(
+            p, n, detect::HeartbeatConfig{.port = 100}),
+        {100});
+    engine.add_process(std::move(host));
+  }
+  engine.init();
+  for (auto _ : state) engine.step();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HeartbeatDetectorSystem)->Arg(4)->Arg(16);
+
+void BM_FullExtractionStep(benchmark::State& state) {
+  harness::Rig rig(harness::RigOptions{.seed = 1,
+                                       .n = static_cast<std::uint32_t>(
+                                           state.range(0))});
+  reduce::WaitFreeBoxFactory factory(
+      [&rig](sim::ProcessId p) { return rig.detectors[p].get(); });
+  auto extraction = reduce::build_full_extraction(rig.hosts, factory, {});
+  rig.engine.init();
+  for (auto _ : state) rig.engine.step();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullExtractionStep)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ModelCheckerFullSweep(benchmark::State& state) {
+  for (auto _ : state) {
+    mc::McOptions options;
+    options.mode = mc::BoxMode::kArbitrary;
+    options.allow_crash = true;
+    options.check_accuracy = false;
+    const auto result = mc::check_reduction(options);
+    benchmark::DoNotOptimize(result.states);
+  }
+}
+BENCHMARK(BM_ModelCheckerFullSweep);
+
+void BM_ConflictGraphRandom(benchmark::State& state) {
+  sim::Rng rng(5);
+  for (auto _ : state) {
+    auto graph = graph::make_random_connected(64, 0.2, rng);
+    benchmark::DoNotOptimize(graph.edge_count());
+  }
+}
+BENCHMARK(BM_ConflictGraphRandom);
+
+}  // namespace
+
+BENCHMARK_MAIN();

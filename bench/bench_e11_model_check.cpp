@@ -1,0 +1,90 @@
+// E11 — Exhaustive model-check sweep of the reduction.
+//
+// For every regime of the abstract model (mistake prefix / converged
+// suffix, with and without subject crash), report the reachable state
+// count, transition count, BFS depth, and the verdict of all machine-
+// checked lemmas (2, 3, 4, 5, 8, 9), the Theorem-2 inductive step, the
+// Theorem-1 structural check, and deadlock-freedom.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "mc/ablation_model.hpp"
+#include "mc/gkk_model.hpp"
+#include "mc/reduction_model.hpp"
+#include "sim/metrics.hpp"
+
+int main() {
+  using namespace wfd;
+  bench::banner("E11: model-checked lemmas",
+                "Exhaustive exploration of the Alg. 1/2 abstraction against "
+                "a nondeterministic WF-<>WX box.");
+  sim::Table table({"mode", "crash", "accuracy", "states", "transitions",
+                    "depth", "verdict"}, 13);
+  table.print_header();
+  bench::ShapeCheck shape;
+
+  struct Config {
+    mc::BoxMode mode;
+    bool crash;
+    bool accuracy;
+  };
+  const Config configs[] = {
+      {mc::BoxMode::kExclusive, false, true},
+      {mc::BoxMode::kExclusive, true, true},
+      {mc::BoxMode::kArbitrary, false, false},
+      {mc::BoxMode::kArbitrary, true, false},
+  };
+  for (const Config& config : configs) {
+    mc::McOptions options;
+    options.mode = config.mode;
+    options.allow_crash = config.crash;
+    options.check_accuracy = config.accuracy;
+    options.check_deadlock = true;
+    const mc::McResult result = mc::check_reduction(options);
+    table.print_row(
+        config.mode == mc::BoxMode::kExclusive ? "exclusive" : "arbitrary",
+        wfd::bench::yesno(config.crash), wfd::bench::yesno(config.accuracy),
+        result.states, result.transitions, result.depth,
+        result.ok ? "ALL HOLD" : result.violation.substr(0, 24));
+    shape.expect(result.ok, "all lemmas must hold in every regime");
+  }
+  // Part 2: the Section 3 counterexample as a mechanical liveness check —
+  // search for a lasso (reachable cycle) of eternal wrongful suspicion in
+  // the GKK abstraction.
+  std::cout << "\nGKK liveness check (lasso = infinite wrongful suspicion):\n";
+  sim::Table gkk_table({"box", "states", "transitions", "lasso"}, 14);
+  gkk_table.print_header();
+  const mc::GkkResult fork_based = mc::check_gkk(mc::GkkBoxSemantics::kForkBased);
+  const mc::GkkResult lockout = mc::check_gkk(mc::GkkBoxSemantics::kLockout);
+  gkk_table.print_row("fork-based", fork_based.states, fork_based.transitions,
+                      fork_based.lasso_found ? "FOUND" : "none");
+  gkk_table.print_row("lockout", lockout.states, lockout.transitions,
+                      lockout.lasso_found ? "FOUND" : "none");
+  shape.expect(fork_based.lasso_found,
+               "GKK's eternal wrongful suspicion exists on fork-based boxes");
+  shape.expect(!lockout.lasso_found,
+               "and is impossible on lockout boxes");
+  if (fork_based.lasso_found) {
+    std::cout << "  witness: " << fork_based.witness_cycle << '\n';
+  }
+
+  // Part 3: the E9 ablation, mechanically — the single-instance extraction
+  // admits a legal wait-free run of eternal wrongful suspicion.
+  const mc::AblationResult ablation = mc::check_single_instance_ablation();
+  std::cout << "\nSingle-instance ablation lasso: "
+            << (ablation.lasso_found ? "FOUND" : "none") << " ("
+            << ablation.states << " states)\n";
+  if (ablation.lasso_found) {
+    std::cout << "  witness: " << ablation.witness_cycle << '\n';
+  }
+  shape.expect(ablation.lasso_found,
+               "without the hand-off, eternal wrongful suspicion is a legal "
+               "run even on a fair box");
+
+  std::cout << "\nPaper shape (Sections 3, 7): the proof's invariant lattice "
+               "— Lemmas 2/3/4/5/8/9,\nthe Theorem 2 warm-up argument, and "
+               "Theorem 1's permanence of suspicion —\nverified over every "
+               "interleaving; and the Section 3 counterexample to [8]\n"
+               "established as a mechanical lasso, not just a sampled run.\n";
+  return shape.finish("E11");
+}

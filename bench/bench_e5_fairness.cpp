@@ -1,0 +1,122 @@
+// E5 — Eventual bounded fairness (Section 8 secondary result).
+//
+// Wait-free <>WX dining promises no fairness: a legal unfair box lets a
+// greedy diner overtake a hungry neighbor in long chains. Wrapping the
+// same box with the timestamp-deference layer (after [13]) bounds
+// overtaking in the converged suffix to a small k. Also reported: the
+// hygienic algorithm's intrinsic fairness (k ~ 1) for context.
+#include <iostream>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "dining/fair_wrapper.hpp"
+#include "dining/scripted_box.hpp"
+#include "harness/rig.hpp"
+#include "sim/metrics.hpp"
+
+namespace {
+
+using namespace wfd;
+using harness::Rig;
+using harness::RigOptions;
+
+constexpr sim::Port kBoxPort = 10;
+constexpr sim::Port kWrapPort = 20;
+
+void add_clients(Rig& rig, dining::DiningService& fast,
+                 dining::DiningService& slow) {
+  auto fast_client = std::make_shared<dining::DinerClient>(
+      fast, dining::ClientConfig{.think_min = 1, .think_max = 1, .eat_min = 1,
+                                 .eat_max = 2});
+  rig.hosts[0]->add_component(fast_client, {});
+  auto slow_client = std::make_shared<dining::DinerClient>(
+      slow, dining::ClientConfig{.think_min = 20, .think_max = 30,
+                                 .eat_min = 1, .eat_max = 2});
+  rig.hosts[1]->add_component(slow_client, {});
+}
+
+dining::ScriptedBoxConfig box_config(std::uint32_t burst) {
+  dining::ScriptedBoxConfig config;
+  config.port = kBoxPort;
+  config.tag = 1;
+  config.members = {0, 1};
+  config.exclusive_from = 0;
+  config.semantics = dining::BoxSemantics::kLockout;
+  config.member0_burst = burst;
+  config.grant_holdoff = 15;
+  return config;
+}
+
+std::uint64_t measure_raw(std::uint32_t burst, std::uint64_t seed) {
+  Rig rig(RigOptions{.seed = seed, .n = 2});
+  auto config = box_config(burst);
+  auto box = dining::build_scripted_box(rig.engine, rig.hosts, config);
+  dining::DiningInstanceConfig mon{kBoxPort, 1, {0, 1}, graph::make_pair()};
+  dining::DiningMonitor monitor(rig.engine, mon);
+  dining::DiningMonitor::attach(rig.engine, monitor);
+  add_clients(rig, *box.diners[0], *box.diners[1]);
+  rig.engine.init();
+  rig.engine.run(200000);
+  return monitor.max_overtakes(/*suffix from=*/60000);
+}
+
+std::uint64_t measure_wrapped(std::uint32_t burst, std::uint64_t seed) {
+  Rig rig(RigOptions{.seed = seed, .n = 2});
+  auto config = box_config(burst);
+  auto box = dining::build_scripted_box(rig.engine, rig.hosts, config);
+  dining::DiningInstanceConfig wrap{kWrapPort, 2, {0, 1}, graph::make_pair()};
+  std::vector<std::shared_ptr<dining::FairDiner>> fair;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    auto diner = std::make_shared<dining::FairDiner>(
+        wrap, i, *box.diners[i], rig.detectors[i].get());
+    rig.hosts[i]->add_component(diner, {kWrapPort});
+    fair.push_back(std::move(diner));
+  }
+  dining::DiningMonitor monitor(rig.engine, wrap);
+  dining::DiningMonitor::attach(rig.engine, monitor);
+  add_clients(rig, *fair[0], *fair[1]);
+  rig.engine.init();
+  rig.engine.run(200000);
+  return monitor.max_overtakes(/*suffix from=*/60000);
+}
+
+std::uint64_t measure_hygienic(std::uint64_t seed) {
+  Rig rig(RigOptions{.seed = seed, .n = 2});
+  auto instance = rig.add_wait_free_dining(kBoxPort, 1, graph::make_pair());
+  dining::DiningMonitor monitor(rig.engine, instance.config);
+  dining::DiningMonitor::attach(rig.engine, monitor);
+  add_clients(rig, *instance.diners[0], *instance.diners[1]);
+  rig.engine.init();
+  rig.engine.run(200000);
+  return monitor.max_overtakes(/*suffix from=*/60000);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E5: eventual k-fairness",
+                "Suffix overtake bound k: unfair box raw vs. wrapped with "
+                "the timestamp-deference layer; hygienic intrinsic k for "
+                "context.");
+  sim::Table table({"service", "burst", "seed", "suffix_k"}, 18);
+  table.print_header();
+  bench::ShapeCheck shape;
+  for (std::uint32_t burst : {3u, 5u, 8u}) {
+    for (std::uint64_t seed : {5ull, 6ull}) {
+      const std::uint64_t raw = measure_raw(burst, seed);
+      const std::uint64_t wrapped = measure_wrapped(burst, seed);
+      table.print_row("unfair raw", burst, seed, raw);
+      table.print_row("unfair+wrapper", burst, seed, wrapped);
+      shape.expect(raw >= burst, "raw box overtakes up to its burst");
+      shape.expect(wrapped <= 2, "wrapper bounds suffix overtaking (k <= 2)");
+    }
+  }
+  const std::uint64_t hygienic_k = measure_hygienic(5);
+  table.print_row("hygienic", "-", 5, hygienic_k);
+  shape.expect(hygienic_k <= 2, "hygienic fork alternation is ~1-fair");
+  std::cout << "\nPaper shape (Section 8 / [13]): the <>P extracted from any "
+               "WF-<>WX box suffices\nto rebuild the box with eventual "
+               "bounded fairness — measured k <= 2 in the\nconverged suffix, "
+               "versus unbounded-with-burst for the raw unfair box.\n";
+  return shape.finish("E5");
+}

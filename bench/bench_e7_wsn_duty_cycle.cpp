@@ -1,0 +1,156 @@
+// E7 — Section 2 motivation: WSN duty-cycle scheduling.
+//
+// A cluster of R redundant sensors, each with a finite battery, scheduled
+// three ways: always-on (baseline), wait-free <>WX dining (implementable
+// from <>P), and FTME (perpetual exclusion, needs T). Reported: network
+// lifetime, coverage fraction, redundant-duty fraction. Expected shape:
+// both schedulers stretch lifetime ~Rx over always-on; the <>WX scheduler
+// may pay a small redundancy tax for its weaker oracle; coverage stays
+// high for all.
+#include <iostream>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "detect/oracle.hpp"
+#include "dining/instance.hpp"
+#include "graph/conflict_graph.hpp"
+#include "mutex/ra_mutex.hpp"
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+#include "wsn/duty_cycle.hpp"
+
+namespace {
+
+using namespace wfd;
+
+constexpr std::uint64_t kTag = 3;
+constexpr sim::Port kPort = 7;
+
+enum class SchedulerKind { kAlwaysOn, kWaitFreeDining, kFtme };
+
+const char* name(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kAlwaysOn: return "always-on";
+    case SchedulerKind::kWaitFreeDining: return "wf-dining(<>P)";
+    case SchedulerKind::kFtme: return "ftme(T)";
+  }
+  return "?";
+}
+
+struct Row {
+  SchedulerKind kind;
+  std::uint32_t cluster;
+  sim::Time lifetime;
+  double coverage;
+  double redundancy;
+};
+
+Row run_config(SchedulerKind kind, std::uint32_t n, std::uint64_t seed,
+               std::uint64_t battery) {
+  sim::Engine engine(sim::EngineConfig{.seed = seed});
+  std::vector<sim::ComponentHost*> hosts;
+  for (sim::ProcessId p = 0; p < n; ++p) {
+    auto host = std::make_unique<sim::ComponentHost>();
+    hosts.push_back(host.get());
+    engine.add_process(std::move(host));
+  }
+  std::vector<sim::ProcessId> members;
+  for (sim::ProcessId p = 0; p < n; ++p) members.push_back(p);
+
+  std::vector<std::shared_ptr<sim::Component>> keep_alive;
+  std::vector<dining::DiningService*> services;
+
+  if (kind == SchedulerKind::kFtme) {
+    mutex::RaMutexConfig config{kPort, kTag, members};
+    std::vector<const detect::TrustingDetector*> views;
+    for (sim::ProcessId p = 0; p < n; ++p) {
+      auto oracle =
+          std::make_shared<detect::OracleTrusting>(engine, p, n, 25, 0, 0xFD);
+      hosts[p]->add_component(oracle, {});
+      keep_alive.push_back(oracle);
+      views.push_back(oracle.get());
+    }
+    auto diners = mutex::build_ra_mutex(hosts, config, views);
+    for (auto& diner : diners) {
+      services.push_back(diner.get());
+      keep_alive.push_back(diner);
+    }
+  } else {
+    dining::DiningInstanceConfig config;
+    config.port = kPort;
+    config.tag = kTag;
+    config.members = members;
+    config.graph = kind == SchedulerKind::kAlwaysOn
+                       ? graph::ConflictGraph(n)  // edgeless: grant instantly
+                       : graph::make_clique(n);
+    std::vector<const detect::FailureDetector*> fds;
+    for (sim::ProcessId p = 0; p < n; ++p) {
+      auto oracle = std::make_shared<detect::OracleEventuallyPerfect>(
+          engine, p, n, 25, std::vector<detect::MistakeWindow>{}, 0xFD);
+      hosts[p]->add_component(oracle, {});
+      keep_alive.push_back(oracle);
+      fds.push_back(oracle.get());
+    }
+    auto instance = dining::build_dining_instance(hosts, config, fds);
+    for (auto& diner : instance.diners) {
+      services.push_back(diner.get());
+      keep_alive.push_back(diner);
+    }
+  }
+
+  wsn::SensorConfig sensor_config;
+  sensor_config.battery = battery;
+  sensor_config.always_on = kind == SchedulerKind::kAlwaysOn;
+  wsn::ClusterMonitor monitor(kTag, members);
+  engine.trace().subscribe(
+      [&monitor](const sim::Event& e) { monitor.on_event(e); });
+  std::vector<std::shared_ptr<wsn::SensorNode>> sensors;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto sensor = std::make_shared<wsn::SensorNode>(*services[i],
+                                                    sensor_config);
+    hosts[i]->add_component(sensor, {});
+    sensors.push_back(sensor);
+  }
+  engine.init();
+  engine.run(40000ull * n);
+  monitor.finalize(engine.now());
+  return Row{kind, n, monitor.lifetime(), monitor.coverage_fraction(),
+             monitor.redundancy_fraction()};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E7: WSN duty-cycle scheduling (Section 2)",
+                "Lifetime / coverage / redundant duty for three schedulers "
+                "over clusters of redundant, battery-limited sensors.");
+  sim::Table table({"scheduler", "cluster", "lifetime", "coverage",
+                    "redundancy"}, 16);
+  table.print_header();
+  bench::ShapeCheck shape;
+  const std::uint64_t battery = 3000;
+  for (std::uint32_t n : {2u, 3u, 5u}) {
+    Row always = run_config(SchedulerKind::kAlwaysOn, n, 5, battery);
+    Row dining_row = run_config(SchedulerKind::kWaitFreeDining, n, 5, battery);
+    Row ftme = run_config(SchedulerKind::kFtme, n, 5, battery);
+    for (const Row& row : {always, dining_row, ftme}) {
+      table.print_row(name(row.kind), row.cluster, row.lifetime, row.coverage,
+                      row.redundancy);
+    }
+    shape.expect(dining_row.lifetime >
+                     (n - 1) * static_cast<sim::Time>(battery),
+                 "duty cycling stretches lifetime towards R x battery");
+    shape.expect(always.lifetime < dining_row.lifetime,
+                 "always-on dies with its first battery");
+    shape.expect(ftme.lifetime > always.lifetime,
+                 "perpetual scheduler also stretches lifetime");
+    shape.expect(dining_row.coverage > 0.6, "scheduled coverage stays high");
+    shape.expect(dining_row.redundancy < 0.1,
+                 "redundant duty is a bounded tax, not a correctness issue");
+  }
+  std::cout << "\nPaper shape (Section 2): a <>WX scheduler built from the "
+               "weaker, implementable\noracle <>P already achieves the "
+               "lifetime win; its finitely many scheduling\nmistakes only "
+               "waste bounded energy (redundancy), never correctness.\n";
+  return shape.finish("E7");
+}

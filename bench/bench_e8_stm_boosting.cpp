@@ -1,0 +1,138 @@
+// E8 — Section 3 motivation: contention management boosts obstruction
+// freedom to wait freedom.
+//
+// Clients hammer the same two versioned registers with read-modify-write
+// transactions. Raw: overlapping transactions abort each other (the
+// obstruction-free guarantee is vacuous under contention). With a
+// dining-backed contention manager: conflicting transactions serialize
+// eventually, aborts stop, and the worst-off client commits steadily.
+#include <iostream>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "detect/oracle.hpp"
+#include "dining/instance.hpp"
+#include "graph/conflict_graph.hpp"
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+#include "stm/stm.hpp"
+
+namespace {
+
+using namespace wfd;
+
+constexpr sim::Port kStorePort = 5;
+constexpr sim::Port kReplyPort = 6;
+constexpr sim::Port kCmPort = 7;
+
+struct Row {
+  std::uint32_t clients;
+  bool cm;
+  std::uint64_t commits;
+  std::uint64_t min_commits;
+  std::uint64_t aborts;
+  std::uint64_t late_aborts;
+  std::uint64_t worst_streak;
+};
+
+Row run_config(std::uint32_t n_clients, bool use_cm, std::uint64_t seed) {
+  sim::Engine engine(sim::EngineConfig{.seed = seed});
+  std::vector<sim::ComponentHost*> hosts;
+  const std::uint32_t n = n_clients + 1;
+  for (sim::ProcessId p = 0; p < n; ++p) {
+    auto host = std::make_unique<sim::ComponentHost>();
+    hosts.push_back(host.get());
+    engine.add_process(std::move(host));
+  }
+  auto server = std::make_shared<stm::StmServer>(kStorePort, 2);
+  hosts[0]->add_component(server, {kStorePort});
+
+  std::vector<std::shared_ptr<sim::Component>> keep_alive;
+  dining::BuiltInstance cm;
+  if (use_cm) {
+    std::vector<const detect::FailureDetector*> fds;
+    std::vector<sim::ComponentHost*> client_hosts(hosts.begin() + 1,
+                                                  hosts.end());
+    for (std::uint32_t c = 0; c < n_clients; ++c) {
+      auto oracle = std::make_shared<detect::OracleEventuallyPerfect>(
+          engine, c + 1, n, 25, std::vector<detect::MistakeWindow>{}, 0xFD);
+      hosts[c + 1]->add_component(oracle, {});
+      keep_alive.push_back(oracle);
+      fds.push_back(oracle.get());
+    }
+    dining::DiningInstanceConfig config;
+    config.port = kCmPort;
+    config.tag = 9;
+    for (std::uint32_t c = 0; c < n_clients; ++c) {
+      config.members.push_back(c + 1);
+    }
+    config.graph = graph::make_clique(n_clients);
+    cm = dining::build_dining_instance(client_hosts, config, fds);
+  }
+
+  std::vector<std::shared_ptr<stm::TxClient>> clients;
+  for (std::uint32_t c = 0; c < n_clients; ++c) {
+    stm::TxClientConfig config;
+    config.server = 0;
+    config.server_port = kStorePort;
+    config.reply_port = kReplyPort;
+    config.registers = {0, 1};
+    config.step_work = 6;
+    auto client = std::make_shared<stm::TxClient>(
+        config, use_cm ? cm.diners[c].get() : nullptr);
+    hosts[c + 1]->add_component(client, {kReplyPort});
+    clients.push_back(client);
+  }
+  engine.set_delay_model(std::make_unique<sim::UniformDelay>(1, 4));
+  engine.init();
+  engine.run(120000);
+
+  std::uint64_t aborts_mid = 0;
+  for (const auto& client : clients) aborts_mid += client->aborts();
+  engine.run(120000);
+
+  Row row{n_clients, use_cm, 0, ~0ull, 0, 0, 0};
+  for (const auto& client : clients) {
+    row.commits += client->commits();
+    row.min_commits = std::min(row.min_commits, client->commits());
+    row.aborts += client->aborts();
+    row.worst_streak = std::max(row.worst_streak,
+                                client->max_consecutive_aborts());
+  }
+  row.late_aborts = row.aborts - aborts_mid;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E8: contention-manager boosting (Section 3)",
+                "Obstruction-free STM under contention, raw vs. managed by "
+                "wait-free <>WX dining.");
+  sim::Table table({"clients", "cm", "commits", "min_commits", "aborts",
+                    "late_aborts", "worst_streak"}, 13);
+  table.print_header();
+  bench::ShapeCheck shape;
+  for (std::uint32_t clients : {2u, 4u, 6u}) {
+    const Row raw = run_config(clients, false, 5);
+    const Row managed = run_config(clients, true, 5);
+    table.print_row(raw.clients, "off", raw.commits, raw.min_commits,
+                    raw.aborts, raw.late_aborts, raw.worst_streak);
+    table.print_row(managed.clients, "on", managed.commits,
+                    managed.min_commits, managed.aborts, managed.late_aborts,
+                    managed.worst_streak);
+    shape.expect(raw.aborts > 10 * std::max<std::uint64_t>(managed.aborts, 1),
+                 "manager slashes aborts");
+    shape.expect(managed.late_aborts == 0,
+                 "converged manager serializes: zero late aborts");
+    shape.expect(managed.min_commits > 0,
+                 "every managed client commits (wait-freedom)");
+    shape.expect(managed.worst_streak <= raw.worst_streak,
+                 "manager caps abort streaks");
+  }
+  std::cout << "\nPaper shape (Section 3): a wait-free <>WX service IS a "
+               "contention manager — it\nfunnels a high-contention system "
+               "into a contention-free suffix, boosting the\nSTM's progress "
+               "guarantee from obstruction freedom to wait freedom.\n";
+  return shape.finish("E8");
+}

@@ -1,0 +1,37 @@
+// Shared helpers for the experiment binaries: uniform headers and a tiny
+// check-summary so every bench prints in the same, diffable format.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+namespace wfd::bench {
+
+inline void banner(const std::string& id, const std::string& claim) {
+  std::cout << "\n=== " << id << " ===\n" << claim << "\n\n";
+}
+
+inline const char* yesno(bool b) { return b ? "yes" : "no"; }
+
+struct ShapeCheck {
+  int passed = 0;
+  int failed = 0;
+
+  void expect(bool condition, const std::string& what) {
+    if (condition) {
+      ++passed;
+    } else {
+      ++failed;
+      std::cout << "  [SHAPE MISMATCH] " << what << '\n';
+    }
+  }
+
+  /// Prints the verdict; returns a process exit code (0 ok).
+  int finish(const std::string& id) const {
+    std::cout << "\n" << id << " shape checks: " << passed << " passed, "
+              << failed << " failed\n";
+    return failed == 0 ? 0 : 1;
+  }
+};
+
+}  // namespace wfd::bench

@@ -1,0 +1,113 @@
+// Contention-manager example (the paper's Section 3 motivation): four
+// clients run read-modify-write transactions against an obstruction-free
+// versioned-register store. Raw, they abort each other constantly; behind
+// a wait-free <>WX dining contention manager, the conflicts serialize and
+// every client commits — obstruction freedom boosted to wait freedom.
+//
+//   $ ./stm_boosting
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "detect/oracle.hpp"
+#include "dining/instance.hpp"
+#include "graph/conflict_graph.hpp"
+#include "sim/engine.hpp"
+#include "stm/stm.hpp"
+
+namespace {
+
+using namespace wfd;
+
+struct Result {
+  std::uint64_t total_commits = 0;
+  std::uint64_t min_commits = ~0ull;
+  std::uint64_t aborts = 0;
+  std::uint64_t worst_streak = 0;
+};
+
+Result run(bool use_cm) {
+  constexpr std::uint32_t kClients = 4;
+  sim::Engine engine(sim::EngineConfig{.seed = 99});
+  std::vector<sim::ComponentHost*> hosts;
+  for (sim::ProcessId p = 0; p < kClients + 1; ++p) {
+    auto host = std::make_unique<sim::ComponentHost>();
+    hosts.push_back(host.get());
+    engine.add_process(std::move(host));
+  }
+  auto server = std::make_shared<stm::StmServer>(5, 2);
+  hosts[0]->add_component(server, {5});
+
+  std::vector<std::shared_ptr<sim::Component>> keep_alive;
+  dining::BuiltInstance cm;
+  if (use_cm) {
+    std::vector<const detect::FailureDetector*> fds;
+    for (std::uint32_t c = 0; c < kClients; ++c) {
+      auto oracle = std::make_shared<detect::OracleEventuallyPerfect>(
+          engine, c + 1, kClients + 1, 25,
+          std::vector<detect::MistakeWindow>{}, 0xFD);
+      hosts[c + 1]->add_component(oracle, {});
+      keep_alive.push_back(oracle);
+      fds.push_back(oracle.get());
+    }
+    dining::DiningInstanceConfig config;
+    config.port = 7;
+    config.tag = 9;
+    for (std::uint32_t c = 0; c < kClients; ++c) config.members.push_back(c + 1);
+    config.graph = graph::make_clique(kClients);
+    std::vector<sim::ComponentHost*> client_hosts(hosts.begin() + 1,
+                                                  hosts.end());
+    cm = dining::build_dining_instance(client_hosts, config, fds);
+  }
+
+  std::vector<std::shared_ptr<stm::TxClient>> clients;
+  for (std::uint32_t c = 0; c < kClients; ++c) {
+    stm::TxClientConfig config;
+    config.server = 0;
+    config.server_port = 5;
+    config.reply_port = 6;
+    config.registers = {0, 1};
+    config.step_work = 6;
+    auto client = std::make_shared<stm::TxClient>(
+        config, use_cm ? cm.diners[c].get() : nullptr);
+    hosts[c + 1]->add_component(client, {6});
+    clients.push_back(client);
+  }
+  engine.init();
+  engine.run(150000);
+
+  Result result;
+  for (const auto& client : clients) {
+    result.total_commits += client->commits();
+    result.min_commits = std::min(result.min_commits, client->commits());
+    result.aborts += client->aborts();
+    result.worst_streak =
+        std::max(result.worst_streak, client->max_consecutive_aborts());
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Obstruction-free STM, 4 clients hammering 2 registers:\n\n";
+  const Result raw = run(false);
+  const Result managed = run(true);
+  std::cout << std::setw(22) << " " << std::setw(12) << "raw"
+            << std::setw(12) << "managed" << '\n'
+            << std::string(46, '-') << '\n'
+            << std::setw(22) << "total commits" << std::setw(12)
+            << raw.total_commits << std::setw(12) << managed.total_commits
+            << '\n'
+            << std::setw(22) << "worst client commits" << std::setw(12)
+            << raw.min_commits << std::setw(12) << managed.min_commits << '\n'
+            << std::setw(22) << "aborts" << std::setw(12) << raw.aborts
+            << std::setw(12) << managed.aborts << '\n'
+            << std::setw(22) << "worst abort streak" << std::setw(12)
+            << raw.worst_streak << std::setw(12) << managed.worst_streak
+            << "\n\n";
+  std::cout << "The dining-backed contention manager funnels conflicting\n"
+               "transactions into an exclusive suffix: aborts collapse and\n"
+               "the slowest client's progress becomes wait-free.\n";
+  return managed.aborts < raw.aborts && managed.min_commits > 0 ? 0 : 1;
+}

@@ -1,0 +1,112 @@
+// Guarded-command action systems — the notation of the paper's Alg. 1 and
+// Alg. 2, executable. An ActionSystem is a Component whose behaviour is a
+// set of named actions {guard} -> body. On each tick the system executes
+// the body of one enabled action, chosen by a rotating scan (weak fairness:
+// an action whose guard stays continuously true is executed within one full
+// rotation). "Upon receive" actions are guards over the component inbox.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/component.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::action {
+
+class ActionSystem : public sim::Component {
+ public:
+  using Guard = std::function<bool(sim::Context&)>;
+  using Body = std::function<void(sim::Context&)>;
+
+  /// Register a guarded action. Registration order is the scan order.
+  void add_action(std::string name, Guard guard, Body body) {
+    actions_.push_back(ActionEntry{std::move(name), std::move(guard),
+                                   std::move(body), 0});
+  }
+
+  /// Sugar for the paper's "{upon receive <kind> on <port>}" actions: the
+  /// guard is "a matching message is queued"; the body receives it.
+  void add_upon(std::string name, sim::Port port, std::uint32_t kind,
+                std::function<void(sim::Context&, const sim::Message&)> handler) {
+    add_action(
+        std::move(name),
+        [this, port, kind](sim::Context&) { return peek_message(port, kind); },
+        [this, port, kind, handler = std::move(handler)](sim::Context& ctx) {
+          std::optional<sim::Message> msg = take_message(port, kind);
+          if (msg) handler(ctx, *msg);
+        });
+  }
+
+  void on_message(sim::Context&, const sim::Message& msg) override {
+    inbox_.push_back(msg);
+  }
+
+  void on_tick(sim::Context& ctx) override {
+    if (actions_.empty()) return;
+    const std::size_t n = actions_.size();
+    for (std::size_t offset = 0; offset < n; ++offset) {
+      const std::size_t idx = (scan_start_ + offset) % n;
+      ActionEntry& entry = actions_[idx];
+      if (entry.guard(ctx)) {
+        scan_start_ = idx + 1;  // resume after the executed action
+        ++entry.executions;
+        ++total_executions_;
+        entry.body(ctx);
+        return;
+      }
+    }
+    // No action enabled: the thread idles this step (paper: no-op steps).
+  }
+
+  /// True iff a message with (port, kind) is queued.
+  bool peek_message(sim::Port port, std::uint32_t kind) const {
+    for (const sim::Message& msg : inbox_) {
+      if (msg.port == port && msg.payload.kind == kind) return true;
+    }
+    return false;
+  }
+
+  /// Remove and return the earliest queued matching message.
+  std::optional<sim::Message> take_message(sim::Port port, std::uint32_t kind) {
+    for (auto it = inbox_.begin(); it != inbox_.end(); ++it) {
+      if (it->port == port && it->payload.kind == kind) {
+        sim::Message msg = *it;
+        inbox_.erase(it);
+        return msg;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::size_t inbox_size() const { return inbox_.size(); }
+  std::uint64_t total_executions() const { return total_executions_; }
+
+  /// Executions of a named action (0 if unknown); used by tests to assert
+  /// weak-fairness and by experiments to count protocol activity.
+  std::uint64_t executions(const std::string& name) const {
+    for (const ActionEntry& entry : actions_) {
+      if (entry.name == name) return entry.executions;
+    }
+    return 0;
+  }
+
+ private:
+  struct ActionEntry {
+    std::string name;
+    Guard guard;
+    Body body;
+    std::uint64_t executions;
+  };
+
+  std::vector<ActionEntry> actions_;
+  std::deque<sim::Message> inbox_;
+  std::size_t scan_start_ = 0;
+  std::uint64_t total_executions_ = 0;
+};
+
+}  // namespace wfd::action

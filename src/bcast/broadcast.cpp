@@ -1,0 +1,56 @@
+#include "bcast/broadcast.hpp"
+
+#include "sim/engine.hpp"
+
+namespace wfd::bcast {
+
+ReliableBroadcast::ReliableBroadcast(sim::ProcessId self, std::uint32_t n,
+                                     sim::Port port, bool fifo)
+    : self_(self), n_(n), port_(port), fifo_(fifo), next_deliver_(n, 0) {}
+
+std::uint64_t ReliableBroadcast::broadcast(sim::Context& ctx,
+                                           std::uint64_t body) {
+  const std::uint64_t seq = next_seq_++;
+  relay(ctx, self_, seq, body);
+  return seq;
+}
+
+void ReliableBroadcast::relay(sim::Context& ctx, sim::ProcessId origin,
+                              std::uint64_t seq, std::uint64_t body) {
+  if (!seen_.insert({origin, seq}).second) return;
+  // Relay before delivering: if this process survives long enough to
+  // deliver, every correct process receives a copy (agreement).
+  for (sim::ProcessId q = 0; q < n_; ++q) {
+    if (q != self_) {
+      ctx.send(q, port_, sim::Payload{kMsg, origin, seq, body});
+    }
+  }
+  if (fifo_) {
+    pending_[{origin, seq}] = body;
+    deliver_ready(ctx, origin);
+  } else {
+    ++delivered_count_;
+    if (deliver_) deliver_(ctx, origin, seq, body);
+  }
+}
+
+void ReliableBroadcast::deliver_ready(sim::Context& ctx,
+                                      sim::ProcessId origin) {
+  for (;;) {
+    const auto it = pending_.find({origin, next_deliver_[origin]});
+    if (it == pending_.end()) return;
+    const std::uint64_t seq = next_deliver_[origin]++;
+    const std::uint64_t body = it->second;
+    pending_.erase(it);
+    ++delivered_count_;
+    if (deliver_) deliver_(ctx, origin, seq, body);
+  }
+}
+
+void ReliableBroadcast::on_message(sim::Context& ctx, const sim::Message& msg) {
+  if (msg.payload.kind != kMsg) return;
+  relay(ctx, static_cast<sim::ProcessId>(msg.payload.a), msg.payload.b,
+        msg.payload.c);
+}
+
+}  // namespace wfd::bcast

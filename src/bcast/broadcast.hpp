@@ -1,0 +1,66 @@
+// Broadcast substrate for the Chandra-Toueg world the paper lives in:
+//
+//  * BestEffortBroadcast — sender unicasts to all; delivers to every
+//    correct process iff the sender survives the send.
+//  * ReliableBroadcast   — relay-on-first-delivery: if ANY correct process
+//    delivers m, every correct process delivers m, even if the sender
+//    crashed mid-broadcast (agreement). No ordering.
+//  * FifoReliableBroadcast — reliable + per-sender FIFO delivery order.
+//
+// Used by the consensus module's decide dissemination (there inlined; here
+// packaged, tested, and reusable). Message identity is (origin, seq); the
+// payload carries a 64-bit body.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sim/component.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::bcast {
+
+/// Delivery callback: (origin process, sequence number at origin, body).
+using DeliverFn =
+    std::function<void(sim::Context&, sim::ProcessId, std::uint64_t,
+                       std::uint64_t)>;
+
+/// Reliable broadcast with optional per-sender FIFO delivery.
+class ReliableBroadcast : public sim::Component {
+ public:
+  /// `n` = system size; `fifo` enables per-origin FIFO delivery order.
+  ReliableBroadcast(sim::ProcessId self, std::uint32_t n, sim::Port port,
+                    bool fifo = false);
+
+  /// Broadcast a body from this process; returns the sequence number.
+  std::uint64_t broadcast(sim::Context& ctx, std::uint64_t body);
+
+  void set_deliver(DeliverFn deliver) { deliver_ = std::move(deliver); }
+
+  void on_message(sim::Context& ctx, const sim::Message& msg) override;
+
+  std::uint64_t delivered_count() const { return delivered_count_; }
+
+  static constexpr std::uint32_t kMsg = 1;  ///< a=origin, b=seq, c=body
+
+ private:
+  void relay(sim::Context& ctx, sim::ProcessId origin, std::uint64_t seq,
+             std::uint64_t body);
+  void deliver_ready(sim::Context& ctx, sim::ProcessId origin);
+
+  sim::ProcessId self_;
+  std::uint32_t n_;
+  sim::Port port_;
+  bool fifo_;
+  DeliverFn deliver_;
+  std::uint64_t next_seq_ = 0;
+  std::set<std::pair<sim::ProcessId, std::uint64_t>> seen_;  // (origin, seq)
+  std::vector<std::uint64_t> next_deliver_;                  // FIFO cursor
+  std::map<std::pair<sim::ProcessId, std::uint64_t>, std::uint64_t> pending_;
+  std::uint64_t delivered_count_ = 0;
+};
+
+}  // namespace wfd::bcast

@@ -1,0 +1,140 @@
+#include "consensus/consensus.hpp"
+
+#include "sim/engine.hpp"
+
+namespace wfd::consensus {
+
+ConsensusParticipant::ConsensusParticipant(
+    ConsensusConfig config, std::uint32_t me,
+    const detect::FailureDetector* detector)
+    : config_(std::move(config)), me_(me), detector_(detector) {}
+
+void ConsensusParticipant::propose(std::uint64_t value) {
+  if (proposed_) return;
+  proposed_ = true;
+  est_ = value;
+  ts_ = 0;
+  phase_ = Phase::kSendEstimate;
+}
+
+void ConsensusParticipant::broadcast_decide(sim::Context& ctx,
+                                            std::uint64_t value) {
+  // Reliable broadcast by relaying once: every correct receiver relays the
+  // first DECIDE it sees, so a decision by any process reaches all correct
+  // processes even if the decider crashes mid-broadcast.
+  if (decide_relayed_) return;
+  decide_relayed_ = true;
+  for (std::uint32_t m = 0; m < config_.members.size(); ++m) {
+    if (m != me_) {
+      ctx.send(config_.members[m], config_.port,
+               sim::Payload{kDecide, value, 0, 0});
+    }
+  }
+  if (!decided_) {
+    decided_ = true;
+    decision_ = value;
+    ctx.record(0xDEC1DE, value, round_);
+  }
+}
+
+void ConsensusParticipant::advance_round(sim::Context& ctx) {
+  ++round_;
+  phase_ = Phase::kSendEstimate;
+  (void)ctx;
+}
+
+void ConsensusParticipant::on_message(sim::Context& ctx,
+                                      const sim::Message& msg) {
+  if (decided_ && msg.payload.kind != kDecide) return;
+  const std::uint64_t msg_round = msg.payload.c;
+  // Identify the sender's participant index.
+  std::uint32_t sender = 0;
+  for (std::uint32_t m = 0; m < config_.members.size(); ++m) {
+    if (config_.members[m] == msg.src) sender = m;
+  }
+  switch (msg.payload.kind) {
+    case kEstimate:
+      // Coordinator duty for msg_round (possibly a round we have already
+      // left — CT coordinators still answer, to unblock slow peers).
+      estimates_[msg_round][sender] = {msg.payload.a, msg.payload.b};
+      break;
+    case kPropose:
+      if (msg_round == round_ && phase_ == Phase::kAwaitPropose &&
+          sender == coordinator_of(round_)) {
+        est_ = msg.payload.a;
+        ts_ = round_ + 1;  // locked in this round
+        ctx.send(msg.src, config_.port,
+                 sim::Payload{kAck, 0, 0, round_});
+        advance_round(ctx);
+      }
+      break;
+    case kAck:
+      ++replies_[msg_round].first;
+      break;
+    case kNack:
+      ++replies_[msg_round].second;
+      break;
+    case kDecide:
+      broadcast_decide(ctx, msg.payload.a);
+      break;
+    default:
+      break;
+  }
+}
+
+void ConsensusParticipant::on_tick(sim::Context& ctx) {
+  if (!proposed_ || decided_) return;
+
+  // --- participant role -----------------------------------------------------
+  if (phase_ == Phase::kSendEstimate) {
+    ctx.send(config_.members[coordinator_of(round_)], config_.port,
+             sim::Payload{kEstimate, est_, ts_, round_});
+    phase_ = Phase::kAwaitPropose;
+  } else if (phase_ == Phase::kAwaitPropose) {
+    const std::uint32_t coord = coordinator_of(round_);
+    if (coord != me_ &&
+        detector_ != nullptr &&
+        detector_->suspects(config_.members[coord])) {
+      // Suspect the coordinator: nack and move on.
+      ctx.send(config_.members[coord], config_.port,
+               sim::Payload{kNack, 0, 0, round_});
+      advance_round(ctx);
+    }
+  }
+
+  // --- coordinator role (any round we may still be coordinating) ------------
+  for (auto& [coord_round, received] : estimates_) {
+    if (coordinator_of(coord_round) != me_) continue;
+    if (proposed_value_.count(coord_round) != 0) continue;
+    if (received.size() < majority()) continue;
+    // Pick the estimate with the highest timestamp (lock safety).
+    std::uint64_t best_est = 0, best_ts = 0;
+    bool first = true;
+    for (const auto& [sender, est_ts] : received) {
+      if (first || est_ts.second > best_ts) {
+        best_est = est_ts.first;
+        best_ts = est_ts.second;
+        first = false;
+      }
+    }
+    proposed_value_[coord_round] = best_est;
+    for (std::uint32_t m = 0; m < config_.members.size(); ++m) {
+      ctx.send(config_.members[m], config_.port,
+               sim::Payload{kPropose, best_est, 0, coord_round});
+    }
+  }
+  for (auto& [coord_round, acks_nacks] : replies_) {
+    if (coordinator_of(coord_round) != me_) continue;
+    if (acks_nacks.first >= majority()) {
+      // A majority adopted (and locked) the proposal: decide exactly the
+      // value we proposed in that round.
+      if (auto it = proposed_value_.find(coord_round);
+          it != proposed_value_.end()) {
+        broadcast_decide(ctx, it->second);
+      }
+      acks_nacks.first = 0;  // don't re-decide from the same tallies
+    }
+  }
+}
+
+}  // namespace wfd::consensus

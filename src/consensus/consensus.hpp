@@ -1,0 +1,125 @@
+// Crash-tolerant consensus and stable leader election — the canonical
+// applications the paper cites for <>P (Section 1: "<>P is sufficiently
+// powerful to solve many crash-tolerant problems including consensus [and]
+// stable leader election"). Together with the reduction they close the
+// loop: a black-box WF-<>WX dining service encapsulates enough synchrony
+// to solve consensus, via the extracted detector.
+//
+//  * ConsensusParticipant — Chandra-Toueg rotating-coordinator consensus.
+//    Requires n > 2f (majority of correct processes) and a detector with
+//    strong completeness + eventual (weak suffices; we accept any
+//    FailureDetector, typically <>P or the reduction's extracted view).
+//    Safety (agreement, validity) holds regardless of detector lies;
+//    termination needs the detector's eventual accuracy.
+//
+//  * LeaderElector — Omega-style stable leader election: leader = lowest
+//    id currently not suspected. With <>P this converges to the same
+//    correct process at every correct process, permanently.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "detect/failure_detector.hpp"
+#include "sim/component.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::consensus {
+
+struct ConsensusConfig {
+  sim::Port port = 0;
+  std::vector<sim::ProcessId> members;  ///< participant index -> pid
+  std::uint64_t tag = 0;                ///< trace tag for decide events
+};
+
+/// One participant of one consensus instance. Propose once via propose();
+/// poll decided()/decision().
+class ConsensusParticipant final : public sim::Component {
+ public:
+  /// `detector` supplies suspicion of the current coordinator (by pid).
+  ConsensusParticipant(ConsensusConfig config, std::uint32_t me,
+                       const detect::FailureDetector* detector);
+
+  /// Submit this participant's initial value (idempotent; first wins).
+  void propose(std::uint64_t value);
+
+  void on_message(sim::Context& ctx, const sim::Message& msg) override;
+  void on_tick(sim::Context& ctx) override;
+
+  bool decided() const { return decided_; }
+  std::uint64_t decision() const { return decision_; }
+  std::uint64_t round() const { return round_; }
+
+  enum Msg : std::uint32_t {
+    kEstimate = 1,  ///< a = est, b = ts, c = round
+    kPropose = 2,   ///< a = value, c = round
+    kAck = 3,       ///< c = round
+    kNack = 4,      ///< c = round
+    kDecide = 5,    ///< a = value
+  };
+
+ private:
+  std::uint32_t coordinator_of(std::uint64_t round) const {
+    return static_cast<std::uint32_t>(round % config_.members.size());
+  }
+  std::size_t majority() const { return config_.members.size() / 2 + 1; }
+  void broadcast_decide(sim::Context& ctx, std::uint64_t value);
+  void advance_round(sim::Context& ctx);
+
+  enum class Phase : std::uint8_t {
+    kIdle,          // no proposal yet
+    kSendEstimate,  // send (est, ts) to the coordinator
+    kAwaitPropose,  // wait for the coordinator's proposal or suspect it
+    // coordinator-only sub-states run concurrently via coord_* fields
+  };
+
+  ConsensusConfig config_;
+  std::uint32_t me_;
+  const detect::FailureDetector* detector_;
+
+  bool proposed_ = false;
+  bool decided_ = false;
+  bool decide_relayed_ = false;
+  std::uint64_t decision_ = 0;
+
+  std::uint64_t est_ = 0;
+  std::uint64_t ts_ = 0;  // round in which est_ was last adopted
+  std::uint64_t round_ = 0;
+  Phase phase_ = Phase::kIdle;
+
+  // Coordinator bookkeeping for round `coord_round_` (a process acts as
+  // coordinator every n rounds; stale-round messages are dropped).
+  std::map<std::uint64_t, std::map<std::uint32_t, std::pair<std::uint64_t,
+                                                            std::uint64_t>>>
+      estimates_;  // round -> sender -> (est, ts)
+  std::map<std::uint64_t, std::pair<std::size_t, std::size_t>>
+      replies_;    // round -> (acks, nacks)
+  /// Rounds this process coordinated, with the exact value proposed — the
+  /// value a later majority-ack decision must use (late estimates for the
+  /// same round must not be able to change it).
+  std::map<std::uint64_t, std::uint64_t> proposed_value_;
+};
+
+/// Omega-style stable leader election over any FailureDetector.
+class LeaderElector {
+ public:
+  LeaderElector(std::uint32_t n, const detect::FailureDetector* detector,
+                sim::ProcessId self)
+      : n_(n), detector_(detector), self_(self) {}
+
+  /// Lowest-id process not currently suspected (self is never suspected).
+  sim::ProcessId leader() const {
+    for (sim::ProcessId q = 0; q < n_; ++q) {
+      if (q == self_ || !detector_->suspects(q)) return q;
+    }
+    return self_;
+  }
+
+ private:
+  std::uint32_t n_;
+  const detect::FailureDetector* detector_;
+  sim::ProcessId self_;
+};
+
+}  // namespace wfd::consensus

@@ -1,0 +1,83 @@
+// Total-order (atomic) broadcast from repeated consensus — the canonical
+// Chandra-Toueg payoff: once a failure detector powers consensus, it
+// powers a replicated log. Messages are disseminated by reliable
+// broadcast; a sequence of consensus instances (slot 0, 1, 2, ...) decides
+// which pending message fills each log slot; every correct process
+// delivers the same messages in the same slot order.
+//
+// Instances are pre-allocated (one port each) up to `max_slots` — a demo
+// bound, not an algorithmic one. A process proposes for slot k as soon as
+// it has processed slot k-1 and buffers an undelivered message; the
+// decision is removed from every buffer before anyone proposes for k+1,
+// so no message is ever decided twice.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "bcast/broadcast.hpp"
+#include "consensus/consensus.hpp"
+#include "detect/failure_detector.hpp"
+#include "sim/component.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::consensus {
+
+struct TotalOrderConfig {
+  sim::Port rbcast_port = 0;      ///< dissemination channel
+  sim::Port consensus_base = 0;   ///< slots use base, base+1, ...
+  std::uint32_t max_slots = 32;
+  std::vector<sim::ProcessId> members;
+};
+
+/// One endpoint of the total-order broadcast. Install on each member's
+/// host; it registers its reliable-broadcast and consensus sub-components
+/// itself.
+class TotalOrderBroadcast final : public sim::Component {
+ public:
+  /// Delivery callback: (slot, origin member index, body).
+  using DeliverFn =
+      std::function<void(std::uint64_t, sim::ProcessId, std::uint64_t)>;
+
+  TotalOrderBroadcast(sim::ComponentHost& host, TotalOrderConfig config,
+                      std::uint32_t me,
+                      const detect::FailureDetector* detector);
+
+  /// Submit a payload for total ordering.
+  void submit(sim::Context& ctx, std::uint64_t body);
+
+  void set_deliver(DeliverFn deliver) { deliver_ = std::move(deliver); }
+
+  void on_tick(sim::Context& ctx) override;
+
+  std::uint64_t delivered_count() const { return next_slot_; }
+  const std::vector<std::pair<sim::ProcessId, std::uint64_t>>& log() const {
+    return log_;
+  }
+
+ private:
+  static std::uint64_t pack(sim::ProcessId origin, std::uint64_t seq) {
+    return (static_cast<std::uint64_t>(origin) << 32) | (seq & 0xFFFFFFFFull);
+  }
+  static sim::ProcessId origin_of(std::uint64_t id) {
+    return static_cast<sim::ProcessId>(id >> 32);
+  }
+
+  TotalOrderConfig config_;
+  std::uint32_t me_;
+  std::shared_ptr<bcast::ReliableBroadcast> rbcast_;
+  std::vector<std::shared_ptr<ConsensusParticipant>> slots_;
+  DeliverFn deliver_;
+
+  std::map<std::uint64_t, std::uint64_t> pending_;  // id -> body
+  std::set<std::uint64_t> delivered_ids_;
+  std::uint64_t next_slot_ = 0;
+  bool proposed_current_ = false;
+  std::vector<std::pair<sim::ProcessId, std::uint64_t>> log_;  // (origin, body)
+};
+
+}  // namespace wfd::consensus

@@ -1,0 +1,50 @@
+// Failure-detector abstraction (Chandra-Toueg): a local module per process
+// that can be queried for a set of currently suspected processes. Classes
+// are characterized by completeness (restricting false negatives) and
+// accuracy (restricting false positives):
+//
+//   P   (perfect)             strong completeness + strong accuracy
+//   <>P (eventually perfect)  strong completeness + eventual strong accuracy
+//   T   (trusting)            strong completeness + trusting accuracy
+//   S   (strong)              strong completeness + perpetual weak accuracy
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace wfd::detect {
+
+/// Query interface of the local detector module at one process. The host
+/// process queries it during its own atomic steps; cross-process access is
+/// forbidden (each process has its *own* module).
+class FailureDetector {
+ public:
+  virtual ~FailureDetector() = default;
+
+  /// Does this module currently suspect `q` of having crashed?
+  virtual bool suspects(sim::ProcessId q) const = 0;
+
+  /// Convenience: the full suspect list over processes [0, n).
+  std::vector<sim::ProcessId> suspected(sim::ProcessId n) const {
+    std::vector<sim::ProcessId> out;
+    for (sim::ProcessId q = 0; q < n; ++q) {
+      if (suspects(q)) out.push_back(q);
+    }
+    return out;
+  }
+};
+
+/// Trusting-detector extension: T additionally distinguishes "never yet
+/// trusted" from "trusted then suspected"; the latter certifies a crash
+/// (trusting accuracy). Algorithms relying on T (e.g. fault-tolerant mutual
+/// exclusion) consume this certificate.
+class TrustingDetector : public FailureDetector {
+ public:
+  /// True iff this module trusted `q` at some point and has since stopped:
+  /// under trusting accuracy this implies `q` crashed.
+  virtual bool certainly_crashed(sim::ProcessId q) const = 0;
+};
+
+}  // namespace wfd::detect

@@ -1,0 +1,59 @@
+#include "detect/heartbeat_detector.hpp"
+
+#include "sim/engine.hpp"
+
+namespace wfd::detect {
+
+HeartbeatDetector::HeartbeatDetector(sim::ProcessId self, std::uint32_t n,
+                                     HeartbeatConfig config)
+    : self_(self),
+      n_(n),
+      config_(config),
+      last_heard_(n, 0),
+      timeout_(n, config.initial_timeout),
+      suspected_(n, false) {}
+
+void HeartbeatDetector::on_init(sim::Context& ctx) {
+  // Treat init as a heartbeat from everyone so freshly started peers get a
+  // full timeout before their first suspicion.
+  for (sim::ProcessId q = 0; q < n_; ++q) last_heard_[q] = ctx.now();
+}
+
+void HeartbeatDetector::on_message(sim::Context& ctx, const sim::Message& msg) {
+  if (msg.payload.kind != kHeartbeat) return;
+  last_heard_[msg.src] = ctx.now();
+  if (suspected_[msg.src]) {
+    // False suspicion detected: withdraw it and learn (adaptive timeout).
+    timeout_[msg.src] += config_.timeout_increment;
+    set_suspicion(ctx, msg.src, false);
+  }
+}
+
+void HeartbeatDetector::on_tick(sim::Context& ctx) {
+  const sim::Time now = ctx.now();
+  if (now - last_broadcast_ >= config_.heartbeat_every) {
+    last_broadcast_ = now;
+    for (sim::ProcessId q = 0; q < n_; ++q) {
+      if (q != self_) ctx.send(q, config_.port, {kHeartbeat, 0, 0, 0});
+    }
+  }
+  for (sim::ProcessId q = 0; q < n_; ++q) {
+    if (q == self_ || suspected_[q]) continue;
+    if (now - last_heard_[q] > timeout_[q]) set_suspicion(ctx, q, true);
+  }
+}
+
+bool HeartbeatDetector::suspects(sim::ProcessId q) const {
+  return q < n_ && suspected_[q];
+}
+
+void HeartbeatDetector::set_suspicion(sim::Context& ctx, sim::ProcessId q,
+                                      bool suspect) {
+  if (suspected_[q] == suspect) return;
+  suspected_[q] = suspect;
+  ++transitions_;
+  ctx.record_kind(static_cast<std::uint8_t>(sim::EventKind::kDetectorChange), q,
+                  suspect ? 1 : 0, config_.tag);
+}
+
+}  // namespace wfd::detect

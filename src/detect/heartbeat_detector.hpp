@@ -1,0 +1,58 @@
+// Native eventually perfect failure detector for partially synchronous
+// systems: periodic heartbeats plus per-peer adaptive timeouts. Before the
+// (unknown) GST it may wrongfully suspect slow peers; each false suspicion
+// grows that peer's timeout, so after GST (delays <= delta) every correct
+// peer's timeout eventually exceeds the real round-trip bound and the module
+// converges — strong completeness + eventual strong accuracy, i.e. <>P.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/failure_detector.hpp"
+#include "sim/component.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::detect {
+
+struct HeartbeatConfig {
+  sim::Port port = 0;              ///< port carrying heartbeats
+  sim::Time heartbeat_every = 4;   ///< ticks between broadcasts
+  sim::Time initial_timeout = 8;   ///< starting per-peer timeout
+  sim::Time timeout_increment = 8; ///< additive growth per false suspicion
+  std::uint64_t tag = 0;           ///< detector-family tag in trace events
+};
+
+/// Component implementing <>P at its host process.
+class HeartbeatDetector final : public sim::Component, public FailureDetector {
+ public:
+  HeartbeatDetector(sim::ProcessId self, std::uint32_t n, HeartbeatConfig config);
+
+  // Component
+  void on_init(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, const sim::Message& msg) override;
+  void on_tick(sim::Context& ctx) override;
+
+  // FailureDetector
+  bool suspects(sim::ProcessId q) const override;
+
+  /// Number of suspect<->trust output flips so far (mistake activity).
+  std::uint64_t transition_count() const { return transitions_; }
+  sim::Time current_timeout(sim::ProcessId q) const { return timeout_[q]; }
+
+  static constexpr std::uint32_t kHeartbeat = 0x4842;  // "HB"
+
+ private:
+  void set_suspicion(sim::Context& ctx, sim::ProcessId q, bool suspect);
+
+  sim::ProcessId self_;
+  std::uint32_t n_;
+  HeartbeatConfig config_;
+  sim::Time last_broadcast_ = 0;
+  std::vector<sim::Time> last_heard_;
+  std::vector<sim::Time> timeout_;
+  std::vector<bool> suspected_;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace wfd::detect

@@ -1,0 +1,134 @@
+#include "detect/oracle.hpp"
+
+#include "sim/engine.hpp"
+
+namespace wfd::detect {
+
+std::vector<MistakeWindow> random_mistakes(sim::Rng& rng, std::uint32_t n,
+                                           sim::Time horizon,
+                                           std::size_t count,
+                                           sim::Time max_len) {
+  std::vector<MistakeWindow> out;
+  if (n < 2 || horizon < 2) return out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const sim::ProcessId watcher = static_cast<sim::ProcessId>(rng.below(n));
+    sim::ProcessId subject = static_cast<sim::ProcessId>(rng.below(n - 1));
+    if (subject >= watcher) ++subject;
+    const sim::Time from = rng.range(1, horizon - 1);
+    const sim::Time len = rng.range(1, max_len < 1 ? 1 : max_len);
+    const sim::Time until = from + len > horizon ? horizon : from + len;
+    out.push_back(MistakeWindow{watcher, subject, from, until});
+  }
+  return out;
+}
+
+OracleBase::OracleBase(const sim::Engine& engine, sim::ProcessId self,
+                       std::uint32_t n, std::uint64_t tag)
+    : engine_(engine), self_(self), n_(n), tag_(tag), last_output_(n, false) {}
+
+sim::Time OracleBase::now() const { return engine_.now(); }
+
+bool OracleBase::crashed_since(sim::ProcessId q, sim::Time lag) const {
+  const sim::Time crash = engine_.crash_time(q);
+  return crash != sim::kNever && now() >= crash + lag;
+}
+
+bool OracleBase::suspects(sim::ProcessId q) const {
+  return q < n_ && q != self_ && compute_suspects(q);
+}
+
+void OracleBase::on_tick(sim::Context& ctx) {
+  // Oracles have no protocol of their own; the tick only reconciles the
+  // emitted trace with the current output so monitors see every flip.
+  for (sim::ProcessId q = 0; q < n_; ++q) {
+    if (q == self_) continue;
+    const bool out = suspects(q);
+    if (out != last_output_[q] || !emitted_initial_) {
+      last_output_[q] = out;
+      ctx.record_kind(static_cast<std::uint8_t>(sim::EventKind::kDetectorChange),
+                      q, out ? 1 : 0, tag_);
+    }
+  }
+  emitted_initial_ = true;
+}
+
+OracleEventuallyPerfect::OracleEventuallyPerfect(
+    const sim::Engine& engine, sim::ProcessId self, std::uint32_t n,
+    sim::Time detection_lag, std::vector<MistakeWindow> mistakes,
+    std::uint64_t tag)
+    : OracleBase(engine, self, n, tag),
+      detection_lag_(detection_lag),
+      mistakes_(std::move(mistakes)) {}
+
+sim::Time OracleEventuallyPerfect::convergence_bound() const {
+  sim::Time bound = 0;
+  for (const MistakeWindow& w : mistakes_) {
+    if (w.watcher == self_ && w.until > bound) bound = w.until;
+  }
+  return bound;
+}
+
+bool OracleEventuallyPerfect::compute_suspects(sim::ProcessId q) const {
+  if (crashed_since(q, detection_lag_)) return true;
+  const sim::Time t = now();
+  for (const MistakeWindow& w : mistakes_) {
+    if (w.watcher == self_ && w.subject == q && t >= w.from && t < w.until) {
+      return true;
+    }
+  }
+  return false;
+}
+
+OraclePerfect::OraclePerfect(const sim::Engine& engine, sim::ProcessId self,
+                             std::uint32_t n, sim::Time detection_lag,
+                             std::uint64_t tag)
+    : OracleBase(engine, self, n, tag), detection_lag_(detection_lag) {}
+
+bool OraclePerfect::compute_suspects(sim::ProcessId q) const {
+  return crashed_since(q, detection_lag_);
+}
+
+OracleTrusting::OracleTrusting(const sim::Engine& engine, sim::ProcessId self,
+                               std::uint32_t n, sim::Time detection_lag,
+                               sim::Time trust_at, std::uint64_t tag)
+    : OracleBase(engine, self, n, tag),
+      detection_lag_(detection_lag),
+      trust_at_(trust_at) {}
+
+bool OracleTrusting::compute_suspects(sim::ProcessId q) const {
+  // Not yet trusted counts as suspected (T outputs a trusted set).
+  if (now() < trust_at_) return true;
+  return crashed_since(q, detection_lag_);
+}
+
+bool OracleTrusting::certainly_crashed(sim::ProcessId q) const {
+  // Trusted at trust_at_ (it was live then, by instance construction where
+  // crashes are scheduled later), suspected now => crashed for sure.
+  return now() >= trust_at_ && crashed_since(q, detection_lag_) &&
+         engine_.crash_time(q) >= trust_at_;
+}
+
+OracleStrong::OracleStrong(const sim::Engine& engine, sim::ProcessId self,
+                           std::uint32_t n, sim::ProcessId immune,
+                           sim::Time detection_lag,
+                           std::vector<MistakeWindow> mistakes,
+                           std::uint64_t tag)
+    : OracleBase(engine, self, n, tag),
+      immune_(immune),
+      detection_lag_(detection_lag),
+      mistakes_(std::move(mistakes)) {}
+
+bool OracleStrong::compute_suspects(sim::ProcessId q) const {
+  if (q == immune_) return false;  // perpetual weak accuracy
+  if (crashed_since(q, detection_lag_)) return true;
+  const sim::Time t = now();
+  for (const MistakeWindow& w : mistakes_) {
+    if (w.watcher == self_ && w.subject == q && t >= w.from && t < w.until) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace wfd::detect

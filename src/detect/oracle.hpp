@@ -1,0 +1,147 @@
+// Oracle failure detectors: legal instances of the detector classes fed by
+// simulator ground truth, with scriptable adversarial behaviour (detection
+// lag, finite mistake windows). These model the *abstraction* a class
+// permits — not an implementation — and are used to (a) drive sufficiency
+// constructions under worst-case detector behaviour and (b) provide the
+// internal detector of black-box dining services whose mistake prefix the
+// experiments control precisely.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/failure_detector.hpp"
+#include "sim/component.hpp"
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::sim {
+class Engine;
+}
+
+namespace wfd::detect {
+
+/// One finite false-suspicion episode: `watcher` wrongfully suspects
+/// `subject` during [from, until). Finitely many such windows keep an
+/// eventually-accurate detector legal.
+struct MistakeWindow {
+  sim::ProcessId watcher = sim::kNoProcess;
+  sim::ProcessId subject = sim::kNoProcess;
+  sim::Time from = 0;
+  sim::Time until = 0;
+};
+
+/// Deterministically generate `count` mistake windows among distinct pairs,
+/// all ending by `horizon` (so accuracy converges by then).
+std::vector<MistakeWindow> random_mistakes(sim::Rng& rng, std::uint32_t n,
+                                           sim::Time horizon,
+                                           std::size_t count,
+                                           sim::Time max_len);
+
+/// Common machinery: ground-truth access, per-subject output tracking and
+/// trace emission. Components query through the FailureDetector interface.
+class OracleBase : public sim::Component, public FailureDetector {
+ public:
+  OracleBase(const sim::Engine& engine, sim::ProcessId self, std::uint32_t n,
+             std::uint64_t tag);
+
+  void on_tick(sim::Context& ctx) override;
+
+  bool suspects(sim::ProcessId q) const override;
+
+  sim::ProcessId self() const { return self_; }
+
+ protected:
+  /// Current output for subject q (stateless w.r.t. emission).
+  virtual bool compute_suspects(sim::ProcessId q) const = 0;
+
+  bool crashed_since(sim::ProcessId q, sim::Time lag) const;
+  sim::Time now() const;
+
+  const sim::Engine& engine_;
+  sim::ProcessId self_;
+  std::uint32_t n_;
+  std::uint64_t tag_;
+
+ private:
+  mutable std::vector<bool> last_output_;
+  bool emitted_initial_ = false;
+};
+
+/// Eventually perfect (<>P): suspects crashed subjects after `detection_lag`
+/// and additionally honours finite scripted mistake windows.
+class OracleEventuallyPerfect final : public OracleBase {
+ public:
+  OracleEventuallyPerfect(const sim::Engine& engine, sim::ProcessId self,
+                          std::uint32_t n, sim::Time detection_lag,
+                          std::vector<MistakeWindow> mistakes,
+                          std::uint64_t tag = 0);
+
+  /// Latest end of any mistake window for this watcher (its local accuracy
+  /// convergence bound).
+  sim::Time convergence_bound() const;
+
+ protected:
+  bool compute_suspects(sim::ProcessId q) const override;
+
+ private:
+  sim::Time detection_lag_;
+  std::vector<MistakeWindow> mistakes_;
+};
+
+/// Perfect (P): zero mistakes, suspects exactly the crashed (after lag —
+/// strong accuracy allows any lag, forbids early suspicion).
+class OraclePerfect final : public OracleBase {
+ public:
+  OraclePerfect(const sim::Engine& engine, sim::ProcessId self, std::uint32_t n,
+                sim::Time detection_lag, std::uint64_t tag = 0);
+
+ protected:
+  bool compute_suspects(sim::ProcessId q) const override;
+
+ private:
+  sim::Time detection_lag_;
+};
+
+/// Trusting (T): trusts each initially-live subject from `trust_at` on;
+/// stops trusting a subject only after it really crashed (trusting
+/// accuracy); never re-trusts. certainly_crashed() exposes the
+/// trusted-then-suspected crash certificate.
+class OracleTrusting final : public OracleBase, public TrustingDetector {
+ public:
+  OracleTrusting(const sim::Engine& engine, sim::ProcessId self, std::uint32_t n,
+                 sim::Time detection_lag, sim::Time trust_at = 0,
+                 std::uint64_t tag = 0);
+
+  bool suspects(sim::ProcessId q) const override {
+    return OracleBase::suspects(q);
+  }
+  bool certainly_crashed(sim::ProcessId q) const override;
+
+ protected:
+  bool compute_suspects(sim::ProcessId q) const override;
+
+ private:
+  sim::Time detection_lag_;
+  sim::Time trust_at_;
+};
+
+/// Strong (S): strong completeness plus perpetual weak accuracy — one
+/// designated correct subject is never suspected by anyone; others may
+/// suffer scripted mistakes.
+class OracleStrong final : public OracleBase {
+ public:
+  OracleStrong(const sim::Engine& engine, sim::ProcessId self, std::uint32_t n,
+               sim::ProcessId immune, sim::Time detection_lag,
+               std::vector<MistakeWindow> mistakes, std::uint64_t tag = 0);
+
+ protected:
+  bool compute_suspects(sim::ProcessId q) const override;
+
+ private:
+  sim::ProcessId immune_;
+  sim::Time detection_lag_;
+  std::vector<MistakeWindow> mistakes_;
+};
+
+}  // namespace wfd::detect

@@ -1,0 +1,80 @@
+#include "detect/pingpong_detector.hpp"
+
+#include "sim/engine.hpp"
+
+namespace wfd::detect {
+
+PingPongDetector::PingPongDetector(sim::ProcessId self, std::uint32_t n,
+                                   PingPongConfig config)
+    : self_(self),
+      n_(n),
+      config_(config),
+      ping_sent_at_(n, 0),
+      awaiting_(n, 0),
+      timeout_(n, config.initial_timeout),
+      suspected_(n, false) {}
+
+void PingPongDetector::on_init(sim::Context& ctx) { last_round_ = ctx.now(); }
+
+void PingPongDetector::on_message(sim::Context& ctx, const sim::Message& msg) {
+  switch (msg.payload.kind) {
+    case kPing:
+      // Answer with the same round number; answering is unconditional (a
+      // suspected pinger may be wrongly suspected).
+      ctx.send(msg.src, config_.port, sim::Payload{kPong, msg.payload.a, 0, 0});
+      break;
+    case kPong: {
+      const sim::ProcessId q = msg.src;
+      if (awaiting_[q] != 0 && msg.payload.a == awaiting_[q]) {
+        awaiting_[q] = 0;  // round trip complete
+        if (suspected_[q]) {
+          timeout_[q] += config_.timeout_increment;
+          set_suspicion(ctx, q, false);
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void PingPongDetector::on_tick(sim::Context& ctx) {
+  const sim::Time now = ctx.now();
+  if (now - last_round_ >= config_.ping_every) {
+    last_round_ = now;
+    ++round_;
+    for (sim::ProcessId q = 0; q < n_; ++q) {
+      if (q == self_) continue;
+      // Start a new round only when the previous one resolved; an
+      // unresolved round keeps its (older) deadline so timeouts reflect
+      // the oldest outstanding probe.
+      if (awaiting_[q] == 0) {
+        awaiting_[q] = round_;
+        ping_sent_at_[q] = now;
+        ctx.send(q, config_.port, sim::Payload{kPing, round_, 0, 0});
+      }
+    }
+  }
+  for (sim::ProcessId q = 0; q < n_; ++q) {
+    if (q == self_ || suspected_[q]) continue;
+    if (awaiting_[q] != 0 && now - ping_sent_at_[q] > timeout_[q]) {
+      set_suspicion(ctx, q, true);
+    }
+  }
+}
+
+bool PingPongDetector::suspects(sim::ProcessId q) const {
+  return q < n_ && suspected_[q];
+}
+
+void PingPongDetector::set_suspicion(sim::Context& ctx, sim::ProcessId q,
+                                     bool suspect) {
+  if (suspected_[q] == suspect) return;
+  suspected_[q] = suspect;
+  ++transitions_;
+  ctx.record_kind(static_cast<std::uint8_t>(sim::EventKind::kDetectorChange), q,
+                  suspect ? 1 : 0, config_.tag);
+}
+
+}  // namespace wfd::detect

@@ -1,0 +1,61 @@
+// A second native <>P implementation for partially synchronous systems:
+// query/response (ping-pong) with per-peer adaptive round-trip timeouts.
+// Where the heartbeat detector trusts one-way traffic, this one measures
+// round trips: a peer is suspected when the latest ping's pong is overdue.
+// After GST every round trip is bounded, so adaptive timeouts converge —
+// strong completeness + eventual strong accuracy.
+//
+// The two implementations trade differently: ping-pong halves the steady-
+// state traffic a silent process causes (it only answers) but doubles the
+// detection path (two message delays); bench E13 compares them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/failure_detector.hpp"
+#include "sim/component.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::detect {
+
+struct PingPongConfig {
+  sim::Port port = 0;
+  sim::Time ping_every = 8;         ///< ticks between ping rounds
+  sim::Time initial_timeout = 16;   ///< starting round-trip allowance
+  sim::Time timeout_increment = 16; ///< additive growth per false suspicion
+  std::uint64_t tag = 0;            ///< detector-family tag in trace events
+};
+
+class PingPongDetector final : public sim::Component, public FailureDetector {
+ public:
+  PingPongDetector(sim::ProcessId self, std::uint32_t n, PingPongConfig config);
+
+  void on_init(sim::Context& ctx) override;
+  void on_message(sim::Context& ctx, const sim::Message& msg) override;
+  void on_tick(sim::Context& ctx) override;
+
+  bool suspects(sim::ProcessId q) const override;
+
+  std::uint64_t transition_count() const { return transitions_; }
+  sim::Time current_timeout(sim::ProcessId q) const { return timeout_[q]; }
+
+  static constexpr std::uint32_t kPing = 0x5049;  // "PI"
+  static constexpr std::uint32_t kPong = 0x504F;  // "PO"
+
+ private:
+  void set_suspicion(sim::Context& ctx, sim::ProcessId q, bool suspect);
+
+  sim::ProcessId self_;
+  std::uint32_t n_;
+  PingPongConfig config_;
+  sim::Time last_round_ = 0;
+  std::uint64_t round_ = 0;                 // ping sequence number
+  std::vector<std::uint64_t> ping_sent_at_; // per peer: time of pending ping
+  std::vector<std::uint64_t> awaiting_;     // per peer: round awaited (0=none)
+  std::vector<sim::Time> timeout_;
+  std::vector<bool> suspected_;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace wfd::detect

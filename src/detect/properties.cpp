@@ -1,0 +1,153 @@
+#include "detect/properties.hpp"
+
+#include <sstream>
+
+#include "sim/engine.hpp"
+
+namespace wfd::detect {
+
+void DetectorHistory::set_initial(sim::ProcessId watcher,
+                                  sim::ProcessId subject, bool suspected) {
+  logs_[{watcher, subject}].initial = suspected;
+}
+
+void DetectorHistory::on_event(const sim::Event& event) {
+  if (event.kind != sim::EventKind::kDetectorChange || event.c != tag_) return;
+  const Key key{event.pid, static_cast<sim::ProcessId>(event.a)};
+  PairLog& log = logs_[key];
+  const bool suspected = event.b != 0;
+  if (log.current() == suspected && !log.flips.empty()) return;
+  if (log.flips.empty() && log.current() == suspected) return;
+  log.flips.emplace_back(event.time, suspected);
+  ++flips_total_;
+}
+
+bool DetectorHistory::currently_suspects(sim::ProcessId watcher,
+                                         sim::ProcessId subject) const {
+  auto it = logs_.find({watcher, subject});
+  return it != logs_.end() && it->second.current();
+}
+
+sim::Time DetectorHistory::last_flip(sim::ProcessId watcher,
+                                     sim::ProcessId subject) const {
+  auto it = logs_.find({watcher, subject});
+  if (it == logs_.end() || it->second.flips.empty()) return 0;
+  return it->second.flips.back().first;
+}
+
+std::uint64_t DetectorHistory::suspicion_episodes(sim::ProcessId watcher,
+                                                  sim::ProcessId subject) const {
+  auto it = logs_.find({watcher, subject});
+  if (it == logs_.end()) return 0;
+  std::uint64_t episodes = it->second.initial ? 1 : 0;
+  bool prev = it->second.initial;
+  for (const auto& [time, suspected] : it->second.flips) {
+    if (suspected && !prev) ++episodes;
+    prev = suspected;
+  }
+  return episodes;
+}
+
+std::vector<std::pair<sim::ProcessId, sim::ProcessId>> DetectorHistory::pairs()
+    const {
+  std::vector<Key> out;
+  out.reserve(logs_.size());
+  for (const auto& [key, log] : logs_) out.push_back(key);
+  return out;
+}
+
+Verdict DetectorHistory::strong_completeness(const sim::Engine& engine) const {
+  Verdict verdict{true, 0, ""};
+  for (const auto& [key, log] : logs_) {
+    const auto [watcher, subject] = key;
+    if (!engine.is_correct(watcher) || engine.is_correct(subject)) continue;
+    if (!log.current()) {
+      std::ostringstream detail;
+      detail << "watcher " << watcher << " still trusts crashed " << subject;
+      return Verdict{false, engine.now(), detail.str()};
+    }
+    // Convergence: the moment the permanent-suspicion suffix began.
+    if (!log.flips.empty() && log.flips.back().first > verdict.convergence) {
+      verdict.convergence = log.flips.back().first;
+    }
+  }
+  return verdict;
+}
+
+Verdict DetectorHistory::eventual_strong_accuracy(
+    const sim::Engine& engine) const {
+  Verdict verdict{true, 0, ""};
+  for (const auto& [key, log] : logs_) {
+    const auto [watcher, subject] = key;
+    if (!engine.is_correct(watcher) || !engine.is_correct(subject)) continue;
+    if (log.current()) {
+      std::ostringstream detail;
+      detail << "watcher " << watcher << " still suspects correct " << subject;
+      return Verdict{false, engine.now(), detail.str()};
+    }
+    if (!log.flips.empty() && log.flips.back().first > verdict.convergence) {
+      verdict.convergence = log.flips.back().first;
+    }
+    if (log.initial && log.flips.empty()) {
+      // Initial suspicion never withdrawn would have current()==true; here
+      // flips empty and current false means initial was false: fine.
+    }
+  }
+  return verdict;
+}
+
+Verdict DetectorHistory::trusting_accuracy(const sim::Engine& engine) const {
+  Verdict verdict{true, 0, ""};
+  for (const auto& [key, log] : logs_) {
+    const auto [watcher, subject] = key;
+    bool trusted_once = !log.initial;
+    bool prev = log.initial;
+    for (const auto& [time, suspected] : log.flips) {
+      if (!suspected) trusted_once = true;
+      if (suspected && !prev && trusted_once) {
+        // Trusted-then-suspected: only legal if subject crashed by `time`.
+        if (engine.crash_time(subject) > time) {
+          std::ostringstream detail;
+          detail << "watcher " << watcher << " stopped trusting live subject "
+                 << subject << " at t=" << time;
+          return Verdict{false, time, detail.str()};
+        }
+      }
+      prev = suspected;
+    }
+    // Eventual trust of correct subjects (by correct watchers).
+    if (engine.is_correct(watcher) && engine.is_correct(subject) &&
+        log.current()) {
+      std::ostringstream detail;
+      detail << "watcher " << watcher << " never converged to trusting correct "
+             << subject;
+      return Verdict{false, engine.now(), detail.str()};
+    }
+    if (!log.flips.empty() && log.flips.back().first > verdict.convergence) {
+      verdict.convergence = log.flips.back().first;
+    }
+  }
+  return verdict;
+}
+
+Verdict DetectorHistory::perpetual_weak_accuracy(
+    const sim::Engine& engine) const {
+  // Collect subjects that appear in the registered pair set.
+  std::map<sim::ProcessId, bool> ever_suspected;
+  for (const auto& [key, log] : logs_) {
+    const auto [watcher, subject] = key;
+    if (!engine.is_correct(watcher)) continue;
+    bool& flag = ever_suspected[subject];
+    if (log.initial) flag = true;
+    for (const auto& [time, suspected] : log.flips) {
+      if (suspected) flag = true;
+    }
+  }
+  for (const auto& [subject, suspected] : ever_suspected) {
+    if (engine.is_correct(subject) && !suspected) return Verdict{true, 0, ""};
+  }
+  return Verdict{false, engine.now(),
+                 "every correct subject was suspected at least once"};
+}
+
+}  // namespace wfd::detect

@@ -1,0 +1,84 @@
+// Detector property monitors. A DetectorHistory subscribes to the run trace,
+// collects every suspicion flip of one detector family (selected by tag),
+// and — against engine ground truth — renders verdicts for the class
+// properties. Verdicts are over the observed finite run: "holds" means the
+// property's eventual obligation was met by the end of the run, and
+// `convergence` reports the last violating instant (the empirical
+// convergence point the paper says exists but is unknown to processes).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/trace.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::sim {
+class Engine;
+}
+
+namespace wfd::detect {
+
+struct Verdict {
+  bool holds = false;
+  sim::Time convergence = 0;  ///< last violating tick (0 = never violated)
+  std::string detail;         ///< human-readable failure reason when !holds
+
+  explicit operator bool() const { return holds; }
+};
+
+class DetectorHistory {
+ public:
+  /// Monitor flips whose event tag equals `tag`.
+  explicit DetectorHistory(std::uint64_t tag = 0) : tag_(tag) {}
+
+  /// Register a (watcher, subject) pair with its output at time 0. Pairs
+  /// can also be auto-registered by the first observed flip, in which case
+  /// the pre-flip output is assumed to be "trusting".
+  void set_initial(sim::ProcessId watcher, sim::ProcessId subject,
+                   bool suspected);
+
+  /// Trace subscription entry point.
+  void on_event(const sim::Event& event);
+
+  /// Current (latest observed) output for a pair.
+  bool currently_suspects(sim::ProcessId watcher, sim::ProcessId subject) const;
+  /// Time of the last output flip for a pair (0 if none).
+  sim::Time last_flip(sim::ProcessId watcher, sim::ProcessId subject) const;
+  /// Total flips observed across all pairs.
+  std::uint64_t flip_count() const { return flips_total_; }
+  /// Number of times `watcher` newly began suspecting `subject`.
+  std::uint64_t suspicion_episodes(sim::ProcessId watcher,
+                                   sim::ProcessId subject) const;
+
+  /// Every crashed subject is eventually permanently suspected by every
+  /// correct registered watcher.
+  Verdict strong_completeness(const sim::Engine& engine) const;
+  /// Eventually no correct subject is suspected by any correct watcher.
+  Verdict eventual_strong_accuracy(const sim::Engine& engine) const;
+  /// No watcher ever stops trusting a live subject, and correct subjects
+  /// end up trusted (the T class, restricted to the observed run).
+  Verdict trusting_accuracy(const sim::Engine& engine) const;
+  /// Some correct subject is never suspected by any correct watcher.
+  Verdict perpetual_weak_accuracy(const sim::Engine& engine) const;
+
+  /// All registered pairs (watcher, subject).
+  std::vector<std::pair<sim::ProcessId, sim::ProcessId>> pairs() const;
+
+ private:
+  struct PairLog {
+    bool initial = false;                          // suspected at t=0?
+    std::vector<std::pair<sim::Time, bool>> flips; // (time, new output)
+    bool current() const { return flips.empty() ? initial : flips.back().second; }
+  };
+
+  using Key = std::pair<sim::ProcessId, sim::ProcessId>;
+  std::uint64_t tag_;
+  std::map<Key, PairLog> logs_;
+  std::uint64_t flips_total_ = 0;
+};
+
+}  // namespace wfd::detect

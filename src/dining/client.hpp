@@ -1,0 +1,92 @@
+// Workload driver for one diner: cycles thinking -> hungry -> eating ->
+// exiting with configurable (seeded) think and eat durations. Used by
+// experiments and examples; the reduction replaces it with the paper's
+// witness/subject threads.
+#pragma once
+
+#include <cstdint>
+
+#include "dining/diner.hpp"
+#include "sim/component.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::dining {
+
+struct ClientConfig {
+  sim::Time think_min = 1;
+  sim::Time think_max = 10;
+  sim::Time eat_min = 1;
+  sim::Time eat_max = 5;
+  /// Stop requesting after this many completed meals (0 = forever).
+  std::uint64_t max_meals = 0;
+  /// If true the client never calls finish_eating — the adversarial
+  /// "never-exiting diner" of the paper's Section 3 counterexample.
+  bool never_exit = false;
+};
+
+class DinerClient final : public sim::Component {
+ public:
+  DinerClient(DiningService& service, ClientConfig config)
+      : service_(service), config_(config) {}
+
+  void on_tick(sim::Context& ctx) override {
+    switch (service_.state()) {
+      case DinerState::kThinking: {
+        if (config_.max_meals != 0 && meals_ >= config_.max_meals) return;
+        if (next_hungry_ == sim::kNever) {
+          next_hungry_ =
+              ctx.now() + ctx.rng().range(config_.think_min, config_.think_max);
+        }
+        if (ctx.now() >= next_hungry_) {
+          next_hungry_ = sim::kNever;
+          hungry_since_ = ctx.now();
+          service_.become_hungry(ctx);
+        }
+        break;
+      }
+      case DinerState::kHungry:
+        break;  // the service decides
+      case DinerState::kEating: {
+        if (finish_at_ == sim::kNever) {
+          // First tick of this meal.
+          total_wait_ += ctx.now() - hungry_since_;
+          if (ctx.now() - hungry_since_ > max_wait_) {
+            max_wait_ = ctx.now() - hungry_since_;
+          }
+          ++meals_;
+          finish_at_ = config_.never_exit
+                           ? sim::kNever - 1  // sentinel: never reached
+                           : ctx.now() +
+                                 ctx.rng().range(config_.eat_min, config_.eat_max);
+        }
+        if (!config_.never_exit && ctx.now() >= finish_at_) {
+          finish_at_ = sim::kNever;
+          service_.finish_eating(ctx);
+        }
+        break;
+      }
+      case DinerState::kExiting:
+        break;
+    }
+  }
+
+  std::uint64_t meals() const { return meals_; }
+  sim::Time max_wait() const { return max_wait_; }
+  double mean_wait() const {
+    return meals_ == 0 ? 0.0
+                       : static_cast<double>(total_wait_) /
+                             static_cast<double>(meals_);
+  }
+
+ private:
+  DiningService& service_;
+  ClientConfig config_;
+  sim::Time next_hungry_ = sim::kNever;
+  sim::Time hungry_since_ = 0;
+  sim::Time finish_at_ = sim::kNever;
+  std::uint64_t meals_ = 0;
+  sim::Time total_wait_ = 0;
+  sim::Time max_wait_ = 0;
+};
+
+}  // namespace wfd::dining

@@ -1,0 +1,73 @@
+// Dining philosophers vocabulary (paper, Section 4): each diner is
+// thinking, hungry, eating, or exiting; a dining *service* schedules the
+// hungry->eating transition. Everything above the service (workload
+// clients, the reduction's witness/subject threads, monitors) sees only
+// this black-box interface — exactly the paper's black-box discipline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/component.hpp"
+#include "sim/trace.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::dining {
+
+enum class DinerState : std::uint8_t {
+  kThinking = 0,
+  kHungry = 1,
+  kEating = 2,
+  kExiting = 3,
+};
+
+inline const char* to_string(DinerState state) {
+  switch (state) {
+    case DinerState::kThinking: return "thinking";
+    case DinerState::kHungry: return "hungry";
+    case DinerState::kEating: return "eating";
+    case DinerState::kExiting: return "exiting";
+  }
+  return "?";
+}
+
+/// Client-side handle of one diner in one dining instance. The service
+/// makes the hungry->eating and exiting->thinking transitions on its own;
+/// clients trigger thinking->hungry and eating->exiting.
+class DiningService {
+ public:
+  virtual ~DiningService() = default;
+
+  virtual DinerState state() const = 0;
+
+  /// thinking -> hungry. Precondition: state() == kThinking.
+  virtual void become_hungry(sim::Context& ctx) = 0;
+
+  /// eating -> exiting. Precondition: state() == kEating. The service
+  /// completes exiting -> thinking in finite time.
+  virtual void finish_eating(sim::Context& ctx) = 0;
+};
+
+/// Shared bookkeeping for service implementations: state storage plus
+/// trace emission (kDinerTransition events carry the instance tag so
+/// monitors can tell instances apart).
+class DinerBase : public DiningService {
+ public:
+  DinerState state() const final { return state_; }
+
+ protected:
+  void transition(sim::Context& ctx, std::uint64_t tag, DinerState to) {
+    const DinerState from = state_;
+    if (from == to) return;
+    state_ = to;
+    ctx.record_kind(static_cast<std::uint8_t>(sim::EventKind::kDinerTransition),
+                    tag,
+                    static_cast<std::uint64_t>(from),
+                    static_cast<std::uint64_t>(to));
+  }
+
+ private:
+  DinerState state_ = DinerState::kThinking;
+};
+
+}  // namespace wfd::dining

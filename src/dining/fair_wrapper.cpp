@@ -1,0 +1,108 @@
+#include "dining/fair_wrapper.hpp"
+
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+
+namespace wfd::dining {
+
+FairDiner::FairDiner(DiningInstanceConfig config, std::uint32_t me,
+                     DiningService& inner,
+                     const detect::FailureDetector* detector)
+    : config_(std::move(config)),
+      me_(me),
+      inner_(inner),
+      detector_(detector),
+      neighbors_(config_.graph.neighbors(me)),
+      neighbor_stamp_(config_.members.size(), 0),
+      neighbor_seq_(config_.members.size(), 0) {}
+
+void FairDiner::become_hungry(sim::Context& ctx) {
+  if (state() != DinerState::kThinking) {
+    throw std::logic_error("FairDiner: become_hungry while not thinking");
+  }
+  transition(ctx, config_.tag, DinerState::kHungry);
+  pending_ = true;
+  my_stamp_ = ++lamport_;
+  ++send_seq_;
+  for (std::uint32_t nbr : neighbors_) {
+    ctx.send(config_.members[nbr], config_.port,
+             sim::Payload{kStamp, me_, my_stamp_, send_seq_});
+  }
+}
+
+void FairDiner::finish_eating(sim::Context& ctx) {
+  if (state() != DinerState::kEating) {
+    throw std::logic_error("FairDiner: finish_eating while not eating");
+  }
+  transition(ctx, config_.tag, DinerState::kExiting);
+  inner_.finish_eating(ctx);
+  pending_ = false;
+  inner_hungry_ = false;
+  ++send_seq_;
+  for (std::uint32_t nbr : neighbors_) {
+    ctx.send(config_.members[nbr], config_.port,
+             sim::Payload{kDone, me_, 0, send_seq_});
+  }
+}
+
+void FairDiner::on_message(sim::Context&, const sim::Message& msg) {
+  const auto nbr = static_cast<std::uint32_t>(msg.payload.a);
+  if (nbr >= neighbor_stamp_.size()) return;
+  if (msg.payload.kind == kStamp && msg.payload.b > lamport_) {
+    lamport_ = msg.payload.b;  // Lamport clock advance, even for stale gossip
+  }
+  // Channels are non-FIFO: keep only the neighbor's newest gossip, so a
+  // stale REQ cannot resurrect a pending entry after its DONE arrived.
+  if (msg.payload.c <= neighbor_seq_[nbr]) return;
+  neighbor_seq_[nbr] = msg.payload.c;
+  switch (msg.payload.kind) {
+    case kStamp:
+      neighbor_stamp_[nbr] = msg.payload.b;
+      break;
+    case kDone:
+      neighbor_stamp_[nbr] = 0;
+      break;
+    default:
+      break;
+  }
+}
+
+bool FairDiner::must_defer() const {
+  for (std::uint32_t nbr : neighbors_) {
+    const std::uint64_t stamp = neighbor_stamp_[nbr];
+    if (stamp == 0) continue;
+    if (detector_ != nullptr && detector_->suspects(config_.members[nbr])) {
+      continue;  // never wait on a suspected neighbor (wait-freedom)
+    }
+    // Defer to strictly older stamps; ties broken by diner index so the
+    // deference relation is a total order and cannot cycle.
+    if (stamp < my_stamp_ || (stamp == my_stamp_ && nbr < me_)) return true;
+  }
+  return false;
+}
+
+void FairDiner::on_tick(sim::Context& ctx) {
+  switch (state()) {
+    case DinerState::kHungry:
+      if (!inner_hungry_) {
+        if (!must_defer() && inner_.state() == DinerState::kThinking) {
+          inner_hungry_ = true;
+          inner_.become_hungry(ctx);
+        }
+      } else if (inner_.state() == DinerState::kEating) {
+        transition(ctx, config_.tag, DinerState::kEating);
+      }
+      break;
+    case DinerState::kExiting:
+      if (inner_.state() == DinerState::kThinking) {
+        transition(ctx, config_.tag, DinerState::kThinking);
+      }
+      break;
+    case DinerState::kThinking:
+    case DinerState::kEating:
+      break;
+  }
+}
+
+}  // namespace wfd::dining

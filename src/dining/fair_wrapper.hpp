@@ -1,0 +1,60 @@
+// Eventually bounded-fair dining wrapper (after [13]): an asynchronous
+// layer that turns any wait-free <>WX dining service plus an <>P module
+// into a wait-free <>WX *and eventually bounded-fair* service. Hungry
+// processes stamp their requests with Lamport timestamps and defer to
+// trusted neighbors with older pending stamps; once <>P stops lying and
+// in-flight stamps drain, meals are granted in stamp order, so no correct
+// hungry diner is overtaken more than a bounded number of times (the paper
+// reports k = 2 for the construction in [13]; experiment E5 measures the
+// bound this wrapper achieves).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/failure_detector.hpp"
+#include "dining/diner.hpp"
+#include "dining/hygienic.hpp"
+#include "sim/component.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::dining {
+
+/// Per-member component wrapping the member's inner service (same host).
+class FairDiner final : public sim::Component, public DinerBase {
+ public:
+  /// `config.port` is the wrapper's own port (REQ/DONE gossip) and
+  /// `config.tag` the tag under which the wrapper reports transitions;
+  /// `inner` must live on the same host and outlive the wrapper.
+  FairDiner(DiningInstanceConfig config, std::uint32_t me, DiningService& inner,
+            const detect::FailureDetector* detector);
+
+  // DiningService
+  void become_hungry(sim::Context& ctx) override;
+  void finish_eating(sim::Context& ctx) override;
+
+  // Component
+  void on_message(sim::Context& ctx, const sim::Message& msg) override;
+  void on_tick(sim::Context& ctx) override;
+
+  static constexpr std::uint32_t kStamp = 1;  ///< REQ(ts): neighbor pending
+  static constexpr std::uint32_t kDone = 2;   ///< neighbor's meal finished
+
+ private:
+  bool must_defer() const;
+
+  DiningInstanceConfig config_;
+  std::uint32_t me_;
+  DiningService& inner_;
+  const detect::FailureDetector* detector_;
+  std::vector<std::uint32_t> neighbors_;
+  std::uint64_t lamport_ = 0;
+  std::uint64_t my_stamp_ = 0;          // valid while pending_
+  bool pending_ = false;
+  bool inner_hungry_ = false;
+  std::uint64_t send_seq_ = 0;          // stamps gossip; receivers keep newest
+  std::vector<std::uint64_t> neighbor_stamp_;  // 0 = not pending
+  std::vector<std::uint64_t> neighbor_seq_;    // newest gossip seq seen
+};
+
+}  // namespace wfd::dining

@@ -1,0 +1,147 @@
+#include "dining/hygienic.hpp"
+
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wfd::dining {
+
+HygienicDiner::HygienicDiner(DiningInstanceConfig config, std::uint32_t me,
+                             const detect::FailureDetector* detector)
+    : config_(std::move(config)), me_(me), detector_(detector) {
+  neighbors_ = config_.graph.neighbors(me_);
+  const std::size_t degree = neighbors_.size();
+  have_fork_.resize(degree);
+  dirty_.resize(degree);
+  have_token_.resize(degree);
+  for (std::size_t i = 0; i < degree; ++i) {
+    // Chandy-Misra initialization: all forks dirty, held by the lower
+    // diner index; the request token starts at the other endpoint. The
+    // resulting precedence graph (dirty-fork holders yield) is acyclic.
+    const bool lower = me_ < neighbors_[i];
+    have_fork_[i] = lower;
+    dirty_[i] = lower;
+    have_token_[i] = !lower;
+  }
+}
+
+std::size_t HygienicDiner::edge_index(std::uint32_t neighbor) const {
+  const auto it = std::lower_bound(neighbors_.begin(), neighbors_.end(), neighbor);
+  if (it == neighbors_.end() || *it != neighbor) {
+    throw std::out_of_range("HygienicDiner: not a neighbor");
+  }
+  return static_cast<std::size_t>(it - neighbors_.begin());
+}
+
+bool HygienicDiner::holds_fork(std::uint32_t neighbor) const {
+  return have_fork_[edge_index(neighbor)];
+}
+bool HygienicDiner::holds_token(std::uint32_t neighbor) const {
+  return have_token_[edge_index(neighbor)];
+}
+bool HygienicDiner::fork_dirty(std::uint32_t neighbor) const {
+  return dirty_[edge_index(neighbor)];
+}
+
+void HygienicDiner::become_hungry(sim::Context& ctx) {
+  if (state() != DinerState::kThinking) {
+    throw std::logic_error("become_hungry: diner not thinking");
+  }
+  transition(ctx, config_.tag, DinerState::kHungry);
+  send_requests(ctx);
+}
+
+void HygienicDiner::finish_eating(sim::Context& ctx) {
+  if (state() != DinerState::kEating) {
+    throw std::logic_error("finish_eating: diner not eating");
+  }
+  transition(ctx, config_.tag, DinerState::kExiting);
+}
+
+void HygienicDiner::on_message(sim::Context& ctx, const sim::Message& msg) {
+  const auto sender = static_cast<std::uint32_t>(msg.payload.a);
+  const std::size_t edge = edge_index(sender);
+  switch (msg.payload.kind) {
+    case kRequest:
+      // The request token arrives: the neighbor is hungry for our fork.
+      have_token_[edge] = true;
+      break;
+    case kFork:
+      // Forks travel clean.
+      have_fork_[edge] = true;
+      dirty_[edge] = false;
+      break;
+    default:
+      break;
+  }
+  (void)ctx;
+}
+
+void HygienicDiner::on_tick(sim::Context& ctx) {
+  switch (state()) {
+    case DinerState::kThinking:
+      yield_forks(ctx);
+      break;
+    case DinerState::kHungry:
+      send_requests(ctx);
+      yield_forks(ctx);       // hygienic humility: dirty forks are yielded
+      try_start_eating(ctx);  // may eat immediately after re-acquisition
+      break;
+    case DinerState::kEating:
+      break;  // the client decides when to finish
+    case DinerState::kExiting:
+      // Exiting is finite: grant deferred requests, then think.
+      transition(ctx, config_.tag, DinerState::kThinking);
+      yield_forks(ctx);
+      break;
+  }
+}
+
+bool HygienicDiner::may_eat(std::uint32_t index_in_neighbors) const {
+  if (have_fork_[index_in_neighbors]) return true;
+  if (detector_ == nullptr) return false;
+  const sim::ProcessId pid = config_.members[neighbors_[index_in_neighbors]];
+  return detector_->suspects(pid);
+}
+
+void HygienicDiner::try_start_eating(sim::Context& ctx) {
+  for (std::size_t i = 0; i < neighbors_.size(); ++i) {
+    if (!may_eat(static_cast<std::uint32_t>(i))) return;
+  }
+  // Eating soils every held fork.
+  for (std::size_t i = 0; i < neighbors_.size(); ++i) {
+    if (have_fork_[i]) dirty_[i] = true;
+  }
+  ++meals_;
+  transition(ctx, config_.tag, DinerState::kEating);
+}
+
+void HygienicDiner::yield_forks(sim::Context& ctx) {
+  if (state() == DinerState::kEating) return;
+  const bool hungry = state() == DinerState::kHungry;
+  for (std::size_t i = 0; i < neighbors_.size(); ++i) {
+    // A pending request is witnessed by holding both token and fork.
+    if (!(have_fork_[i] && have_token_[i])) continue;
+    // Hungry diners keep clean forks (their priority); dirty forks — and
+    // any fork held while not hungry — must be surrendered.
+    if (hungry && !dirty_[i]) continue;
+    have_fork_[i] = false;
+    dirty_[i] = false;
+    ctx.send(config_.members[neighbors_[i]], config_.port,
+             sim::Payload{kFork, me_, 0, 0});
+  }
+}
+
+void HygienicDiner::send_requests(sim::Context& ctx) {
+  if (state() != DinerState::kHungry) return;
+  for (std::size_t i = 0; i < neighbors_.size(); ++i) {
+    if (have_token_[i] && !have_fork_[i]) {
+      have_token_[i] = false;
+      ctx.send(config_.members[neighbors_[i]], config_.port,
+               sim::Payload{kRequest, me_, 0, 0});
+    }
+  }
+}
+
+}  // namespace wfd::dining

@@ -1,0 +1,93 @@
+// Hygienic dining philosophers (Chandy-Misra) with an optional failure-
+// detector override — the two configurations are the repo's two dining
+// algorithms:
+//
+//  * detector == nullptr: classic hygienic dining. Starvation-free on
+//    arbitrary conflict graphs among *reliable* processes; a single crash
+//    while holding a fork starves the whole neighborhood (the baseline the
+//    paper's wait-freedom requirement rules out).
+//
+//  * detector != nullptr (an eventually perfect module): wait-free dining
+//    under eventual weak exclusion in the style of Pike-Song [12]: a hungry
+//    diner may eat when, for every neighbor, it either holds the shared
+//    fork or currently *suspects* the neighbor. Wrongful suspicions can
+//    schedule two live neighbors simultaneously — finitely often, because
+//    <>P converges — while real crashes are eventually permanently
+//    suspected, so no fork is awaited from a dead neighbor (wait-freedom).
+//
+// Crucially for Section 3 of the paper, this implementation has the [12]
+// convergence anatomy: its exclusive suffix begins only after (a) the
+// detector stops making mistakes and (b) every diner that entered its
+// critical section via a mistaken suspicion has exited. A client that
+// never exits therefore voids the service's obligations — the property the
+// flawed contention-manager reduction of [8] trips over (experiment E4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/failure_detector.hpp"
+#include "dining/diner.hpp"
+#include "graph/conflict_graph.hpp"
+#include "sim/component.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::dining {
+
+/// Static description of one dining instance: which processes participate
+/// (diner index -> process id), the conflict graph over diner indices, the
+/// port the instance communicates on, and the trace tag it reports under.
+struct DiningInstanceConfig {
+  sim::Port port = 0;
+  std::uint64_t tag = 0;
+  std::vector<sim::ProcessId> members;
+  graph::ConflictGraph graph;
+};
+
+/// One diner's component. Install one per member, all sharing the same
+/// config value.
+class HygienicDiner final : public sim::Component, public DinerBase {
+ public:
+  /// `me` is this diner's index into config.members; `detector` (optional,
+  /// not owned, must outlive the component) supplies suspicions keyed by
+  /// *process id*.
+  HygienicDiner(DiningInstanceConfig config, std::uint32_t me,
+                const detect::FailureDetector* detector);
+
+  // DiningService
+  void become_hungry(sim::Context& ctx) override;
+  void finish_eating(sim::Context& ctx) override;
+
+  // Component
+  void on_message(sim::Context& ctx, const sim::Message& msg) override;
+  void on_tick(sim::Context& ctx) override;
+
+  /// Introspection for tests: fork/token state for the edge to `neighbor`
+  /// (diner index).
+  bool holds_fork(std::uint32_t neighbor) const;
+  bool holds_token(std::uint32_t neighbor) const;
+  bool fork_dirty(std::uint32_t neighbor) const;
+  std::uint64_t meals() const { return meals_; }
+
+  static constexpr std::uint32_t kRequest = 1;
+  static constexpr std::uint32_t kFork = 2;
+
+ private:
+  std::size_t edge_index(std::uint32_t neighbor) const;
+  bool may_eat(std::uint32_t neighbor) const;
+  void try_start_eating(sim::Context& ctx);
+  void yield_forks(sim::Context& ctx);
+  void send_requests(sim::Context& ctx);
+
+  DiningInstanceConfig config_;
+  std::uint32_t me_;
+  const detect::FailureDetector* detector_;
+  std::vector<std::uint32_t> neighbors_;  // diner indices
+  // Per incident edge, indexed parallel to neighbors_:
+  std::vector<bool> have_fork_;
+  std::vector<bool> dirty_;
+  std::vector<bool> have_token_;
+  std::uint64_t meals_ = 0;
+};
+
+}  // namespace wfd::dining

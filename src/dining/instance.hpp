@@ -1,0 +1,39 @@
+// Convenience wiring: build a complete dining instance (one HygienicDiner
+// component per member, installed on the member's ComponentHost and
+// registered on the instance port).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "detect/failure_detector.hpp"
+#include "dining/hygienic.hpp"
+#include "sim/component.hpp"
+
+namespace wfd::dining {
+
+struct BuiltInstance {
+  DiningInstanceConfig config;
+  /// One service handle per member index; owned by the hosts.
+  std::vector<std::shared_ptr<HygienicDiner>> diners;
+};
+
+/// Install a hygienic/wait-free instance across `hosts` (hosts[i] is the
+/// process of config.members[i]). detectors[i] may be nullptr (plain
+/// hygienic) or an <>P module owned by the same host (wait-free dining
+/// under eventual weak exclusion).
+inline BuiltInstance build_dining_instance(
+    const std::vector<sim::ComponentHost*>& hosts, DiningInstanceConfig config,
+    const std::vector<const detect::FailureDetector*>& detectors) {
+  BuiltInstance built;
+  built.config = config;
+  for (std::uint32_t i = 0; i < hosts.size(); ++i) {
+    auto diner = std::make_shared<HygienicDiner>(
+        config, i, i < detectors.size() ? detectors[i] : nullptr);
+    hosts[i]->add_component(diner, {config.port});
+    built.diners.push_back(std::move(diner));
+  }
+  return built;
+}
+
+}  // namespace wfd::dining

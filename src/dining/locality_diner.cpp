@@ -1,0 +1,148 @@
+#include "dining/locality_diner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+
+namespace wfd::dining {
+
+LocalityDiner::LocalityDiner(DiningInstanceConfig config, std::uint32_t me,
+                             const detect::FailureDetector* detector)
+    : config_(std::move(config)), me_(me), detector_(detector) {
+  neighbors_ = config_.graph.neighbors(me_);
+  const std::size_t degree = neighbors_.size();
+  have_fork_.resize(degree);
+  dirty_.resize(degree);
+  have_token_.resize(degree);
+  for (std::size_t i = 0; i < degree; ++i) {
+    const bool lower = me_ < neighbors_[i];
+    have_fork_[i] = lower;
+    dirty_[i] = lower;
+    have_token_[i] = !lower;
+  }
+}
+
+std::size_t LocalityDiner::edge_index(std::uint32_t neighbor) const {
+  const auto it =
+      std::lower_bound(neighbors_.begin(), neighbors_.end(), neighbor);
+  if (it == neighbors_.end() || *it != neighbor) {
+    throw std::out_of_range("LocalityDiner: not a neighbor");
+  }
+  return static_cast<std::size_t>(it - neighbors_.begin());
+}
+
+void LocalityDiner::refresh_quarantine() {
+  quarantine_ = false;
+  if (detector_ == nullptr) return;
+  for (std::uint32_t nbr : neighbors_) {
+    if (detector_->suspects(config_.members[nbr])) {
+      quarantine_ = true;
+      return;
+    }
+  }
+}
+
+void LocalityDiner::become_hungry(sim::Context& ctx) {
+  if (state() != DinerState::kThinking) {
+    throw std::logic_error("LocalityDiner: become_hungry while not thinking");
+  }
+  transition(ctx, config_.tag, DinerState::kHungry);
+  send_requests(ctx);
+}
+
+void LocalityDiner::finish_eating(sim::Context& ctx) {
+  if (state() != DinerState::kEating) {
+    throw std::logic_error("LocalityDiner: finish_eating while not eating");
+  }
+  transition(ctx, config_.tag, DinerState::kExiting);
+}
+
+void LocalityDiner::on_message(sim::Context&, const sim::Message& msg) {
+  const auto sender = static_cast<std::uint32_t>(msg.payload.a);
+  const std::size_t edge = edge_index(sender);
+  switch (msg.payload.kind) {
+    case kRequest:
+      have_token_[edge] = true;
+      break;
+    case kFork:
+      have_fork_[edge] = true;
+      dirty_[edge] = false;
+      break;
+    default:
+      break;
+  }
+}
+
+void LocalityDiner::on_tick(sim::Context& ctx) {
+  refresh_quarantine();
+  switch (state()) {
+    case DinerState::kThinking:
+      yield_forks(ctx);
+      break;
+    case DinerState::kHungry:
+      send_requests(ctx);
+      yield_forks(ctx);
+      try_start_eating(ctx);
+      break;
+    case DinerState::kEating:
+      break;
+    case DinerState::kExiting:
+      transition(ctx, config_.tag, DinerState::kThinking);
+      yield_forks(ctx);
+      break;
+  }
+}
+
+void LocalityDiner::try_start_eating(sim::Context& ctx) {
+  // Perpetual exclusion: every fork, no exceptions, no waivers.
+  for (std::size_t i = 0; i < neighbors_.size(); ++i) {
+    if (!have_fork_[i]) return;
+  }
+  for (std::size_t i = 0; i < neighbors_.size(); ++i) dirty_[i] = true;
+  ++meals_;
+  transition(ctx, config_.tag, DinerState::kEating);
+}
+
+void LocalityDiner::yield_forks(sim::Context& ctx) {
+  if (state() == DinerState::kEating) return;
+  const bool hungry = state() == DinerState::kHungry;
+  for (std::size_t i = 0; i < neighbors_.size(); ++i) {
+    if (!(have_fork_[i] && have_token_[i])) continue;
+    // Hygienic priority: hungry diners keep clean forks — EXCEPT in
+    // quarantine, where hoarding would propagate our starvation to
+    // healthy neighbors (this is the locality-1 rule).
+    if (hungry && !dirty_[i] && !quarantine_) continue;
+    have_fork_[i] = false;
+    dirty_[i] = false;
+    ctx.send(config_.members[neighbors_[i]], config_.port,
+             sim::Payload{kFork, me_, 0, 0});
+  }
+}
+
+void LocalityDiner::send_requests(sim::Context& ctx) {
+  if (state() != DinerState::kHungry) return;
+  for (std::size_t i = 0; i < neighbors_.size(); ++i) {
+    if (have_token_[i] && !have_fork_[i]) {
+      have_token_[i] = false;
+      ctx.send(config_.members[neighbors_[i]], config_.port,
+               sim::Payload{kRequest, me_, 0, 0});
+    }
+  }
+}
+
+BuiltLocalityInstance build_locality_instance(
+    const std::vector<sim::ComponentHost*>& hosts, DiningInstanceConfig config,
+    const std::vector<const detect::FailureDetector*>& detectors) {
+  BuiltLocalityInstance built;
+  built.config = config;
+  for (std::uint32_t i = 0; i < hosts.size(); ++i) {
+    auto diner = std::make_shared<LocalityDiner>(
+        config, i, i < detectors.size() ? detectors[i] : nullptr);
+    hosts[i]->add_component(diner, {config.port});
+    built.diners.push_back(std::move(diner));
+  }
+  return built;
+}
+
+}  // namespace wfd::dining

@@ -1,0 +1,80 @@
+// Crash-locality-1 dining under PERPETUAL weak exclusion with <>P, after
+// the result the paper cites as [11] (Pike & Sivilotti): <>P cannot give
+// both wait-freedom and perpetual exclusion, but it can confine starvation
+// to distance 1 from a crash while never violating exclusion.
+//
+// The algorithm is hygienic dining plus a quarantine rule: eating always
+// requires ALL forks (no suspicion override — exclusion is perpetual), but
+// a hungry diner that suspects some neighbor stops hoarding clean forks:
+// while in quarantine it yields every requested fork, clean or dirty.
+//
+// Effect on failure locality: in plain hygienic dining, a crash can starve
+// a chain — the victim's hungry neighbor q keeps its *clean* forks while
+// it starves, so q's own neighbors starve too (locality 2, and transitive).
+// With quarantine, q still starves (its dead neighbor's fork is gone — the
+// price of perpetual exclusion), but q's clean forks flow on, so processes
+// at distance >= 2 from every crash keep eating: locality 1.
+//
+// The triangle this completes (experiment E14):
+//   wait-free + <>WX   : <>P suffices      (locality 0, eventual safety)
+//   perpetual WX       : <>P gives locality 1 (this algorithm)
+//   wait-free + WX     : needs T (+S)      (src/mutex)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/failure_detector.hpp"
+#include "dining/hygienic.hpp"  // DiningInstanceConfig
+#include "sim/component.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::dining {
+
+class LocalityDiner final : public sim::Component, public DinerBase {
+ public:
+  LocalityDiner(DiningInstanceConfig config, std::uint32_t me,
+                const detect::FailureDetector* detector);
+
+  // DiningService
+  void become_hungry(sim::Context& ctx) override;
+  void finish_eating(sim::Context& ctx) override;
+
+  // Component
+  void on_message(sim::Context& ctx, const sim::Message& msg) override;
+  void on_tick(sim::Context& ctx) override;
+
+  std::uint64_t meals() const { return meals_; }
+  bool in_quarantine() const { return quarantine_; }
+
+  static constexpr std::uint32_t kRequest = 1;
+  static constexpr std::uint32_t kFork = 2;
+
+ private:
+  std::size_t edge_index(std::uint32_t neighbor) const;
+  void refresh_quarantine();
+  void try_start_eating(sim::Context& ctx);
+  void yield_forks(sim::Context& ctx);
+  void send_requests(sim::Context& ctx);
+
+  DiningInstanceConfig config_;
+  std::uint32_t me_;
+  const detect::FailureDetector* detector_;
+  std::vector<std::uint32_t> neighbors_;
+  std::vector<bool> have_fork_;
+  std::vector<bool> dirty_;
+  std::vector<bool> have_token_;
+  bool quarantine_ = false;
+  std::uint64_t meals_ = 0;
+};
+
+struct BuiltLocalityInstance {
+  DiningInstanceConfig config;
+  std::vector<std::shared_ptr<LocalityDiner>> diners;
+};
+
+BuiltLocalityInstance build_locality_instance(
+    const std::vector<sim::ComponentHost*>& hosts, DiningInstanceConfig config,
+    const std::vector<const detect::FailureDetector*>& detectors);
+
+}  // namespace wfd::dining

@@ -1,0 +1,159 @@
+#include "dining/scripted_box.hpp"
+
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+
+namespace wfd::dining {
+
+// The manager listens on config.port; diners listen on config.port + 1.
+
+ScriptedBoxManager::ScriptedBoxManager(const sim::Engine& engine,
+                                       ScriptedBoxConfig config)
+    : engine_(engine),
+      config_(std::move(config)),
+      eating_(config_.members.size(), 0),
+      holds_lock_(config_.members.size(), false) {}
+
+void ScriptedBoxManager::on_message(sim::Context& ctx,
+                                    const sim::Message& msg) {
+  const auto member = static_cast<std::uint32_t>(msg.payload.a);
+  if (member >= config_.members.size()) return;
+  switch (msg.payload.kind) {
+    case kRequest:
+      queue_.push_back(member);
+      break;
+    case kRelease:
+      if (eating_[member] > 0) --eating_[member];
+      holds_lock_[member] = false;
+      earliest_next_grant_ = ctx.now() + config_.grant_holdoff;
+      break;
+    default:
+      break;
+  }
+  (void)ctx;
+}
+
+bool ScriptedBoxManager::may_issue_serial_grant() const {
+  for (std::uint32_t m = 0; m < config_.members.size(); ++m) {
+    if (!engine_.is_live(config_.members[m])) continue;  // grants of the dead expire
+    if (config_.semantics == BoxSemantics::kLockout) {
+      if (eating_[m] > 0) return false;
+    } else {  // kForkBased: only serial grants block the lock
+      if (holds_lock_[m]) return false;
+    }
+  }
+  return true;
+}
+
+void ScriptedBoxManager::grant(sim::Context& ctx, std::uint32_t member,
+                               bool locked) {
+  ++eating_[member];
+  holds_lock_[member] = locked;
+  ++grants_;
+  ctx.send(config_.members[member], config_.port + 1,
+           sim::Payload{kGrant, member, 0, 0});
+}
+
+void ScriptedBoxManager::on_tick(sim::Context& ctx) {
+  const bool prefix = ctx.now() < config_.exclusive_from;
+  if (prefix) {
+    // Mistake prefix: grant everything immediately, concurrency be damned.
+    while (!queue_.empty()) {
+      const std::uint32_t member = queue_.front();
+      queue_.pop_front();
+      grant(ctx, member, /*locked=*/false);
+    }
+    return;
+  }
+  // Exclusive suffix: serialize.
+  while (!queue_.empty() && !engine_.is_live(config_.members[queue_.front()])) {
+    queue_.pop_front();  // a crashed requester will never eat
+  }
+  if (ctx.now() < earliest_next_grant_) return;  // arbitration latency
+  if (!queue_.empty() && may_issue_serial_grant()) {
+    std::size_t pick = 0;
+    if (config_.member0_burst > 0) {
+      // Unfair policy: member 0 may overtake waiting members up to `burst`
+      // consecutive times; only contended grants count against the budget
+      // (solo grants overtake nobody), and serving anyone else resets it.
+      std::size_t member0_at = queue_.size();
+      for (std::size_t i = 0; i < queue_.size(); ++i) {
+        if (queue_[i] == 0) {
+          member0_at = i;
+          break;
+        }
+      }
+      const bool others_waiting = queue_.size() > (member0_at < queue_.size());
+      if (member0_at < queue_.size() &&
+          (!others_waiting || member0_streak_ < config_.member0_burst)) {
+        pick = member0_at;
+        if (others_waiting) ++member0_streak_;
+      } else if (member0_at == 0 && queue_.size() > 1) {
+        pick = 1;  // burst exhausted: serve the next hungry member
+        member0_streak_ = 0;
+      } else {
+        pick = 0;
+        if (queue_[pick] != 0) member0_streak_ = 0;
+      }
+    }
+    const std::uint32_t member = queue_[pick];
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+    grant(ctx, member, /*locked=*/true);
+  }
+}
+
+ScriptedBoxDiner::ScriptedBoxDiner(ScriptedBoxConfig config, std::uint32_t me)
+    : config_(std::move(config)), me_(me) {}
+
+void ScriptedBoxDiner::become_hungry(sim::Context& ctx) {
+  if (state() != DinerState::kThinking) {
+    throw std::logic_error("ScriptedBoxDiner: become_hungry while not thinking");
+  }
+  transition(ctx, config_.tag, DinerState::kHungry);
+  ctx.send(config_.members[0], config_.port,
+           sim::Payload{ScriptedBoxManager::kRequest, me_, 0, 0});
+}
+
+void ScriptedBoxDiner::finish_eating(sim::Context& ctx) {
+  if (state() != DinerState::kEating) {
+    throw std::logic_error("ScriptedBoxDiner: finish_eating while not eating");
+  }
+  transition(ctx, config_.tag, DinerState::kExiting);
+  ctx.send(config_.members[0], config_.port,
+           sim::Payload{ScriptedBoxManager::kRelease, me_, 0, 0});
+}
+
+void ScriptedBoxDiner::on_message(sim::Context&, const sim::Message& msg) {
+  if (msg.payload.kind == ScriptedBoxManager::kGrant) grant_pending_ = true;
+}
+
+void ScriptedBoxDiner::on_tick(sim::Context& ctx) {
+  if (grant_pending_ && state() == DinerState::kHungry) {
+    grant_pending_ = false;
+    transition(ctx, config_.tag, DinerState::kEating);
+  }
+  if (state() == DinerState::kExiting) {
+    transition(ctx, config_.tag, DinerState::kThinking);
+  }
+}
+
+BuiltScriptedBox build_scripted_box(const sim::Engine& engine,
+                                    const std::vector<sim::ComponentHost*>& hosts,
+                                    const ScriptedBoxConfig& config) {
+  if (hosts.size() != config.members.size()) {
+    throw std::invalid_argument("build_scripted_box: hosts/members mismatch");
+  }
+  BuiltScriptedBox built;
+  auto manager = std::make_shared<ScriptedBoxManager>(engine, config);
+  built.manager = manager.get();
+  hosts[0]->add_component(std::move(manager), {config.port});
+  for (std::uint32_t m = 0; m < hosts.size(); ++m) {
+    auto diner = std::make_shared<ScriptedBoxDiner>(config, m);
+    hosts[m]->add_component(diner, {config.port + 1});
+    built.diners.push_back(std::move(diner));
+  }
+  return built;
+}
+
+}  // namespace wfd::dining

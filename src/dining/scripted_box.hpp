@@ -1,0 +1,122 @@
+// Scripted dining box: a wait-free eventually-exclusive dining service
+// whose *mistake schedule is chosen by the experimenter*. The necessity
+// theorem quantifies over every black-box WF-<>WX solution; experiments
+// approximate that quantifier by driving the reduction against adversarial
+// instances of this box in addition to the real algorithm.
+//
+// Architecture: a manager component on member 0's host arbitrates; diner
+// components request/release by message. The manager is a *test harness*,
+// not an algorithm under study — it may read simulator ground truth (crash
+// times) to expire grants held by crashed diners. Its guarantees:
+//
+//  * wait-freedom (conditional, as in the paper): a correct hungry member
+//    is eventually granted, provided eaters holding the serial lock exit
+//    in finite time — and provided member 0 (the manager's host) is
+//    correct, which the experiments arrange by construction.
+//  * eventual weak exclusion: grants issued before `exclusive_from` may
+//    overlap arbitrarily (the finite mistake prefix); grants after it are
+//    serialized.
+//
+// Two post-prefix semantics, mirroring Section 3's distinction:
+//  * kLockout   — any current eater (even one admitted during the mistake
+//                 prefix) blocks new grants: the semantics the flawed
+//                 reduction of [8] silently assumes.
+//  * kForkBased — eaters admitted during the mistake prefix do NOT hold
+//                 the serial lock (they ate on a wrongful suspicion, like
+//                 in [12]); only post-prefix grants serialize. A
+//                 never-exiting prefix eater thus locks nobody out.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "dining/diner.hpp"
+#include "sim/component.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::sim {
+class Engine;
+}
+
+namespace wfd::dining {
+
+enum class BoxSemantics : std::uint8_t { kLockout, kForkBased };
+
+struct ScriptedBoxConfig {
+  sim::Port port = 0;
+  std::uint64_t tag = 0;
+  std::vector<sim::ProcessId> members;
+  sim::Time exclusive_from = 0;  ///< end of the scheduling-mistake prefix
+  BoxSemantics semantics = BoxSemantics::kLockout;
+  /// Unfair-but-wait-free grant policy: if > 0, member 0 is preferred for
+  /// up to this many consecutive serial grants before any other hungry
+  /// member is served (legal: everyone still eventually eats — wait-free
+  /// dining promises no fairness, the gap the paper's two-instance
+  /// hand-off exists to bridge). 0 = plain FIFO.
+  std::uint32_t member0_burst = 0;
+  /// Arbitration latency: ticks the manager waits after a release before
+  /// issuing the next serial grant. A bounded pause preserves wait-freedom
+  /// while letting re-requests from fast members contend with (and, under
+  /// member0_burst, overtake) already-queued slow members.
+  sim::Time grant_holdoff = 0;
+};
+
+/// Manager component; install on members[0]'s host.
+class ScriptedBoxManager final : public sim::Component {
+ public:
+  ScriptedBoxManager(const sim::Engine& engine, ScriptedBoxConfig config);
+
+  void on_message(sim::Context& ctx, const sim::Message& msg) override;
+  void on_tick(sim::Context& ctx) override;
+
+  static constexpr std::uint32_t kRequest = 1;
+  static constexpr std::uint32_t kRelease = 2;
+  static constexpr std::uint32_t kGrant = 3;
+
+  std::uint64_t grants_issued() const { return grants_; }
+
+ private:
+  void grant(sim::Context& ctx, std::uint32_t member, bool locked);
+  bool may_issue_serial_grant() const;
+
+  const sim::Engine& engine_;
+  ScriptedBoxConfig config_;
+  std::deque<std::uint32_t> queue_;    // hungry member indices, FIFO
+  std::vector<std::uint8_t> eating_;   // outstanding unreleased grants
+  std::vector<bool> holds_lock_;       // grant was serial (post-prefix)
+  std::uint64_t grants_ = 0;
+  std::uint32_t member0_streak_ = 0;   // consecutive serial grants to member 0
+  sim::Time earliest_next_grant_ = 0;  // arbitration holdoff deadline
+};
+
+/// Diner-side component; one per member (including member 0).
+class ScriptedBoxDiner final : public sim::Component, public DinerBase {
+ public:
+  ScriptedBoxDiner(ScriptedBoxConfig config, std::uint32_t me);
+
+  // DiningService
+  void become_hungry(sim::Context& ctx) override;
+  void finish_eating(sim::Context& ctx) override;
+
+  // Component
+  void on_message(sim::Context& ctx, const sim::Message& msg) override;
+  void on_tick(sim::Context& ctx) override;
+
+ private:
+  ScriptedBoxConfig config_;
+  std::uint32_t me_;
+  bool grant_pending_ = false;
+};
+
+/// Wire manager + diners onto hosts; returns per-member service handles.
+struct BuiltScriptedBox {
+  std::vector<std::shared_ptr<ScriptedBoxDiner>> diners;
+  ScriptedBoxManager* manager = nullptr;
+};
+
+BuiltScriptedBox build_scripted_box(const sim::Engine& engine,
+                                    const std::vector<sim::ComponentHost*>& hosts,
+                                    const ScriptedBoxConfig& config);
+
+}  // namespace wfd::dining

@@ -1,0 +1,79 @@
+// A second wait-free <>WX dining algorithm, from a different design family
+// than the fork-based hygienic solution: Ricart-Agrawala permissions
+// generalized from cliques to arbitrary conflict graphs, with an <>P
+// suspicion waiver.
+//
+// A hungry diner stamps its request with a Lamport timestamp and asks every
+// neighbor for permission; it eats when each neighbor has either granted
+// this request or is currently suspected. A neighbor defers a request while
+// eating, or while hungry with an older (timestamp, id) request of its own.
+//
+//  * Eventual weak exclusion: after <>P converges, two live neighbors both
+//    eating would each need the other's grant — impossible by timestamp
+//    order (exactly the RA argument, per edge). Before convergence,
+//    suspicion waivers can overlap meals: finitely often.
+//  * Wait-freedom: crashed neighbors are eventually permanently suspected,
+//    so their grants are waived; among live diners the oldest pending
+//    stamp is never deferred by anyone.
+//
+// Compared with HygienicDiner: no fork state to lose when a process dies
+// (every meal re-negotiates), at the price of 2·degree messages per meal
+// versus the hygienic algorithm's amortized fork traffic — bench
+// E12 measures the trade.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/failure_detector.hpp"
+#include "dining/hygienic.hpp"  // DiningInstanceConfig
+#include "sim/component.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::dining {
+
+class TimestampDiner final : public sim::Component, public DinerBase {
+ public:
+  TimestampDiner(DiningInstanceConfig config, std::uint32_t me,
+                 const detect::FailureDetector* detector);
+
+  // DiningService
+  void become_hungry(sim::Context& ctx) override;
+  void finish_eating(sim::Context& ctx) override;
+
+  // Component
+  void on_message(sim::Context& ctx, const sim::Message& msg) override;
+  void on_tick(sim::Context& ctx) override;
+
+  std::uint64_t meals() const { return meals_; }
+
+  static constexpr std::uint32_t kRequest = 1;  ///< a = sender, b = ts
+  static constexpr std::uint32_t kGrant = 2;    ///< a = sender, b = acked ts
+
+ private:
+  std::size_t edge_index(std::uint32_t neighbor) const;
+  void try_start_eating(sim::Context& ctx);
+
+  DiningInstanceConfig config_;
+  std::uint32_t me_;
+  const detect::FailureDetector* detector_;
+  std::vector<std::uint32_t> neighbors_;
+
+  std::uint64_t lamport_ = 0;
+  std::uint64_t my_ts_ = 0;                 // valid while hungry
+  std::vector<bool> granted_;               // per neighbor, for my_ts_
+  std::vector<std::uint64_t> deferred_ts_;  // per neighbor, 0 = none
+  std::uint64_t meals_ = 0;
+};
+
+/// Wire a full instance (mirrors build_dining_instance).
+struct BuiltTimestampInstance {
+  DiningInstanceConfig config;
+  std::vector<std::shared_ptr<TimestampDiner>> diners;
+};
+
+BuiltTimestampInstance build_timestamp_instance(
+    const std::vector<sim::ComponentHost*>& hosts, DiningInstanceConfig config,
+    const std::vector<const detect::FailureDetector*>& detectors);
+
+}  // namespace wfd::dining

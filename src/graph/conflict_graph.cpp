@@ -1,0 +1,129 @@
+#include "graph/conflict_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wfd::graph {
+
+std::size_t ConflictGraph::edge_count() const {
+  std::size_t twice = 0;
+  for (const auto& adj : adjacency_) twice += adj.size();
+  return twice / 2;
+}
+
+void ConflictGraph::add_edge(std::uint32_t u, std::uint32_t v) {
+  if (u == v) throw std::invalid_argument("self-loop");
+  if (u >= size() || v >= size()) throw std::out_of_range("vertex");
+  if (has_edge(u, v)) return;
+  adjacency_[u].insert(
+      std::lower_bound(adjacency_[u].begin(), adjacency_[u].end(), v), v);
+  adjacency_[v].insert(
+      std::lower_bound(adjacency_[v].begin(), adjacency_[v].end(), u), u);
+}
+
+bool ConflictGraph::has_edge(std::uint32_t u, std::uint32_t v) const {
+  if (u >= size() || v >= size()) return false;
+  return std::binary_search(adjacency_[u].begin(), adjacency_[u].end(), v);
+}
+
+std::uint32_t ConflictGraph::max_degree() const {
+  std::uint32_t best = 0;
+  for (const auto& adj : adjacency_) {
+    best = std::max<std::uint32_t>(best, static_cast<std::uint32_t>(adj.size()));
+  }
+  return best;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> ConflictGraph::edges()
+    const {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
+  for (std::uint32_t u = 0; u < size(); ++u) {
+    for (std::uint32_t v : adjacency_[u]) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+bool ConflictGraph::connected() const {
+  if (size() == 0) return true;
+  std::vector<bool> seen(size(), false);
+  std::vector<std::uint32_t> stack{0};
+  seen[0] = true;
+  std::uint32_t reached = 1;
+  while (!stack.empty()) {
+    const std::uint32_t u = stack.back();
+    stack.pop_back();
+    for (std::uint32_t v : adjacency_[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++reached;
+        stack.push_back(v);
+      }
+    }
+  }
+  return reached == size();
+}
+
+ConflictGraph make_ring(std::uint32_t n) {
+  ConflictGraph g(n);
+  if (n == 2) {
+    g.add_edge(0, 1);
+    return g;
+  }
+  for (std::uint32_t i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n);
+  return g;
+}
+
+ConflictGraph make_clique(std::uint32_t n) {
+  ConflictGraph g(n);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+ConflictGraph make_star(std::uint32_t n) {
+  ConflictGraph g(n);
+  for (std::uint32_t v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+ConflictGraph make_path(std::uint32_t n) {
+  ConflictGraph g(n);
+  for (std::uint32_t v = 1; v < n; ++v) g.add_edge(v - 1, v);
+  return g;
+}
+
+ConflictGraph make_grid(std::uint32_t rows, std::uint32_t cols) {
+  ConflictGraph g(rows * cols);
+  const auto at = [cols](std::uint32_t r, std::uint32_t c) {
+    return r * cols + c;
+  };
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(at(r, c), at(r, c + 1));
+      if (r + 1 < rows) g.add_edge(at(r, c), at(r + 1, c));
+    }
+  }
+  return g;
+}
+
+ConflictGraph make_random_connected(std::uint32_t n, double p, sim::Rng& rng) {
+  ConflictGraph g(n);
+  for (std::uint32_t v = 1; v < n; ++v) g.add_edge(v - 1, v);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 2; v < n; ++v) {
+      if (rng.chance(p)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+ConflictGraph make_pair() {
+  ConflictGraph g(2);
+  g.add_edge(0, 1);
+  return g;
+}
+
+}  // namespace wfd::graph

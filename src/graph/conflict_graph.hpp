@@ -1,0 +1,70 @@
+// Conflict graphs for dining: DP = (Pi, E) where vertices are diners and an
+// edge means the two diners share resources and must not eat simultaneously
+// (after convergence, under eventual weak exclusion). Undirected, simple.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::graph {
+
+/// Undirected simple graph over dense vertex ids [0, n). Adjacency lists are
+/// kept sorted for deterministic iteration.
+class ConflictGraph {
+ public:
+  explicit ConflictGraph(std::uint32_t n = 0) : adjacency_(n) {}
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(adjacency_.size()); }
+  std::size_t edge_count() const;
+
+  /// Add edge {u, v}; self-loops and duplicates are rejected.
+  void add_edge(std::uint32_t u, std::uint32_t v);
+  bool has_edge(std::uint32_t u, std::uint32_t v) const;
+
+  const std::vector<std::uint32_t>& neighbors(std::uint32_t v) const {
+    return adjacency_[v];
+  }
+  std::uint32_t degree(std::uint32_t v) const {
+    return static_cast<std::uint32_t>(adjacency_[v].size());
+  }
+  std::uint32_t max_degree() const;
+
+  /// All edges as (min, max) pairs, lexicographically sorted.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges() const;
+
+  bool connected() const;
+
+ private:
+  std::vector<std::vector<std::uint32_t>> adjacency_;
+};
+
+/// --- generators -----------------------------------------------------------
+
+/// Dijkstra's original table: a cycle of n >= 3 diners (n == 2 degenerates
+/// to a single edge).
+ConflictGraph make_ring(std::uint32_t n);
+
+/// Complete graph: dining on a clique is mutual exclusion.
+ConflictGraph make_clique(std::uint32_t n);
+
+/// Star: vertex 0 conflicts with everyone else (hot-spot resource).
+ConflictGraph make_star(std::uint32_t n);
+
+/// Simple path 0-1-...-(n-1).
+ConflictGraph make_path(std::uint32_t n);
+
+/// rows x cols grid, 4-neighborhood (models spatial resource sharing, e.g.
+/// WSN coverage cells).
+ConflictGraph make_grid(std::uint32_t rows, std::uint32_t cols);
+
+/// Erdos-Renyi G(n, p), then augmented with a Hamiltonian-ish path so the
+/// graph is connected (isolated diners are uninteresting for scheduling).
+ConflictGraph make_random_connected(std::uint32_t n, double p, sim::Rng& rng);
+
+/// The single edge {0, 1}: the pairwise instance used by the reduction.
+ConflictGraph make_pair();
+
+}  // namespace wfd::graph

@@ -1,0 +1,184 @@
+#include "mc/ablation_model.hpp"
+
+#include <deque>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace wfd::mc {
+namespace {
+
+// State: witness {idle,hungry,eating}, subject {idle,hungry,eating},
+// haveping, ping_enabled, ping/ack channel occupancy (<=1 each).
+struct AState {
+  std::uint32_t bits = 0;
+
+  enum : std::uint32_t {
+    kWShift = 0,   // 2 bits
+    kSShift = 2,   // 2 bits
+    kHavePing = 1u << 4,
+    kPingEnabled = 1u << 5,
+    kPingChan = 1u << 6,
+    kAckChan = 1u << 7,
+  };
+  enum : std::uint32_t { kIdle = 0, kHungry = 1, kEating = 2 };
+
+  std::uint32_t w() const { return (bits >> kWShift) & 3; }
+  std::uint32_t s() const { return (bits >> kSShift) & 3; }
+  AState with_w(std::uint32_t v) const {
+    AState n = *this;
+    n.bits = (n.bits & ~(3u << kWShift)) | (v << kWShift);
+    return n;
+  }
+  AState with_s(std::uint32_t v) const {
+    AState n = *this;
+    n.bits = (n.bits & ~(3u << kSShift)) | (v << kSShift);
+    return n;
+  }
+  bool get(std::uint32_t mask) const { return (bits & mask) != 0; }
+  AState with(std::uint32_t mask, bool value) const {
+    AState n = *this;
+    if (value) {
+      n.bits |= mask;
+    } else {
+      n.bits &= ~mask;
+    }
+    return n;
+  }
+};
+
+struct Edge {
+  AState to;
+  bool wrongful_suspicion = false;
+  bool subject_meal = false;
+};
+
+std::vector<Edge> successors(const AState& st) {
+  std::vector<Edge> out;
+  // Witness requests.
+  if (st.w() == AState::kIdle) {
+    out.push_back({st.with_w(AState::kHungry), false, false});
+  }
+  // Box grants the witness (exclusive: not while the subject eats).
+  if (st.w() == AState::kHungry && st.s() != AState::kEating) {
+    out.push_back({st.with_w(AState::kEating), false, false});
+  }
+  // Witness judges and exits (the whole A_x action).
+  if (st.w() == AState::kEating) {
+    Edge edge{st.with_w(AState::kIdle).with(AState::kHavePing, false),
+              /*wrongful_suspicion=*/!st.get(AState::kHavePing), false};
+    out.push_back(edge);
+  }
+  // Subject requests.
+  if (st.s() == AState::kIdle) {
+    out.push_back({st.with_s(AState::kHungry), false, false});
+  }
+  // Box grants the subject.
+  if (st.s() == AState::kHungry && st.w() != AState::kEating) {
+    out.push_back({st.with_s(AState::kEating), false, false});
+  }
+  // Subject pings (once per meal).
+  if (st.s() == AState::kEating && st.get(AState::kPingEnabled) &&
+      !st.get(AState::kPingChan)) {
+    out.push_back({st.with(AState::kPingEnabled, false)
+                       .with(AState::kPingChan, true),
+                   false, false});
+  }
+  // Ping delivery: witness remembers and acks (atomic, as in Alg. 1).
+  if (st.get(AState::kPingChan) && !st.get(AState::kAckChan)) {
+    out.push_back({st.with(AState::kPingChan, false)
+                       .with(AState::kHavePing, true)
+                       .with(AState::kAckChan, true),
+                   false, false});
+  }
+  // Ack delivery: the subject's meal completes.
+  if (st.get(AState::kAckChan) && st.s() == AState::kEating) {
+    out.push_back({st.with(AState::kAckChan, false)
+                       .with_s(AState::kIdle)
+                       .with(AState::kPingEnabled, true),
+                   false, /*subject_meal=*/true});
+  }
+  return out;
+}
+
+const char* tstate(std::uint32_t v) {
+  switch (v) {
+    case AState::kIdle: return "idle";
+    case AState::kHungry: return "hungry";
+    case AState::kEating: return "eating";
+  }
+  return "?";
+}
+
+std::string describe(const AState& st) {
+  std::ostringstream out;
+  out << "w:" << tstate(st.w()) << " s:" << tstate(st.s())
+      << (st.get(AState::kHavePing) ? " haveping" : "")
+      << (st.get(AState::kPingChan) ? " ping!" : "")
+      << (st.get(AState::kAckChan) ? " ack!" : "");
+  return out.str();
+}
+
+}  // namespace
+
+AblationResult check_single_instance_ablation() {
+  AblationResult result;
+  AState initial{};
+  initial = initial.with(AState::kPingEnabled, true);
+
+  std::set<std::uint32_t> seen{initial.bits};
+  std::deque<AState> frontier{initial};
+  std::map<std::uint32_t, std::vector<Edge>> graph;
+  while (!frontier.empty()) {
+    const AState st = frontier.front();
+    frontier.pop_front();
+    ++result.states;
+    auto edges = successors(st);
+    result.transitions += edges.size();
+    graph[st.bits] = edges;
+    for (const Edge& edge : edges) {
+      if (seen.insert(edge.to.bits).second) frontier.push_back(edge.to);
+    }
+  }
+
+  // For each wrongful-suspicion edge u -> v: find a path v ~> u that
+  // includes at least one subject meal (product construction over a
+  // "meal seen" bit), making the cycle a wait-free run for the subject.
+  for (const auto& [bits, edges] : graph) {
+    for (const Edge& suspicion : edges) {
+      if (!suspicion.wrongful_suspicion) continue;
+      std::set<std::pair<std::uint32_t, bool>> visited;
+      std::deque<std::pair<std::uint32_t, bool>> queue;
+      queue.push_back({suspicion.to.bits, false});
+      visited.insert({suspicion.to.bits, false});
+      bool found = false;
+      while (!queue.empty() && !found) {
+        const auto [cur, meal_seen] = queue.front();
+        queue.pop_front();
+        if (cur == bits && meal_seen) {
+          found = true;
+          break;
+        }
+        for (const Edge& edge : graph[cur]) {
+          const bool next_meal = meal_seen || edge.subject_meal;
+          if (visited.insert({edge.to.bits, next_meal}).second) {
+            queue.push_back({edge.to.bits, next_meal});
+          }
+        }
+      }
+      if (found) {
+        result.lasso_found = true;
+        result.witness_cycle =
+            describe(AState{bits}) +
+            "  --[witness wrongfully suspects]-->  " +
+            describe(suspicion.to) +
+            "  --...(subject eats too)...-->  (repeats forever)";
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace wfd::mc

@@ -1,0 +1,29 @@
+// Model checker for the E9 ablation: the single-instance extraction
+// (one dining box, no hand-off) against an abstract wait-free exclusive
+// box. We search for a lasso — a reachable cycle containing a wrongful-
+// suspicion judgment in which the subject ALSO completes meals (so the
+// cycle is a wait-free, exclusive, infinitely-often-serving run: a legal
+// box behaviour) — i.e. a legal run where the witness wrongfully suspects
+// the correct subject infinitely often.
+//
+// Expected verdicts (tests + E11):
+//   single-instance : lasso FOUND — the ablation is not <>P;
+//   (the two-instance construction's absence of such runs is established
+//    by reduction_model.cpp's exhaustive Theorem-2 check).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wfd::mc {
+
+struct AblationResult {
+  bool lasso_found = false;
+  std::uint64_t states = 0;
+  std::uint64_t transitions = 0;
+  std::string witness_cycle;
+};
+
+AblationResult check_single_instance_ablation();
+
+}  // namespace wfd::mc

@@ -1,0 +1,36 @@
+// Model checker for Section 3's counterexample: the GKK contention-manager
+// extraction [8], abstracted, against a box with a never-exiting subject.
+//
+// The violation of eventual strong accuracy is a LIVENESS failure — "p
+// suspects correct q infinitely often" — so reachability is not enough; we
+// search for a *lasso*: a reachable cycle that (a) contains a wrongful-
+// suspicion transition and (b) runs entirely after the subject's permanent
+// entry into its critical section (so the cycle is a legal infinite suffix
+// of a run where the box owes nothing more to the subject). If such a
+// cycle exists, some fair run suspects the correct subject forever.
+//
+// Expected verdicts (machine-checked in tests and E11):
+//   fork-based semantics ([12]-style): lasso FOUND  — GKK is broken;
+//   lockout semantics:                 no lasso     — GKK happens to work.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wfd::mc {
+
+enum class GkkBoxSemantics : std::uint8_t {
+  kLockout,    ///< the never-exiting eater holds the serial lock
+  kForkBased,  ///< it entered on a scheduling mistake and holds nothing
+};
+
+struct GkkResult {
+  bool lasso_found = false;  ///< infinite wrongful-suspicion run exists
+  std::uint64_t states = 0;
+  std::uint64_t transitions = 0;
+  std::string witness_cycle;  ///< human-readable cycle when found
+};
+
+GkkResult check_gkk(GkkBoxSemantics semantics);
+
+}  // namespace wfd::mc

@@ -1,0 +1,317 @@
+#include "mc/reduction_model.hpp"
+
+#include <deque>
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+namespace wfd::mc {
+namespace {
+
+// --- state packing ----------------------------------------------------------
+// Thread states: 0 thinking, 1 hungry, 2 eating, 3 exiting.
+enum : std::uint64_t { kT = 0, kH = 1, kE = 2, kX = 3 };
+
+struct State {
+  std::uint64_t bits = 0;
+
+  static constexpr int kW0 = 0;      // 2 bits
+  static constexpr int kW1 = 2;      // 2 bits
+  static constexpr int kS0 = 4;      // 2 bits
+  static constexpr int kS1 = 6;      // 2 bits
+  static constexpr int kSwitch = 8;  // 1 bit
+  static constexpr int kHavePing = 9;   // 2 bits (per instance)
+  static constexpr int kTrigger = 11;   // 1 bit
+  static constexpr int kPingFlag = 12;  // 2 bits (per instance)
+  static constexpr int kPingChan = 14;  // 2 x 2 bits
+  static constexpr int kAckChan = 18;   // 2 x 2 bits
+  static constexpr int kWarmed = 22;    // 2 bits
+  static constexpr int kSomeAte = 24;   // 1 bit
+  static constexpr int kCrashed = 25;   // 1 bit
+
+  std::uint64_t get(int shift, std::uint64_t mask) const {
+    return (bits >> shift) & mask;
+  }
+  void set(int shift, std::uint64_t mask, std::uint64_t value) {
+    bits = (bits & ~(mask << shift)) | ((value & mask) << shift);
+  }
+
+  std::uint64_t w(int i) const { return get(i == 0 ? kW0 : kW1, 3); }
+  void set_w(int i, std::uint64_t v) { set(i == 0 ? kW0 : kW1, 3, v); }
+  std::uint64_t s(int i) const { return get(i == 0 ? kS0 : kS1, 3); }
+  void set_s(int i, std::uint64_t v) { set(i == 0 ? kS0 : kS1, 3, v); }
+  int sw() const { return static_cast<int>(get(kSwitch, 1)); }
+  void set_sw(int v) { set(kSwitch, 1, static_cast<std::uint64_t>(v)); }
+  bool haveping(int i) const { return get(kHavePing + i, 1) != 0; }
+  void set_haveping(int i, bool v) { set(kHavePing + i, 1, v ? 1 : 0); }
+  int trigger() const { return static_cast<int>(get(kTrigger, 1)); }
+  void set_trigger(int v) { set(kTrigger, 1, static_cast<std::uint64_t>(v)); }
+  bool ping_flag(int i) const { return get(kPingFlag + i, 1) != 0; }
+  void set_ping_flag(int i, bool v) { set(kPingFlag + i, 1, v ? 1 : 0); }
+  std::uint64_t ping_chan(int i) const { return get(kPingChan + 2 * i, 3); }
+  void set_ping_chan(int i, std::uint64_t v) { set(kPingChan + 2 * i, 3, v); }
+  std::uint64_t ack_chan(int i) const { return get(kAckChan + 2 * i, 3); }
+  void set_ack_chan(int i, std::uint64_t v) { set(kAckChan + 2 * i, 3, v); }
+  bool warmed(int i) const { return get(kWarmed + i, 1) != 0; }
+  void set_warmed(int i, bool v) { set(kWarmed + i, 1, v ? 1 : 0); }
+  bool some_ate() const { return get(kSomeAte, 1) != 0; }
+  void set_some_ate(bool v) { set(kSomeAte, 1, v ? 1 : 0); }
+  bool crashed() const { return get(kCrashed, 1) != 0; }
+  void set_crashed(bool v) { set(kCrashed, 1, v ? 1 : 0); }
+};
+
+const char* thread_name(std::uint64_t v) {
+  switch (v) {
+    case kT: return "thinking";
+    case kH: return "hungry";
+    case kE: return "eating";
+    case kX: return "exiting";
+  }
+  return "?";
+}
+
+/// Invariant check; returns empty string when fine.
+std::string check_invariants(const State& st) {
+  for (int i = 0; i < 2; ++i) {
+    // Lemma 2: (s_i != eating) => ping_i
+    if (st.s(i) != kE && !st.ping_flag(i) && !st.crashed()) {
+      return "Lemma 2 violated: subject s_" + std::to_string(i) +
+             " not eating but ping flag is false";
+    }
+    // Lemma 3: (s_i != eating && ping_i) => channels empty
+    if (st.s(i) != kE && st.ping_flag(i) &&
+        (st.ping_chan(i) != 0 || st.ack_chan(i) != 0)) {
+      return "Lemma 3 violated: message in transit while s_" +
+             std::to_string(i) + " not eating and ping_i true";
+    }
+    // Lemma 4: s_i hungry => trigger == i
+    if (st.s(i) == kH && st.trigger() != i && !st.crashed()) {
+      return "Lemma 4 violated: s_" + std::to_string(i) +
+             " hungry with trigger=" + std::to_string(st.trigger());
+    }
+    // Lemma 5 bound: never more than one in-flight message per channel.
+    if (st.ping_chan(i) > 1 || st.ack_chan(i) > 1) {
+      return "Lemma 5 violated: channel bound exceeded on instance " +
+             std::to_string(i);
+    }
+  }
+  // Lemma 9: some witness is thinking.
+  if (st.w(0) != kT && st.w(1) != kT) {
+    return "Lemma 9 violated: no witness thread thinking";
+  }
+  // Lemma 8 (suffix invariant): once a subject has eaten, some subject is
+  // always eating.
+  if (st.some_ate() && st.s(0) != kE && st.s(1) != kE) {
+    return "Lemma 8 violated: no subject eating after first meal";
+  }
+  return {};
+}
+
+struct Explorer {
+  McOptions options;
+  std::string violation;
+
+  /// Append successor if it is a legal move; runs transition-local checks.
+  void emit(std::vector<State>& out, State next) { out.push_back(next); }
+
+  std::vector<State> successors(const State& st) {
+    std::vector<State> out;
+    out.reserve(16);
+    const bool exclusive = options.mode == BoxMode::kExclusive;
+
+    for (int i = 0; i < 2 && violation.empty(); ++i) {
+      const int j = 1 - i;
+
+      // W_h: both witnesses thinking, it's thread i's turn.
+      if (st.w(i) == kT && st.w(j) == kT && st.sw() == i) {
+        State n = st;
+        n.set_w(i, kH);
+        emit(out, n);
+      }
+      // Box grants the witness (nondeterministic; in exclusive mode only
+      // while the peer subject is not eating — a crashed subject frozen
+      // mid-meal does not block, per wait-freedom).
+      if (st.w(i) == kH && (!exclusive || st.s(i) != kE || st.crashed())) {
+        State n = st;
+        n.set_w(i, kE);
+        emit(out, n);
+      }
+      // W_x: judge and exit.
+      if (st.w(i) == kE) {
+        if (options.check_accuracy && st.warmed(0) && st.warmed(1) &&
+            !st.haveping(i) && !st.crashed()) {
+          violation =
+              "Theorem 2 violated: wrongful suspicion after warm-up in "
+              "instance " +
+              std::to_string(i);
+          return {};
+        }
+        State n = st;
+        if (st.haveping(i)) n.set_warmed(i, true);
+        n.set_haveping(i, false);
+        n.set_sw(j);
+        n.set_w(i, kX);
+        emit(out, n);
+      }
+      // Witness exiting completes.
+      if (st.w(i) == kX) {
+        State n = st;
+        n.set_w(i, kT);
+        emit(out, n);
+      }
+
+      if (!st.crashed()) {
+        // S_h: scheduled by trigger.
+        if (st.s(i) == kT && st.trigger() == i) {
+          State n = st;
+          n.set_s(i, kH);
+          emit(out, n);
+        }
+        // Box grants the subject.
+        if (st.s(i) == kH && (!exclusive || st.w(i) != kE)) {
+          State n = st;
+          n.set_s(i, kE);
+          n.set_some_ate(true);
+          emit(out, n);
+        }
+        // S_p: ping the witness.
+        if (st.s(i) == kE && st.s(j) != kE && st.ping_flag(i)) {
+          State n = st;
+          n.set_ping_flag(i, false);
+          n.set_ping_chan(i, st.ping_chan(i) + 1);
+          emit(out, n);
+        }
+        // S_x: hand-off complete, exit.
+        if (st.s(i) == kE && st.s(j) == kE && st.trigger() == j) {
+          State n = st;
+          n.set_ping_flag(i, true);
+          n.set_s(i, kX);
+          emit(out, n);
+        }
+        // Subject exiting completes.
+        if (st.s(i) == kX) {
+          State n = st;
+          n.set_s(i, kT);
+          emit(out, n);
+        }
+        // Ack delivery (S_a).
+        if (st.ack_chan(i) > 0) {
+          State n = st;
+          n.set_ack_chan(i, st.ack_chan(i) - 1);
+          n.set_trigger(j);
+          emit(out, n);
+        }
+      } else {
+        // Acks to a crashed process vanish at delivery time.
+        if (st.ack_chan(i) > 0) {
+          State n = st;
+          n.set_ack_chan(i, st.ack_chan(i) - 1);
+          emit(out, n);
+        }
+      }
+
+      // Ping delivery (W_p): the witness is correct; receive + ack is one
+      // atomic action in Alg. 1.
+      if (st.ping_chan(i) > 0) {
+        State n = st;
+        n.set_ping_chan(i, st.ping_chan(i) - 1);
+        n.set_haveping(i, true);
+        n.set_ack_chan(i, st.ack_chan(i) + 1);
+        emit(out, n);
+      }
+    }
+
+    // Nondeterministic subject crash.
+    if (options.allow_crash && !st.crashed()) {
+      State n = st;
+      n.set_crashed(true);
+      emit(out, n);
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+std::string describe_state(std::uint64_t packed) {
+  State st{packed};
+  std::ostringstream out;
+  out << "w0=" << thread_name(st.w(0)) << " w1=" << thread_name(st.w(1))
+      << " s0=" << thread_name(st.s(0)) << " s1=" << thread_name(st.s(1))
+      << " switch=" << st.sw() << " trigger=" << st.trigger()
+      << " haveping=" << st.haveping(0) << st.haveping(1)
+      << " ping=" << st.ping_flag(0) << st.ping_flag(1)
+      << " chans=p" << st.ping_chan(0) << st.ping_chan(1) << "/a"
+      << st.ack_chan(0) << st.ack_chan(1)
+      << (st.crashed() ? " CRASHED" : "");
+  return out.str();
+}
+
+McResult check_reduction(const McOptions& options) {
+  McResult result;
+  Explorer explorer{options, {}};
+
+  State initial{};  // all thinking, switch=0, trigger=0, pings true
+  initial.set_ping_flag(0, true);
+  initial.set_ping_flag(1, true);
+
+  std::unordered_set<std::uint64_t> seen;
+  std::deque<std::pair<State, std::uint64_t>> frontier;  // (state, depth)
+  seen.insert(initial.bits);
+  frontier.emplace_back(initial, 0);
+
+  if (std::string bad = check_invariants(initial); !bad.empty()) {
+    result.violation = bad + " | " + describe_state(initial.bits);
+    return result;
+  }
+
+  while (!frontier.empty()) {
+    const auto [st, depth] = frontier.front();
+    frontier.pop_front();
+    ++result.states;
+    if (depth > result.depth) result.depth = depth;
+    if (result.states > options.max_states) {
+      result.violation = "state budget exceeded";
+      return result;
+    }
+
+    const std::vector<State> next = explorer.successors(st);
+    if (!explorer.violation.empty()) {
+      result.violation =
+          explorer.violation + " | from " + describe_state(st.bits);
+      return result;
+    }
+    if (next.empty() && options.check_deadlock && !st.crashed()) {
+      result.violation = "deadlock: " + describe_state(st.bits);
+      return result;
+    }
+    // Theorem 1 structural check: once crashed with drained channels,
+    // nothing may set haveping again.
+    if (st.crashed() && st.ping_chan(0) == 0 && st.ping_chan(1) == 0) {
+      for (const State& n : next) {
+        for (int i = 0; i < 2; ++i) {
+          if (!st.haveping(i) && n.haveping(i)) {
+            result.violation =
+                "Theorem 1 violated: haveping set after crash with empty "
+                "channels | " +
+                describe_state(st.bits);
+            return result;
+          }
+        }
+      }
+    }
+    for (const State& n : next) {
+      ++result.transitions;
+      if (!seen.insert(n.bits).second) continue;
+      if (std::string bad = check_invariants(n); !bad.empty()) {
+        result.violation = bad + " | " + describe_state(n.bits);
+        return result;
+      }
+      frontier.emplace_back(n, depth + 1);
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace wfd::mc

@@ -1,0 +1,76 @@
+// Explicit-state model checker for the reduction (Alg. 1 + Alg. 2) against
+// an *abstract, fully nondeterministic* WF-<>WX dining box. Where the
+// simulator samples runs, the checker enumerates every interleaving of a
+// small, faithful abstraction — the right tool for a paper whose entire
+// contribution is a proof (and whose venue history includes a corrigendum:
+// at least one step was subtler than it looked).
+//
+// Abstraction, one ordered pair (p, q):
+//  * four diner threads w_0, w_1 (witness) and s_0, s_1 (subject), each in
+//    {thinking, hungry, eating, exiting};
+//  * the protocol variables of Alg. 1/2: switch, haveping_{0,1};
+//    trigger, ping_{0,1};
+//  * ping/ack channels as bounded counters (bound 1 — Lemma 5 says at most
+//    one message is ever outstanding per instance; exceeding the bound is
+//    itself a reportable violation);
+//  * the box grants hungry -> eating completely nondeterministically,
+//    constrained only by the mode: kArbitrary (mistake prefix: anything
+//    goes) or kExclusive (converged suffix: no new grant while the peer
+//    eats — a crashed peer frozen mid-meal does not block, matching
+//    wait-freedom);
+//  * optionally, a nondeterministic subject crash that freezes s_0/s_1.
+//
+// Checked on every reachable state / transition:
+//  * Lemma 2:  s_i not eating  =>  ping_i = true
+//  * Lemma 3:  (s_i not eating and ping_i)  =>  both channels empty
+//  * Lemma 4:  s_i hungry  =>  trigger = i
+//  * Lemma 9:  some witness thread is thinking
+//  * Lemma 5 (bound): never a second in-flight ping/ack per instance
+//  * Theorem 2 (inductive step, kExclusive runs): once both instances have
+//    completed a pinged witness meal, every witness meal judges "trust" —
+//    i.e. no wrongful suspicion recurs after warm-up while q is live
+//  * deadlock-freedom (kExclusive, no crash): every reachable state has a
+//    successor
+//  * Theorem 1 (structural): once q is crashed and the channels have
+//    drained, no transition can set haveping — suspicion is permanent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wfd::mc {
+
+enum class BoxMode : std::uint8_t {
+  kArbitrary,  ///< mistake prefix: the box may overlap meals at will
+  kExclusive,  ///< converged suffix: no new grant while the peer eats
+};
+
+struct McOptions {
+  BoxMode mode = BoxMode::kExclusive;
+  /// Explore a nondeterministic crash of the subject process (freezes both
+  /// subject threads at any point).
+  bool allow_crash = false;
+  /// Check the Theorem 2 warm-up/accuracy step (meaningful in kExclusive
+  /// mode without crash).
+  bool check_accuracy = true;
+  /// Check deadlock-freedom (meaningful without crash).
+  bool check_deadlock = true;
+  std::uint64_t max_states = 50'000'000;
+};
+
+struct McResult {
+  bool ok = false;
+  std::uint64_t states = 0;       ///< distinct states reached
+  std::uint64_t transitions = 0;  ///< edges explored
+  std::uint64_t depth = 0;        ///< BFS depth at completion
+  std::string violation;          ///< first violation, human-readable
+};
+
+/// Exhaustively explore the model; returns on the first violation or after
+/// the full (finite) state space is covered.
+McResult check_reduction(const McOptions& options);
+
+/// Render a packed state for diagnostics.
+std::string describe_state(std::uint64_t packed);
+
+}  // namespace wfd::mc

@@ -1,0 +1,126 @@
+#include "mutex/ra_mutex.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+
+namespace wfd::mutex {
+
+using dining::DinerState;
+
+RaMutexDiner::RaMutexDiner(RaMutexConfig config, std::uint32_t me,
+                           const detect::TrustingDetector* detector)
+    : config_(std::move(config)),
+      me_(me),
+      detector_(detector),
+      ok_(config_.members.size(), false),
+      deferred_(config_.members.size(), 0) {}
+
+void RaMutexDiner::become_hungry(sim::Context& ctx) {
+  if (state() != DinerState::kThinking) {
+    throw std::logic_error("RaMutexDiner: become_hungry while not thinking");
+  }
+  transition(ctx, config_.tag, DinerState::kHungry);
+  my_ts_ = ++lamport_;
+  std::fill(ok_.begin(), ok_.end(), false);
+  for (std::uint32_t m = 0; m < config_.members.size(); ++m) {
+    if (m == me_) continue;
+    ctx.send(config_.members[m], config_.port,
+             sim::Payload{kRequest, me_, my_ts_, 0});
+  }
+}
+
+void RaMutexDiner::finish_eating(sim::Context& ctx) {
+  if (state() != DinerState::kEating) {
+    throw std::logic_error("RaMutexDiner: finish_eating while not eating");
+  }
+  transition(ctx, config_.tag, DinerState::kExiting);
+}
+
+void RaMutexDiner::on_message(sim::Context& ctx, const sim::Message& msg) {
+  const auto other = static_cast<std::uint32_t>(msg.payload.a);
+  if (other >= config_.members.size()) return;
+  switch (msg.payload.kind) {
+    case kRequest: {
+      const std::uint64_t ts = msg.payload.b;
+      if (ts > lamport_) lamport_ = ts;
+      const bool in_cs =
+          state() == DinerState::kEating || state() == DinerState::kExiting;
+      const bool i_precede =
+          state() == DinerState::kHungry &&
+          (my_ts_ < ts || (my_ts_ == ts && me_ < other));
+      if (in_cs || i_precede) {
+        deferred_[other] = ts;  // answer when leaving the CS / after my turn
+      } else {
+        ctx.send(config_.members[other], config_.port,
+                 sim::Payload{kOk, me_, ts, 0});
+      }
+      break;
+    }
+    case kOk:
+      // Accept only OKs answering the *current* request (non-FIFO channels
+      // can deliver stale OKs from earlier sessions arbitrarily late).
+      if (state() == DinerState::kHungry && msg.payload.b == my_ts_) {
+        ok_[other] = true;
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+bool RaMutexDiner::excused(std::uint32_t other) const {
+  return detector_ != nullptr &&
+         detector_->certainly_crashed(config_.members[other]);
+}
+
+void RaMutexDiner::try_enter(sim::Context& ctx) {
+  for (std::uint32_t m = 0; m < config_.members.size(); ++m) {
+    if (m == me_) continue;
+    if (!ok_[m] && !excused(m)) return;
+  }
+  ++meals_;
+  transition(ctx, config_.tag, DinerState::kEating);
+}
+
+void RaMutexDiner::on_tick(sim::Context& ctx) {
+  switch (state()) {
+    case DinerState::kHungry:
+      try_enter(ctx);
+      break;
+    case DinerState::kExiting: {
+      // Exiting is finite: answer everything deferred, then think.
+      for (std::uint32_t m = 0; m < config_.members.size(); ++m) {
+        if (deferred_[m] != 0) {
+          ctx.send(config_.members[m], config_.port,
+                   sim::Payload{kOk, me_, deferred_[m], 0});
+          deferred_[m] = 0;
+        }
+      }
+      transition(ctx, config_.tag, DinerState::kThinking);
+      break;
+    }
+    case DinerState::kThinking:
+    case DinerState::kEating:
+      break;
+  }
+}
+
+std::vector<std::shared_ptr<RaMutexDiner>> build_ra_mutex(
+    const std::vector<sim::ComponentHost*>& hosts, const RaMutexConfig& config,
+    const std::vector<const detect::TrustingDetector*>& detectors) {
+  if (hosts.size() != config.members.size()) {
+    throw std::invalid_argument("build_ra_mutex: hosts/members mismatch");
+  }
+  std::vector<std::shared_ptr<RaMutexDiner>> diners;
+  for (std::uint32_t m = 0; m < hosts.size(); ++m) {
+    auto diner = std::make_shared<RaMutexDiner>(
+        config, m, m < detectors.size() ? detectors[m] : nullptr);
+    hosts[m]->add_component(diner, {config.port});
+    diners.push_back(std::move(diner));
+  }
+  return diners;
+}
+
+}  // namespace wfd::mutex

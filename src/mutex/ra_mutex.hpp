@@ -1,0 +1,75 @@
+// Fault-tolerant mutual exclusion (FTME) in the spirit of Delporte-Gallet
+// et al. [4]: wait-free *perpetual* weak exclusion on a clique, built from
+// Ricart-Agrawala permissions plus the trusting detector T.
+//
+// A hungry process broadcasts a timestamped request and enters its critical
+// section once, for every other member, it either holds that member's OK
+// for this request or holds T's crash certificate for it (trusted once,
+// suspected now — under trusting accuracy that member is certainly dead).
+//
+//  * Perpetual exclusion: two live members in the CS would each need the
+//    other's OK (certificates are never wrong about live processes), and
+//    Ricart-Agrawala's timestamp order makes mutual OKs impossible.
+//  * Wait-freedom: crashed members are eventually certified (our T
+//    instances trust live processes from startup), so nobody waits on the
+//    dead; among the live, the lowest pending timestamp is never deferred.
+//
+// This is the paper's Section 9 substrate: a wait-free perpetual-WX box
+// from which the reduction extracts T instead of <>P.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/failure_detector.hpp"
+#include "dining/diner.hpp"
+#include "sim/component.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::mutex {
+
+struct RaMutexConfig {
+  sim::Port port = 0;
+  std::uint64_t tag = 0;
+  std::vector<sim::ProcessId> members;  ///< clique; member index -> pid
+};
+
+class RaMutexDiner final : public sim::Component, public dining::DinerBase {
+ public:
+  /// `detector` is this member's local T module (not owned).
+  RaMutexDiner(RaMutexConfig config, std::uint32_t me,
+               const detect::TrustingDetector* detector);
+
+  // DiningService
+  void become_hungry(sim::Context& ctx) override;
+  void finish_eating(sim::Context& ctx) override;
+
+  // Component
+  void on_message(sim::Context& ctx, const sim::Message& msg) override;
+  void on_tick(sim::Context& ctx) override;
+
+  std::uint64_t meals() const { return meals_; }
+
+  static constexpr std::uint32_t kRequest = 1;  ///< a = member, b = ts
+  static constexpr std::uint32_t kOk = 2;       ///< a = member, b = acked ts
+
+ private:
+  bool excused(std::uint32_t other) const;
+  void try_enter(sim::Context& ctx);
+
+  RaMutexConfig config_;
+  std::uint32_t me_;
+  const detect::TrustingDetector* detector_;
+  std::uint64_t lamport_ = 0;
+  std::uint64_t my_ts_ = 0;              // valid while hungry
+  std::vector<bool> ok_;                 // OK received for my_ts_
+  std::vector<std::uint64_t> deferred_;  // ts of a deferred request (0=none)
+  std::uint64_t meals_ = 0;
+};
+
+/// Wire a full clique instance; returns per-member components.
+std::vector<std::shared_ptr<RaMutexDiner>> build_ra_mutex(
+    const std::vector<sim::ComponentHost*>& hosts, const RaMutexConfig& config,
+    const std::vector<const detect::TrustingDetector*>& detectors);
+
+}  // namespace wfd::mutex

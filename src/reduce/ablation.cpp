@@ -1,0 +1,90 @@
+#include "reduce/ablation.hpp"
+
+#include "sim/engine.hpp"
+
+namespace wfd::reduce {
+
+using dining::DinerState;
+
+SingleInstanceWitness::SingleInstanceWitness(sim::ProcessId subject,
+                                             dining::DiningService& box,
+                                             sim::Port ping_port,
+                                             sim::Port ack_port,
+                                             std::uint64_t detector_tag)
+    : subject_(subject),
+      box_(&box),
+      ack_port_(ack_port),
+      detector_tag_(detector_tag) {
+  add_action(
+      "A_h", [this](sim::Context&) { return box_->state() == DinerState::kThinking; },
+      [this](sim::Context& ctx) { box_->become_hungry(ctx); });
+  add_action(
+      "A_x", [this](sim::Context&) { return box_->state() == DinerState::kEating; },
+      [this](sim::Context& ctx) {
+        ++meals_;
+        set_suspect(ctx, !haveping_);
+        haveping_ = false;
+        box_->finish_eating(ctx);
+      });
+  add_upon("A_p", ping_port, kPing,
+           [this](sim::Context& ctx, const sim::Message& msg) {
+             haveping_ = true;
+             ctx.send(msg.src, ack_port_, sim::Payload{kAck, 0, 0, 0});
+           });
+}
+
+void SingleInstanceWitness::set_suspect(sim::Context& ctx, bool suspect) {
+  if (suspect_ == suspect) return;
+  suspect_ = suspect;
+  if (suspect) ++episodes_;
+  ctx.record_kind(static_cast<std::uint8_t>(sim::EventKind::kDetectorChange),
+                  subject_, suspect ? 1 : 0, detector_tag_);
+}
+
+SingleInstanceSubject::SingleInstanceSubject(sim::ProcessId watcher,
+                                             dining::DiningService& box,
+                                             sim::Port ping_port,
+                                             sim::Port ack_port)
+    : watcher_(watcher), box_(&box), ping_port_(ping_port) {
+  add_action(
+      "B_h", [this](sim::Context&) { return box_->state() == DinerState::kThinking; },
+      [this](sim::Context& ctx) { box_->become_hungry(ctx); });
+  add_action(
+      "B_p",
+      [this](sim::Context&) {
+        return box_->state() == DinerState::kEating && ping_enabled_;
+      },
+      [this](sim::Context& ctx) {
+        ++meals_;
+        ping_enabled_ = false;
+        ctx.send(watcher_, ping_port_, sim::Payload{SingleInstanceWitness::kPing, 0, 0, 0});
+      });
+  add_upon("B_a", ack_port, SingleInstanceWitness::kAck,
+           [this](sim::Context& ctx, const sim::Message&) {
+             // Acked: this meal is witnessed; exit and go again.
+             if (box_->state() == DinerState::kEating) {
+               ping_enabled_ = true;
+               box_->finish_eating(ctx);
+             }
+           });
+}
+
+SingleInstancePair build_single_instance_pair(
+    sim::ComponentHost& watcher_host, sim::ComponentHost& subject_host,
+    sim::ProcessId watcher, sim::ProcessId subject, BoxFactory& factory,
+    sim::Port base_port, std::uint64_t box_tag, std::uint64_t detector_tag) {
+  SingleInstancePair pair;
+  pair.box = factory.build(watcher_host, subject_host, watcher, subject,
+                           base_port, box_tag);
+  const sim::Port ping = base_port + kPortsPerBox;
+  const sim::Port ack = base_port + kPortsPerBox + 1;
+  pair.witness = std::make_shared<SingleInstanceWitness>(
+      subject, *pair.box.at_watcher, ping, ack, detector_tag);
+  watcher_host.add_component(pair.witness, {ping});
+  pair.subject = std::make_shared<SingleInstanceSubject>(
+      watcher, *pair.box.at_subject, ping, ack);
+  subject_host.add_component(pair.subject, {ack});
+  return pair;
+}
+
+}  // namespace wfd::reduce

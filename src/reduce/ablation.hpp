@@ -1,0 +1,79 @@
+// Ablation of the paper's key design decision: what if the reduction used
+// ONE dining instance per ordered pair instead of two with the hand-off?
+// The witness then eats, judges, exits, and immediately competes again;
+// the subject eats, pings, awaits the ack, exits, and competes again.
+//
+// Against a *fair* box this happens to work — but wait-free dining makes no
+// fairness promise. Against a legal unfair box (e.g. the scripted box with
+// member0_burst >= 2) the witness eats twice between subject meals
+// infinitely often, and every second meal wrongfully suspects the correct
+// subject: eventual strong accuracy fails. Experiment E9 measures this;
+// the two-instance construction survives the same adversary.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "action/action_system.hpp"
+#include "dining/diner.hpp"
+#include "reduce/box_factory.hpp"
+#include "sim/component.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::reduce {
+
+class SingleInstanceWitness final : public action::ActionSystem {
+ public:
+  SingleInstanceWitness(sim::ProcessId subject, dining::DiningService& box,
+                        sim::Port ping_port, sim::Port ack_port,
+                        std::uint64_t detector_tag);
+
+  bool suspects_subject() const { return suspect_; }
+  std::uint64_t meals() const { return meals_; }
+  std::uint64_t suspicion_episodes() const { return episodes_; }
+
+  static constexpr std::uint32_t kPing = 1;
+  static constexpr std::uint32_t kAck = 2;
+
+ private:
+  void set_suspect(sim::Context& ctx, bool suspect);
+
+  sim::ProcessId subject_;
+  dining::DiningService* box_;
+  sim::Port ack_port_;
+  std::uint64_t detector_tag_;
+  bool haveping_ = false;
+  bool suspect_ = true;
+  std::uint64_t meals_ = 0;
+  std::uint64_t episodes_ = 0;
+};
+
+class SingleInstanceSubject final : public action::ActionSystem {
+ public:
+  SingleInstanceSubject(sim::ProcessId watcher, dining::DiningService& box,
+                        sim::Port ping_port, sim::Port ack_port);
+
+  std::uint64_t meals() const { return meals_; }
+
+ private:
+  sim::ProcessId watcher_;
+  dining::DiningService* box_;
+  sim::Port ping_port_;
+  bool ping_enabled_ = true;
+  std::uint64_t meals_ = 0;
+};
+
+struct SingleInstancePair {
+  std::shared_ptr<SingleInstanceWitness> witness;
+  std::shared_ptr<SingleInstanceSubject> subject;
+  PairBox box;
+};
+
+/// Ports used: [base_port, base_port + kPortsPerBox) for the box, then
+/// ping (watcher side) and ack (subject side).
+SingleInstancePair build_single_instance_pair(
+    sim::ComponentHost& watcher_host, sim::ComponentHost& subject_host,
+    sim::ProcessId watcher, sim::ProcessId subject, BoxFactory& factory,
+    sim::Port base_port, std::uint64_t box_tag, std::uint64_t detector_tag);
+
+}  // namespace wfd::reduce

@@ -1,0 +1,144 @@
+// Black-box discipline for the reduction: the witness/subject threads see a
+// dining instance only through two DiningService handles. A BoxFactory
+// builds a fresh two-diner WF-<>WX instance per (ordered pair, i) — the
+// paper's DX_0 / DX_1 — with diner 0 at the watcher's process and diner 1
+// at the subject's. Factories provided:
+//
+//  * WaitFreeBoxFactory — the real algorithm (hygienic + <>P override).
+//  * ScriptedBoxFactory — the adversary-controlled box (mistake prefix and
+//    post-prefix semantics chosen by the experiment), approximating the
+//    theorem's "for every black-box solution" quantifier.
+//
+// Each box build may use up to kPortsPerBox consecutive ports.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "detect/failure_detector.hpp"
+#include "dining/diner.hpp"
+#include "dining/instance.hpp"
+#include "dining/scripted_box.hpp"
+#include "dining/timestamp_diner.hpp"
+#include "graph/conflict_graph.hpp"
+#include "sim/component.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::reduce {
+
+inline constexpr sim::Port kPortsPerBox = 2;
+
+struct PairBox {
+  dining::DiningService* at_watcher = nullptr;
+  dining::DiningService* at_subject = nullptr;
+};
+
+class BoxFactory {
+ public:
+  virtual ~BoxFactory() = default;
+
+  /// Build a fresh 2-party instance over `(watcher, subject)` using ports
+  /// [base_port, base_port + kPortsPerBox) and trace tag `tag`.
+  virtual PairBox build(sim::ComponentHost& watcher_host,
+                        sim::ComponentHost& subject_host,
+                        sim::ProcessId watcher, sim::ProcessId subject,
+                        sim::Port base_port, std::uint64_t tag) = 0;
+};
+
+/// Real WF-<>WX dining (hygienic forks + suspicion override). The lookup
+/// supplies each process's local <>P module (the box's *internal* oracle —
+/// unrelated to the detector the reduction extracts).
+class WaitFreeBoxFactory final : public BoxFactory {
+ public:
+  using DetectorLookup =
+      std::function<const detect::FailureDetector*(sim::ProcessId)>;
+
+  explicit WaitFreeBoxFactory(DetectorLookup lookup)
+      : lookup_(std::move(lookup)) {}
+
+  PairBox build(sim::ComponentHost& watcher_host,
+                sim::ComponentHost& subject_host, sim::ProcessId watcher,
+                sim::ProcessId subject, sim::Port base_port,
+                std::uint64_t tag) override {
+    dining::DiningInstanceConfig config;
+    config.port = base_port;
+    config.tag = tag;
+    config.members = {watcher, subject};
+    config.graph = graph::make_pair();
+    auto built = dining::build_dining_instance(
+        {&watcher_host, &subject_host}, config,
+        {lookup_(watcher), lookup_(subject)});
+    return PairBox{built.diners[0].get(), built.diners[1].get()};
+  }
+
+ private:
+  DetectorLookup lookup_;
+};
+
+/// The other real algorithm family: Ricart-Agrawala-style timestamp dining
+/// with an <>P waiver (see dining/timestamp_diner.hpp). Running the
+/// reduction over both families evidences its black-box nature.
+class TimestampBoxFactory final : public BoxFactory {
+ public:
+  using DetectorLookup =
+      std::function<const detect::FailureDetector*(sim::ProcessId)>;
+
+  explicit TimestampBoxFactory(DetectorLookup lookup)
+      : lookup_(std::move(lookup)) {}
+
+  PairBox build(sim::ComponentHost& watcher_host,
+                sim::ComponentHost& subject_host, sim::ProcessId watcher,
+                sim::ProcessId subject, sim::Port base_port,
+                std::uint64_t tag) override {
+    dining::DiningInstanceConfig config;
+    config.port = base_port;
+    config.tag = tag;
+    config.members = {watcher, subject};
+    config.graph = graph::make_pair();
+    auto built = dining::build_timestamp_instance(
+        {&watcher_host, &subject_host}, config,
+        {lookup_(watcher), lookup_(subject)});
+    return PairBox{built.diners[0].get(), built.diners[1].get()};
+  }
+
+ private:
+  DetectorLookup lookup_;
+};
+
+/// Adversarial scripted box (see dining/scripted_box.hpp). The manager
+/// lives on the watcher's host, so the box stays wait-free from every
+/// correct watcher's perspective regardless of subject crashes.
+class ScriptedBoxFactory final : public BoxFactory {
+ public:
+  ScriptedBoxFactory(const sim::Engine& engine, sim::Time exclusive_from,
+                     dining::BoxSemantics semantics,
+                     std::uint32_t member0_burst = 0)
+      : engine_(engine),
+        exclusive_from_(exclusive_from),
+        semantics_(semantics),
+        member0_burst_(member0_burst) {}
+
+  PairBox build(sim::ComponentHost& watcher_host,
+                sim::ComponentHost& subject_host, sim::ProcessId watcher,
+                sim::ProcessId subject, sim::Port base_port,
+                std::uint64_t tag) override {
+    dining::ScriptedBoxConfig config;
+    config.port = base_port;
+    config.tag = tag;
+    config.members = {watcher, subject};
+    config.exclusive_from = exclusive_from_;
+    config.semantics = semantics_;
+    config.member0_burst = member0_burst_;
+    auto built = dining::build_scripted_box(
+        engine_, {&watcher_host, &subject_host}, config);
+    return PairBox{built.diners[0].get(), built.diners[1].get()};
+  }
+
+ private:
+  const sim::Engine& engine_;
+  sim::Time exclusive_from_;
+  dining::BoxSemantics semantics_;
+  std::uint32_t member0_burst_;
+};
+
+}  // namespace wfd::reduce

@@ -1,0 +1,70 @@
+#include "reduce/extraction.hpp"
+
+namespace wfd::reduce {
+
+PairExtraction build_pair_extraction(sim::ComponentHost& watcher_host,
+                                     sim::ComponentHost& subject_host,
+                                     sim::ProcessId watcher,
+                                     sim::ProcessId subject,
+                                     BoxFactory& factory, sim::Port base_port,
+                                     std::uint64_t box_tag_base,
+                                     std::uint64_t detector_tag) {
+  PairExtraction pair;
+  pair.watcher = watcher;
+  pair.subject = subject;
+
+  // Port layout: [0, kPortsPerBox) DX_0 box, [kPortsPerBox, 2*kPortsPerBox)
+  // DX_1 box, then ping_0, ping_1 (watcher side), ack_0, ack_1 (subject
+  // side).
+  const sim::Port dx0_port = base_port;
+  const sim::Port dx1_port = base_port + kPortsPerBox;
+  const sim::Port ping0 = base_port + 2 * kPortsPerBox;
+  const sim::Port ping1 = ping0 + 1;
+  const sim::Port ack0 = ping0 + 2;
+  const sim::Port ack1 = ping0 + 3;
+
+  pair.box[0] = factory.build(watcher_host, subject_host, watcher, subject,
+                              dx0_port, box_tag_base);
+  pair.box[1] = factory.build(watcher_host, subject_host, watcher, subject,
+                              dx1_port, box_tag_base + 1);
+
+  WitnessPair::Channels wch{{ping0, ping1}, {ack0, ack1}};
+  pair.witness = std::make_shared<WitnessPair>(
+      subject, *pair.box[0].at_watcher, *pair.box[1].at_watcher, wch,
+      detector_tag);
+  watcher_host.add_component(pair.witness, {ping0, ping1});
+
+  SubjectPair::Channels sch{watcher, {ping0, ping1}, {ack0, ack1}};
+  pair.subject_threads = std::make_shared<SubjectPair>(
+      *pair.box[0].at_subject, *pair.box[1].at_subject, sch);
+  subject_host.add_component(pair.subject_threads, {ack0, ack1});
+
+  return pair;
+}
+
+Extraction build_full_extraction(const std::vector<sim::ComponentHost*>& hosts,
+                                 BoxFactory& factory,
+                                 const ExtractionOptions& options) {
+  Extraction extraction;
+  const auto n = static_cast<sim::ProcessId>(hosts.size());
+  extraction.detectors.resize(n);
+  for (sim::ProcessId p = 0; p < n; ++p) {
+    extraction.detectors[p] = std::make_shared<ExtractedDetector>();
+  }
+  std::uint32_t k = 0;
+  for (sim::ProcessId p = 0; p < n; ++p) {
+    for (sim::ProcessId q = 0; q < n; ++q) {
+      if (p == q) continue;
+      const sim::Port base = options.base_port + k * kPortsPerPair;
+      PairExtraction pair = build_pair_extraction(
+          *hosts[p], *hosts[q], p, q, factory, base,
+          options.box_tag_base + 2 * k, options.detector_tag);
+      extraction.detectors[p]->add(q, pair.witness.get());
+      extraction.pairs.push_back(std::move(pair));
+      ++k;
+    }
+  }
+  return extraction;
+}
+
+}  // namespace wfd::reduce

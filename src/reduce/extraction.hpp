@@ -1,0 +1,88 @@
+// The reduction, assembled (Section 6): for each ordered pair (p, q), two
+// black-box dining instances DX_0/DX_1 plus a WitnessPair at p and a
+// SubjectPair at q implement the local <>P module with which p monitors q.
+// An ExtractedDetector aggregates, per watcher, the per-subject suspicion
+// bits into the standard FailureDetector interface — the oracle the paper
+// proves the black box can always yield.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "detect/failure_detector.hpp"
+#include "reduce/box_factory.hpp"
+#include "reduce/subject.hpp"
+#include "reduce/witness.hpp"
+#include "sim/component.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::reduce {
+
+/// Ports consumed per ordered pair: two boxes (kPortsPerBox each) plus the
+/// four ping/ack channels of Alg. 1/2.
+inline constexpr sim::Port kPortsPerPair = 2 * kPortsPerBox + 4;
+
+struct ExtractionOptions {
+  sim::Port base_port = 1000;
+  std::uint64_t detector_tag = 0xED;  ///< kDetectorChange tag of the output
+  std::uint64_t box_tag_base = 0x1000;
+};
+
+struct PairExtraction {
+  sim::ProcessId watcher = sim::kNoProcess;
+  sim::ProcessId subject = sim::kNoProcess;
+  std::shared_ptr<WitnessPair> witness;        // lives on watcher's host
+  std::shared_ptr<SubjectPair> subject_threads;  // lives on subject's host
+  PairBox box[2];
+};
+
+/// Per-watcher aggregation of extracted suspicion bits (query-only view).
+class ExtractedDetector final : public detect::FailureDetector {
+ public:
+  void add(sim::ProcessId subject, const WitnessPair* witness) {
+    witnesses_[subject] = witness;
+  }
+
+  bool suspects(sim::ProcessId q) const override {
+    const auto it = witnesses_.find(q);
+    return it != witnesses_.end() && it->second->suspects_subject();
+  }
+
+ private:
+  std::map<sim::ProcessId, const WitnessPair*> witnesses_;
+};
+
+/// Build the reduction for one ordered pair. Uses ports
+/// [base_port, base_port + kPortsPerPair) and box tags
+/// {box_tag_base, box_tag_base + 1}.
+PairExtraction build_pair_extraction(sim::ComponentHost& watcher_host,
+                                     sim::ComponentHost& subject_host,
+                                     sim::ProcessId watcher,
+                                     sim::ProcessId subject,
+                                     BoxFactory& factory, sim::Port base_port,
+                                     std::uint64_t box_tag_base,
+                                     std::uint64_t detector_tag);
+
+struct Extraction {
+  std::vector<PairExtraction> pairs;
+  /// detectors[p] is the full extracted <>P module at process p.
+  std::vector<std::shared_ptr<ExtractedDetector>> detectors;
+
+  const PairExtraction* find(sim::ProcessId watcher,
+                             sim::ProcessId subject) const {
+    for (const auto& pair : pairs) {
+      if (pair.watcher == watcher && pair.subject == subject) return &pair;
+    }
+    return nullptr;
+  }
+};
+
+/// Build the reduction for every ordered pair over `hosts` (hosts[i] is
+/// process i): n(n-1) witness/subject pairs, 2n(n-1) dining instances.
+Extraction build_full_extraction(const std::vector<sim::ComponentHost*>& hosts,
+                                 BoxFactory& factory,
+                                 const ExtractionOptions& options);
+
+}  // namespace wfd::reduce

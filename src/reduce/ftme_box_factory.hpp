@@ -1,0 +1,40 @@
+// BoxFactory producing two-member FTME (perpetual weak exclusion)
+// instances: the substrate of Section 9. Feeding these boxes to the very
+// same reduction yields a detector satisfying the trusting detector T's
+// properties (graded via WitnessPair::trusts_subject_T / the tag+1 event
+// stream).
+#pragma once
+
+#include <functional>
+
+#include "mutex/ra_mutex.hpp"
+#include "reduce/box_factory.hpp"
+
+namespace wfd::reduce {
+
+class FtmeBoxFactory final : public BoxFactory {
+ public:
+  using TrustingLookup =
+      std::function<const detect::TrustingDetector*(sim::ProcessId)>;
+
+  explicit FtmeBoxFactory(TrustingLookup lookup) : lookup_(std::move(lookup)) {}
+
+  PairBox build(sim::ComponentHost& watcher_host,
+                sim::ComponentHost& subject_host, sim::ProcessId watcher,
+                sim::ProcessId subject, sim::Port base_port,
+                std::uint64_t tag) override {
+    mutex::RaMutexConfig config;
+    config.port = base_port;
+    config.tag = tag;
+    config.members = {watcher, subject};
+    auto diners = mutex::build_ra_mutex(
+        {&watcher_host, &subject_host}, config,
+        {lookup_(watcher), lookup_(subject)});
+    return PairBox{diners[0].get(), diners[1].get()};
+  }
+
+ private:
+  TrustingLookup lookup_;
+};
+
+}  // namespace wfd::reduce

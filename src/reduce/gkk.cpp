@@ -1,0 +1,90 @@
+#include "reduce/gkk.hpp"
+
+#include "sim/engine.hpp"
+
+namespace wfd::reduce {
+
+GkkWitness::GkkWitness(sim::ProcessId subject, dining::DiningService& box,
+                       sim::Port heartbeat_port, std::uint64_t detector_tag)
+    : subject_(subject),
+      box_(&box),
+      heartbeat_port_(heartbeat_port),
+      detector_tag_(detector_tag) {}
+
+void GkkWitness::on_message(sim::Context& ctx, const sim::Message& msg) {
+  if (msg.payload.kind != kHeartbeat) return;
+  // A heartbeat: trust q and (re)enter the race for the critical section.
+  set_suspect(ctx, false);
+  want_request_ = true;
+}
+
+void GkkWitness::on_tick(sim::Context& ctx) {
+  switch (box_->state()) {
+    case dining::DinerState::kThinking:
+      if (want_request_) {
+        want_request_ = false;
+        box_->become_hungry(ctx);
+      }
+      break;
+    case dining::DinerState::kEating:
+      // Permitted: enter and immediately exit, then suspect q until the
+      // next heartbeat.
+      ++meals_;
+      box_->finish_eating(ctx);
+      set_suspect(ctx, true);
+      break;
+    case dining::DinerState::kHungry:
+    case dining::DinerState::kExiting:
+      break;
+  }
+}
+
+void GkkWitness::set_suspect(sim::Context& ctx, bool suspect) {
+  if (suspect_ == suspect) return;
+  suspect_ = suspect;
+  if (suspect) ++episodes_;
+  ctx.record_kind(static_cast<std::uint8_t>(sim::EventKind::kDetectorChange),
+                  subject_, suspect ? 1 : 0, detector_tag_);
+}
+
+GkkSubject::GkkSubject(sim::ProcessId watcher, dining::DiningService& box,
+                       sim::Port heartbeat_port, sim::Time heartbeat_every)
+    : watcher_(watcher),
+      box_(&box),
+      heartbeat_port_(heartbeat_port),
+      heartbeat_every_(heartbeat_every) {}
+
+void GkkSubject::on_tick(sim::Context& ctx) {
+  if (ctx.now() - last_heartbeat_ >= heartbeat_every_) {
+    last_heartbeat_ = ctx.now();
+    ctx.send(watcher_, heartbeat_port_,
+             sim::Payload{GkkWitness::kHeartbeat, 0, 0, 0});
+  }
+  if (!requested_ && box_->state() == dining::DinerState::kThinking) {
+    requested_ = true;
+    box_->become_hungry(ctx);
+  }
+  // Once eating: never exit (the obstruction-free section is entered and
+  // held forever, per the construction in [8]).
+}
+
+GkkPair build_gkk_pair(sim::ComponentHost& watcher_host,
+                       sim::ComponentHost& subject_host,
+                       sim::ProcessId watcher, sim::ProcessId subject,
+                       BoxFactory& factory, sim::Port base_port,
+                       std::uint64_t box_tag, std::uint64_t detector_tag,
+                       sim::Time heartbeat_every) {
+  GkkPair pair;
+  pair.box = factory.build(watcher_host, subject_host, watcher, subject,
+                           base_port, box_tag);
+  const sim::Port hb_port = base_port + kPortsPerBox;
+  pair.witness = std::make_shared<GkkWitness>(subject, *pair.box.at_watcher,
+                                              hb_port, detector_tag);
+  watcher_host.add_component(pair.witness, {hb_port});
+  pair.subject = std::make_shared<GkkSubject>(watcher, *pair.box.at_subject,
+                                              hb_port, heartbeat_every);
+  subject_host.add_component(pair.subject, {});
+  return pair;
+}
+
+}  // namespace wfd::reduce

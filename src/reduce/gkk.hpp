@@ -1,0 +1,87 @@
+// The contention-manager-based <>P extraction of Guerraoui-Kapalka-
+// Kouznetsov [8], faithfully implemented so that Section 3's vulnerability
+// is reproducible:
+//
+//   subject q: sends heartbeats to p at regular intervals; requests
+//     permission once and, when permitted, enters its critical section and
+//     NEVER exits.
+//   witness p: upon a heartbeat, trusts q and requests permission; when
+//     permitted, enters and immediately exits, suspects q, and waits for
+//     the next heartbeat to start over.
+//
+// The construction is sound only for boxes whose exclusive suffix locks p
+// out behind the never-exiting q (kLockout semantics). Against a box with
+// [12]-style convergence (kForkBased: eaters admitted during the mistake
+// prefix hold no lock), p keeps eating — and keeps suspecting the correct
+// q — forever. Experiment E4 measures both behaviours.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "dining/diner.hpp"
+#include "reduce/box_factory.hpp"
+#include "sim/component.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::reduce {
+
+class GkkWitness final : public sim::Component {
+ public:
+  GkkWitness(sim::ProcessId subject, dining::DiningService& box,
+             sim::Port heartbeat_port, std::uint64_t detector_tag);
+
+  void on_message(sim::Context& ctx, const sim::Message& msg) override;
+  void on_tick(sim::Context& ctx) override;
+
+  bool suspects_subject() const { return suspect_; }
+  std::uint64_t meals() const { return meals_; }
+  std::uint64_t suspicion_episodes() const { return episodes_; }
+
+  static constexpr std::uint32_t kHeartbeat = 1;
+
+ private:
+  void set_suspect(sim::Context& ctx, bool suspect);
+
+  sim::ProcessId subject_;
+  dining::DiningService* box_;
+  sim::Port heartbeat_port_;
+  std::uint64_t detector_tag_;
+  bool suspect_ = true;
+  bool want_request_ = false;
+  std::uint64_t meals_ = 0;
+  std::uint64_t episodes_ = 0;
+};
+
+class GkkSubject final : public sim::Component {
+ public:
+  GkkSubject(sim::ProcessId watcher, dining::DiningService& box,
+             sim::Port heartbeat_port, sim::Time heartbeat_every);
+
+  void on_tick(sim::Context& ctx) override;
+
+ private:
+  sim::ProcessId watcher_;
+  dining::DiningService* box_;
+  sim::Port heartbeat_port_;
+  sim::Time heartbeat_every_;
+  sim::Time last_heartbeat_ = 0;
+  bool requested_ = false;
+};
+
+struct GkkPair {
+  std::shared_ptr<GkkWitness> witness;
+  std::shared_ptr<GkkSubject> subject;
+  PairBox box;
+};
+
+/// Wire the GKK construction for (watcher, subject) using ports
+/// [base_port, base_port + kPortsPerBox] (box + heartbeat channel).
+GkkPair build_gkk_pair(sim::ComponentHost& watcher_host,
+                       sim::ComponentHost& subject_host,
+                       sim::ProcessId watcher, sim::ProcessId subject,
+                       BoxFactory& factory, sim::Port base_port,
+                       std::uint64_t box_tag, std::uint64_t detector_tag,
+                       sim::Time heartbeat_every = 8);
+
+}  // namespace wfd::reduce

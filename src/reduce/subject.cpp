@@ -1,0 +1,59 @@
+#include "reduce/subject.hpp"
+
+#include "sim/engine.hpp"
+
+namespace wfd::reduce {
+
+SubjectPair::SubjectPair(dining::DiningService& dx0,
+                         dining::DiningService& dx1, Channels channels)
+    : dx_{&dx0, &dx1}, channels_(channels) {
+  add_instance_actions(0);
+  add_instance_actions(1);
+}
+
+void SubjectPair::add_instance_actions(int i) {
+  using dining::DinerState;
+  const int j = 1 - i;
+
+  // Action S_h — scheduled by trigger: become hungry in DX_i.
+  add_action(
+      i == 0 ? "S_h0" : "S_h1",
+      [this, i](sim::Context&) {
+        return dx_[i]->state() == DinerState::kThinking && trigger_ == i;
+      },
+      [this, i](sim::Context& ctx) { dx_[i]->become_hungry(ctx); });
+
+  // Action S_p — first order of business when eating (and the peer thread
+  // is not): ping the witness, then await the ack.
+  add_action(
+      i == 0 ? "S_p0" : "S_p1",
+      [this, i, j](sim::Context&) {
+        return dx_[i]->state() == DinerState::kEating &&
+               dx_[j]->state() != DinerState::kEating && ping_[i];
+      },
+      [this, i](sim::Context& ctx) {
+        ++pings_sent_;
+        ++meals_;
+        ctx.send(channels_.watcher, channels_.ping[i],
+                 sim::Payload{kPing, 0, 0, 0});
+        ping_[i] = false;
+      });
+
+  // Action S_a — the ack arrived: schedule the other subject thread.
+  add_upon(i == 0 ? "S_a0" : "S_a1", channels_.ack[i], kAck,
+           [this, j](sim::Context&, const sim::Message&) { trigger_ = j; });
+
+  // Action S_x — hand-off complete (both threads eating): exit DX_i.
+  add_action(
+      i == 0 ? "S_x0" : "S_x1",
+      [this, i, j](sim::Context&) {
+        return dx_[i]->state() == DinerState::kEating &&
+               dx_[j]->state() == DinerState::kEating && trigger_ == j;
+      },
+      [this, i](sim::Context& ctx) {
+        ping_[i] = true;
+        dx_[i]->finish_eating(ctx);
+      });
+}
+
+}  // namespace wfd::reduce

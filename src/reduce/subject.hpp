@@ -1,0 +1,61 @@
+// Alg. 2 of the paper, executable: the two subject threads q.s_0 / q.s_1
+// at a subject process q being monitored by watcher p. The threads overlap
+// their eating sessions via the hand-off mechanism (Fig. 1): s_i, once
+// eating, pings the peer witness, waits for the ack, schedules s_{1-i} to
+// become hungry, and exits only after s_{1-i} is eating too. The overlap is
+// what throttles the witness — in the exclusive suffix, p.w_i cannot eat
+// twice in DX_i without q.s_i eating there in between.
+//
+//   var s_{0,1}.state <- thinking ; trigger <- 0 ; ping_{0,1} <- true
+//
+//   S_h: {(s_i = thinking) and (trigger = i)}         s_i.state <- hungry
+//   S_p: {(s_i = eating) and (s_{1-i} /= eating) and ping_i}
+//        send ping to p.w_i ; ping_i <- false
+//   S_a: {upon receive ack from p.w_i}                trigger <- 1-i
+//   S_x: {(s_i = eating) and (s_{1-i} = eating) and (trigger = 1-i)}
+//        ping_i <- true ; s_i.state <- exiting
+#pragma once
+
+#include <cstdint>
+
+#include "action/action_system.hpp"
+#include "dining/diner.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::reduce {
+
+class SubjectPair final : public action::ActionSystem {
+ public:
+  struct Channels {
+    sim::ProcessId watcher;  ///< destination of pings
+    sim::Port ping[2];       ///< witness receives pings for DX_i here
+    sim::Port ack[2];        ///< subject receives acks for DX_i here
+  };
+
+  SubjectPair(dining::DiningService& dx0, dining::DiningService& dx1,
+              Channels channels);
+
+  std::uint64_t pings_sent() const { return pings_sent_; }
+  std::uint64_t meals() const { return meals_; }
+
+  /// Protocol-variable introspection (conformance tests check the live
+  /// implementation against the model checker's invariants).
+  int trigger() const { return trigger_; }
+  bool ping_flag(int i) const { return ping_[i & 1]; }
+
+  static constexpr std::uint32_t kPing = 1;
+  static constexpr std::uint32_t kAck = 2;
+
+ private:
+  void add_instance_actions(int i);
+
+  dining::DiningService* dx_[2];
+  Channels channels_;
+
+  int trigger_ = 0;
+  bool ping_[2] = {true, true};
+  std::uint64_t pings_sent_ = 0;
+  std::uint64_t meals_ = 0;
+};
+
+}  // namespace wfd::reduce

@@ -1,0 +1,71 @@
+#include "reduce/witness.hpp"
+
+#include "sim/engine.hpp"
+
+namespace wfd::reduce {
+
+WitnessPair::WitnessPair(sim::ProcessId subject, dining::DiningService& dx0,
+                         dining::DiningService& dx1, Channels channels,
+                         std::uint64_t detector_tag)
+    : subject_(subject),
+      dx_{&dx0, &dx1},
+      channels_(channels),
+      detector_tag_(detector_tag) {
+  add_instance_actions(0);
+  add_instance_actions(1);
+}
+
+void WitnessPair::add_instance_actions(int i) {
+  using dining::DinerState;
+  const int j = 1 - i;
+
+  // Action W_h — take a turn: become hungry in DX_i.
+  add_action(
+      i == 0 ? "W_h0" : "W_h1",
+      [this, i, j](sim::Context&) {
+        return dx_[i]->state() == DinerState::kThinking &&
+               dx_[j]->state() == DinerState::kThinking && switch_ == i;
+      },
+      [this, i](sim::Context& ctx) { dx_[i]->become_hungry(ctx); });
+
+  // Action W_x — scheduled to eat: judge the subject and exit.
+  add_action(
+      i == 0 ? "W_x0" : "W_x1",
+      [this, i](sim::Context&) {
+        return dx_[i]->state() == DinerState::kEating;
+      },
+      [this, i, j](sim::Context& ctx) {
+        ++meals_;
+        if (haveping_[i]) ++pinged_meals_[i];
+        set_suspect(ctx, !haveping_[i]);  // trust q iff a ping arrived
+        haveping_[i] = false;
+        switch_ = j;  // enable the other witness thread
+        dx_[i]->finish_eating(ctx);
+      });
+
+  // Action W_p — upon receiving a ping from q.s_i, remember it and ack.
+  add_upon(i == 0 ? "W_p0" : "W_p1", channels_.ping[i], kPing,
+           [this, i](sim::Context& ctx, const sim::Message& msg) {
+             haveping_[i] = true;
+             ctx.send(msg.src, channels_.ack[i], sim::Payload{kAck, 0, 0, 0});
+           });
+}
+
+void WitnessPair::set_suspect(sim::Context& ctx, bool suspect) {
+  if (suspect_ != suspect) {
+    suspect_ = suspect;
+    ++flips_;
+    ctx.record_kind(static_cast<std::uint8_t>(sim::EventKind::kDetectorChange),
+                    subject_, suspect ? 1 : 0, detector_tag_);
+  }
+  // The trusting view (tag + 1) flips on its own schedule because of the
+  // warm-up latch.
+  const bool t_suspect = !trusts_subject_T();
+  if (t_suspect != last_t_output_suspect_) {
+    last_t_output_suspect_ = t_suspect;
+    ctx.record_kind(static_cast<std::uint8_t>(sim::EventKind::kDetectorChange),
+                    subject_, t_suspect ? 1 : 0, detector_tag_ + 1);
+  }
+}
+
+}  // namespace wfd::reduce

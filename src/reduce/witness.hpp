@@ -1,0 +1,88 @@
+// Alg. 1 of the paper, executable: the two witness threads p.w_0 / p.w_1 at
+// a watcher process p monitoring a subject q. The threads take turns dining
+// in DX_0 / DX_1; on every meal the witness trusts q iff a ping arrived
+// since its previous meal in that instance. The pair of threads is one
+// ActionSystem (the paper runs them "as a single stream of physical
+// execution ... under interleaving semantics").
+//
+//   var w_{0,1}.state <- thinking ; switch <- 0 ;
+//       haveping_{0,1} <- false   ; suspect_q <- true
+//
+//   W_h: {(w_i = thinking) and (w_{1-i} = thinking) and (switch = i)}
+//        w_i.state <- hungry
+//   W_x: {(w_i = eating)}
+//        suspect_q <- not haveping_i ; haveping_i <- false ;
+//        switch <- 1-i ; w_i.state <- exiting
+//   W_p: {upon receive ping from q.s_i}
+//        haveping_i <- true ; send ack to q.s_i
+#pragma once
+
+#include <cstdint>
+
+#include "action/action_system.hpp"
+#include "dining/diner.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::reduce {
+
+class WitnessPair final : public action::ActionSystem {
+ public:
+  struct Channels {
+    sim::Port ping[2];  ///< witness receives pings for DX_i here
+    sim::Port ack[2];   ///< subject receives acks for DX_i here
+  };
+
+  /// `dx0`/`dx1` are the watcher-side handles of the two black-box dining
+  /// instances (same host, not owned). `detector_tag` tags the extracted
+  /// detector's kDetectorChange events.
+  WitnessPair(sim::ProcessId subject, dining::DiningService& dx0,
+              dining::DiningService& dx1, Channels channels,
+              std::uint64_t detector_tag);
+
+  /// The extracted <>P output for this subject. Initially true.
+  bool suspects_subject() const { return suspect_; }
+
+  /// The extracted *trusting* output (Section 9): when the underlying boxes
+  /// guarantee perpetual weak exclusion, this output satisfies the trusting
+  /// detector T. Trust is reported only once warmed up — each witness
+  /// thread has completed at least one pinged meal in its own instance —
+  /// which closes the warm-up window in which a wrongful suspicion could
+  /// otherwise follow a first trust. After warm-up, under perpetual
+  /// exclusion, every suspicious meal certifies a crash.
+  bool trusts_subject_T() const { return warmed_up() && !suspect_; }
+  /// T's crash certificate: trusted once, suspected now.
+  bool certainly_crashed_T() const { return warmed_up() && suspect_; }
+
+  std::uint64_t meals() const { return meals_; }
+  std::uint64_t suspicion_flips() const { return flips_; }
+
+  /// Protocol-variable introspection (conformance tests check the live
+  /// implementation against the model checker's invariants).
+  int switch_turn() const { return switch_; }
+  bool haveping(int i) const { return haveping_[i & 1]; }
+
+  static constexpr std::uint32_t kPing = 1;
+  static constexpr std::uint32_t kAck = 2;
+
+ private:
+  void add_instance_actions(int i);
+  void set_suspect(sim::Context& ctx, bool suspect);
+  bool warmed_up() const {
+    return pinged_meals_[0] > 0 && pinged_meals_[1] > 0;
+  }
+
+  sim::ProcessId subject_;
+  dining::DiningService* dx_[2];
+  Channels channels_;
+  std::uint64_t detector_tag_;
+
+  int switch_ = 0;
+  bool haveping_[2] = {false, false};
+  bool suspect_ = true;
+  std::uint64_t meals_ = 0;
+  std::uint64_t flips_ = 0;
+  std::uint64_t pinged_meals_[2] = {0, 0};
+  bool last_t_output_suspect_ = true;
+};
+
+}  // namespace wfd::reduce

@@ -1,0 +1,128 @@
+// Channel delay models. Channels in the paper are reliable and non-FIFO:
+// every message sent to a correct process is eventually received, but delays
+// are unbounded and reordering arbitrary. A DelayModel chooses, at send
+// time, the tick at which a message becomes deliverable; because different
+// messages on the same channel may draw wildly different delays, delivery
+// order is not send order (non-FIFO), yet every delay is finite (reliable).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::sim {
+
+/// Strategy choosing per-message transit delay (in ticks, >= 1).
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+  /// Delay for a message src -> dst handed to the channel at `now`.
+  virtual Time delay(ProcessId src, ProcessId dst, Time now, Rng& rng) = 0;
+};
+
+/// Constant delay (synchronous channel; useful for unit tests).
+class FixedDelay final : public DelayModel {
+ public:
+  explicit FixedDelay(Time ticks) : ticks_(ticks < 1 ? 1 : ticks) {}
+  Time delay(ProcessId, ProcessId, Time, Rng&) override { return ticks_; }
+
+ private:
+  Time ticks_;
+};
+
+/// Uniform delay in [min, max]; the standard asynchronous workhorse.
+class UniformDelay final : public DelayModel {
+ public:
+  UniformDelay(Time min_ticks, Time max_ticks)
+      : min_(min_ticks < 1 ? 1 : min_ticks),
+        max_(max_ticks < min_ ? min_ : max_ticks) {}
+  Time delay(ProcessId, ProcessId, Time, Rng& rng) override {
+    return rng.range(min_, max_);
+  }
+
+ private:
+  Time min_;
+  Time max_;
+};
+
+/// Heavy-tailed-ish delay: 1 + geometric(p) capped; models occasional long
+/// stalls while staying reliable.
+class GeometricDelay final : public DelayModel {
+ public:
+  GeometricDelay(double p, Time cap) : p_(p), cap_(cap < 1 ? 1 : cap) {}
+  Time delay(ProcessId, ProcessId, Time, Rng& rng) override {
+    return 1 + rng.geometric(p_, cap_ - 1);
+  }
+
+ private:
+  double p_;
+  Time cap_;
+};
+
+/// Partial synchrony (Dwork-Lynch-Stockmeyer style, as assumed when
+/// implementing a *native* eventually perfect detector): before the global
+/// stabilization time (GST) delays are adversarial up to `pre_gst_max`;
+/// from GST on, every message is delivered within `delta` ticks. The GST is
+/// unknown to processes — only the delay model knows it.
+class PartialSynchronyDelay final : public DelayModel {
+ public:
+  PartialSynchronyDelay(Time gst, Time delta, Time pre_gst_max)
+      : gst_(gst),
+        delta_(delta < 1 ? 1 : delta),
+        pre_gst_max_(pre_gst_max < 1 ? 1 : pre_gst_max) {}
+
+  Time delay(ProcessId, ProcessId, Time now, Rng& rng) override {
+    if (now >= gst_) return rng.range(1, delta_);
+    // Pre-GST: arbitrary, but never beyond GST + delta after the send —
+    // this keeps channels reliable and makes GST a true stabilization time.
+    const Time latest = gst_ + delta_ - now;
+    const Time cap = pre_gst_max_ < latest ? pre_gst_max_ : latest;
+    return rng.range(1, cap < 1 ? 1 : cap);
+  }
+
+  Time gst() const { return gst_; }
+  Time delta() const { return delta_; }
+
+ private:
+  Time gst_;
+  Time delta_;
+  Time pre_gst_max_;
+};
+
+/// Per-directed-pair override wrapper: the adversary may slow specific
+/// channels (e.g. delay every witness->subject ack during a mistake window)
+/// while all other traffic follows the base model.
+class AdversarialDelay final : public DelayModel {
+ public:
+  explicit AdversarialDelay(std::unique_ptr<DelayModel> base)
+      : base_(std::move(base)) {}
+
+  /// Force src->dst messages sent during [from, until) to take `ticks`.
+  void slow_channel(ProcessId src, ProcessId dst, Time from, Time until,
+                    Time ticks) {
+    overrides_[{src, dst}] = Override{from, until, ticks < 1 ? 1 : ticks};
+  }
+
+  Time delay(ProcessId src, ProcessId dst, Time now, Rng& rng) override {
+    if (auto it = overrides_.find({src, dst}); it != overrides_.end()) {
+      const Override& ov = it->second;
+      if (now >= ov.from && now < ov.until) return ov.ticks;
+    }
+    return base_->delay(src, dst, now, rng);
+  }
+
+ private:
+  struct Override {
+    Time from = 0;
+    Time until = 0;
+    Time ticks = 1;
+  };
+  std::unique_ptr<DelayModel> base_;
+  std::map<std::pair<ProcessId, ProcessId>, Override> overrides_;
+};
+
+}  // namespace wfd::sim

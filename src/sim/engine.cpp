@@ -1,0 +1,157 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+
+namespace wfd::sim {
+
+Engine::Engine(EngineConfig config)
+    : config_(config), rng_(config.seed), trace_(config.trace_capacity) {}
+
+ProcessId Engine::add_process(std::unique_ptr<Process> process) {
+  if (initialized_) throw std::logic_error("add_process after init");
+  const ProcessId pid = static_cast<ProcessId>(processes_.size());
+  process->id_ = pid;
+  processes_.push_back(std::move(process));
+  inbound_.emplace_back();
+  crashed_.push_back(false);
+  crash_at_.push_back(kNever);
+  return pid;
+}
+
+void Engine::set_delay_model(std::unique_ptr<DelayModel> model) {
+  delay_ = std::move(model);
+}
+
+void Engine::set_scheduler(std::unique_ptr<Scheduler> scheduler) {
+  scheduler_ = std::move(scheduler);
+}
+
+void Engine::schedule_crash(ProcessId pid, Time at) {
+  if (pid >= processes_.size()) throw std::out_of_range("schedule_crash: pid");
+  crash_at_[pid] = at;
+}
+
+void Engine::init() {
+  if (initialized_) return;
+  if (!delay_) delay_ = std::make_unique<UniformDelay>(1, 8);
+  if (!scheduler_) scheduler_ = std::make_unique<RandomScheduler>();
+  live_.clear();
+  for (ProcessId pid = 0; pid < processes_.size(); ++pid) live_.push_back(pid);
+  sender_seen_.assign(processes_.size(), false);
+  initialized_ = true;
+  for (ProcessId pid = 0; pid < processes_.size(); ++pid) {
+    Context ctx(*this, pid);
+    processes_[pid]->on_init(ctx);
+  }
+}
+
+void Engine::apply_crashes_due() {
+  bool any = false;
+  for (ProcessId pid = 0; pid < processes_.size(); ++pid) {
+    if (!crashed_[pid] && crash_at_[pid] != kNever && now_ >= crash_at_[pid]) {
+      crashed_[pid] = true;
+      any = true;
+      ++stats_.crashes;
+      // A crashed process never takes another step; pending inbound traffic
+      // can never be observed, so discard it now.
+      stats_.messages_dropped += inbound_[pid].size();
+      inbound_[pid] = TransitQueue{};
+      trace_.emit(Event{now_, EventKind::kCrash, pid, 0, 0, 0});
+    }
+  }
+  if (any) {
+    live_.clear();
+    for (ProcessId pid = 0; pid < processes_.size(); ++pid) {
+      if (!crashed_[pid]) live_.push_back(pid);
+    }
+  }
+}
+
+void Engine::deliver_phase(ProcessId pid, Context& ctx) {
+  // Receive at most one deliverable message per sender (Section 4's step
+  // semantics). Later-deadline duplicates from the same sender stay queued
+  // for subsequent steps; reliability is preserved because deadlines are
+  // finite and the process steps infinitely often while correct.
+  TransitQueue& queue = inbound_[pid];
+  deferred_.clear();
+  std::fill(sender_seen_.begin(), sender_seen_.end(), false);
+  while (!queue.empty() && queue.top().deliver_at <= now_) {
+    InTransit item = queue.top();
+    queue.pop();
+    const ProcessId src = item.msg.src;
+    if (sender_seen_[src]) {
+      deferred_.push_back(std::move(item));
+      continue;
+    }
+    sender_seen_[src] = true;
+    ++stats_.messages_delivered;
+    trace_.emit(Event{now_, EventKind::kDeliver, pid, src, item.msg.port,
+                      item.msg.payload.kind});
+    processes_[pid]->on_message(ctx, item.msg);
+  }
+  for (InTransit& item : deferred_) queue.push(std::move(item));
+}
+
+bool Engine::step() {
+  if (!initialized_) init();
+  ++now_;
+  apply_crashes_due();
+  if (live_.empty()) return false;
+
+  const ProcessId pid = scheduler_->next(live_, now_, rng_);
+  assert(pid < processes_.size() && !crashed_[pid]);
+
+  Context ctx(*this, pid);
+  sends_this_step_ = 0;
+  deliver_phase(pid, ctx);
+  processes_[pid]->on_step(ctx);
+  ++stats_.steps;
+  trace_.emit(Event{now_, EventKind::kStep, pid, 0, 0, 0});
+  return true;
+}
+
+std::uint64_t Engine::run(std::uint64_t n) {
+  std::uint64_t executed = 0;
+  while (executed < n && step()) ++executed;
+  return executed;
+}
+
+bool Engine::run_until(const std::function<bool()>& pred,
+                       std::uint64_t max_steps, std::uint64_t check_every) {
+  if (check_every == 0) check_every = 1;
+  for (std::uint64_t executed = 0; executed < max_steps;) {
+    if (pred()) return true;
+    for (std::uint64_t i = 0; i < check_every && executed < max_steps; ++i) {
+      if (!step()) return pred();
+      ++executed;
+    }
+  }
+  return pred();
+}
+
+std::size_t Engine::in_transit_count() const {
+  std::size_t total = 0;
+  for (const TransitQueue& queue : inbound_) total += queue.size();
+  return total;
+}
+
+void Engine::send_from(ProcessId src, ProcessId dst, Port port,
+                       const Payload& payload) {
+  if (dst >= processes_.size()) throw std::out_of_range("send: dst");
+  if (config_.max_sends_per_step != 0 &&
+      ++sends_this_step_ > config_.max_sends_per_step) {
+    throw std::logic_error("send bound exceeded in one atomic step");
+  }
+  ++stats_.messages_sent;
+  trace_.emit(Event{now_, EventKind::kSend, src, dst, port, payload.kind});
+  if (crashed_[dst]) {
+    ++stats_.messages_dropped;
+    trace_.emit(Event{now_, EventKind::kDrop, dst, src, port, payload.kind});
+    return;
+  }
+  Message msg{src, dst, port, payload, now_, next_seq_++};
+  const Time transit = delay_->delay(src, dst, now_, rng_);
+  inbound_[dst].push(InTransit{now_ + (transit < 1 ? 1 : transit), msg});
+}
+
+}  // namespace wfd::sim

@@ -1,0 +1,144 @@
+// The simulation engine: owns processes, channels, clock, scheduler, fault
+// plan and trace, and advances the run one atomic step at a time. Every run
+// is a pure function of (configuration, seed).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/delay.hpp"
+#include "sim/process.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/trace.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::sim {
+
+/// Aggregate run statistics (ground truth; monitors may read, processes may
+/// not).
+struct EngineStats {
+  std::uint64_t steps = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;  ///< destination crashed
+  std::uint64_t crashes = 0;
+};
+
+struct EngineConfig {
+  std::uint64_t seed = 0x5eed;
+  /// Events retained in memory for offline inspection (observers always run).
+  std::size_t trace_capacity = 0;
+  /// Messages a process may send inside one atomic step (paper: at most one
+  /// per destination; layered protocols at one process may multiplex several
+  /// logical threads into one physical step, so the bound is per
+  /// (destination, step) times the number of registered layers — checked
+  /// loosely via this knob; 0 disables the check).
+  std::uint32_t max_sends_per_step = 0;
+};
+
+/// Discrete-event engine for the paper's asynchronous model.
+class Engine {
+ public:
+  explicit Engine(EngineConfig config = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// --- configuration (before init()) -------------------------------------
+  ProcessId add_process(std::unique_ptr<Process> process);
+  void set_delay_model(std::unique_ptr<DelayModel> model);
+  void set_scheduler(std::unique_ptr<Scheduler> scheduler);
+  /// Schedule a crash: `pid` ceases execution at tick `at` (never recovers).
+  void schedule_crash(ProcessId pid, Time at);
+
+  /// Finish configuration; runs on_init for every process. Idempotent.
+  void init();
+
+  /// --- execution ----------------------------------------------------------
+  /// Advance one atomic step of one scheduled process. Returns false when no
+  /// live process remains.
+  bool step();
+  /// Run `n` steps (or until all processes crashed). Returns steps executed.
+  std::uint64_t run(std::uint64_t n);
+  /// Run until `pred()` holds, checking every `check_every` steps; gives up
+  /// after `max_steps`. Returns true iff the predicate held.
+  bool run_until(const std::function<bool()>& pred, std::uint64_t max_steps,
+                 std::uint64_t check_every = 1);
+
+  /// --- observation (ground truth; for monitors and experiments) ----------
+  Time now() const { return now_; }
+  std::uint32_t process_count() const { return static_cast<std::uint32_t>(processes_.size()); }
+  bool is_live(ProcessId pid) const { return !crashed_[pid]; }
+  bool is_correct(ProcessId pid) const { return crash_at_[pid] == kNever; }
+  Time crash_time(ProcessId pid) const { return crash_at_[pid]; }
+  std::size_t in_transit_count() const;
+  const EngineStats& stats() const { return stats_; }
+  Trace& trace() { return trace_; }
+  Rng& rng() { return rng_; }
+
+  template <class T>
+  T& process_as(ProcessId pid) {
+    return dynamic_cast<T&>(*processes_[pid]);
+  }
+
+ private:
+  friend class Context;
+  void send_from(ProcessId src, ProcessId dst, Port port, const Payload& payload);
+  void apply_crashes_due();
+  void deliver_phase(ProcessId pid, Context& ctx);
+
+  struct InTransit {
+    Time deliver_at = 0;
+    Message msg{};
+    /// Min-heap ordering by (deliver_at, seq): deterministic tie-breaks.
+    bool operator>(const InTransit& other) const {
+      if (deliver_at != other.deliver_at) return deliver_at > other.deliver_at;
+      return msg.seq > other.msg.seq;
+    }
+  };
+  using TransitQueue =
+      std::priority_queue<InTransit, std::vector<InTransit>, std::greater<>>;
+
+  EngineConfig config_;
+  Rng rng_;
+  Trace trace_;
+  EngineStats stats_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  bool initialized_ = false;
+
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<TransitQueue> inbound_;      // per destination
+  std::vector<bool> crashed_;
+  std::vector<Time> crash_at_;             // kNever if correct
+  std::vector<ProcessId> live_;            // dense list, rebuilt on crash
+  std::unique_ptr<DelayModel> delay_;
+  std::unique_ptr<Scheduler> scheduler_;
+
+  // scratch for the receive phase (avoid per-step allocation)
+  std::vector<InTransit> deferred_;
+  std::vector<bool> sender_seen_;
+  std::uint32_t sends_this_step_ = 0;
+};
+
+inline Time Context::now() const { return engine_.now(); }
+inline Rng& Context::rng() { return engine_.rng(); }
+inline std::uint32_t Context::process_count() const { return engine_.process_count(); }
+inline void Context::send(ProcessId dst, Port port, const Payload& payload) {
+  engine_.send_from(self_, dst, port, payload);
+}
+inline void Context::record(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  engine_.trace().emit(Event{engine_.now(), EventKind::kCustom, self_, a, b, c});
+}
+inline void Context::record_kind(std::uint8_t kind, std::uint64_t a,
+                                 std::uint64_t b, std::uint64_t c) {
+  engine_.trace().emit(
+      Event{engine_.now(), static_cast<EventKind>(kind), self_, a, b, c});
+}
+
+}  // namespace wfd::sim

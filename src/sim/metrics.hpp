@@ -1,0 +1,82 @@
+// Small statistics helpers shared by experiments: online counters, summary
+// statistics (mean/min/max/percentiles) and fixed-width table printing so
+// every bench binary reports in the same format.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace wfd::sim {
+
+/// Accumulates scalar samples; percentiles computed on demand.
+class Summary {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+
+  double mean() const {
+    if (samples_.empty()) return 0.0;
+    double total = 0.0;
+    for (double x : samples_) total += x;
+    return total / static_cast<double>(samples_.size());
+  }
+
+  double min() const { return order(), samples_.empty() ? 0.0 : samples_.front(); }
+  double max() const { return order(), samples_.empty() ? 0.0 : samples_.back(); }
+
+  /// q in [0,1]; nearest-rank percentile.
+  double percentile(double q) const {
+    if (samples_.empty()) return 0.0;
+    order();
+    const double pos = q * static_cast<double>(samples_.size() - 1);
+    const std::size_t idx = static_cast<std::size_t>(pos + 0.5);
+    return samples_[std::min(idx, samples_.size() - 1)];
+  }
+
+  double median() const { return percentile(0.5); }
+
+ private:
+  void order() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-width console table; every experiment binary prints through this so
+/// outputs are uniform and diffable.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int width = 14)
+      : headers_(std::move(headers)), width_(width) {}
+
+  void print_header(std::ostream& out = std::cout) const {
+    for (const std::string& h : headers_) out << std::setw(width_) << h;
+    out << '\n';
+    out << std::string(headers_.size() * static_cast<std::size_t>(width_), '-')
+        << '\n';
+  }
+
+  template <class... Cells>
+  void print_row(Cells&&... cells) const {
+    ((std::cout << std::setw(width_) << cells), ...);
+    std::cout << '\n';
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  int width_;
+};
+
+}  // namespace wfd::sim

@@ -1,0 +1,67 @@
+// Process abstraction. A process executes atomic steps; in each step it
+// receives at most one message from each other process, makes a state
+// transition, and sends at most one message to each other process (paper,
+// Section 4). The engine enforces the receive bound; the send bound is a
+// checked contract on the step body.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::sim {
+
+class Engine;
+
+/// Facade handed to a process during its step. It exposes exactly what the
+/// model allows a process to see: its id, the (conceptually inaccessible —
+/// use only for timestamps in traces, never for protocol logic that assumes
+/// synchrony) tick count, a deterministic RNG stream, and message sending.
+/// It deliberately exposes no crash information and no other process state.
+class Context {
+ public:
+  Context(Engine& engine, ProcessId self) : engine_(engine), self_(self) {}
+
+  ProcessId self() const { return self_; }
+  Time now() const;
+  Rng& rng();
+  std::uint32_t process_count() const;
+
+  /// Hand a message to the reliable channel self -> dst.
+  void send(ProcessId dst, Port port, const Payload& payload);
+
+  /// Emit a protocol-defined trace event attributed to this process.
+  void record(std::uint64_t a, std::uint64_t b = 0, std::uint64_t c = 0);
+
+  /// Emit a typed trace event (diner transitions, detector flips, ...).
+  void record_kind(std::uint8_t kind, std::uint64_t a, std::uint64_t b = 0,
+                   std::uint64_t c = 0);
+
+  Engine& engine() { return engine_; }
+
+ private:
+  Engine& engine_;
+  ProcessId self_;
+};
+
+/// Base class for simulated processes. Lifecycle: on_init once (after all
+/// processes are registered), then for each scheduled step: zero or more
+/// on_message calls (the receive phase) followed by exactly one on_step
+/// (the state transition + sends).
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  virtual void on_init(Context&) {}
+  virtual void on_message(Context&, const Message&) {}
+  virtual void on_step(Context&) {}
+
+  ProcessId id() const { return id_; }
+
+ private:
+  friend class Engine;
+  ProcessId id_ = kNoProcess;
+};
+
+}  // namespace wfd::sim

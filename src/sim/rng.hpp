@@ -1,0 +1,97 @@
+// Deterministic pseudo-random source. Every source of nondeterminism in a
+// run — scheduling, message delays, crash times, oracle mistakes, workload
+// think times — draws from one seeded generator, so a run is a pure function
+// of (configuration, seed). xoshiro256++ seeded via splitmix64.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace wfd::sim {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ generator with convenience draws. Not thread-safe by design:
+/// the engine is single-threaded and owns exactly one (CP.2: no shared
+/// mutable state).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eedULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound); bound must be > 0. Debiased via
+  /// rejection on the top of the range.
+  std::uint64_t below(std::uint64_t bound) {
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Geometric number of failures before first success (mean (1-p)/p),
+  /// capped to keep delays finite under adversarial parameters.
+  std::uint64_t geometric(double p, std::uint64_t cap) {
+    std::uint64_t k = 0;
+    while (k < cap && !chance(p)) ++k;
+    return k;
+  }
+
+  /// Uniformly chosen element index of a non-empty span.
+  template <class T>
+  std::size_t pick_index(std::span<const T> items) {
+    return static_cast<std::size_t>(below(items.size()));
+  }
+
+  /// Fisher-Yates shuffle (deterministic given generator state).
+  template <class T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[below(i)]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace wfd::sim

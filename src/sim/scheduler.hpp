@@ -1,0 +1,119 @@
+// Step schedulers. The paper's runs interleave atomic steps of live
+// processes with no bound on relative speeds; the only obligation is weak
+// fairness: every correct process takes infinitely many steps. Each
+// scheduler here realizes a family of such adversaries.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::sim {
+
+/// Chooses which live process takes the next atomic step. `live` is the
+/// dense list of currently live process ids (never empty when called).
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual ProcessId next(std::span<const ProcessId> live, Time now, Rng& rng) = 0;
+};
+
+/// Deterministic round-robin over live processes: the most regular fair run.
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  ProcessId next(std::span<const ProcessId> live, Time, Rng&) override {
+    // Advance past crashed ids by searching the next live id >= cursor.
+    for (std::size_t scanned = 0; scanned < live.size(); ++scanned) {
+      for (ProcessId pid : live) {
+        if (pid == cursor_) {
+          cursor_ = cursor_ + 1;
+          return pid;
+        }
+      }
+      // cursor_ names a crashed/absent id; try the following one (wrap far).
+      ++cursor_;
+      if (cursor_ > 4 * live.size() + 64) cursor_ = 0;
+    }
+    cursor_ = live.front() + 1;
+    return live.front();
+  }
+
+ private:
+  ProcessId cursor_ = 0;
+};
+
+/// Uniform random choice: fair with probability 1, and the default
+/// asynchronous adversary for experiments.
+class RandomScheduler final : public Scheduler {
+ public:
+  ProcessId next(std::span<const ProcessId> live, Time, Rng& rng) override {
+    return live[rng.pick_index(live)];
+  }
+};
+
+/// Random choice with per-process speed weights — models unbounded relative
+/// speeds (a weight-1 process beside a weight-1000 process steps ~1000x
+/// less often, yet still infinitely often).
+class WeightedScheduler final : public Scheduler {
+ public:
+  explicit WeightedScheduler(std::vector<std::uint64_t> weights)
+      : weights_(std::move(weights)) {}
+
+  ProcessId next(std::span<const ProcessId> live, Time, Rng& rng) override {
+    std::uint64_t total = 0;
+    for (ProcessId pid : live) total += weight(pid);
+    std::uint64_t ticket = rng.below(total);
+    for (ProcessId pid : live) {
+      const std::uint64_t w = weight(pid);
+      if (ticket < w) return pid;
+      ticket -= w;
+    }
+    return live.back();
+  }
+
+ private:
+  std::uint64_t weight(ProcessId pid) const {
+    return pid < weights_.size() && weights_[pid] > 0 ? weights_[pid] : 1;
+  }
+  std::vector<std::uint64_t> weights_;
+};
+
+/// Adversarial stalls: selected processes take no steps during [from, until)
+/// (a finite pause — correct processes still take infinitely many steps, so
+/// fairness holds). Falls back to uniform choice among unpaused processes.
+class PausingScheduler final : public Scheduler {
+ public:
+  struct Pause {
+    ProcessId pid = kNoProcess;
+    Time from = 0;
+    Time until = 0;
+  };
+
+  explicit PausingScheduler(std::vector<Pause> pauses)
+      : pauses_(std::move(pauses)) {}
+
+  ProcessId next(std::span<const ProcessId> live, Time now, Rng& rng) override {
+    eligible_.clear();
+    for (ProcessId pid : live) {
+      if (!paused(pid, now)) eligible_.push_back(pid);
+    }
+    std::span<const ProcessId> pool =
+        eligible_.empty() ? live : std::span<const ProcessId>(eligible_);
+    return pool[rng.pick_index(pool)];
+  }
+
+ private:
+  bool paused(ProcessId pid, Time now) const {
+    for (const Pause& pause : pauses_) {
+      if (pause.pid == pid && now >= pause.from && now < pause.until) return true;
+    }
+    return false;
+  }
+  std::vector<Pause> pauses_;
+  std::vector<ProcessId> eligible_;
+};
+
+}  // namespace wfd::sim

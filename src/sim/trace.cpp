@@ -1,0 +1,28 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace wfd::sim {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kStep: return "step";
+    case EventKind::kSend: return "send";
+    case EventKind::kDeliver: return "deliver";
+    case EventKind::kDrop: return "drop";
+    case EventKind::kCrash: return "crash";
+    case EventKind::kDinerTransition: return "diner";
+    case EventKind::kDetectorChange: return "detector";
+    case EventKind::kCustom: return "custom";
+  }
+  return "?";
+}
+
+std::string to_string(const Event& event) {
+  std::ostringstream out;
+  out << "t=" << event.time << " p" << event.pid << ' ' << to_string(event.kind)
+      << " a=" << event.a << " b=" << event.b << " c=" << event.c;
+  return out.str();
+}
+
+}  // namespace wfd::sim

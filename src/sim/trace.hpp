@@ -1,0 +1,66 @@
+// Run traces: a run is a sequence of observable events (the paper reasons
+// about runs as sequences of enabled steps; monitors and experiments reason
+// about the event trace). Events are small PODs; observers subscribe for
+// online property checking without retaining the whole trace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace wfd::sim {
+
+enum class EventKind : std::uint8_t {
+  kStep,            ///< a process executed an atomic step
+  kSend,            ///< message handed to the channel      (a=dst, b=port, c=kind)
+  kDeliver,         ///< message delivered                  (a=src, b=port, c=kind)
+  kDrop,            ///< message discarded (dst crashed)    (a=src, b=port, c=kind)
+  kCrash,           ///< process crashed
+  kDinerTransition, ///< diner phase change                 (a=instance, b=from, c=to)
+  kDetectorChange,  ///< suspicion flip                     (a=subject, b=0 trust / 1 suspect)
+  kCustom,          ///< protocol-defined
+};
+
+/// One trace event. `pid` is the acting process; a/b/c are kind-specific.
+struct Event {
+  Time time = 0;
+  EventKind kind = EventKind::kStep;
+  ProcessId pid = kNoProcess;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+};
+
+const char* to_string(EventKind kind);
+std::string to_string(const Event& event);
+
+/// Event sink: optionally retains events (bounded) and fans out to
+/// subscribed observers. Observers must not mutate the engine.
+class Trace {
+ public:
+  using Observer = std::function<void(const Event&)>;
+
+  /// Retain at most `max_events` in memory (0 = retain nothing; observers
+  /// still fire). Retention is for debugging and offline checks.
+  explicit Trace(std::size_t max_events = 0) : max_events_(max_events) {}
+
+  void subscribe(Observer observer) { observers_.push_back(std::move(observer)); }
+
+  void emit(const Event& event) {
+    if (events_.size() < max_events_) events_.push_back(event);
+    for (const auto& obs : observers_) obs(event);
+  }
+
+  const std::vector<Event>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+ private:
+  std::size_t max_events_;
+  std::vector<Event> events_;
+  std::vector<Observer> observers_;
+};
+
+}  // namespace wfd::sim

@@ -1,0 +1,112 @@
+#include "sim/trace_tools.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace wfd::sim {
+
+std::size_t TraceWriter::write(std::ostream& out,
+                               const std::vector<Event>& events,
+                               const Filter& filter) {
+  std::size_t written = 0;
+  for (const Event& event : events) {
+    if (filter && !filter(event)) continue;
+    out << to_string(event) << '\n';
+    ++written;
+  }
+  return written;
+}
+
+TraceWriter::Filter TraceWriter::by_kind(EventKind kind) {
+  return [kind](const Event& event) { return event.kind == kind; };
+}
+
+TraceWriter::Filter TraceWriter::by_process(ProcessId pid) {
+  return [pid](const Event& event) { return event.pid == pid; };
+}
+
+TraceWriter::Filter TraceWriter::by_time(Time from, Time until) {
+  return [from, until](const Event& event) {
+    return event.time >= from && event.time < until;
+  };
+}
+
+void DelayStats::on_event(const Event& event) {
+  if (event.kind == EventKind::kSend) {
+    const Key key{event.pid, static_cast<ProcessId>(event.a)};
+    outstanding_[key].push_back(event.time);
+  } else if (event.kind == EventKind::kDeliver) {
+    const Key key{static_cast<ProcessId>(event.a), event.pid};
+    auto it = outstanding_.find(key);
+    if (it == outstanding_.end() || it->second.empty()) return;
+    const Time sent = it->second.front();
+    it->second.erase(it->second.begin());
+    stats_[key].add(static_cast<double>(event.time - sent));
+    ++matched_;
+  }
+}
+
+const Summary& DelayStats::channel(ProcessId src, ProcessId dst) const {
+  const auto it = stats_.find(Key{src, dst});
+  return it == stats_.end() ? empty_ : it->second;
+}
+
+Summary DelayStats::all() const {
+  Summary total;
+  for (const auto& [key, summary] : stats_) {
+    for (double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      // Merge approximately through quantile samples (cheap and adequate
+      // for reporting).
+      if (summary.count() > 0) total.add(summary.percentile(q));
+    }
+  }
+  return total;
+}
+
+DinerTimeline::DinerTimeline(std::uint64_t tag, std::vector<ProcessId> members,
+                             Time bucket_width)
+    : tag_(tag), members_(std::move(members)),
+      bucket_(bucket_width < 1 ? 1 : bucket_width) {}
+
+void DinerTimeline::on_event(const Event& event) {
+  const bool transition =
+      event.kind == EventKind::kDinerTransition && event.a == tag_;
+  const bool crash = event.kind == EventKind::kCrash;
+  if (!transition && !crash) return;
+  if (std::find(members_.begin(), members_.end(), event.pid) ==
+      members_.end()) {
+    return;
+  }
+  changes_[event.pid].push_back(Change{
+      event.time,
+      crash ? std::uint8_t{4} : static_cast<std::uint8_t>(event.c)});
+}
+
+std::string DinerTimeline::render(Time until) const {
+  static constexpr char kGlyphs[] = {'.', 'h', 'E', 'x', '#'};
+  std::ostringstream out;
+  const std::size_t buckets =
+      static_cast<std::size_t>(until / bucket_) + 1;
+  for (ProcessId pid : members_) {
+    out << 'p' << pid << ' ';
+    std::uint8_t state = 0;
+    const auto it = changes_.find(pid);
+    std::size_t next = 0;
+    const std::vector<Change>* changes =
+        it == changes_.end() ? nullptr : &it->second;
+    for (std::size_t b = 0; b < buckets; ++b) {
+      const Time bucket_end = static_cast<Time>(b + 1) * bucket_;
+      while (changes != nullptr && next < changes->size() &&
+             (*changes)[next].time < bucket_end) {
+        state = (*changes)[next].state;
+        ++next;
+      }
+      out << kGlyphs[state <= 4 ? state : 0];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace wfd::sim

@@ -1,0 +1,87 @@
+// Trace tooling: textual dumps with filtering, per-channel delay
+// statistics, and an ASCII timeline of diner phases — the debugging kit
+// used while developing the reduction and handy for anyone extending it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::sim {
+
+/// Stream a retained trace as text, optionally filtered.
+class TraceWriter {
+ public:
+  using Filter = std::function<bool(const Event&)>;
+
+  /// Write `events` (one line each) to `out`; a null filter passes all.
+  static std::size_t write(std::ostream& out, const std::vector<Event>& events,
+                           const Filter& filter = nullptr);
+
+  /// Convenience filters.
+  static Filter by_kind(EventKind kind);
+  static Filter by_process(ProcessId pid);
+  static Filter by_time(Time from, Time until);
+};
+
+/// Matches kSend/kDeliver pairs per directed channel and summarizes
+/// transit times (observer — subscribe before the run).
+class DelayStats {
+ public:
+  void on_event(const Event& event);
+
+  /// Summary for channel src -> dst (empty summary if never used).
+  const Summary& channel(ProcessId src, ProcessId dst) const;
+  Summary all() const;
+  std::size_t matched() const { return matched_; }
+
+ private:
+  struct Key {
+    ProcessId src;
+    ProcessId dst;
+    bool operator<(const Key& other) const {
+      return src != other.src ? src < other.src : dst < other.dst;
+    }
+  };
+  // kSend carries (pid=src, a=dst); kDeliver carries (pid=dst, a=src).
+  // Without message ids in events we approximate FIFO matching per
+  // channel, which is exact for per-channel aggregate statistics only in
+  // expectation; totals and counts are exact.
+  std::map<Key, std::vector<Time>> outstanding_;
+  std::map<Key, Summary> stats_;
+  Summary empty_;
+  std::size_t matched_ = 0;
+};
+
+/// ASCII timeline of diner phases for one dining instance: one row per
+/// diner, one column per time bucket; characters: '.' thinking,
+/// 'h' hungry, 'E' eating, 'x' exiting, '#' crashed.
+class DinerTimeline {
+ public:
+  DinerTimeline(std::uint64_t tag, std::vector<ProcessId> members,
+                Time bucket_width);
+
+  void on_event(const Event& event);
+
+  /// Render rows up to `until` (call after the run).
+  std::string render(Time until) const;
+
+ private:
+  struct Change {
+    Time time;
+    std::uint8_t state;  // 0..3 diner phases, 4 = crashed
+  };
+  std::uint64_t tag_;
+  std::vector<ProcessId> members_;
+  Time bucket_;
+  std::map<ProcessId, std::vector<Change>> changes_;
+};
+
+}  // namespace wfd::sim

@@ -1,0 +1,48 @@
+// Core value types for the asynchronous message-passing model of the paper
+// (Sastry, Pike, Welch — SPAA 2009/2010), Section 4 "Technical Framework":
+// a finite set of processes executing atomic steps, connected by reliable
+// non-FIFO channels, observed against a discrete conceptual global clock T.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace wfd::sim {
+
+/// Discrete global clock tick (the paper's conceptual clock T, range IN).
+using Time = std::uint64_t;
+
+/// Process identifier; dense in [0, n).
+using ProcessId = std::uint32_t;
+
+/// Multiplexing key: protocol layers at the same process pair communicate
+/// over distinct ports (e.g. the two dining instances DX_0 / DX_1 of the
+/// reduction, and the ping/ack channel of Alg. 1/2).
+using Port = std::uint32_t;
+
+inline constexpr ProcessId kNoProcess = std::numeric_limits<ProcessId>::max();
+inline constexpr Time kNever = std::numeric_limits<Time>::max();
+
+/// Fixed-size message body. Protocol layers interpret (kind, a, b, c)
+/// themselves; keeping the payload POD keeps the engine allocation-free on
+/// the hot path and every run bit-reproducible.
+struct Payload {
+  std::uint32_t kind = 0;  ///< message kind within the owning protocol
+  std::uint64_t a = 0;     ///< first operand (protocol-defined)
+  std::uint64_t b = 0;     ///< second operand (protocol-defined)
+  std::uint64_t c = 0;     ///< third operand (protocol-defined)
+
+  friend bool operator==(const Payload&, const Payload&) = default;
+};
+
+/// A message in transit or being delivered.
+struct Message {
+  ProcessId src = kNoProcess;
+  ProcessId dst = kNoProcess;
+  Port port = 0;
+  Payload payload{};
+  Time sent_at = 0;        ///< tick at which the send step executed
+  std::uint64_t seq = 0;   ///< global send sequence number (determinism/debug)
+};
+
+}  // namespace wfd::sim

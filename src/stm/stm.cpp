@@ -1,0 +1,175 @@
+#include "stm/stm.hpp"
+
+#include <algorithm>
+
+#include "sim/engine.hpp"
+
+namespace wfd::stm {
+
+StmServer::StmServer(sim::Port port, std::uint32_t register_count)
+    : port_(port), values_(register_count, 0), versions_(register_count, 0) {}
+
+void StmServer::on_message(sim::Context& ctx, const sim::Message& msg) {
+  // Convention: requests carry the client's reply port in payload.c.
+  const auto reply_port = static_cast<sim::Port>(msg.payload.c);
+  TxContext& tx = open_[msg.src];
+  switch (msg.payload.kind) {
+    case kTxRead: {
+      const auto reg = static_cast<std::uint32_t>(msg.payload.a);
+      if (reg >= values_.size()) return;
+      tx.reads[reg] = versions_[reg];
+      ctx.send(msg.src, reply_port,
+               sim::Payload{kReadResp, reg, values_[reg], versions_[reg]});
+      break;
+    }
+    case kTxWrite: {
+      const auto reg = static_cast<std::uint32_t>(msg.payload.a);
+      if (reg >= values_.size()) return;
+      tx.writes[reg] = msg.payload.b;
+      if (tx.commit_pending && tx.writes.size() >= tx.expected_writes) {
+        finalize(ctx, msg.src, tx);
+      }
+      break;
+    }
+    case kTxCommit: {
+      tx.reply_port = reply_port;
+      tx.expected_writes = msg.payload.a;
+      if (tx.writes.size() >= tx.expected_writes) {
+        finalize(ctx, msg.src, tx);
+      } else {
+        tx.commit_pending = true;  // some writes overtaken; wait for them
+      }
+      break;
+    }
+    case kTxAbort:
+      open_.erase(msg.src);
+      break;
+    default:
+      break;
+  }
+}
+
+void StmServer::finalize(sim::Context& ctx, sim::ProcessId client,
+                         TxContext& tx) {
+  bool valid = true;
+  for (const auto& [reg, version] : tx.reads) {
+    if (versions_[reg] != version) {
+      valid = false;
+      break;
+    }
+  }
+  if (valid) {
+    for (const auto& [reg, value] : tx.writes) {
+      values_[reg] = value;
+      ++versions_[reg];
+    }
+    ++commits_;
+  } else {
+    ++aborts_;
+  }
+  ctx.send(client, tx.reply_port,
+           sim::Payload{kCommitResp, valid ? 1u : 0u, commits_, 0});
+  open_.erase(client);
+}
+
+TxClient::TxClient(TxClientConfig config, dining::DiningService* cm)
+    : config_(std::move(config)), cm_(cm) {
+  // The server's write-set is a map; duplicate registers would make the
+  // announced write count unreachable and wedge the commit.
+  std::sort(config_.registers.begin(), config_.registers.end());
+  config_.registers.erase(
+      std::unique(config_.registers.begin(), config_.registers.end()),
+      config_.registers.end());
+}
+
+void TxClient::on_message(sim::Context& ctx, const sim::Message& msg) {
+  switch (msg.payload.kind) {
+    case kReadResp:
+      if (phase_ == Phase::kReading && reads_pending_ > 0) {
+        read_values_.push_back(msg.payload.b);
+        if (--reads_pending_ == 0) phase_ = Phase::kWriting;
+        next_step_ = ctx.now() + config_.step_work;
+      }
+      break;
+    case kCommitResp: {
+      if (phase_ != Phase::kCommitting) break;
+      const bool committed = msg.payload.a != 0;
+      if (committed) {
+        ++commits_;
+        streak_ = 0;
+      } else {
+        ++aborts_;
+        if (++streak_ > max_streak_) max_streak_ = streak_;
+      }
+      phase_ = Phase::kIdle;
+      next_step_ = ctx.now() + config_.step_work;
+      // Under a contention manager, hold the permission until a commit
+      // succeeds (retries run inside the critical section — pre-convergence
+      // mistakes may still abort us, but eventually we run alone), then
+      // release.
+      if (cm_ != nullptr && cm_->state() == dining::DinerState::kEating &&
+          committed) {
+        cm_->finish_eating(ctx);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void TxClient::start_tx(sim::Context& ctx) {
+  phase_ = Phase::kReading;
+  reads_pending_ = config_.registers.size();
+  read_values_.clear();
+  for (std::uint32_t reg : config_.registers) {
+    ctx.send(config_.server, config_.server_port,
+             sim::Payload{kTxRead, reg, 0, config_.reply_port});
+  }
+}
+
+void TxClient::on_tick(sim::Context& ctx) {
+  if (config_.max_commits != 0 && commits_ >= config_.max_commits) return;
+  if (ctx.now() < next_step_) return;
+  switch (phase_) {
+    case Phase::kIdle: {
+      if (cm_ == nullptr) {
+        start_tx(ctx);
+        break;
+      }
+      switch (cm_->state()) {
+        case dining::DinerState::kThinking:
+          cm_->become_hungry(ctx);
+          break;
+        case dining::DinerState::kEating:
+          start_tx(ctx);
+          break;
+        case dining::DinerState::kHungry:
+        case dining::DinerState::kExiting:
+          break;  // wait for the manager
+      }
+      break;
+    }
+    case Phase::kReading:
+      break;  // waiting for responses
+    case Phase::kWriting: {
+      // The canonical read-modify-write: bump every register.
+      for (std::size_t k = 0; k < config_.registers.size(); ++k) {
+        const std::uint64_t base = k < read_values_.size() ? read_values_[k] : 0;
+        ctx.send(config_.server, config_.server_port,
+                 sim::Payload{kTxWrite, config_.registers[k], base + 1,
+                              config_.reply_port});
+      }
+      ctx.send(config_.server, config_.server_port,
+               sim::Payload{kTxCommit, config_.registers.size(), 0,
+                            config_.reply_port});
+      phase_ = Phase::kCommitting;
+      next_step_ = ctx.now() + config_.step_work;
+      break;
+    }
+    case Phase::kCommitting:
+      break;  // waiting for the verdict
+  }
+}
+
+}  // namespace wfd::stm

@@ -1,0 +1,122 @@
+// Software-transactional-memory substrate (Sections 2-3 motivation): an
+// obstruction-free transactional store plus clients, with an optional
+// dining-backed contention manager.
+//
+// The store is a versioned-register server with per-client transaction
+// contexts: a client opens reads (the server records the version it
+// served), buffers writes, and commits; the server validates every
+// recorded read against the current version and either applies the write
+// set atomically or aborts. This gives exactly obstruction freedom: a
+// transaction that runs without concurrent conflicting commits succeeds;
+// overlapping transactions can abort each other forever (livelock).
+//
+// A contention manager — any wait-free <>WX dining service over the
+// clients' conflict graph — funnels clients so that eventually only one
+// conflicting transaction runs at a time, boosting obstruction freedom to
+// wait freedom (every client commits infinitely often): the paper's
+// contention-management story, end to end.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "dining/diner.hpp"
+#include "sim/component.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::stm {
+
+/// Message kinds on the store port. Channels are non-FIFO, so a commit may
+/// overtake its own writes; the commit therefore announces its write-set
+/// size and the server defers validation until all writes have arrived.
+enum StmMsg : std::uint32_t {
+  kTxRead = 1,    ///< a = register, c = reply port       -> kReadResp
+  kTxWrite = 2,   ///< a = register, b = value, c = reply port
+  kTxCommit = 3,  ///< a = write count, c = reply port    -> kCommitResp
+  kTxAbort = 4,   ///< client-side abandon; clears the context
+  kReadResp = 5,  ///< a = register, b = value, c = version
+  kCommitResp = 6 ///< a = 1 committed / 0 aborted, b = server commit count
+};
+
+/// The store: one component, typically on a dedicated process.
+class StmServer final : public sim::Component {
+ public:
+  StmServer(sim::Port port, std::uint32_t register_count);
+
+  void on_message(sim::Context& ctx, const sim::Message& msg) override;
+
+  std::uint64_t value(std::uint32_t reg) const { return values_[reg]; }
+  std::uint64_t version(std::uint32_t reg) const { return versions_[reg]; }
+  std::uint64_t commits() const { return commits_; }
+  std::uint64_t aborts() const { return aborts_; }
+
+ private:
+  struct TxContext {
+    std::map<std::uint32_t, std::uint64_t> reads;   // reg -> version served
+    std::map<std::uint32_t, std::uint64_t> writes;  // reg -> value
+    bool commit_pending = false;  // commit arrived before all its writes
+    std::uint64_t expected_writes = 0;
+    sim::Port reply_port = 0;
+  };
+
+  void finalize(sim::Context& ctx, sim::ProcessId client, TxContext& tx);
+
+  sim::Port port_;
+  std::vector<std::uint64_t> values_;
+  std::vector<std::uint64_t> versions_;
+  std::map<sim::ProcessId, TxContext> open_;
+  std::uint64_t commits_ = 0;
+  std::uint64_t aborts_ = 0;
+};
+
+struct TxClientConfig {
+  sim::ProcessId server = 0;
+  sim::Port server_port = 0;
+  sim::Port reply_port = 0;
+  std::vector<std::uint32_t> registers;  ///< the set this client touches
+  /// Local "work" ticks between protocol steps — longer transactions
+  /// overlap more and abort more without a contention manager.
+  sim::Time step_work = 3;
+  std::uint64_t max_commits = 0;  ///< stop after this many (0 = forever)
+};
+
+/// A client that repeatedly runs the canonical read-modify-write
+/// transaction over its register set. With a contention manager attached
+/// (a DiningService on the clients' conflict graph), the client becomes
+/// hungry before starting and releases after commit.
+class TxClient final : public sim::Component {
+ public:
+  /// `cm` may be nullptr (raw obstruction freedom).
+  TxClient(TxClientConfig config, dining::DiningService* cm);
+
+  void on_message(sim::Context& ctx, const sim::Message& msg) override;
+  void on_tick(sim::Context& ctx) override;
+
+  std::uint64_t commits() const { return commits_; }
+  std::uint64_t aborts() const { return aborts_; }
+  std::uint64_t max_consecutive_aborts() const { return max_streak_; }
+
+ private:
+  enum class Phase : std::uint8_t {
+    kIdle,       // waiting (for CM permission if present)
+    kReading,    // awaiting read responses
+    kWriting,    // issuing writes
+    kCommitting, // awaiting commit response
+  };
+
+  void start_tx(sim::Context& ctx);
+
+  TxClientConfig config_;
+  dining::DiningService* cm_;
+  Phase phase_ = Phase::kIdle;
+  std::size_t reads_pending_ = 0;
+  std::vector<std::uint64_t> read_values_;
+  sim::Time next_step_ = 0;
+  std::uint64_t commits_ = 0;
+  std::uint64_t aborts_ = 0;
+  std::uint64_t streak_ = 0;
+  std::uint64_t max_streak_ = 0;
+};
+
+}  // namespace wfd::stm

@@ -1,0 +1,115 @@
+#include "wsn/duty_cycle.hpp"
+
+#include <algorithm>
+
+#include "sim/engine.hpp"
+
+namespace wfd::wsn {
+
+using dining::DinerState;
+
+SensorNode::SensorNode(dining::DiningService& scheduler, SensorConfig config)
+    : scheduler_(scheduler), config_(config), battery_(config.battery) {}
+
+void SensorNode::on_tick(sim::Context& ctx) {
+  if (depleted_) return;
+  const sim::Time now = ctx.now();
+  const sim::Time elapsed = now - last_tick_;
+  last_tick_ = now;
+
+  // Battery drains for every tick spent on duty since the last look.
+  if (on_duty_ && elapsed > 0) {
+    const std::uint64_t drain = std::min<std::uint64_t>(battery_, elapsed);
+    battery_ -= drain;
+    if (battery_ == 0) {
+      depleted_ = true;
+      // Physical fault: depletion crashes the node (harness-level action,
+      // like pulling the battery).
+      ctx.engine().schedule_crash(ctx.self(), now);
+      return;
+    }
+  }
+
+  if (config_.always_on) {
+    // Baseline: request duty once and hold it forever (run this over an
+    // edgeless conflict graph so the grant is immediate and unconditional).
+    if (scheduler_.state() == DinerState::kThinking) {
+      scheduler_.become_hungry(ctx);
+    }
+    if (scheduler_.state() == DinerState::kEating && !on_duty_) {
+      on_duty_ = true;
+      ++shifts_;
+    }
+    return;
+  }
+
+  switch (scheduler_.state()) {
+    case DinerState::kThinking:
+      if (now >= rest_until_) scheduler_.become_hungry(ctx);
+      break;
+    case DinerState::kHungry:
+      break;
+    case DinerState::kEating:
+      if (!on_duty_) {
+        on_duty_ = true;
+        ++shifts_;
+        shift_end_ = now + config_.duty_length;
+      }
+      if (now >= shift_end_) {
+        on_duty_ = false;
+        rest_until_ = now + config_.rest_length;
+        scheduler_.finish_eating(ctx);
+      }
+      break;
+    case DinerState::kExiting:
+      break;
+  }
+}
+
+ClusterMonitor::ClusterMonitor(std::uint64_t tag,
+                               std::vector<sim::ProcessId> members)
+    : tag_(tag), members_(std::move(members)), eating_(members_.size(), false) {}
+
+void ClusterMonitor::advance(sim::Time to) {
+  if (to <= last_time_) return;
+  const sim::Time span = to - last_time_;
+  std::uint32_t on = 0;
+  for (bool e : eating_) on += e ? 1 : 0;
+  total_ += span;
+  if (on >= 1) {
+    covered_ += span;
+    last_covered_ = to;
+  }
+  if (on >= 2) redundant_ += span;
+  last_time_ = to;
+}
+
+void ClusterMonitor::on_event(const sim::Event& event) {
+  const bool transition = event.kind == sim::EventKind::kDinerTransition &&
+                          event.a == tag_;
+  const bool crash = event.kind == sim::EventKind::kCrash;
+  if (!transition && !crash) return;
+  const auto it = std::find(members_.begin(), members_.end(), event.pid);
+  if (it == members_.end()) return;
+  advance(event.time);
+  const auto idx = static_cast<std::size_t>(it - members_.begin());
+  // A dead sensor covers nothing, whatever its diner state was.
+  eating_[idx] =
+      transition && static_cast<DinerState>(event.c) == DinerState::kEating;
+}
+
+void ClusterMonitor::finalize(sim::Time now) { advance(now); }
+
+double ClusterMonitor::coverage_fraction() const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(covered_) /
+                           static_cast<double>(total_);
+}
+
+double ClusterMonitor::redundancy_fraction() const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(redundant_) /
+                           static_cast<double>(total_);
+}
+
+}  // namespace wfd::wsn

@@ -1,0 +1,87 @@
+// Wireless-sensor-network duty-cycle scheduling (Section 2 motivation):
+// clusters of redundant sensors cover an area; at any time one on-duty
+// sensor per cluster suffices. Going on duty = eating in a dining instance
+// whose conflict graph is a clique per cluster; batteries drain while on
+// duty and a depleted node crashes (the paper's "every node will
+// eventually crash due to power depletion").
+//
+// Under a wait-free <>WX scheduler, scheduling mistakes put redundant
+// sensors on duty simultaneously — wasting energy but never correctness —
+// while wait-freedom keeps coverage alive as nodes die. The experiment
+// compares lifetime/coverage/redundancy against an all-on baseline and a
+// perpetual-exclusion (T-based FTME) scheduler.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dining/diner.hpp"
+#include "sim/component.hpp"
+#include "sim/trace.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::wsn {
+
+struct SensorConfig {
+  std::uint64_t battery = 2000;   ///< on-duty ticks until depletion
+  sim::Time duty_length = 40;     ///< ticks per duty shift
+  sim::Time rest_length = 5;      ///< pause between shifts
+  bool always_on = false;         ///< baseline: ignore the scheduler
+};
+
+/// One sensor node: drives its DiningService through duty cycles and
+/// drains its battery; at 0 it crashes its own process (physical fault
+/// injection through the harness).
+class SensorNode final : public sim::Component {
+ public:
+  SensorNode(dining::DiningService& scheduler, SensorConfig config);
+
+  void on_tick(sim::Context& ctx) override;
+
+  bool on_duty() const { return on_duty_; }
+  std::uint64_t battery() const { return battery_; }
+  std::uint64_t shifts() const { return shifts_; }
+
+ private:
+  dining::DiningService& scheduler_;
+  SensorConfig config_;
+  std::uint64_t battery_;
+  bool on_duty_ = false;
+  bool depleted_ = false;
+  sim::Time shift_end_ = 0;
+  sim::Time rest_until_ = 0;
+  sim::Time last_tick_ = 0;
+  std::uint64_t shifts_ = 0;
+};
+
+/// Coverage bookkeeping for one cluster, fed by diner-transition events of
+/// the cluster's dining instance.
+class ClusterMonitor {
+ public:
+  ClusterMonitor(std::uint64_t tag, std::vector<sim::ProcessId> members);
+
+  void on_event(const sim::Event& event);
+
+  /// Integrate coverage up to `now` (call once, at the end of the run).
+  void finalize(sim::Time now);
+
+  double coverage_fraction() const;    ///< ticks with >= 1 on duty / total
+  double redundancy_fraction() const;  ///< ticks with >= 2 on duty / total
+  sim::Time covered_ticks() const { return covered_; }
+  sim::Time redundant_ticks() const { return redundant_; }
+  sim::Time lifetime() const { return last_covered_; }
+
+ private:
+  void advance(sim::Time to);
+
+  std::uint64_t tag_;
+  std::vector<sim::ProcessId> members_;
+  std::vector<bool> eating_;
+  sim::Time last_time_ = 0;
+  sim::Time covered_ = 0;
+  sim::Time redundant_ = 0;
+  sim::Time total_ = 0;
+  sim::Time last_covered_ = 0;  ///< last tick the cluster was covered
+};
+
+}  // namespace wfd::wsn

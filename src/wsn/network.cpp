@@ -1,0 +1,109 @@
+#include "wsn/network.hpp"
+
+#include <algorithm>
+
+#include "dining/diner.hpp"
+
+namespace wfd::wsn {
+
+NetworkLayout make_ring_network(std::uint32_t cells, std::uint32_t redundancy) {
+  NetworkLayout layout;
+  layout.cells = cells;
+  layout.redundancy = redundancy;
+  const std::uint32_t sensors = cells * redundancy;
+  layout.covers.resize(sensors);
+  for (std::uint32_t s = 0; s < sensors; ++s) {
+    const std::uint32_t home = s / redundancy;
+    layout.covers[s] = {home, (home + 1) % cells};
+    if (cells == 1) layout.covers[s] = {0};
+  }
+  layout.conflicts = graph::ConflictGraph(sensors);
+  for (std::uint32_t a = 0; a < sensors; ++a) {
+    for (std::uint32_t b = a + 1; b < sensors; ++b) {
+      bool overlap = false;
+      for (std::uint32_t cell_a : layout.covers[a]) {
+        for (std::uint32_t cell_b : layout.covers[b]) {
+          overlap |= cell_a == cell_b;
+        }
+      }
+      if (overlap) layout.conflicts.add_edge(a, b);
+    }
+  }
+  return layout;
+}
+
+NetworkMonitor::NetworkMonitor(std::uint64_t tag, NetworkLayout layout,
+                               std::vector<sim::ProcessId> members)
+    : tag_(tag), layout_(std::move(layout)), members_(std::move(members)) {
+  for (std::uint32_t i = 0; i < members_.size(); ++i) {
+    index_of_[members_[i]] = i;
+  }
+  on_duty_.assign(members_.size(), false);
+  covered_.assign(layout_.cells, 0);
+  redundant_.assign(layout_.cells, 0);
+  last_covered_.assign(layout_.cells, 0);
+}
+
+void NetworkMonitor::advance(sim::Time to) {
+  if (to <= last_time_) return;
+  const sim::Time span = to - last_time_;
+  for (std::uint32_t cell = 0; cell < layout_.cells; ++cell) {
+    std::uint32_t on = 0;
+    for (std::uint32_t s = 0; s < on_duty_.size(); ++s) {
+      if (!on_duty_[s]) continue;
+      for (std::uint32_t covered_cell : layout_.covers[s]) {
+        if (covered_cell == cell) ++on;
+      }
+    }
+    if (on >= 1) {
+      covered_[cell] += span;
+      last_covered_[cell] = to;
+    }
+    if (on >= 2) redundant_[cell] += span;
+  }
+  total_ += span;
+  last_time_ = to;
+}
+
+void NetworkMonitor::on_event(const sim::Event& event) {
+  const bool transition =
+      event.kind == sim::EventKind::kDinerTransition && event.a == tag_;
+  const bool crash = event.kind == sim::EventKind::kCrash;
+  if (!transition && !crash) return;
+  const auto it = index_of_.find(event.pid);
+  if (it == index_of_.end()) return;
+  advance(event.time);
+  on_duty_[it->second] =
+      transition &&
+      static_cast<dining::DinerState>(event.c) == dining::DinerState::kEating;
+}
+
+void NetworkMonitor::finalize(sim::Time now) { advance(now); }
+
+double NetworkMonitor::cell_coverage(std::uint32_t cell) const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(covered_[cell]) /
+                           static_cast<double>(total_);
+}
+
+double NetworkMonitor::worst_cell_coverage() const {
+  double worst = 1.0;
+  for (std::uint32_t cell = 0; cell < layout_.cells; ++cell) {
+    worst = std::min(worst, cell_coverage(cell));
+  }
+  return worst;
+}
+
+double NetworkMonitor::redundancy_fraction(std::uint32_t cell) const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(redundant_[cell]) /
+                           static_cast<double>(total_);
+}
+
+sim::Time NetworkMonitor::network_lifetime() const {
+  sim::Time lifetime = sim::kNever;
+  for (sim::Time t : last_covered_) lifetime = std::min(lifetime, t);
+  return last_covered_.empty() ? 0 : lifetime;
+}
+
+}  // namespace wfd::wsn

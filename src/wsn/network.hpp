@@ -1,0 +1,71 @@
+// Multi-cell WSN: a ring of coverage cells, each populated by `redundancy`
+// home sensors that also reach into the next cell — so conflict graphs are
+// genuinely non-trivial (two sensors conflict iff their coverage areas
+// overlap), and a cell can be kept covered by a neighboring cell's sensor.
+// "On duty" = eating in the dining instance over this conflict graph; the
+// exclusion criterion directly encodes "no redundant duty in any shared
+// region".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "graph/conflict_graph.hpp"
+#include "sim/trace.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::wsn {
+
+struct NetworkLayout {
+  std::uint32_t cells = 0;
+  std::uint32_t redundancy = 0;  ///< home sensors per cell
+  /// sensor index -> the cells it covers (home cell + next cell).
+  std::vector<std::vector<std::uint32_t>> covers;
+  /// Conflict graph over sensors: an edge iff coverage overlaps.
+  graph::ConflictGraph conflicts;
+
+  std::uint32_t sensor_count() const {
+    return static_cast<std::uint32_t>(covers.size());
+  }
+};
+
+/// Build the ring-of-cells layout: sensor s (home cell s / redundancy)
+/// covers its home cell and the next one around the ring.
+NetworkLayout make_ring_network(std::uint32_t cells, std::uint32_t redundancy);
+
+/// Per-cell coverage accounting over diner transitions + crashes
+/// (trace observer).
+class NetworkMonitor {
+ public:
+  NetworkMonitor(std::uint64_t tag, NetworkLayout layout,
+                 std::vector<sim::ProcessId> members);
+
+  void on_event(const sim::Event& event);
+  void finalize(sim::Time now);
+
+  double cell_coverage(std::uint32_t cell) const;   ///< fraction covered
+  double worst_cell_coverage() const;
+  double redundancy_fraction(std::uint32_t cell) const;
+  /// min over cells of the last instant that cell was covered: the moment
+  /// the first cell went permanently (so far) dark. Under strict exclusion
+  /// cells are covered in turns, so this — not simultaneous coverage — is
+  /// the meaningful lifetime notion.
+  sim::Time network_lifetime() const;
+
+ private:
+  void advance(sim::Time to);
+
+  std::uint64_t tag_;
+  NetworkLayout layout_;
+  std::vector<sim::ProcessId> members_;
+  std::map<sim::ProcessId, std::uint32_t> index_of_;
+  std::vector<bool> on_duty_;                  // per sensor
+  std::vector<sim::Time> covered_;             // per cell
+  std::vector<sim::Time> redundant_;           // per cell
+  sim::Time total_ = 0;
+  sim::Time last_time_ = 0;
+  std::vector<sim::Time> last_covered_;  // per cell
+};
+
+}  // namespace wfd::wsn

@@ -1,0 +1,161 @@
+// Action-system tests: guarded-command semantics, weak fairness of the
+// rotating scan, upon-receive actions, and component hosting/interleaving.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "action/action_system.hpp"
+#include "sim/engine.hpp"
+
+namespace wfd::action {
+namespace {
+
+using sim::ComponentHost;
+using sim::Context;
+using sim::Engine;
+using sim::Message;
+using sim::Payload;
+
+std::unique_ptr<ComponentHost> host_of(std::shared_ptr<ActionSystem> system,
+                                       std::vector<sim::Port> ports = {0}) {
+  auto host = std::make_unique<ComponentHost>();
+  host->add_component(std::move(system), ports);
+  return host;
+}
+
+TEST(ActionSystem, DisabledActionsNeverRun) {
+  auto system = std::make_shared<ActionSystem>();
+  int ran = 0;
+  system->add_action("never", [](Context&) { return false; },
+                     [&](Context&) { ++ran; });
+  Engine engine({.seed = 1});
+  engine.add_process(host_of(system));
+  engine.init();
+  engine.run(100);
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(system->total_executions(), 0u);
+}
+
+TEST(ActionSystem, EnabledActionRunsEveryTick) {
+  auto system = std::make_shared<ActionSystem>();
+  system->add_action("always", [](Context&) { return true; }, [](Context&) {});
+  Engine engine({.seed = 2});
+  engine.add_process(host_of(system));
+  engine.init();
+  engine.run(50);
+  EXPECT_EQ(system->executions("always"), 50u);
+}
+
+TEST(ActionSystem, RotatingScanIsWeaklyFair) {
+  auto system = std::make_shared<ActionSystem>();
+  system->add_action("a", [](Context&) { return true; }, [](Context&) {});
+  system->add_action("b", [](Context&) { return true; }, [](Context&) {});
+  system->add_action("c", [](Context&) { return true; }, [](Context&) {});
+  Engine engine({.seed = 3});
+  engine.add_process(host_of(system));
+  engine.init();
+  engine.run(300);
+  EXPECT_EQ(system->executions("a"), 100u);
+  EXPECT_EQ(system->executions("b"), 100u);
+  EXPECT_EQ(system->executions("c"), 100u);
+}
+
+TEST(ActionSystem, GuardPriorityFallsThrough) {
+  auto system = std::make_shared<ActionSystem>();
+  bool gate = false;
+  system->add_action("gated", [&](Context&) { return gate; }, [](Context&) {});
+  system->add_action("open", [](Context&) { return true; }, [](Context&) {});
+  Engine engine({.seed = 4});
+  engine.add_process(host_of(system));
+  engine.init();
+  engine.run(10);
+  EXPECT_EQ(system->executions("gated"), 0u);
+  EXPECT_EQ(system->executions("open"), 10u);
+  gate = true;
+  engine.run(10);
+  EXPECT_GT(system->executions("gated"), 3u);
+}
+
+TEST(ActionSystem, UponReceiveConsumesMessage) {
+  auto sender = std::make_shared<ActionSystem>();
+  auto receiver = std::make_shared<ActionSystem>();
+  int payloads = 0;
+  sender->add_action("send_once", [](Context&) { return true; },
+                     [sent = false](Context& ctx) mutable {
+                       if (!sent) {
+                         ctx.send(1, 9, Payload{42, 7, 0, 0});
+                         sent = true;
+                       }
+                     });
+  receiver->add_upon("on_msg", 9, 42,
+                     [&](Context&, const Message& msg) {
+                       payloads += static_cast<int>(msg.payload.a);
+                     });
+  Engine engine({.seed = 5});
+  engine.add_process(host_of(sender, {8}));
+  engine.add_process(host_of(receiver, {9}));
+  engine.init();
+  engine.run(200);
+  EXPECT_EQ(payloads, 7);
+  EXPECT_EQ(receiver->inbox_size(), 0u);
+}
+
+TEST(ActionSystem, TakeMessageMatchesPortAndKind) {
+  auto system = std::make_shared<ActionSystem>();
+  Engine engine({.seed = 6});
+  engine.add_process(host_of(system, {1, 2}));
+  engine.init();
+  Context ctx(engine, 0);
+  system->on_message(ctx, Message{0, 0, 1, Payload{10, 111, 0, 0}, 0, 0});
+  system->on_message(ctx, Message{0, 0, 2, Payload{10, 222, 0, 0}, 0, 1});
+  system->on_message(ctx, Message{0, 0, 1, Payload{20, 333, 0, 0}, 0, 2});
+  EXPECT_TRUE(system->peek_message(1, 10));
+  EXPECT_TRUE(system->peek_message(2, 10));
+  EXPECT_FALSE(system->peek_message(2, 20));
+  auto msg = system->take_message(1, 20);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->payload.a, 333u);
+  EXPECT_EQ(system->inbox_size(), 2u);
+}
+
+TEST(ComponentHost, InterleavesComponentsRoundRobin) {
+  auto a = std::make_shared<ActionSystem>();
+  auto b = std::make_shared<ActionSystem>();
+  a->add_action("tick", [](Context&) { return true; }, [](Context&) {});
+  b->add_action("tick", [](Context&) { return true; }, [](Context&) {});
+  auto host = std::make_unique<ComponentHost>();
+  host->add_component(a, {1});
+  host->add_component(b, {2});
+  Engine engine({.seed = 7});
+  engine.add_process(std::move(host));
+  engine.init();
+  engine.run(100);
+  EXPECT_EQ(a->executions("tick"), 50u);
+  EXPECT_EQ(b->executions("tick"), 50u);
+}
+
+TEST(ComponentHost, RoutesByPort) {
+  auto a = std::make_shared<ActionSystem>();
+  auto b = std::make_shared<ActionSystem>();
+  auto host = std::make_unique<ComponentHost>();
+  host->add_component(a, {1});
+  host->add_component(b, {2});
+  ComponentHost* host_ptr = host.get();
+  Engine engine({.seed = 8});
+  engine.add_process(std::move(host));
+  engine.init();
+  Context ctx(engine, 0);
+  host_ptr->on_message(ctx, Message{0, 0, 2, Payload{5, 0, 0, 0}, 0, 0});
+  EXPECT_EQ(a->inbox_size(), 0u);
+  EXPECT_EQ(b->inbox_size(), 1u);
+}
+
+TEST(ComponentHost, DuplicatePortRegistrationThrows) {
+  auto host = std::make_unique<ComponentHost>();
+  host->add_component(std::make_shared<ActionSystem>(), {4});
+  EXPECT_THROW(host->add_component(std::make_shared<ActionSystem>(), {4}),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace wfd::action

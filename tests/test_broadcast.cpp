@@ -1,0 +1,166 @@
+// Reliable-broadcast substrate tests: validity, agreement under sender
+// crash (the relay property), no duplication, and per-sender FIFO order.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bcast/broadcast.hpp"
+#include "sim/engine.hpp"
+
+namespace wfd::bcast {
+namespace {
+
+constexpr sim::Port kPort = 40;
+
+struct BcastRig {
+  sim::Engine engine;
+  std::vector<sim::ComponentHost*> hosts;
+  std::vector<std::shared_ptr<ReliableBroadcast>> nodes;
+  // delivered[receiver] = list of (origin, seq, body)
+  std::vector<std::vector<std::tuple<sim::ProcessId, std::uint64_t,
+                                     std::uint64_t>>> delivered;
+
+  BcastRig(std::uint32_t n, std::uint64_t seed, bool fifo)
+      : engine(sim::EngineConfig{.seed = seed}), delivered(n) {
+    for (sim::ProcessId p = 0; p < n; ++p) {
+      auto host = std::make_unique<sim::ComponentHost>();
+      hosts.push_back(host.get());
+      engine.add_process(std::move(host));
+    }
+    for (sim::ProcessId p = 0; p < n; ++p) {
+      auto node = std::make_shared<ReliableBroadcast>(p, n, kPort, fifo);
+      node->set_deliver([this, p](sim::Context&, sim::ProcessId origin,
+                                  std::uint64_t seq, std::uint64_t body) {
+        delivered[p].emplace_back(origin, seq, body);
+      });
+      hosts[p]->add_component(node, {kPort});
+      nodes.push_back(node);
+    }
+    engine.set_delay_model(std::make_unique<sim::UniformDelay>(1, 12));
+  }
+};
+
+/// Component that broadcasts a burst at init time (so broadcasts originate
+/// inside a process step, as required).
+class Burster final : public sim::Component {
+ public:
+  Burster(ReliableBroadcast& node, std::vector<std::uint64_t> bodies)
+      : node_(node), bodies_(std::move(bodies)) {}
+  void on_tick(sim::Context& ctx) override {
+    if (next_ < bodies_.size()) node_.broadcast(ctx, bodies_[next_++]);
+  }
+
+ private:
+  ReliableBroadcast& node_;
+  std::vector<std::uint64_t> bodies_;
+  std::size_t next_ = 0;
+};
+
+TEST(ReliableBroadcast, EveryCorrectProcessDeliversEveryMessage) {
+  BcastRig rig(4, 1, /*fifo=*/false);
+  auto burster = std::make_shared<Burster>(*rig.nodes[0],
+                                           std::vector<std::uint64_t>{7, 8, 9});
+  rig.hosts[0]->add_component(burster, {});
+  rig.engine.init();
+  rig.engine.run(20000);
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(rig.delivered[p].size(), 3u) << "receiver " << p;
+  }
+}
+
+TEST(ReliableBroadcast, NoDuplication) {
+  BcastRig rig(5, 2, /*fifo=*/false);
+  auto burster = std::make_shared<Burster>(
+      *rig.nodes[2], std::vector<std::uint64_t>{1, 2, 3, 4, 5});
+  rig.hosts[2]->add_component(burster, {});
+  rig.engine.init();
+  rig.engine.run(40000);
+  for (std::uint32_t p = 0; p < 5; ++p) {
+    std::map<std::pair<sim::ProcessId, std::uint64_t>, int> counts;
+    for (const auto& [origin, seq, body] : rig.delivered[p]) {
+      const int seen = ++counts[std::make_pair(origin, seq)];
+      EXPECT_EQ(seen, 1) << "duplicate delivery at " << p << " of (" << origin
+                         << "," << seq << ")";
+    }
+  }
+}
+
+TEST(ReliableBroadcast, AgreementUnderSenderCrash) {
+  // The sender crashes right after its broadcast step; because relays go
+  // out before local delivery, either nobody or everybody (correct)
+  // delivers. With the crash a few ticks later, the sends are already in
+  // flight: everybody must deliver.
+  BcastRig rig(4, 3, /*fifo=*/false);
+  auto burster = std::make_shared<Burster>(*rig.nodes[0],
+                                           std::vector<std::uint64_t>{42});
+  rig.hosts[0]->add_component(burster, {});
+  rig.engine.schedule_crash(0, 10);  // after the first few steps
+  rig.engine.init();
+  rig.engine.run(30000);
+  std::size_t deliverers = 0;
+  for (std::uint32_t p = 1; p < 4; ++p) {
+    deliverers += rig.delivered[p].empty() ? 0 : 1;
+  }
+  EXPECT_TRUE(deliverers == 0 || deliverers == 3)
+      << "agreement violated: " << deliverers << "/3 delivered";
+}
+
+TEST(ReliableBroadcast, RelayCoversPartialSend) {
+  // Even if only ONE correct process hears the original (we simulate by
+  // crashing the sender immediately after its single step — its unicasts
+  // are all in flight, so this reduces to: once any correct process
+  // delivers, its relays reach everyone).
+  BcastRig rig(6, 4, /*fifo=*/false);
+  auto burster = std::make_shared<Burster>(*rig.nodes[5],
+                                           std::vector<std::uint64_t>{13});
+  rig.hosts[5]->add_component(burster, {});
+  rig.engine.schedule_crash(5, 12);
+  rig.engine.init();
+  rig.engine.run(40000);
+  std::size_t deliverers = 0;
+  for (std::uint32_t p = 0; p < 5; ++p) {
+    deliverers += rig.delivered[p].empty() ? 0 : 1;
+  }
+  EXPECT_TRUE(deliverers == 0 || deliverers == 5);
+}
+
+TEST(FifoReliableBroadcast, PerSenderOrder) {
+  BcastRig rig(3, 5, /*fifo=*/true);
+  auto burster = std::make_shared<Burster>(
+      *rig.nodes[0], std::vector<std::uint64_t>{10, 11, 12, 13, 14, 15});
+  rig.hosts[0]->add_component(burster, {});
+  rig.engine.init();
+  rig.engine.run(40000);
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    ASSERT_EQ(rig.delivered[p].size(), 6u) << "receiver " << p;
+    for (std::size_t i = 0; i < 6; ++i) {
+      EXPECT_EQ(std::get<1>(rig.delivered[p][i]), i) << "seq order at " << p;
+      EXPECT_EQ(std::get<2>(rig.delivered[p][i]), 10 + i) << "body at " << p;
+    }
+  }
+}
+
+TEST(FifoReliableBroadcast, InterleavedSendersEachFifo) {
+  BcastRig rig(3, 6, /*fifo=*/true);
+  auto burster0 = std::make_shared<Burster>(
+      *rig.nodes[0], std::vector<std::uint64_t>{100, 101, 102});
+  auto burster1 = std::make_shared<Burster>(
+      *rig.nodes[1], std::vector<std::uint64_t>{200, 201, 202});
+  rig.hosts[0]->add_component(burster0, {});
+  rig.hosts[1]->add_component(burster1, {});
+  rig.engine.init();
+  rig.engine.run(40000);
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    std::map<sim::ProcessId, std::uint64_t> next;
+    for (const auto& [origin, seq, body] : rig.delivered[p]) {
+      EXPECT_EQ(seq, next[origin]++) << "per-origin FIFO broken at " << p;
+    }
+    EXPECT_EQ(next[0], 3u);
+    EXPECT_EQ(next[1], 3u);
+  }
+}
+
+}  // namespace
+}  // namespace wfd::bcast

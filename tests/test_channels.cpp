@@ -1,0 +1,192 @@
+// Channel semantics tests: reliability, non-FIFO reordering, delay model
+// bounds, partial synchrony (GST/delta), adversarial overrides.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace wfd::sim {
+namespace {
+
+/// Sends `total` sequenced messages, one per step, then idles.
+class Sender final : public Process {
+ public:
+  Sender(ProcessId peer, std::uint64_t total) : peer_(peer), total_(total) {}
+  void on_step(Context& ctx) override {
+    if (sent_ < total_) {
+      ctx.send(peer_, 0, Payload{0, ++sent_, ctx.now(), 0});
+    }
+  }
+  std::uint64_t sent() const { return sent_; }
+
+ private:
+  ProcessId peer_;
+  std::uint64_t total_;
+  std::uint64_t sent_ = 0;
+};
+
+/// Records arrival order and per-message transit times.
+class Receiver final : public Process {
+ public:
+  void on_message(Context& ctx, const Message& msg) override {
+    order_.push_back(msg.payload.a);
+    transit_.push_back(ctx.now() - msg.sent_at);
+  }
+  const std::vector<std::uint64_t>& order() const { return order_; }
+  const std::vector<Time>& transit() const { return transit_; }
+
+ private:
+  std::vector<std::uint64_t> order_;
+  std::vector<Time> transit_;
+};
+
+struct Rig {
+  Engine engine;
+  Sender* sender = nullptr;
+  Receiver* receiver = nullptr;
+
+  Rig(std::uint64_t seed, std::uint64_t total, std::unique_ptr<DelayModel> delay)
+      : engine({.seed = seed}) {
+    auto s = std::make_unique<Sender>(1, total);
+    auto r = std::make_unique<Receiver>();
+    sender = s.get();
+    receiver = r.get();
+    engine.add_process(std::move(s));
+    engine.add_process(std::move(r));
+    engine.set_delay_model(std::move(delay));
+    engine.set_scheduler(std::make_unique<RoundRobinScheduler>());
+    engine.init();
+  }
+};
+
+TEST(Channels, EveryMessageEventuallyDelivered) {
+  Rig rig(1, 200, std::make_unique<UniformDelay>(1, 50));
+  rig.engine.run_until(
+      [&] { return rig.receiver->order().size() == 200; }, 100000);
+  EXPECT_EQ(rig.receiver->order().size(), 200u);
+}
+
+TEST(Channels, FixedDelayDeliversExactly) {
+  Rig rig(2, 50, std::make_unique<FixedDelay>(5));
+  rig.engine.run_until([&] { return rig.receiver->order().size() == 50; },
+                       100000);
+  ASSERT_EQ(rig.receiver->order().size(), 50u);
+  for (Time t : rig.receiver->transit()) {
+    // Delivery happens at the receiver's first step at or after the
+    // deadline; round-robin alternation can add a bounded lag.
+    EXPECT_GE(t, 5u);
+    EXPECT_LE(t, 8u);
+  }
+}
+
+TEST(Channels, FixedDelayPreservesFifo) {
+  Rig rig(3, 100, std::make_unique<FixedDelay>(3));
+  rig.engine.run_until([&] { return rig.receiver->order().size() == 100; },
+                       100000);
+  ASSERT_EQ(rig.receiver->order().size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(rig.receiver->order()[i], i + 1);
+  }
+}
+
+TEST(Channels, UniformDelayReordersMessages) {
+  Rig rig(4, 300, std::make_unique<UniformDelay>(1, 40));
+  rig.engine.run_until([&] { return rig.receiver->order().size() == 300; },
+                       200000);
+  ASSERT_EQ(rig.receiver->order().size(), 300u);
+  std::uint64_t inversions = 0;
+  for (std::size_t i = 1; i < rig.receiver->order().size(); ++i) {
+    if (rig.receiver->order()[i] < rig.receiver->order()[i - 1]) ++inversions;
+  }
+  EXPECT_GT(inversions, 0u) << "non-FIFO channel should reorder";
+}
+
+TEST(Channels, UniformDelayWithinBounds) {
+  Rig rig(5, 200, std::make_unique<UniformDelay>(3, 9));
+  rig.engine.run_until([&] { return rig.receiver->order().size() == 200; },
+                       100000);
+  for (Time t : rig.receiver->transit()) {
+    EXPECT_GE(t, 3u);
+    // Upper bound is the model max plus queueing lag: the receiver accepts
+    // at most one message per sender per step, so same-deadline bursts
+    // spread out over subsequent steps.
+    EXPECT_LE(t, 9u + 60u);
+  }
+}
+
+TEST(Channels, GeometricDelayRespectsCap) {
+  Rig rig(6, 500, std::make_unique<GeometricDelay>(0.2, 30));
+  rig.engine.run_until([&] { return rig.receiver->order().size() == 500; },
+                       400000);
+  ASSERT_EQ(rig.receiver->order().size(), 500u);
+  for (Time t : rig.receiver->transit()) EXPECT_LE(t, 33u);
+}
+
+TEST(Channels, PartialSynchronyBoundsDelaysAfterGst) {
+  const Time gst = 500, delta = 4;
+  Rig rig(7, 400, std::make_unique<PartialSynchronyDelay>(gst, delta, 100));
+  rig.engine.run_until([&] { return rig.receiver->order().size() == 400; },
+                       400000);
+  ASSERT_EQ(rig.receiver->order().size(), 400u);
+  // Every message (even pre-GST sends) arrives by GST + delta;
+  // post-GST sends arrive within delta (+ scheduling lag).
+  const auto& order = rig.receiver->order();
+  const auto& transit = rig.receiver->transit();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_LE(transit[i], gst + delta);
+  }
+}
+
+TEST(Channels, AdversarialOverrideSlowsOneChannel) {
+  auto adv = std::make_unique<AdversarialDelay>(std::make_unique<FixedDelay>(2));
+  adv->slow_channel(0, 1, 0, 1000000, 77);
+  Rig rig(8, 100, std::move(adv));
+  rig.engine.run_until([&] { return rig.receiver->order().size() == 100; },
+                       200000);
+  ASSERT_EQ(rig.receiver->order().size(), 100u);
+  for (Time t : rig.receiver->transit()) EXPECT_GE(t, 77u);
+}
+
+TEST(Channels, AdversarialOverrideIsDirectional) {
+  auto adv = std::make_unique<AdversarialDelay>(std::make_unique<FixedDelay>(2));
+  adv->slow_channel(1, 0, 0, 1000000, 77);  // reverse direction only
+  Rig rig(9, 100, std::move(adv));
+  rig.engine.run_until([&] { return rig.receiver->order().size() == 100; },
+                       200000);
+  ASSERT_EQ(rig.receiver->order().size(), 100u);
+  for (Time t : rig.receiver->transit()) EXPECT_LE(t, 5u);
+}
+
+TEST(Channels, ReceiveAtMostOnePerSenderPerStep) {
+  // With delay 1 and a sender stepping twice per receiver step is impossible
+  // under RR; instead use a burst: all messages become deliverable at once,
+  // and the receiver must spread them over multiple steps.
+  Engine engine({.seed = 10, .trace_capacity = 1 << 20});
+  auto s = std::make_unique<Sender>(1, 10);
+  auto r = std::make_unique<Receiver>();
+  Receiver* receiver = r.get();
+  engine.add_process(std::move(s));
+  engine.add_process(std::move(r));
+  engine.set_delay_model(std::make_unique<FixedDelay>(500));
+  engine.set_scheduler(std::make_unique<RoundRobinScheduler>());
+  engine.init();
+  engine.run_until([&] { return receiver->order().size() == 10; }, 100000);
+  ASSERT_EQ(receiver->order().size(), 10u);
+  // All 10 had the same deadline; count distinct delivery steps via trace.
+  std::vector<Time> deliver_times;
+  for (const Event& event : engine.trace().events()) {
+    if (event.kind == EventKind::kDeliver && event.pid == 1) {
+      deliver_times.push_back(event.time);
+    }
+  }
+  ASSERT_EQ(deliver_times.size(), 10u);
+  for (std::size_t i = 1; i < deliver_times.size(); ++i) {
+    EXPECT_GT(deliver_times[i], deliver_times[i - 1])
+        << "two messages from one sender delivered in the same step";
+  }
+}
+
+}  // namespace
+}  // namespace wfd::sim

@@ -1,0 +1,194 @@
+// Cross-module composition tests: the pieces of this library are designed
+// to stack — repeated consensus instances over one detector, consensus
+// over the S oracle (the weaker CT requirement), the fairness wrapper over
+// the timestamp dining family, and dining driven by the detector that was
+// itself extracted from dining.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "consensus/consensus.hpp"
+#include "detect/oracle.hpp"
+#include "dining/fair_wrapper.hpp"
+#include "dining/timestamp_diner.hpp"
+#include "graph/conflict_graph.hpp"
+#include "harness/rig.hpp"
+#include "reduce/extraction.hpp"
+
+namespace wfd {
+namespace {
+
+using harness::Rig;
+using harness::RigOptions;
+
+TEST(Composition, RepeatedConsensusInstances) {
+  // Three sequential decisions (e.g. slots of a replicated log), each its
+  // own instance on its own port, sharing one detector per process.
+  Rig rig(RigOptions{.seed = 81, .n = 3, .detector_lag = 25});
+  constexpr int kInstances = 3;
+  std::vector<std::vector<std::shared_ptr<consensus::ConsensusParticipant>>>
+      slots(kInstances);
+  for (int slot = 0; slot < kInstances; ++slot) {
+    consensus::ConsensusConfig config;
+    config.port = static_cast<sim::Port>(500 + slot);
+    config.members = {0, 1, 2};
+    for (std::uint32_t m = 0; m < 3; ++m) {
+      auto participant = std::make_shared<consensus::ConsensusParticipant>(
+          config, m, rig.detectors[m].get());
+      rig.hosts[m]->add_component(participant, {config.port});
+      slots[slot].push_back(participant);
+    }
+  }
+  for (int slot = 0; slot < kInstances; ++slot) {
+    for (std::uint32_t m = 0; m < 3; ++m) {
+      slots[slot][m]->propose(100 * (slot + 1) + m);
+    }
+  }
+  rig.engine.schedule_crash(2, 4000);
+  rig.engine.init();
+  const bool done = rig.engine.run_until(
+      [&] {
+        for (int slot = 0; slot < kInstances; ++slot) {
+          for (std::uint32_t m = 0; m < 2; ++m) {
+            if (!slots[slot][m]->decided()) return false;
+          }
+        }
+        return true;
+      },
+      1000000, 128);
+  ASSERT_TRUE(done);
+  for (int slot = 0; slot < kInstances; ++slot) {
+    EXPECT_EQ(slots[slot][0]->decision(), slots[slot][1]->decision())
+        << "slot " << slot;
+    // Validity per slot: decided value belongs to that slot's proposals.
+    const std::uint64_t value = slots[slot][0]->decision();
+    EXPECT_GE(value, 100u * (slot + 1));
+    EXPECT_LE(value, 100u * (slot + 1) + 2);
+  }
+}
+
+TEST(Composition, ConsensusOnStrongDetector) {
+  // The Chandra-Toueg algorithm needs only S-grade guarantees for safety
+  // plus eventual coordinator trust for termination; run it on OracleStrong
+  // with perpetual mistakes against a non-immune, non-coordinator process.
+  sim::Engine engine(sim::EngineConfig{.seed = 82});
+  std::vector<sim::ComponentHost*> hosts;
+  for (sim::ProcessId p = 0; p < 3; ++p) {
+    auto host = std::make_unique<sim::ComponentHost>();
+    hosts.push_back(host.get());
+    engine.add_process(std::move(host));
+  }
+  std::vector<std::shared_ptr<detect::OracleStrong>> oracles;
+  // Everyone perpetually (and wrongly) suspects process 2; process 0 —
+  // the round-0 coordinator — is immune (perpetual weak accuracy).
+  std::vector<detect::MistakeWindow> mistakes{{0, 2, 10, ~0ull},
+                                              {1, 2, 10, ~0ull}};
+  for (sim::ProcessId p = 0; p < 3; ++p) {
+    auto oracle = std::make_shared<detect::OracleStrong>(
+        engine, p, 3, /*immune=*/0, 25, mistakes, 0xFD);
+    hosts[p]->add_component(oracle, {});
+    oracles.push_back(oracle);
+  }
+  consensus::ConsensusConfig config;
+  config.port = 500;
+  config.members = {0, 1, 2};
+  std::vector<std::shared_ptr<consensus::ConsensusParticipant>> participants;
+  for (std::uint32_t m = 0; m < 3; ++m) {
+    auto participant = std::make_shared<consensus::ConsensusParticipant>(
+        config, m, oracles[m].get());
+    hosts[m]->add_component(participant, {config.port});
+    participants.push_back(participant);
+  }
+  for (std::uint32_t m = 0; m < 3; ++m) participants[m]->propose(m + 1);
+  engine.init();
+  const bool done = engine.run_until(
+      [&] {
+        return participants[0]->decided() && participants[1]->decided() &&
+               participants[2]->decided();
+      },
+      500000, 64);
+  ASSERT_TRUE(done) << "S-grade accuracy must suffice for termination";
+  std::set<std::uint64_t> decisions{participants[0]->decision(),
+                                    participants[1]->decision(),
+                                    participants[2]->decision()};
+  EXPECT_EQ(decisions.size(), 1u);
+}
+
+TEST(Composition, FairWrapperOverTimestampDining) {
+  // The wrapper is service-agnostic: stack it on the RA-family algorithm.
+  Rig rig(RigOptions{.seed = 83, .n = 3});
+  dining::DiningInstanceConfig inner_config;
+  inner_config.port = 10;
+  inner_config.tag = 1;
+  inner_config.members = {0, 1, 2};
+  inner_config.graph = graph::make_ring(3);
+  std::vector<const detect::FailureDetector*> fds;
+  for (const auto& d : rig.detectors) fds.push_back(d.get());
+  auto inner = dining::build_timestamp_instance(rig.hosts, inner_config, fds);
+
+  dining::DiningInstanceConfig wrap_config = inner_config;
+  wrap_config.port = 20;
+  wrap_config.tag = 2;
+  std::vector<std::shared_ptr<dining::FairDiner>> fair;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    auto diner = std::make_shared<dining::FairDiner>(
+        wrap_config, i, *inner.diners[i], rig.detectors[i].get());
+    rig.hosts[i]->add_component(diner, {20});
+    fair.push_back(diner);
+  }
+  std::vector<std::shared_ptr<dining::DinerClient>> clients;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    auto client = std::make_shared<dining::DinerClient>(*fair[i],
+                                                        dining::ClientConfig{});
+    rig.hosts[i]->add_component(client, {});
+    clients.push_back(client);
+  }
+  dining::DiningMonitor monitor(rig.engine, wrap_config);
+  dining::DiningMonitor::attach(rig.engine, monitor);
+  rig.engine.init();
+  rig.engine.run(100000);
+  EXPECT_TRUE(monitor.perpetual_exclusion());
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_GT(monitor.meals(i), 50u) << "diner " << i;
+  }
+  EXPECT_LE(monitor.max_overtakes(40000), 2u);
+}
+
+TEST(Composition, DiningDrivenByExtractedDetector) {
+  // Full circle: extract <>P from dining boxes, then use THAT detector as
+  // the oracle of a fresh wait-free dining instance. (The theorem's
+  // equivalence, composed in the other direction.)
+  Rig rig(RigOptions{.seed = 84, .n = 2, .detector_lag = 25});
+  reduce::WaitFreeBoxFactory factory(
+      [&rig](sim::ProcessId p) { return rig.detectors[p].get(); });
+  auto extraction = reduce::build_full_extraction(rig.hosts, factory, {});
+
+  dining::DiningInstanceConfig config;
+  config.port = 900;
+  config.tag = 99;
+  config.members = {0, 1};
+  config.graph = graph::make_pair();
+  std::vector<const detect::FailureDetector*> fds{
+      extraction.detectors[0].get(), extraction.detectors[1].get()};
+  auto instance = dining::build_dining_instance(rig.hosts, config, fds);
+  std::vector<std::shared_ptr<dining::DinerClient>> clients;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    auto client = std::make_shared<dining::DinerClient>(*instance.diners[i],
+                                                        dining::ClientConfig{});
+    rig.hosts[i]->add_component(client, {});
+    clients.push_back(client);
+  }
+  dining::DiningMonitor monitor(rig.engine, config);
+  dining::DiningMonitor::attach(rig.engine, monitor);
+  rig.engine.schedule_crash(1, 10000);
+  rig.engine.init();
+  rig.engine.run(300000);
+  std::string detail;
+  EXPECT_TRUE(monitor.wait_free(rig.engine.now(), 60000, &detail)) << detail;
+  EXPECT_GT(monitor.meals(0), 100u)
+      << "survivor must keep eating, unblocked by the extracted suspicion";
+}
+
+}  // namespace
+}  // namespace wfd

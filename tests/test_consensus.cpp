@@ -1,0 +1,206 @@
+// Consensus and leader-election tests — the Section 1 applications of <>P,
+// including the flagship end-to-end: consensus running on the detector the
+// reduction EXTRACTS from a black-box dining service. That is what "the
+// weakest failure detector" means operationally: a WF-<>WX scheduler
+// encapsulates enough synchrony to solve consensus.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "consensus/consensus.hpp"
+#include "detect/oracle.hpp"
+#include "harness/rig.hpp"
+#include "reduce/extraction.hpp"
+
+namespace wfd::consensus {
+namespace {
+
+using harness::Rig;
+using harness::RigOptions;
+
+constexpr sim::Port kPort = 500;
+
+struct ConsensusRig {
+  Rig rig;
+  std::vector<std::shared_ptr<ConsensusParticipant>> participants;
+
+  ConsensusRig(const RigOptions& options,
+               const detect::FailureDetector* const* detectors = nullptr)
+      : rig(options) {
+    ConsensusConfig config;
+    config.port = kPort;
+    for (sim::ProcessId p = 0; p < options.n; ++p) {
+      config.members.push_back(p);
+    }
+    for (std::uint32_t m = 0; m < options.n; ++m) {
+      auto participant = std::make_shared<ConsensusParticipant>(
+          config, m,
+          detectors != nullptr ? detectors[m] : rig.detectors[m].get());
+      rig.hosts[m]->add_component(participant, {kPort});
+      participants.push_back(participant);
+    }
+  }
+
+  /// Everyone proposes; returns true iff all correct decided the same value
+  /// which was somebody's proposal (agreement + validity + termination).
+  bool run_and_check(const std::vector<std::uint64_t>& proposals,
+                     std::uint64_t max_steps, std::string* why = nullptr) {
+    for (std::uint32_t m = 0; m < participants.size(); ++m) {
+      participants[m]->propose(proposals[m]);
+    }
+    rig.engine.init();
+    rig.engine.run_until(
+        [&] {
+          for (std::uint32_t m = 0; m < participants.size(); ++m) {
+            if (rig.engine.is_live(m) && !participants[m]->decided()) {
+              return false;
+            }
+          }
+          return true;
+        },
+        max_steps, 64);
+    std::set<std::uint64_t> decisions;
+    for (std::uint32_t m = 0; m < participants.size(); ++m) {
+      if (!rig.engine.is_correct(m)) continue;
+      if (!participants[m]->decided()) {
+        if (why != nullptr) *why = "correct participant never decided";
+        return false;
+      }
+      decisions.insert(participants[m]->decision());
+    }
+    if (decisions.size() != 1) {
+      if (why != nullptr) *why = "disagreement";
+      return false;
+    }
+    for (std::uint64_t value : proposals) {
+      if (*decisions.begin() == value) return true;
+    }
+    if (why != nullptr) *why = "decided value was never proposed";
+    return false;
+  }
+};
+
+TEST(Consensus, DecidesWithoutFaults) {
+  ConsensusRig rig(RigOptions{.seed = 81, .n = 3});
+  std::string why;
+  EXPECT_TRUE(rig.run_and_check({10, 20, 30}, 400000, &why)) << why;
+}
+
+TEST(Consensus, UnanimousProposalDecided) {
+  ConsensusRig rig(RigOptions{.seed = 82, .n = 5});
+  std::string why;
+  EXPECT_TRUE(rig.run_and_check({7, 7, 7, 7, 7}, 600000, &why)) << why;
+  EXPECT_EQ(rig.participants[0]->decision(), 7u);
+}
+
+TEST(Consensus, SurvivesMinorityCrashes) {
+  ConsensusRig rig(RigOptions{.seed = 83, .n = 5, .detector_lag = 30});
+  rig.rig.engine.schedule_crash(0, 200);  // the round-0 coordinator!
+  rig.rig.engine.schedule_crash(4, 500);
+  std::string why;
+  EXPECT_TRUE(rig.run_and_check({1, 2, 3, 4, 5}, 800000, &why)) << why;
+}
+
+TEST(Consensus, SafeDespiteDetectorLies) {
+  // Wrongful suspicions may cost rounds, never agreement.
+  RigOptions options{.seed = 84, .n = 3, .detector_lag = 30};
+  options.mistakes = {{1, 0, 50, 4000}, {2, 0, 100, 3500}, {0, 1, 200, 2000}};
+  ConsensusRig rig(options);
+  std::string why;
+  EXPECT_TRUE(rig.run_and_check({100, 200, 300}, 600000, &why)) << why;
+}
+
+TEST(Consensus, LateProposerLearnsTheDecision) {
+  // A majority (0, 1) may decide before 2 ever proposes; the decision must
+  // still reach 2 (reliable DECIDE relay) and match.
+  ConsensusRig rig(RigOptions{.seed = 85, .n = 3});
+  rig.participants[0]->propose(1);
+  rig.participants[1]->propose(2);
+  rig.rig.engine.init();
+  rig.rig.engine.run(5000);  // participant 2 silent so far
+  rig.participants[2]->propose(3);
+  rig.rig.engine.run_until(
+      [&] {
+        return rig.participants[0]->decided() &&
+               rig.participants[1]->decided() && rig.participants[2]->decided();
+      },
+      400000, 64);
+  ASSERT_TRUE(rig.participants[2]->decided());
+  EXPECT_EQ(rig.participants[0]->decision(), rig.participants[2]->decision());
+  // Validity: the decision came from the early proposers.
+  EXPECT_TRUE(rig.participants[0]->decision() == 1 ||
+              rig.participants[0]->decision() == 2);
+}
+
+// --- the flagship: consensus over the EXTRACTED detector -------------------
+
+TEST(Consensus, RunsOnDetectorExtractedFromDining) {
+  Rig rig(RigOptions{.seed = 86, .n = 3, .detector_lag = 25});
+  reduce::WaitFreeBoxFactory factory(
+      [&rig](sim::ProcessId p) { return rig.detectors[p].get(); });
+  auto extraction = reduce::build_full_extraction(rig.hosts, factory, {});
+
+  ConsensusConfig config;
+  config.port = kPort;
+  config.members = {0, 1, 2};
+  std::vector<std::shared_ptr<ConsensusParticipant>> participants;
+  for (std::uint32_t m = 0; m < 3; ++m) {
+    auto participant = std::make_shared<ConsensusParticipant>(
+        config, m, extraction.detectors[m].get());
+    rig.hosts[m]->add_component(participant, {kPort});
+    participants.push_back(participant);
+  }
+  for (std::uint32_t m = 0; m < 3; ++m) participants[m]->propose(40 + m);
+  rig.engine.schedule_crash(2, 3000);
+  rig.engine.init();
+  const bool done = rig.engine.run_until(
+      [&] {
+        return participants[0]->decided() && participants[1]->decided();
+      },
+      1500000, 128);
+  ASSERT_TRUE(done) << "consensus over the extracted detector timed out";
+  EXPECT_EQ(participants[0]->decision(), participants[1]->decision());
+  std::set<std::uint64_t> valid{40, 41, 42};
+  EXPECT_TRUE(valid.count(participants[0]->decision()) == 1);
+}
+
+// --- leader election --------------------------------------------------------
+
+TEST(LeaderElection, ConvergesToLowestCorrect) {
+  Rig rig(RigOptions{.seed = 87, .n = 4, .detector_lag = 25});
+  std::vector<LeaderElector> electors;
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    electors.emplace_back(4, rig.detectors[p].get(), p);
+  }
+  rig.engine.schedule_crash(0, 1000);
+  rig.engine.init();
+  rig.engine.run(20000);
+  for (std::uint32_t p = 1; p < 4; ++p) {
+    EXPECT_EQ(electors[p].leader(), 1u) << "elector at " << p;
+  }
+  // Stability: still the same much later.
+  rig.engine.run(20000);
+  for (std::uint32_t p = 1; p < 4; ++p) {
+    EXPECT_EQ(electors[p].leader(), 1u);
+  }
+}
+
+TEST(LeaderElection, WorksOnExtractedDetector) {
+  Rig rig(RigOptions{.seed = 88, .n = 3, .detector_lag = 25});
+  reduce::WaitFreeBoxFactory factory(
+      [&rig](sim::ProcessId p) { return rig.detectors[p].get(); });
+  auto extraction = reduce::build_full_extraction(rig.hosts, factory, {});
+  std::vector<LeaderElector> electors;
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    electors.emplace_back(3, extraction.detectors[p].get(), p);
+  }
+  rig.engine.schedule_crash(0, 2000);
+  rig.engine.init();
+  rig.engine.run(200000);
+  EXPECT_EQ(electors[1].leader(), 1u);
+  EXPECT_EQ(electors[2].leader(), 1u);
+}
+
+}  // namespace
+}  // namespace wfd::consensus

@@ -1,0 +1,247 @@
+// Dining tests: the hygienic baseline and the wait-free <>WX algorithm,
+// graded by the DiningMonitor — exclusion, wait-freedom, crash behaviour,
+// scheduling-mistake convergence.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "graph/conflict_graph.hpp"
+#include "harness/rig.hpp"
+
+namespace wfd::dining {
+namespace {
+
+using harness::Rig;
+using harness::RigOptions;
+
+TEST(HygienicDining, InitialForkPlacementIsAcyclic) {
+  Rig rig(RigOptions{.n = 3});
+  auto instance = rig.add_hygienic_dining(10, 1, graph::make_ring(3));
+  // Lower index holds a dirty fork on each edge; the other holds the token.
+  EXPECT_TRUE(instance.diners[0]->holds_fork(1));
+  EXPECT_TRUE(instance.diners[0]->fork_dirty(1));
+  EXPECT_FALSE(instance.diners[1]->holds_fork(0));
+  EXPECT_TRUE(instance.diners[1]->holds_token(0));
+  EXPECT_TRUE(instance.diners[1]->holds_fork(2));
+  EXPECT_TRUE(instance.diners[2]->holds_token(1));
+}
+
+TEST(HygienicDining, PerpetualExclusionWithoutFaults) {
+  Rig rig(RigOptions{.seed = 3, .n = 5});
+  auto instance = rig.add_hygienic_dining(10, 1, graph::make_ring(5));
+  auto clients = rig.add_clients(instance, ClientConfig{});
+  DiningMonitor monitor(rig.engine, instance.config);
+  DiningMonitor::attach(rig.engine, monitor);
+  rig.engine.init();
+  rig.engine.run(60000);
+  EXPECT_TRUE(monitor.perpetual_exclusion())
+      << monitor.exclusion_violations() << " violations";
+  EXPECT_GT(monitor.total_meals(), 100u);
+}
+
+TEST(HygienicDining, EveryDinerEatsRepeatedly) {
+  Rig rig(RigOptions{.seed = 4, .n = 6});
+  auto instance = rig.add_hygienic_dining(10, 1, graph::make_ring(6));
+  auto clients = rig.add_clients(instance, ClientConfig{});
+  rig.engine.init();
+  rig.engine.run(80000);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    EXPECT_GT(instance.diners[i]->meals(), 20u) << "diner " << i;
+  }
+}
+
+TEST(HygienicDining, CliqueContentionStillProgresses) {
+  Rig rig(RigOptions{.seed = 5, .n = 4});
+  auto instance = rig.add_hygienic_dining(10, 1, graph::make_clique(4));
+  auto clients = rig.add_clients(instance,
+                                 ClientConfig{.think_min = 1, .think_max = 2});
+  DiningMonitor monitor(rig.engine, instance.config);
+  DiningMonitor::attach(rig.engine, monitor);
+  rig.engine.init();
+  rig.engine.run(60000);
+  EXPECT_TRUE(monitor.perpetual_exclusion());
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_GT(instance.diners[i]->meals(), 10u) << "diner " << i;
+  }
+}
+
+TEST(HygienicDining, CrashStarvesNeighborsWithoutDetector) {
+  // The fault-intolerant baseline: a crash while holding resources starves
+  // the neighborhood — the behaviour wait-freedom forbids.
+  Rig rig(RigOptions{.seed = 6, .n = 3});
+  auto instance = rig.add_hygienic_dining(10, 1, graph::make_ring(3));
+  // Diner 0 takes a long first meal and is crashed in the middle of it, so
+  // it dies holding both (dirty) forks; 1 and 2 then starve on their
+  // shared edges with 0.
+  auto client0 = std::make_shared<DinerClient>(
+      *instance.diners[0], ClientConfig{.think_min = 1,
+                                        .think_max = 3,
+                                        .eat_min = 5000,
+                                        .eat_max = 5000});
+  rig.hosts[0]->add_component(client0, {});
+  for (std::uint32_t i : {1u, 2u}) {
+    auto client = std::make_shared<DinerClient>(
+        *instance.diners[i], ClientConfig{.think_min = 1, .think_max = 3});
+    rig.hosts[i]->add_component(client, {});
+  }
+  rig.engine.schedule_crash(0, 2000);
+  DiningMonitor monitor(rig.engine, instance.config);
+  DiningMonitor::attach(rig.engine, monitor);
+  rig.engine.init();
+  rig.engine.run(80000);
+  std::string detail;
+  EXPECT_FALSE(monitor.wait_free(rig.engine.now(), 20000, &detail))
+      << "baseline unexpectedly survived a crash";
+}
+
+TEST(WaitFreeDining, SurvivesCrashes) {
+  Rig rig(RigOptions{.seed = 7, .n = 5, .detector_lag = 30});
+  auto instance = rig.add_wait_free_dining(10, 1, graph::make_ring(5));
+  auto clients = rig.add_clients(instance,
+                                 ClientConfig{.think_min = 1, .think_max = 5});
+  rig.engine.schedule_crash(1, 3000);
+  rig.engine.schedule_crash(3, 5000);
+  DiningMonitor monitor(rig.engine, instance.config);
+  DiningMonitor::attach(rig.engine, monitor);
+  rig.engine.init();
+  rig.engine.run(100000);
+  std::string detail;
+  EXPECT_TRUE(monitor.wait_free(rig.engine.now(), 20000, &detail)) << detail;
+  for (std::uint32_t i : {0u, 2u, 4u}) {
+    EXPECT_GT(instance.diners[i]->meals(), 50u) << "diner " << i;
+  }
+}
+
+TEST(WaitFreeDining, AllButOneCrash) {
+  // Wait-freedom's defining scenario: any number of crashes, the survivor
+  // still eats.
+  Rig rig(RigOptions{.seed = 8, .n = 4, .detector_lag = 25});
+  auto instance = rig.add_wait_free_dining(10, 1, graph::make_clique(4));
+  auto clients = rig.add_clients(instance, ClientConfig{});
+  rig.engine.schedule_crash(0, 1000);
+  rig.engine.schedule_crash(1, 1500);
+  rig.engine.schedule_crash(2, 2000);
+  rig.engine.init();
+  rig.engine.run(80000);
+  EXPECT_GT(instance.diners[3]->meals(), 100u);
+}
+
+TEST(WaitFreeDining, NoMistakesWithPerfectPrefix) {
+  // With a mistake-free detector and no crashes, the <>WX algorithm is
+  // perpetually exclusive: suspicions are the only source of violations.
+  Rig rig(RigOptions{.seed = 9, .n = 5});
+  auto instance = rig.add_wait_free_dining(10, 1, graph::make_ring(5));
+  auto clients = rig.add_clients(instance, ClientConfig{});
+  DiningMonitor monitor(rig.engine, instance.config);
+  DiningMonitor::attach(rig.engine, monitor);
+  rig.engine.init();
+  rig.engine.run(60000);
+  EXPECT_TRUE(monitor.perpetual_exclusion());
+}
+
+TEST(WaitFreeDining, MistakeWindowCausesFinitelyManyViolations) {
+  // Script a detector mistake: 0 wrongly suspects 1 during [500, 2500).
+  // Violations may happen in that window, must stop afterwards (<>WX).
+  RigOptions options{.seed = 10, .n = 2};
+  options.mistakes = {{0, 1, 500, 2500}};
+  Rig rig(options);
+  auto instance = rig.add_wait_free_dining(10, 1, graph::make_pair());
+  auto clients = rig.add_clients(
+      instance,
+      ClientConfig{.think_min = 1, .think_max = 2, .eat_min = 3, .eat_max = 8});
+  DiningMonitor monitor(rig.engine, instance.config);
+  DiningMonitor::attach(rig.engine, monitor);
+  rig.engine.init();
+  rig.engine.run(100000);
+  EXPECT_GT(monitor.exclusion_violations(), 0u)
+      << "adversarial window should force at least one double-eat";
+  EXPECT_EQ(monitor.violations_since(4000), 0u)
+      << "violations must cease after the detector converges";
+  EXPECT_LE(monitor.last_violation(), 4000u);
+}
+
+TEST(WaitFreeDining, WaitFreedomUnderMistakes) {
+  RigOptions options{.seed = 11, .n = 4, .detector_lag = 30};
+  options.mistakes = {{0, 1, 100, 900}, {2, 3, 200, 1200}, {1, 0, 50, 400}};
+  Rig rig(options);
+  auto instance = rig.add_wait_free_dining(10, 1, graph::make_clique(4));
+  auto clients = rig.add_clients(instance, ClientConfig{});
+  rig.engine.schedule_crash(2, 4000);
+  DiningMonitor monitor(rig.engine, instance.config);
+  DiningMonitor::attach(rig.engine, monitor);
+  rig.engine.init();
+  rig.engine.run(120000);
+  std::string detail;
+  EXPECT_TRUE(monitor.wait_free(rig.engine.now(), 30000, &detail)) << detail;
+  EXPECT_EQ(monitor.violations_since(6000), 0u);
+}
+
+TEST(DiningMonitor, CountsMealsAndWaits) {
+  Rig rig(RigOptions{.seed = 12, .n = 2});
+  auto instance = rig.add_wait_free_dining(10, 1, graph::make_pair());
+  auto clients = rig.add_clients(instance, ClientConfig{});
+  DiningMonitor monitor(rig.engine, instance.config);
+  DiningMonitor::attach(rig.engine, monitor);
+  rig.engine.init();
+  rig.engine.run(30000);
+  EXPECT_EQ(monitor.meals(0), instance.diners[0]->meals());
+  EXPECT_EQ(monitor.meals(1), instance.diners[1]->meals());
+  EXPECT_GT(monitor.max_wait(0), 0u);
+}
+
+TEST(DiningMonitor, TracksOvertaking) {
+  // Freeze diner 1 in permanent hunger by having its client never get to
+  // eat: use a pair where diner 0's client has tiny think times; overtakes
+  // of the hungry neighbor must be recorded.
+  Rig rig(RigOptions{.seed = 13, .n = 2});
+  auto instance = rig.add_wait_free_dining(10, 1, graph::make_pair());
+  // Client 0 eats constantly; diner 1 is made hungry once by a one-shot
+  // client and then (its meals are slow) gets overtaken.
+  auto client0 = std::make_shared<DinerClient>(
+      *instance.diners[0],
+      ClientConfig{.think_min = 1, .think_max = 1, .eat_min = 1, .eat_max = 1});
+  rig.hosts[0]->add_component(client0, {});
+  auto client1 = std::make_shared<DinerClient>(
+      *instance.diners[1],
+      ClientConfig{.think_min = 50, .think_max = 60, .eat_min = 1, .eat_max = 1});
+  rig.hosts[1]->add_component(client1, {});
+  DiningMonitor monitor(rig.engine, instance.config);
+  DiningMonitor::attach(rig.engine, monitor);
+  rig.engine.init();
+  rig.engine.run(50000);
+  EXPECT_GT(monitor.max_overtakes(0), 0u);
+}
+
+TEST(WaitFreeDining, PathGraphIndependentEatersOverlap) {
+  // Non-neighbors may always eat together; only edges constrain.
+  Rig rig(RigOptions{.seed = 14, .n = 3});
+  auto instance = rig.add_wait_free_dining(10, 1, graph::make_path(3));
+  auto clients = rig.add_clients(
+      instance,
+      ClientConfig{.think_min = 1, .think_max = 2, .eat_min = 5, .eat_max = 10});
+  DiningMonitor monitor(rig.engine, instance.config);
+  DiningMonitor::attach(rig.engine, monitor);
+  rig.engine.init();
+  rig.engine.run(60000);
+  EXPECT_TRUE(monitor.perpetual_exclusion());
+  // 0 and 2 are not neighbors: both should get plenty of meals.
+  EXPECT_GT(monitor.meals(0), 100u);
+  EXPECT_GT(monitor.meals(2), 100u);
+}
+
+TEST(WaitFreeDining, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Rig rig(RigOptions{.seed = 15, .n = 4});
+    auto instance = rig.add_wait_free_dining(10, 1, graph::make_ring(4));
+    auto clients = rig.add_clients(instance, ClientConfig{});
+    rig.engine.init();
+    rig.engine.run(20000);
+    std::vector<std::uint64_t> meals;
+    for (const auto& diner : instance.diners) meals.push_back(diner->meals());
+    return meals;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace wfd::dining

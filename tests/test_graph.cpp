@@ -1,0 +1,123 @@
+// Conflict-graph tests: structure invariants and generator shapes.
+#include <gtest/gtest.h>
+
+#include "graph/conflict_graph.hpp"
+
+namespace wfd::graph {
+namespace {
+
+TEST(ConflictGraph, AddEdgeIsSymmetricAndIdempotent) {
+  ConflictGraph g(4);
+  g.add_edge(0, 2);
+  g.add_edge(2, 0);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 1u);
+}
+
+TEST(ConflictGraph, RejectsSelfLoopsAndBadVertices) {
+  ConflictGraph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 3), std::out_of_range);
+}
+
+TEST(ConflictGraph, NeighborsAreSorted) {
+  ConflictGraph g(5);
+  g.add_edge(2, 4);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  const auto& nbrs = g.neighbors(2);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 0u);
+  EXPECT_EQ(nbrs[1], 3u);
+  EXPECT_EQ(nbrs[2], 4u);
+}
+
+TEST(Generators, RingShape) {
+  const auto g = make_ring(6);
+  EXPECT_EQ(g.size(), 6u);
+  EXPECT_EQ(g.edge_count(), 6u);
+  for (std::uint32_t v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Generators, RingOfTwoIsSingleEdge) {
+  const auto g = make_ring(2);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Generators, CliqueShape) {
+  const auto g = make_clique(5);
+  EXPECT_EQ(g.edge_count(), 10u);
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Generators, StarShape) {
+  const auto g = make_star(7);
+  EXPECT_EQ(g.edge_count(), 6u);
+  EXPECT_EQ(g.degree(0), 6u);
+  for (std::uint32_t v = 1; v < 7; ++v) EXPECT_EQ(g.degree(v), 1u);
+}
+
+TEST(Generators, PathShape) {
+  const auto g = make_path(5);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Generators, GridShape) {
+  const auto g = make_grid(3, 4);
+  EXPECT_EQ(g.size(), 12u);
+  // edges: 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8
+  EXPECT_EQ(g.edge_count(), 17u);
+  EXPECT_TRUE(g.connected());
+  EXPECT_EQ(g.max_degree(), 4u);
+}
+
+TEST(Generators, RandomConnectedIsConnected) {
+  sim::Rng rng(99);
+  for (double p : {0.0, 0.1, 0.5, 0.9}) {
+    const auto g = make_random_connected(12, p, rng);
+    EXPECT_TRUE(g.connected()) << "p=" << p;
+    EXPECT_GE(g.edge_count(), 11u);
+  }
+}
+
+TEST(Generators, RandomDensityGrowsWithP) {
+  sim::Rng rng(7);
+  const auto sparse = make_random_connected(20, 0.05, rng);
+  const auto dense = make_random_connected(20, 0.8, rng);
+  EXPECT_LT(sparse.edge_count(), dense.edge_count());
+}
+
+TEST(Generators, PairIsSingleEdge) {
+  const auto g = make_pair();
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(ConflictGraph, DisconnectedDetected) {
+  ConflictGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(g.connected());
+}
+
+TEST(ConflictGraph, EdgesListSortedCanonical) {
+  const auto g = make_ring(4);
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 4u);
+  for (const auto& [u, v] : edges) EXPECT_LT(u, v);
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_LT(edges[i - 1], edges[i]);
+  }
+}
+
+}  // namespace
+}  // namespace wfd::graph

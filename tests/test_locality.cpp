@@ -1,0 +1,191 @@
+// Crash-locality tests: perpetual exclusion dining with <>P quarantine
+// confines starvation to distance 1 from a crash, while plain hygienic
+// dining lets it spread to distance 2 — and the wait-free <>WX algorithm
+// has locality 0 (nobody starves). The design-space triangle of the
+// paper's Sections 1-2, executable.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dining/locality_diner.hpp"
+#include "graph/conflict_graph.hpp"
+#include "harness/rig.hpp"
+
+namespace wfd::dining {
+namespace {
+
+using harness::Rig;
+using harness::RigOptions;
+
+/// Path 0-1-2-3; process 0 crashes mid-meal (holding its forks); clients
+/// drive everyone. Returns per-diner meal counts in the final window
+/// (window meals == 0 -> starved).
+template <class Builder>
+std::vector<std::uint64_t> crash_scenario(Builder&& build, std::uint64_t seed,
+                                          bool& exclusion_ok) {
+  Rig rig(RigOptions{.seed = seed, .n = 4, .detector_lag = 30});
+  DiningInstanceConfig config;
+  config.port = 10;
+  config.tag = 1;
+  config.members = {0, 1, 2, 3};
+  config.graph = graph::make_path(4);
+  std::vector<const detect::FailureDetector*> fds;
+  for (const auto& d : rig.detectors) fds.push_back(d.get());
+  auto services = build(rig, config, fds);
+
+  DiningMonitor monitor(rig.engine, config);
+  DiningMonitor::attach(rig.engine, monitor);
+  // Diner 0: one long meal, crashed in the middle of it.
+  auto greedy = std::make_shared<DinerClient>(
+      *services[0], ClientConfig{.think_min = 1,
+                                 .think_max = 2,
+                                 .eat_min = 5000,
+                                 .eat_max = 5000});
+  rig.hosts[0]->add_component(greedy, {});
+  for (std::uint32_t i = 1; i < 4; ++i) {
+    auto client = std::make_shared<DinerClient>(
+        *services[i], ClientConfig{.think_min = 1, .think_max = 4});
+    rig.hosts[i]->add_component(client, {});
+  }
+  rig.engine.schedule_crash(0, 2000);
+  rig.engine.init();
+  rig.engine.run(100000);
+  std::vector<std::uint64_t> before;
+  for (std::uint32_t i = 0; i < 4; ++i) before.push_back(monitor.meals(i));
+  rig.engine.run(100000);
+  std::vector<std::uint64_t> window;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    window.push_back(monitor.meals(i) - before[i]);
+  }
+  exclusion_ok = monitor.perpetual_exclusion();
+  return window;
+}
+
+std::vector<DiningService*> as_services(
+    Rig& rig, const DiningInstanceConfig& config,
+    const std::vector<const detect::FailureDetector*>& fds, int which) {
+  std::vector<DiningService*> out;
+  if (which == 0) {  // plain hygienic (no detector)
+    static std::vector<BuiltInstance> keep;
+    keep.push_back(build_dining_instance(
+        rig.hosts, config,
+        std::vector<const detect::FailureDetector*>(4, nullptr)));
+    for (auto& d : keep.back().diners) out.push_back(d.get());
+  } else if (which == 1) {  // locality-1 quarantine
+    static std::vector<BuiltLocalityInstance> keep;
+    keep.push_back(build_locality_instance(rig.hosts, config, fds));
+    for (auto& d : keep.back().diners) out.push_back(d.get());
+  } else {  // wait-free <>WX
+    static std::vector<BuiltInstance> keep;
+    keep.push_back(build_dining_instance(rig.hosts, config, fds));
+    for (auto& d : keep.back().diners) out.push_back(d.get());
+  }
+  return out;
+}
+
+TEST(Locality, PlainHygienicStarvesAtDistanceTwo) {
+  bool exclusion_ok = false;
+  auto window = crash_scenario(
+      [](Rig& rig, const DiningInstanceConfig& c,
+         const std::vector<const detect::FailureDetector*>& f) {
+        return as_services(rig, c, f, 0);
+      },
+      11, exclusion_ok);
+  EXPECT_TRUE(exclusion_ok);
+  EXPECT_EQ(window[1], 0u) << "crash neighbor must starve (shares the fork)";
+  EXPECT_EQ(window[2], 0u)
+      << "distance-2 process starves too: its hungry neighbor hoards the "
+         "clean fork";
+  EXPECT_EQ(window[3], 0u)
+      << "and the starvation cascades: each starving hungry diner hoards "
+         "its clean forks, so plain hygienic has UNBOUNDED failure locality";
+}
+
+TEST(Locality, QuarantineConfinesStarvationToDistanceOne) {
+  bool exclusion_ok = false;
+  auto window = crash_scenario(
+      [](Rig& rig, const DiningInstanceConfig& c,
+         const std::vector<const detect::FailureDetector*>& f) {
+        return as_services(rig, c, f, 1);
+      },
+      12, exclusion_ok);
+  EXPECT_TRUE(exclusion_ok) << "quarantine must never break exclusion";
+  EXPECT_EQ(window[1], 0u)
+      << "the crash neighbor still starves (perpetual exclusion's price)";
+  EXPECT_GT(window[2], 100u) << "distance 2 keeps eating (locality 1)";
+  EXPECT_GT(window[3], 100u);
+}
+
+TEST(Locality, WaitFreeDiningHasLocalityZero) {
+  bool exclusion_ok = false;
+  auto window = crash_scenario(
+      [](Rig& rig, const DiningInstanceConfig& c,
+         const std::vector<const detect::FailureDetector*>& f) {
+        return as_services(rig, c, f, 2);
+      },
+      13, exclusion_ok);
+  // <>WX: the suspicion override may (finitely) violate exclusion but
+  // nobody starves.
+  EXPECT_GT(window[1], 100u) << "even the crash neighbor eats (wait-free)";
+  EXPECT_GT(window[2], 100u);
+  EXPECT_GT(window[3], 100u);
+}
+
+TEST(Locality, NoCrashesBehavesLikeHygienic) {
+  Rig rig(RigOptions{.seed = 14, .n = 4});
+  DiningInstanceConfig config;
+  config.port = 10;
+  config.tag = 1;
+  config.members = {0, 1, 2, 3};
+  config.graph = graph::make_ring(4);
+  std::vector<const detect::FailureDetector*> fds;
+  for (const auto& d : rig.detectors) fds.push_back(d.get());
+  auto instance = build_locality_instance(rig.hosts, config, fds);
+  std::vector<std::shared_ptr<DinerClient>> clients;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    auto client = std::make_shared<DinerClient>(*instance.diners[i],
+                                                ClientConfig{});
+    rig.hosts[i]->add_component(client, {});
+    clients.push_back(client);
+  }
+  DiningMonitor monitor(rig.engine, config);
+  DiningMonitor::attach(rig.engine, monitor);
+  rig.engine.init();
+  rig.engine.run(60000);
+  EXPECT_TRUE(monitor.perpetual_exclusion());
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_GT(instance.diners[i]->meals(), 50u) << "diner " << i;
+    EXPECT_FALSE(instance.diners[i]->in_quarantine());
+  }
+}
+
+TEST(Locality, WrongfulSuspicionNeverBreaksExclusion) {
+  RigOptions options{.seed = 15, .n = 3};
+  options.mistakes = {{1, 0, 100, 5000}, {2, 1, 200, 4000}};
+  Rig rig(options);
+  DiningInstanceConfig config;
+  config.port = 10;
+  config.tag = 1;
+  config.members = {0, 1, 2};
+  config.graph = graph::make_ring(3);
+  std::vector<const detect::FailureDetector*> fds;
+  for (const auto& d : rig.detectors) fds.push_back(d.get());
+  auto instance = build_locality_instance(rig.hosts, config, fds);
+  std::vector<std::shared_ptr<DinerClient>> clients;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    auto client = std::make_shared<DinerClient>(*instance.diners[i],
+                                                ClientConfig{});
+    rig.hosts[i]->add_component(client, {});
+    clients.push_back(client);
+  }
+  DiningMonitor monitor(rig.engine, config);
+  DiningMonitor::attach(rig.engine, monitor);
+  rig.engine.init();
+  rig.engine.run(80000);
+  EXPECT_TRUE(monitor.perpetual_exclusion())
+      << "quarantine is about liveness; exclusion must be unconditional";
+  EXPECT_GT(monitor.total_meals(), 100u);
+}
+
+}  // namespace
+}  // namespace wfd::dining

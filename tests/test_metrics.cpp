@@ -1,0 +1,114 @@
+// Unit tests for the metrics/statistics helpers and trace primitives used
+// by every experiment binary.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
+
+namespace wfd::sim {
+namespace {
+
+TEST(Summary, EmptyIsZero) {
+  Summary summary;
+  EXPECT_EQ(summary.count(), 0u);
+  EXPECT_EQ(summary.mean(), 0.0);
+  EXPECT_EQ(summary.min(), 0.0);
+  EXPECT_EQ(summary.max(), 0.0);
+  EXPECT_EQ(summary.median(), 0.0);
+}
+
+TEST(Summary, SingleSample) {
+  Summary summary;
+  summary.add(42.0);
+  EXPECT_EQ(summary.count(), 1u);
+  EXPECT_EQ(summary.mean(), 42.0);
+  EXPECT_EQ(summary.min(), 42.0);
+  EXPECT_EQ(summary.max(), 42.0);
+  EXPECT_EQ(summary.percentile(0.0), 42.0);
+  EXPECT_EQ(summary.percentile(1.0), 42.0);
+}
+
+TEST(Summary, OrderInsensitive) {
+  Summary a, b;
+  for (double x : {5.0, 1.0, 3.0, 2.0, 4.0}) a.add(x);
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) b.add(x);
+  EXPECT_EQ(a.median(), b.median());
+  EXPECT_EQ(a.min(), 1.0);
+  EXPECT_EQ(a.max(), 5.0);
+  EXPECT_EQ(a.mean(), 3.0);
+}
+
+TEST(Summary, PercentilesMonotone) {
+  Summary summary;
+  for (int i = 0; i < 100; ++i) summary.add(static_cast<double>(i));
+  double prev = -1.0;
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    const double value = summary.percentile(q);
+    EXPECT_GE(value, prev) << "q=" << q;
+    prev = value;
+  }
+  EXPECT_EQ(summary.percentile(0.0), 0.0);
+  EXPECT_EQ(summary.percentile(1.0), 99.0);
+}
+
+TEST(Summary, AddAfterQueryStillCorrect) {
+  Summary summary;
+  summary.add(10.0);
+  EXPECT_EQ(summary.median(), 10.0);
+  summary.add(20.0);
+  summary.add(0.0);
+  EXPECT_EQ(summary.median(), 10.0);
+  EXPECT_EQ(summary.max(), 20.0);
+}
+
+TEST(Trace, CapacityBoundsRetention) {
+  Trace trace(/*max_events=*/3);
+  for (int i = 0; i < 10; ++i) {
+    trace.emit(Event{static_cast<Time>(i), EventKind::kStep, 0, 0, 0, 0});
+  }
+  EXPECT_EQ(trace.events().size(), 3u);
+  EXPECT_EQ(trace.events()[0].time, 0u);  // keeps the prefix
+}
+
+TEST(Trace, ObserversSeeEverythingRegardlessOfCapacity) {
+  Trace trace(/*max_events=*/0);
+  int seen = 0;
+  trace.subscribe([&](const Event&) { ++seen; });
+  for (int i = 0; i < 7; ++i) {
+    trace.emit(Event{0, EventKind::kSend, 0, 0, 0, 0});
+  }
+  EXPECT_EQ(seen, 7);
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(Trace, EventToStringContainsFields) {
+  const Event event{123, EventKind::kDeliver, 4, 5, 6, 7};
+  const std::string text = to_string(event);
+  EXPECT_NE(text.find("t=123"), std::string::npos);
+  EXPECT_NE(text.find("p4"), std::string::npos);
+  EXPECT_NE(text.find("deliver"), std::string::npos);
+  EXPECT_NE(text.find("a=5"), std::string::npos);
+}
+
+TEST(Trace, AllKindsHaveNames) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kCustom); ++k) {
+    EXPECT_STRNE(to_string(static_cast<EventKind>(k)), "?");
+  }
+}
+
+TEST(Table, PrintsAlignedHeader) {
+  Table table({"alpha", "beta"}, 8);
+  ::testing::internal::CaptureStdout();
+  table.print_header();
+  table.print_row(1, "x");
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_NE(out.find('1'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wfd::sim

@@ -1,0 +1,123 @@
+// Model-checker tests: exhaustive verification of the reduction's lemma
+// structure over every interleaving of the abstract model, in all three
+// regimes (mistake prefix, converged suffix, subject crash).
+#include <gtest/gtest.h>
+
+#include "mc/ablation_model.hpp"
+#include "mc/gkk_model.hpp"
+#include "mc/reduction_model.hpp"
+
+namespace wfd::mc {
+namespace {
+
+TEST(ModelChecker, ExclusiveSuffixAllLemmasHold) {
+  McOptions options;
+  options.mode = BoxMode::kExclusive;
+  options.allow_crash = false;
+  options.check_accuracy = true;
+  options.check_deadlock = true;
+  const McResult result = check_reduction(options);
+  EXPECT_TRUE(result.ok) << result.violation;
+  EXPECT_GT(result.states, 100u);
+}
+
+TEST(ModelChecker, ArbitraryModeSafetyLemmasHold) {
+  // During the mistake prefix anything can overlap; the safety lemmas
+  // (2, 3, 4, 5, 8, 9) must hold regardless. Accuracy is a suffix
+  // property, so it is not checked here.
+  McOptions options;
+  options.mode = BoxMode::kArbitrary;
+  options.allow_crash = false;
+  options.check_accuracy = false;
+  options.check_deadlock = true;
+  const McResult result = check_reduction(options);
+  EXPECT_TRUE(result.ok) << result.violation;
+}
+
+TEST(ModelChecker, CrashRegimeSafeAndComplete) {
+  McOptions options;
+  options.mode = BoxMode::kExclusive;
+  options.allow_crash = true;
+  options.check_accuracy = true;
+  options.check_deadlock = true;
+  const McResult result = check_reduction(options);
+  EXPECT_TRUE(result.ok) << result.violation;
+}
+
+TEST(ModelChecker, ArbitraryWithCrash) {
+  McOptions options;
+  options.mode = BoxMode::kArbitrary;
+  options.allow_crash = true;
+  options.check_accuracy = false;
+  options.check_deadlock = true;
+  const McResult result = check_reduction(options);
+  EXPECT_TRUE(result.ok) << result.violation;
+}
+
+TEST(ModelChecker, StateSpaceIsModest) {
+  McOptions options;
+  options.mode = BoxMode::kArbitrary;
+  options.allow_crash = true;
+  options.check_accuracy = false;
+  const McResult result = check_reduction(options);
+  EXPECT_TRUE(result.ok) << result.violation;
+  // The abstraction stays tractable — document the scale.
+  EXPECT_LT(result.states, 1000000u);
+  EXPECT_GT(result.transitions, result.states);
+}
+
+TEST(ModelChecker, BudgetExhaustionReported) {
+  McOptions options;
+  options.max_states = 10;
+  const McResult result = check_reduction(options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.violation.find("budget"), std::string::npos);
+}
+
+TEST(ModelChecker, DescribeStateIsReadable) {
+  const std::string text = describe_state(0);
+  EXPECT_NE(text.find("w0=thinking"), std::string::npos);
+  EXPECT_NE(text.find("s1=thinking"), std::string::npos);
+}
+
+// --- the GKK liveness counterexample, mechanically -------------------------
+
+TEST(GkkModel, ForkBasedBoxAdmitsEternalWrongfulSuspicion) {
+  const GkkResult result = check_gkk(GkkBoxSemantics::kForkBased);
+  EXPECT_TRUE(result.lasso_found)
+      << "the Section 3 counterexample must exist as a lasso";
+  EXPECT_FALSE(result.witness_cycle.empty());
+  EXPECT_NE(result.witness_cycle.find("suspects correct q"),
+            std::string::npos);
+}
+
+TEST(GkkModel, LockoutBoxAdmitsNoSuchLasso) {
+  const GkkResult result = check_gkk(GkkBoxSemantics::kLockout);
+  EXPECT_FALSE(result.lasso_found)
+      << "with the never-exiting eater holding the lock, the witness is "
+         "locked out: no infinite wrongful-suspicion run — cycle: "
+      << result.witness_cycle;
+}
+
+TEST(AblationModel, SingleInstanceAdmitsEternalWrongfulSuspicion) {
+  // Even against a wait-free exclusive box: there is a legal cycle in
+  // which the subject keeps completing meals AND the witness keeps
+  // judging without a ping — the mechanical counterpart of E9, and the
+  // reason the paper's construction needs two instances + the hand-off.
+  const AblationResult result = check_single_instance_ablation();
+  EXPECT_TRUE(result.lasso_found) << "expected the E9 lasso";
+  EXPECT_NE(result.witness_cycle.find("wrongfully suspects"),
+            std::string::npos);
+  EXPECT_LT(result.states, 200u);
+}
+
+TEST(GkkModel, StateSpacesAreTiny) {
+  const GkkResult fork_based = check_gkk(GkkBoxSemantics::kForkBased);
+  const GkkResult lockout = check_gkk(GkkBoxSemantics::kLockout);
+  EXPECT_LT(fork_based.states, 100u);
+  EXPECT_LT(lockout.states, 100u);
+  EXPECT_GT(fork_based.transitions, fork_based.states);
+}
+
+}  // namespace
+}  // namespace wfd::mc

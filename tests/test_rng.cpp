@@ -1,0 +1,111 @@
+// Unit tests for the deterministic RNG: reproducibility, distribution
+// sanity, and bound correctness — determinism of every experiment rests on
+// this class.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace wfd::sim {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  std::array<std::uint64_t, 16> first{};
+  for (auto& x : first) x = a.next();
+  a.reseed(7);
+  for (auto x : first) EXPECT_EQ(x, a.next());
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 500; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t x = rng.range(5, 8);
+    EXPECT_GE(x, 5u);
+    EXPECT_LE(x, 8u);
+    saw_lo |= (x == 5);
+    saw_hi |= (x == 8);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, GeometricRespectsCap) {
+  Rng rng(19);
+  for (int i = 0; i < 2000; ++i) EXPECT_LE(rng.geometric(0.01, 5), 5u);
+}
+
+TEST(Rng, GeometricMeanApproximatelyCorrect) {
+  Rng rng(23);
+  double sum = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    sum += static_cast<double>(rng.geometric(0.5, 1000));
+  }
+  EXPECT_NEAR(sum / trials, 1.0, 0.1);  // mean (1-p)/p = 1
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> items{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  rng.shuffle(std::span<int>(items));
+  std::set<int> unique(items.begin(), items.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SplitMixIsDeterministic) {
+  std::uint64_t s1 = 99, s2 = 99;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace wfd::sim

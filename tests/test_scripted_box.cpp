@@ -1,0 +1,172 @@
+// Direct unit tests for the scripted (adversary-controlled) dining box —
+// the stand-in for "every legal WF-<>WX solution" in the necessity
+// experiments. Its contract must itself be trustworthy.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "dining/client.hpp"
+#include "dining/monitors.hpp"
+#include "dining/scripted_box.hpp"
+#include "graph/conflict_graph.hpp"
+#include "sim/engine.hpp"
+
+namespace wfd::dining {
+namespace {
+
+struct BoxRig {
+  sim::Engine engine;
+  std::vector<sim::ComponentHost*> hosts;
+  BuiltScriptedBox box;
+  ScriptedBoxConfig config;
+
+  BoxRig(std::uint32_t n, std::uint64_t seed, sim::Time exclusive_from,
+         BoxSemantics semantics, std::uint32_t burst = 0)
+      : engine(sim::EngineConfig{.seed = seed}) {
+    for (sim::ProcessId p = 0; p < n; ++p) {
+      auto host = std::make_unique<sim::ComponentHost>();
+      hosts.push_back(host.get());
+      engine.add_process(std::move(host));
+    }
+    config.port = 10;
+    config.tag = 1;
+    for (sim::ProcessId p = 0; p < n; ++p) config.members.push_back(p);
+    config.exclusive_from = exclusive_from;
+    config.semantics = semantics;
+    config.member0_burst = burst;
+    box = build_scripted_box(engine, hosts, config);
+  }
+
+  DiningInstanceConfig monitor_config() const {
+    return DiningInstanceConfig{config.port, config.tag, config.members,
+                                graph::make_clique(
+                                    static_cast<std::uint32_t>(hosts.size()))};
+  }
+};
+
+TEST(ScriptedBox, ExclusiveSuffixIsExclusive) {
+  BoxRig rig(3, 1, /*exclusive_from=*/1000, BoxSemantics::kLockout);
+  DiningMonitor monitor(rig.engine, rig.monitor_config());
+  DiningMonitor::attach(rig.engine, monitor);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    auto client = std::make_shared<DinerClient>(
+        *rig.box.diners[i], ClientConfig{.think_min = 1, .think_max = 3});
+    rig.hosts[i]->add_component(client, {});
+  }
+  rig.engine.init();
+  rig.engine.run(80000);
+  EXPECT_EQ(monitor.violations_since(2000), 0u);
+  EXPECT_GT(monitor.total_meals(), 100u);
+}
+
+TEST(ScriptedBox, MistakePrefixOverlapsFreely) {
+  BoxRig rig(3, 2, /*exclusive_from=*/20000, BoxSemantics::kLockout);
+  DiningMonitor monitor(rig.engine, rig.monitor_config());
+  DiningMonitor::attach(rig.engine, monitor);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    auto client = std::make_shared<DinerClient>(
+        *rig.box.diners[i],
+        ClientConfig{.think_min = 1, .think_max = 2, .eat_min = 10,
+                     .eat_max = 20});
+    rig.hosts[i]->add_component(client, {});
+  }
+  rig.engine.init();
+  rig.engine.run(120000);
+  EXPECT_GT(monitor.exclusion_violations(), 0u)
+      << "the prefix should grant overlapping meals";
+  EXPECT_EQ(monitor.violations_since(22000), 0u);
+}
+
+TEST(ScriptedBox, WaitFreeUnderMemberCrash) {
+  BoxRig rig(3, 3, /*exclusive_from=*/0, BoxSemantics::kLockout);
+  DiningMonitor monitor(rig.engine, rig.monitor_config());
+  DiningMonitor::attach(rig.engine, monitor);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    auto client = std::make_shared<DinerClient>(
+        *rig.box.diners[i],
+        ClientConfig{.think_min = 1, .think_max = 3, .eat_min = 500,
+                     .eat_max = 500});
+    rig.hosts[i]->add_component(client, {});
+  }
+  // Member 1 dies mid-meal; the ground-truth expiry must free the lock.
+  rig.engine.schedule_crash(1, 800);
+  rig.engine.init();
+  rig.engine.run(100000);
+  std::string detail;
+  EXPECT_TRUE(monitor.wait_free(rig.engine.now(), 25000, &detail)) << detail;
+  EXPECT_GT(monitor.meals(0), 20u);
+  EXPECT_GT(monitor.meals(2), 20u);
+}
+
+TEST(ScriptedBox, ForkBasedPrefixEaterHoldsNoLock) {
+  BoxRig rig(2, 4, /*exclusive_from=*/500, BoxSemantics::kForkBased);
+  // Diner 1 enters during the prefix and never exits.
+  auto hog = std::make_shared<DinerClient>(
+      *rig.box.diners[1],
+      ClientConfig{.think_min = 1, .think_max = 1, .never_exit = true});
+  rig.hosts[1]->add_component(hog, {});
+  auto client = std::make_shared<DinerClient>(
+      *rig.box.diners[0],
+      ClientConfig{.think_min = 1, .think_max = 2, .eat_min = 1, .eat_max = 2});
+  rig.hosts[0]->add_component(client, {});
+  rig.engine.init();
+  rig.engine.run(60000);
+  EXPECT_EQ(rig.box.diners[1]->state(), DinerState::kEating);
+  EXPECT_GT(client->meals(), 200u)
+      << "the fork-based box must keep serving member 0";
+}
+
+TEST(ScriptedBox, LockoutPrefixEaterBlocksForever) {
+  BoxRig rig(2, 5, /*exclusive_from=*/500, BoxSemantics::kLockout);
+  auto hog = std::make_shared<DinerClient>(
+      *rig.box.diners[1],
+      ClientConfig{.think_min = 1, .think_max = 1, .never_exit = true});
+  rig.hosts[1]->add_component(hog, {});
+  auto client = std::make_shared<DinerClient>(
+      *rig.box.diners[0],
+      ClientConfig{.think_min = 1, .think_max = 2, .eat_min = 1, .eat_max = 2});
+  rig.hosts[0]->add_component(client, {});
+  rig.engine.init();
+  rig.engine.run(60000);
+  const std::uint64_t early = client->meals();
+  rig.engine.run(60000);
+  EXPECT_EQ(client->meals(), early)
+      << "post-prefix, the never-exiting live eater locks member 0 out";
+}
+
+TEST(ScriptedBox, BurstPolicyStillServesEveryone) {
+  BoxRig rig(2, 6, /*exclusive_from=*/0, BoxSemantics::kLockout,
+             /*burst=*/4);
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    auto client = std::make_shared<DinerClient>(
+        *rig.box.diners[i], ClientConfig{.think_min = 1, .think_max = 2});
+    rig.hosts[i]->add_component(client, {});
+  }
+  DiningMonitor monitor(rig.engine, rig.monitor_config());
+  DiningMonitor::attach(rig.engine, monitor);
+  rig.engine.init();
+  rig.engine.run(80000);
+  // Unfair but wait-free: member 1 still eats plenty.
+  EXPECT_GT(monitor.meals(1), 100u);
+  EXPECT_GT(monitor.meals(0), monitor.meals(1) / 4)
+      << "sanity: member 0 is not starved either";
+}
+
+TEST(ScriptedBox, GrantCountMatchesMeals) {
+  BoxRig rig(2, 7, /*exclusive_from=*/0, BoxSemantics::kLockout);
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    auto client = std::make_shared<DinerClient>(
+        *rig.box.diners[i], ClientConfig{.think_min = 2, .think_max = 5});
+    rig.hosts[i]->add_component(client, {});
+  }
+  DiningMonitor monitor(rig.engine, rig.monitor_config());
+  DiningMonitor::attach(rig.engine, monitor);
+  rig.engine.init();
+  rig.engine.run(50000);
+  // Every meal corresponds to exactly one grant (one may be in flight).
+  EXPECT_LE(rig.box.manager->grants_issued() - monitor.total_meals(), 1u);
+}
+
+}  // namespace
+}  // namespace wfd::dining

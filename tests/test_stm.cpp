@@ -1,0 +1,174 @@
+// STM tests: obstruction freedom of the raw store, abort storms under
+// contention, and the boosting of obstruction freedom to wait freedom via
+// a dining-backed contention manager (the paper's Section 3 application).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "detect/oracle.hpp"
+#include "dining/instance.hpp"
+#include "graph/conflict_graph.hpp"
+#include "sim/engine.hpp"
+#include "stm/stm.hpp"
+
+namespace wfd::stm {
+namespace {
+
+constexpr sim::Port kStorePort = 5;
+constexpr sim::Port kReplyPort = 6;
+constexpr sim::Port kCmPort = 7;
+
+/// Process 0 hosts the store; processes 1..n host one client each.
+struct StmRig {
+  sim::Engine engine;
+  std::vector<sim::ComponentHost*> hosts;
+  StmServer* server = nullptr;
+  std::vector<std::shared_ptr<TxClient>> clients;
+  std::vector<std::shared_ptr<detect::OracleEventuallyPerfect>> detectors;
+  dining::BuiltInstance cm;
+
+  StmRig(std::uint32_t n_clients, std::uint64_t seed, bool use_cm,
+         std::uint32_t registers = 2, sim::Time step_work = 6)
+      : engine(sim::EngineConfig{.seed = seed}) {
+    const std::uint32_t n = n_clients + 1;
+    for (sim::ProcessId p = 0; p < n; ++p) {
+      auto host = std::make_unique<sim::ComponentHost>();
+      hosts.push_back(host.get());
+      engine.add_process(std::move(host));
+    }
+    auto server = std::make_shared<StmServer>(kStorePort, registers);
+    this->server = server.get();
+    hosts[0]->add_component(std::move(server), {kStorePort});
+
+    if (use_cm) {
+      // A wait-free <>WX dining service over the clients (clique: they all
+      // share the same registers).
+      for (sim::ProcessId p = 0; p < n; ++p) {
+        auto oracle = std::make_shared<detect::OracleEventuallyPerfect>(
+            engine, p, n, 25, std::vector<detect::MistakeWindow>{}, 0xFD);
+        detectors.push_back(oracle);
+        hosts[p]->add_component(oracle, {});
+      }
+      dining::DiningInstanceConfig config;
+      config.port = kCmPort;
+      config.tag = 9;
+      for (std::uint32_t c = 0; c < n_clients; ++c) config.members.push_back(c + 1);
+      config.graph = graph::make_clique(n_clients);
+      std::vector<sim::ComponentHost*> client_hosts(hosts.begin() + 1,
+                                                    hosts.end());
+      std::vector<const detect::FailureDetector*> fds;
+      for (std::uint32_t c = 0; c < n_clients; ++c) {
+        fds.push_back(detectors[c + 1].get());
+      }
+      cm = dining::build_dining_instance(client_hosts, config, fds);
+    }
+
+    for (std::uint32_t c = 0; c < n_clients; ++c) {
+      TxClientConfig config;
+      config.server = 0;
+      config.server_port = kStorePort;
+      config.reply_port = kReplyPort;
+      config.registers = {0, registers > 1 ? 1u : 0u};
+      config.step_work = step_work;
+      auto client = std::make_shared<TxClient>(
+          config, use_cm ? cm.diners[c].get() : nullptr);
+      clients.push_back(client);
+      hosts[c + 1]->add_component(client, {kReplyPort});
+    }
+    engine.set_delay_model(std::make_unique<sim::UniformDelay>(1, 4));
+  }
+};
+
+TEST(Stm, SingleClientIsObstructionFreeAndCommits) {
+  StmRig rig(1, 51, /*use_cm=*/false);
+  rig.engine.init();
+  rig.engine.run(40000);
+  EXPECT_GT(rig.clients[0]->commits(), 100u);
+  EXPECT_EQ(rig.clients[0]->aborts(), 0u)
+      << "a lone transaction must never abort";
+}
+
+TEST(Stm, ServerAppliesWritesAtomically) {
+  StmRig rig(1, 52, /*use_cm=*/false);
+  rig.engine.init();
+  rig.engine.run(20000);
+  // Both registers are bumped together by every committed transaction.
+  EXPECT_EQ(rig.server->value(0), rig.server->value(1));
+  // The last commit's response may still be in flight when the run stops.
+  EXPECT_LE(rig.server->commits() - rig.clients[0]->commits(), 1u);
+}
+
+TEST(Stm, ContentionCausesAborts) {
+  StmRig rig(4, 53, /*use_cm=*/false);
+  rig.engine.init();
+  rig.engine.run(80000);
+  std::uint64_t aborts = 0;
+  for (const auto& client : rig.clients) aborts += client->aborts();
+  EXPECT_GT(aborts, 50u) << "overlapping transactions should abort often";
+}
+
+TEST(Stm, ContentionManagerEliminatesAbortsEventually) {
+  StmRig with_cm(4, 54, /*use_cm=*/true);
+  with_cm.engine.init();
+  with_cm.engine.run(60000);
+  // Measure the converged suffix only.
+  std::uint64_t aborts_before = 0;
+  for (const auto& client : with_cm.clients) aborts_before += client->aborts();
+  with_cm.engine.run(60000);
+  std::uint64_t aborts_after = 0, commits_tail = 0;
+  for (const auto& client : with_cm.clients) aborts_after += client->aborts();
+  for (const auto& client : with_cm.clients) commits_tail += client->commits();
+  EXPECT_EQ(aborts_after, aborts_before)
+      << "a converged contention manager serializes conflicting transactions";
+  EXPECT_GT(commits_tail, 100u);
+}
+
+TEST(Stm, ContentionManagerBoostsWorstClientProgress) {
+  StmRig raw(4, 55, /*use_cm=*/false);
+  raw.engine.init();
+  raw.engine.run(100000);
+  StmRig managed(4, 55, /*use_cm=*/true);
+  managed.engine.init();
+  managed.engine.run(100000);
+
+  std::uint64_t raw_worst_streak = 0;
+  for (const auto& client : raw.clients) {
+    raw_worst_streak =
+        std::max(raw_worst_streak, client->max_consecutive_aborts());
+  }
+  std::uint64_t managed_worst_streak = 0;
+  std::uint64_t managed_min_commits = ~0ull;
+  for (const auto& client : managed.clients) {
+    managed_worst_streak =
+        std::max(managed_worst_streak, client->max_consecutive_aborts());
+    managed_min_commits = std::min(managed_min_commits, client->commits());
+  }
+  EXPECT_GT(raw_worst_streak, managed_worst_streak)
+      << "the manager should cap abort streaks";
+  EXPECT_GT(managed_min_commits, 20u)
+      << "every managed client makes progress (wait-freedom)";
+}
+
+TEST(Stm, ManagedClientsSurviveClientCrash) {
+  StmRig rig(3, 56, /*use_cm=*/true);
+  rig.engine.schedule_crash(1, 5000);  // client 0's process
+  rig.engine.init();
+  rig.engine.run(120000);
+  EXPECT_GT(rig.clients[1]->commits(), 50u);
+  EXPECT_GT(rig.clients[2]->commits(), 50u);
+}
+
+TEST(Stm, AbortClearsServerContext) {
+  StmRig rig(2, 57, /*use_cm=*/false);
+  rig.engine.init();
+  rig.engine.run(50000);
+  std::uint64_t commits = 0;
+  for (const auto& client : rig.clients) commits += client->commits();
+  EXPECT_LE(rig.server->commits() - commits, rig.clients.size())
+      << "counters may differ only by in-flight responses";
+  // Register values track commit activity (each commit bumps both).
+  EXPECT_GT(rig.server->value(0), 0u);
+}
+
+}  // namespace
+}  // namespace wfd::stm

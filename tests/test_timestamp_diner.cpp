@@ -1,0 +1,155 @@
+// Tests for the timestamp (Ricart-Agrawala-style) wait-free <>WX dining
+// algorithm — the fork-free design point. Same property battery as the
+// hygienic algorithm: exclusion, wait-freedom, crash tolerance, mistake
+// confinement; plus a parameterized sweep.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "dining/timestamp_diner.hpp"
+#include "graph/conflict_graph.hpp"
+#include "harness/rig.hpp"
+
+namespace wfd::dining {
+namespace {
+
+using harness::Rig;
+using harness::RigOptions;
+
+BuiltTimestampInstance make_instance(Rig& rig, graph::ConflictGraph graph) {
+  DiningInstanceConfig config;
+  config.port = 10;
+  config.tag = 1;
+  for (sim::ProcessId p = 0; p < rig.hosts.size(); ++p) {
+    config.members.push_back(p);
+  }
+  config.graph = std::move(graph);
+  std::vector<const detect::FailureDetector*> fds;
+  for (const auto& d : rig.detectors) fds.push_back(d.get());
+  return build_timestamp_instance(rig.hosts, config, fds);
+}
+
+TEST(TimestampDiner, PerpetualExclusionWithoutMistakes) {
+  Rig rig(RigOptions{.seed = 91, .n = 5});
+  auto instance = make_instance(rig, graph::make_ring(5));
+  DiningMonitor monitor(rig.engine, instance.config);
+  DiningMonitor::attach(rig.engine, monitor);
+  std::vector<std::shared_ptr<DinerClient>> clients;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    auto client = std::make_shared<DinerClient>(*instance.diners[i],
+                                                ClientConfig{});
+    rig.hosts[i]->add_component(client, {});
+    clients.push_back(client);
+  }
+  rig.engine.init();
+  rig.engine.run(60000);
+  EXPECT_TRUE(monitor.perpetual_exclusion());
+  EXPECT_GT(monitor.total_meals(), 100u);
+}
+
+TEST(TimestampDiner, SurvivesCrashes) {
+  Rig rig(RigOptions{.seed = 92, .n = 4, .detector_lag = 30});
+  auto instance = make_instance(rig, graph::make_clique(4));
+  std::vector<std::shared_ptr<DinerClient>> clients;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    auto client = std::make_shared<DinerClient>(*instance.diners[i],
+                                                ClientConfig{});
+    rig.hosts[i]->add_component(client, {});
+    clients.push_back(client);
+  }
+  rig.engine.schedule_crash(0, 1000);
+  rig.engine.schedule_crash(1, 2000);
+  DiningMonitor monitor(rig.engine, instance.config);
+  DiningMonitor::attach(rig.engine, monitor);
+  rig.engine.init();
+  rig.engine.run(100000);
+  std::string detail;
+  EXPECT_TRUE(monitor.wait_free(rig.engine.now(), 25000, &detail)) << detail;
+  EXPECT_GT(instance.diners[2]->meals(), 50u);
+  EXPECT_GT(instance.diners[3]->meals(), 50u);
+}
+
+TEST(TimestampDiner, MistakesAreConfined) {
+  RigOptions options{.seed = 93, .n = 2};
+  options.mistakes = {{0, 1, 400, 2200}};
+  Rig rig(options);
+  auto instance = make_instance(rig, graph::make_pair());
+  std::vector<std::shared_ptr<DinerClient>> clients;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    auto client = std::make_shared<DinerClient>(
+        *instance.diners[i],
+        ClientConfig{.think_min = 1, .think_max = 2, .eat_min = 4,
+                     .eat_max = 9});
+    rig.hosts[i]->add_component(client, {});
+    clients.push_back(client);
+  }
+  DiningMonitor monitor(rig.engine, instance.config);
+  DiningMonitor::attach(rig.engine, monitor);
+  rig.engine.init();
+  rig.engine.run(100000);
+  EXPECT_GT(monitor.exclusion_violations(), 0u)
+      << "the waiver should fire during the mistake window";
+  EXPECT_EQ(monitor.violations_since(4000), 0u);
+}
+
+TEST(TimestampDiner, NoForkStateMeansCleanPostCrashEdges) {
+  // After a neighbor dies there is no fork to lose: the survivor's meals
+  // continue purely via suspicion waivers.
+  Rig rig(RigOptions{.seed = 94, .n = 2, .detector_lag = 20});
+  auto instance = make_instance(rig, graph::make_pair());
+  auto client = std::make_shared<DinerClient>(*instance.diners[0],
+                                              ClientConfig{});
+  rig.hosts[0]->add_component(client, {});
+  auto client1 = std::make_shared<DinerClient>(*instance.diners[1],
+                                               ClientConfig{});
+  rig.hosts[1]->add_component(client1, {});
+  rig.engine.schedule_crash(1, 500);
+  rig.engine.init();
+  rig.engine.run(60000);
+  EXPECT_GT(instance.diners[0]->meals(), 100u);
+}
+
+using SweepParam = std::tuple<std::uint32_t /*n*/, std::uint64_t /*seed*/,
+                              std::uint32_t /*crashes*/>;
+
+class TimestampSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(TimestampSweep, ExclusionAndWaitFreedom) {
+  const auto [n, seed, crashes] = GetParam();
+  RigOptions options{.seed = seed, .n = n, .detector_lag = 25};
+  options.mistakes = {{0, 1, 300, 1200}};
+  Rig rig(options);
+  auto instance = make_instance(rig, graph::make_ring(n));
+  std::vector<std::shared_ptr<DinerClient>> clients;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto client = std::make_shared<DinerClient>(*instance.diners[i],
+                                                ClientConfig{});
+    rig.hosts[i]->add_component(client, {});
+    clients.push_back(client);
+  }
+  for (std::uint32_t c = 0; c < crashes; ++c) {
+    rig.engine.schedule_crash(n - 1 - c, 2000 + 1000 * c);
+  }
+  DiningMonitor monitor(rig.engine, instance.config);
+  DiningMonitor::attach(rig.engine, monitor);
+  rig.engine.init();
+  rig.engine.run(100000);
+  EXPECT_EQ(monitor.violations_since(rig.engine.now() - 60000), 0u);
+  std::string detail;
+  EXPECT_TRUE(monitor.wait_free(rig.engine.now(), 30000, &detail)) << detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TimestampSweep,
+    ::testing::Combine(::testing::Values(3u, 5u, 7u),
+                       ::testing::Values(501ull, 502ull),
+                       ::testing::Values(0u, 1u)),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "N" + std::to_string(std::get<0>(info.param)) + "Seed" +
+             std::to_string(std::get<1>(info.param)) + "Crash" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace wfd::dining

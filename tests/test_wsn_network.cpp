@@ -1,0 +1,115 @@
+// Multi-cell WSN tests: layout construction, coverage accounting over
+// non-trivial conflict graphs, cross-cell coverage, crash tolerance.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dining/instance.hpp"
+#include "harness/rig.hpp"
+#include "wsn/duty_cycle.hpp"
+#include "wsn/network.hpp"
+
+namespace wfd::wsn {
+namespace {
+
+using harness::Rig;
+using harness::RigOptions;
+
+TEST(NetworkLayout, RingStructure) {
+  const NetworkLayout layout = make_ring_network(4, 2);
+  EXPECT_EQ(layout.sensor_count(), 8u);
+  // Sensor 0's home is cell 0, also covering cell 1.
+  ASSERT_EQ(layout.covers[0].size(), 2u);
+  EXPECT_EQ(layout.covers[0][0], 0u);
+  EXPECT_EQ(layout.covers[0][1], 1u);
+  // Home-mates conflict.
+  EXPECT_TRUE(layout.conflicts.has_edge(0, 1));
+  // Overlapping reach conflicts: sensor 0 (cells 0,1) vs sensor 2 (cells 1,2).
+  EXPECT_TRUE(layout.conflicts.has_edge(0, 2));
+  // Opposite sides of the ring do not conflict: sensor 0 (0,1) vs 4 (2,3).
+  EXPECT_FALSE(layout.conflicts.has_edge(0, 4));
+  EXPECT_TRUE(layout.conflicts.connected());
+}
+
+TEST(NetworkLayout, SingleCellDegeneratesToClique) {
+  const NetworkLayout layout = make_ring_network(1, 3);
+  EXPECT_EQ(layout.sensor_count(), 3u);
+  EXPECT_EQ(layout.conflicts.edge_count(), 3u);  // triangle
+}
+
+struct NetRig {
+  Rig rig;
+  NetworkLayout layout;
+  dining::BuiltInstance instance;
+  std::vector<std::shared_ptr<SensorNode>> sensors;
+  NetworkMonitor monitor;
+
+  NetRig(std::uint32_t cells, std::uint32_t redundancy, std::uint64_t seed,
+         std::uint64_t battery)
+      : rig(RigOptions{.seed = seed,
+                       .n = cells * redundancy,
+                       .detector_lag = 25}),
+        layout(make_ring_network(cells, redundancy)),
+        monitor(3, layout, [this] {
+          std::vector<sim::ProcessId> m;
+          for (sim::ProcessId p = 0; p < rig.hosts.size(); ++p) m.push_back(p);
+          return m;
+        }()) {
+    instance = rig.add_wait_free_dining(10, 3, layout.conflicts);
+    for (std::uint32_t s = 0; s < layout.sensor_count(); ++s) {
+      auto sensor = std::make_shared<SensorNode>(
+          *instance.diners[s],
+          SensorConfig{.battery = battery, .duty_length = 30,
+                       .rest_length = 4});
+      rig.hosts[s]->add_component(sensor, {});
+      sensors.push_back(sensor);
+    }
+    rig.engine.trace().subscribe(
+        [this](const sim::Event& e) { monitor.on_event(e); });
+  }
+};
+
+TEST(WsnNetwork, AllCellsStayMostlyCovered) {
+  NetRig net(4, 2, 21, /*battery=*/1000000);
+  net.rig.engine.init();
+  net.rig.engine.run(120000);
+  net.monitor.finalize(net.rig.engine.now());
+  // Strict exclusion over overlapping regions trades coverage for zero
+  // redundancy: while a sensor covering cells {0,1} is on duty, every
+  // sensor overlapping either cell must wait, so per-cell coverage sits
+  // well below 1 even with everyone alive. (Relaxing this is exactly the
+  // <>WX story: tolerate transient redundancy, gain liveness.)
+  EXPECT_GT(net.monitor.worst_cell_coverage(), 0.2)
+      << "every cell sees duty regularly";
+  for (std::uint32_t cell = 0; cell < 4; ++cell) {
+    EXPECT_LT(net.monitor.redundancy_fraction(cell), 0.05)
+        << "converged scheduler avoids redundant duty in cell " << cell;
+  }
+}
+
+TEST(WsnNetwork, NeighborsCoverForACrashedCell) {
+  // Kill both home sensors of cell 1; the cell stays covered by cell 0's
+  // sensors (whose reach includes cell 1) — coverage through overlap.
+  NetRig net(4, 2, 22, /*battery=*/1000000);
+  net.rig.engine.schedule_crash(2, 4000);  // home sensors of cell 1
+  net.rig.engine.schedule_crash(3, 4000);
+  net.rig.engine.init();
+  net.rig.engine.run(160000);
+  net.monitor.finalize(net.rig.engine.now());
+  EXPECT_GT(net.monitor.cell_coverage(1), 0.15)
+      << "overlapping reach must keep the orphaned cell alive";
+  EXPECT_GT(net.monitor.network_lifetime(), 100000u);
+}
+
+TEST(WsnNetwork, BatteriesDrainSequentiallyNotInParallel) {
+  NetRig net(2, 2, 23, /*battery=*/2000);
+  net.rig.engine.init();
+  net.rig.engine.run(80000);
+  net.monitor.finalize(net.rig.engine.now());
+  // Four sensors, ~2000 duty-ticks each; duty is shared, so the network
+  // outlives a single battery several times over.
+  EXPECT_GT(net.monitor.network_lifetime(), 4000u);
+}
+
+}  // namespace
+}  // namespace wfd::wsn
