@@ -117,11 +117,12 @@ void BM_ModelCheckerFullSweep(benchmark::State& state) {
     options.mode = mc::BoxMode::kArbitrary;
     options.allow_crash = true;
     options.check_accuracy = false;
-    const auto result = mc::check_reduction(options);
+    const auto result = mc::check_reduction(
+        options, {.threads = static_cast<int>(state.range(0))});
     benchmark::DoNotOptimize(result.states);
   }
 }
-BENCHMARK(BM_ModelCheckerFullSweep);
+BENCHMARK(BM_ModelCheckerFullSweep)->Arg(1)->Arg(4);
 
 void BM_ConflictGraphRandom(benchmark::State& state) {
   sim::Rng rng(5);

@@ -1,11 +1,20 @@
-// E11 — Exhaustive model-check sweep of the reduction.
+// E11 — Exhaustive model-check sweep of the reduction, sequential vs.
+// parallel.
 //
 // For every regime of the abstract model (mistake prefix / converged
-// suffix, with and without subject crash), report the reachable state
-// count, transition count, BFS depth, and the verdict of all machine-
-// checked lemmas (2, 3, 4, 5, 8, 9), the Theorem-2 inductive step, the
-// Theorem-1 structural check, and deadlock-freedom.
+// suffix, with and without subject crash, one- and two-pair composition),
+// report the reachable state count, transition count, BFS depth, the
+// verdict of all machine-checked lemmas (2, 3, 4, 5, 8, 9), the Theorem-2
+// inductive step, the Theorem-1 structural check, and deadlock-freedom —
+// explored once on 1 thread and once on N threads through the same
+// mc::run_check driver. The parallel run must report the identical state
+// count and verdict (the engine's determinism guarantee); the two-pair
+// product spaces (~4.4M / ~8.3M states) are the wall-clock speedup
+// workload.
+//
+// CLI: --threads N (parallel worker count, default 4), --json out.json.
 #include <iostream>
+#include <thread>
 
 #include "bench_util.hpp"
 #include "mc/ablation_model.hpp"
@@ -13,78 +22,141 @@
 #include "mc/reduction_model.hpp"
 #include "sim/metrics.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wfd;
+  const bench::CliOptions cli =
+      bench::parse_cli(argc, argv, "bench_e11_model_check");
+  const int par_threads = cli.threads > 0 ? cli.threads : 4;
+
   bench::banner("E11: model-checked lemmas",
                 "Exhaustive exploration of the Alg. 1/2 abstraction against "
-                "a nondeterministic WF-<>WX box.");
-  sim::Table table({"mode", "crash", "accuracy", "states", "transitions",
-                    "depth", "verdict"}, 13);
+                "a nondeterministic WF-<>WX box, sequential vs. parallel.");
+  sim::Table table({"mode", "crash", "pairs", "states", "transitions", "depth",
+                    "t1_ms", "tN_ms", "speedup", "verdict"}, 12);
   table.print_header();
   bench::ShapeCheck shape;
+  bench::JsonRows json;
 
   struct Config {
     mc::BoxMode mode;
     bool crash;
     bool accuracy;
+    int pairs;
   };
   const Config configs[] = {
-      {mc::BoxMode::kExclusive, false, true},
-      {mc::BoxMode::kExclusive, true, true},
-      {mc::BoxMode::kArbitrary, false, false},
-      {mc::BoxMode::kArbitrary, true, false},
+      {mc::BoxMode::kExclusive, false, true, 1},
+      {mc::BoxMode::kExclusive, true, true, 1},
+      {mc::BoxMode::kArbitrary, false, false, 1},
+      {mc::BoxMode::kArbitrary, true, false, 1},
+      {mc::BoxMode::kExclusive, true, true, 2},
+      {mc::BoxMode::kArbitrary, true, false, 2},  // largest: ~8.3M states
   };
+  double largest_speedup = 0.0;
+  std::uint64_t largest_states = 0;
   for (const Config& config : configs) {
     mc::McOptions options;
     options.mode = config.mode;
     options.allow_crash = config.crash;
     options.check_accuracy = config.accuracy;
     options.check_deadlock = true;
-    const mc::McResult result = mc::check_reduction(options);
-    table.print_row(
-        config.mode == mc::BoxMode::kExclusive ? "exclusive" : "arbitrary",
-        wfd::bench::yesno(config.crash), wfd::bench::yesno(config.accuracy),
-        result.states, result.transitions, result.depth,
-        result.ok ? "ALL HOLD" : result.violation.substr(0, 24));
-    shape.expect(result.ok, "all lemmas must hold in every regime");
+    options.pairs = config.pairs;
+    const mc::CheckResult seq =
+        mc::check_reduction(options, {.threads = 1});
+    const mc::CheckResult par =
+        mc::check_reduction(options, {.threads = par_threads});
+    const double speedup = par.wall_ms > 0.0 ? seq.wall_ms / par.wall_ms : 1.0;
+    const char* mode_name =
+        config.mode == mc::BoxMode::kExclusive ? "exclusive" : "arbitrary";
+    table.print_row(mode_name, bench::yesno(config.crash), config.pairs,
+                    seq.states, seq.transitions, seq.depth, seq.wall_ms,
+                    par.wall_ms, speedup,
+                    seq.ok() ? "ALL HOLD" : seq.counterexample.substr(0, 22));
+    shape.expect(seq.ok(), "all lemmas must hold in every regime");
+    shape.expect(par.ok() == seq.ok() && par.states == seq.states &&
+                     par.transitions == seq.transitions &&
+                     par.depth == seq.depth,
+                 "parallel exploration must match sequential exactly");
+    if (seq.states > largest_states) {
+      largest_states = seq.states;
+      largest_speedup = speedup;
+    }
+    json.begin_row();
+    json.field("experiment", "e11").field("mode", mode_name)
+        .field("crash", config.crash).field("pairs", config.pairs)
+        .field("states", seq.states).field("transitions", seq.transitions)
+        .field("depth", seq.depth).field("seq_ms", seq.wall_ms)
+        .field("par_ms", par.wall_ms).field("threads", par.threads)
+        .field("speedup", speedup).field("ok", seq.ok());
   }
+  std::cout << "\nParallel frontier exploration: " << par_threads
+            << " threads, speedup " << largest_speedup
+            << "x on the largest configuration (" << largest_states
+            << " states), identical verdict/state count at every thread "
+               "count.\n";
+  if (std::thread::hardware_concurrency() >= 4) {
+    shape.expect(largest_speedup >= 2.0,
+                 ">=2x speedup at 4 threads on the largest configuration");
+  } else {
+    std::cout << "(only " << std::thread::hardware_concurrency()
+              << " hardware thread(s) — speedup shape check skipped)\n";
+  }
+
   // Part 2: the Section 3 counterexample as a mechanical liveness check —
   // search for a lasso (reachable cycle) of eternal wrongful suspicion in
-  // the GKK abstraction.
+  // the GKK abstraction. A found lasso is a liveness violation, so the
+  // unified verdict is kViolation with the cycle as counterexample.
   std::cout << "\nGKK liveness check (lasso = infinite wrongful suspicion):\n";
   sim::Table gkk_table({"box", "states", "transitions", "lasso"}, 14);
   gkk_table.print_header();
-  const mc::GkkResult fork_based = mc::check_gkk(mc::GkkBoxSemantics::kForkBased);
-  const mc::GkkResult lockout = mc::check_gkk(mc::GkkBoxSemantics::kLockout);
+  const mc::CheckResult fork_based = mc::check_gkk(mc::GkkBoxSemantics::kForkBased);
+  const mc::CheckResult lockout = mc::check_gkk(mc::GkkBoxSemantics::kLockout);
   gkk_table.print_row("fork-based", fork_based.states, fork_based.transitions,
-                      fork_based.lasso_found ? "FOUND" : "none");
+                      fork_based.ok() ? "none" : "FOUND");
   gkk_table.print_row("lockout", lockout.states, lockout.transitions,
-                      lockout.lasso_found ? "FOUND" : "none");
-  shape.expect(fork_based.lasso_found,
+                      lockout.ok() ? "none" : "FOUND");
+  shape.expect(!fork_based.ok(),
                "GKK's eternal wrongful suspicion exists on fork-based boxes");
-  shape.expect(!lockout.lasso_found,
-               "and is impossible on lockout boxes");
-  if (fork_based.lasso_found) {
-    std::cout << "  witness: " << fork_based.witness_cycle << '\n';
+  shape.expect(lockout.ok(), "and is impossible on lockout boxes");
+  if (!fork_based.ok()) {
+    std::cout << "  witness: " << fork_based.counterexample << '\n';
   }
+  json.begin_row();
+  json.field("experiment", "e11_gkk").field("box", "fork-based")
+      .field("states", fork_based.states)
+      .field("lasso", !fork_based.ok());
+  json.begin_row();
+  json.field("experiment", "e11_gkk").field("box", "lockout")
+      .field("states", lockout.states).field("lasso", !lockout.ok());
 
   // Part 3: the E9 ablation, mechanically — the single-instance extraction
   // admits a legal wait-free run of eternal wrongful suspicion.
-  const mc::AblationResult ablation = mc::check_single_instance_ablation();
+  const mc::CheckResult ablation = mc::check_ablation();
   std::cout << "\nSingle-instance ablation lasso: "
-            << (ablation.lasso_found ? "FOUND" : "none") << " ("
-            << ablation.states << " states)\n";
-  if (ablation.lasso_found) {
-    std::cout << "  witness: " << ablation.witness_cycle << '\n';
+            << (ablation.ok() ? "none" : "FOUND") << " (" << ablation.states
+            << " states)\n";
+  if (!ablation.ok()) {
+    std::cout << "  witness: " << ablation.counterexample << '\n';
   }
-  shape.expect(ablation.lasso_found,
+  shape.expect(!ablation.ok(),
                "without the hand-off, eternal wrongful suspicion is a legal "
                "run even on a fair box");
+  json.begin_row();
+  json.field("experiment", "e11_ablation").field("states", ablation.states)
+      .field("lasso", !ablation.ok());
+
+  if (!cli.json_path.empty()) {
+    if (json.write_file(cli.json_path)) {
+      std::cout << "\nresults written to " << cli.json_path << '\n';
+    } else {
+      shape.expect(false, "failed to write " + cli.json_path);
+    }
+  }
 
   std::cout << "\nPaper shape (Sections 3, 7): the proof's invariant lattice "
                "— Lemmas 2/3/4/5/8/9,\nthe Theorem 2 warm-up argument, and "
                "Theorem 1's permanence of suspicion —\nverified over every "
-               "interleaving; and the Section 3 counterexample to [8]\n"
-               "established as a mechanical lasso, not just a sampled run.\n";
+               "interleaving (including the two-pair composition); and the\n"
+               "Section 3 counterexample to [8] established as a mechanical "
+               "lasso, not just a\nsampled run.\n";
   return shape.finish("E11");
 }

@@ -5,9 +5,13 @@
 // instances, messages, messages per step, and witness meal throughput.
 // Expected shape: message volume grows ~quadratically; per-pair progress
 // degrades gracefully (every pair keeps extracting).
+//
+// The (N x seed) grid is fanned across the campaign runner (each cell
+// builds its own Rig). CLI: --threads N --seeds A:B --json out.json.
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "harness/campaign.hpp"
 #include "harness/rig.hpp"
 #include "reduce/extraction.hpp"
 #include "sim/metrics.hpp"
@@ -18,61 +22,92 @@ using namespace wfd;
 using harness::Rig;
 using harness::RigOptions;
 
-struct Row {
+constexpr std::uint64_t kSteps = 60000;
+
+struct Config {
   std::uint32_t n;
-  std::uint64_t pairs;
-  std::uint64_t boxes;
-  std::uint64_t messages;
-  double msgs_per_step;
-  std::uint64_t min_meals;
-  std::uint64_t max_meals;
+  std::uint64_t seed;
 };
 
-Row run_config(std::uint32_t n, std::uint64_t steps) {
-  Rig rig(RigOptions{.seed = 99, .n = n, .detector_lag = 25});
+struct Row {
+  std::uint64_t pairs = 0;
+  std::uint64_t boxes = 0;
+  std::uint64_t messages = 0;
+  double msgs_per_step = 0.0;
+  std::uint64_t min_meals = 0;
+  std::uint64_t max_meals = 0;
+};
+
+Row run_config(const Config& config) {
+  Rig rig(RigOptions{.seed = config.seed, .n = config.n, .detector_lag = 25});
   reduce::WaitFreeBoxFactory factory(
       [&rig](sim::ProcessId p) { return rig.detectors[p].get(); });
   auto extraction = reduce::build_full_extraction(rig.hosts, factory, {});
   rig.engine.init();
-  rig.engine.run(steps);
+  rig.engine.run(kSteps);
   std::uint64_t min_meals = ~0ull, max_meals = 0;
   for (const auto& pair : extraction.pairs) {
     min_meals = std::min(min_meals, pair.witness->meals());
     max_meals = std::max(max_meals, pair.witness->meals());
   }
-  return Row{n,
-             extraction.pairs.size(),
+  return Row{extraction.pairs.size(),
              2 * extraction.pairs.size(),
              rig.engine.stats().messages_sent,
              static_cast<double>(rig.engine.stats().messages_sent) /
-                 static_cast<double>(steps),
+                 static_cast<double>(kSteps),
              min_meals,
              max_meals};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::CliOptions cli =
+      bench::parse_cli(argc, argv, "bench_e3_scalability");
   bench::banner("E3: reduction scalability",
                 "Footprint of the all-pairs extraction: 2N(N-1) dining boxes, "
                 "message volume, and per-witness progress at fixed step "
                 "budget.");
-  const std::uint64_t steps = 60000;
-  sim::Table table({"N", "pairs", "boxes", "messages", "msgs/step",
+  const std::uint32_t sizes[] = {2, 3, 4, 6, 8};
+  std::vector<Config> configs;
+  for (const std::uint64_t seed : cli.seeds(99)) {
+    for (const std::uint32_t n : sizes) configs.push_back({n, seed});
+  }
+  const std::vector<Row> rows =
+      harness::run_campaign(configs, run_config, cli.threads);
+
+  sim::Table table({"seed", "N", "pairs", "boxes", "messages", "msgs/step",
                     "min_meals", "max_meals"});
   table.print_header();
   bench::ShapeCheck shape;
+  bench::JsonRows json;
+  std::uint64_t current_seed = ~0ull;
   double prev_rate = 0.0;
-  for (std::uint32_t n : {2u, 3u, 4u, 6u, 8u}) {
-    const Row row = run_config(n, steps);
-    table.print_row(row.n, row.pairs, row.boxes, row.messages,
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const Config& config = configs[i];
+    const Row& row = rows[i];
+    if (config.seed != current_seed) {
+      current_seed = config.seed;
+      prev_rate = 0.0;  // message-rate growth is a per-seed shape
+    }
+    table.print_row(config.seed, config.n, row.pairs, row.boxes, row.messages,
                     row.msgs_per_step, row.min_meals, row.max_meals);
-    shape.expect(row.pairs == static_cast<std::uint64_t>(n) * (n - 1),
-                 "N(N-1) witness/subject pairs");
+    shape.expect(
+        row.pairs == static_cast<std::uint64_t>(config.n) * (config.n - 1),
+        "N(N-1) witness/subject pairs");
     shape.expect(row.min_meals > 0, "every pair makes progress");
-    shape.expect(row.msgs_per_step >= prev_rate,
-                 "message rate grows with N");
+    shape.expect(row.msgs_per_step >= prev_rate, "message rate grows with N");
     prev_rate = row.msgs_per_step;
+    json.begin_row();
+    json.field("experiment", "e3").field("seed", config.seed)
+        .field("n", config.n).field("pairs", row.pairs)
+        .field("messages", row.messages)
+        .field("msgs_per_step", row.msgs_per_step)
+        .field("min_meals", row.min_meals).field("max_meals", row.max_meals);
+  }
+  if (!cli.json_path.empty()) {
+    shape.expect(json.write_file(cli.json_path),
+                 "write JSON to " + cli.json_path);
   }
   std::cout << "\nPaper shape: the reduction is asymptotically heavy "
                "(quadratic instances) — it\nis a proof device, not a "

@@ -1,9 +1,18 @@
-// Shared helpers for the experiment binaries: uniform headers and a tiny
-// check-summary so every bench prints in the same, diffable format.
+// Shared helpers for the experiment binaries: uniform headers, a tiny
+// check-summary so every bench prints in the same, diffable format, a
+// mini CLI (--threads / --seeds / --json) shared by the sweep and
+// model-check benches, and a minimal JSON row emitter for scripted runs.
 #pragma once
 
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace wfd::bench {
 
@@ -32,6 +41,161 @@ struct ShapeCheck {
               << failed << " failed\n";
     return failed == 0 ? 0 : 1;
   }
+};
+
+// --- mini CLI ---------------------------------------------------------------
+// Usage:  <bench> [--threads N] [--seeds A[:B]] [--json out.json]
+// so sweeps are scriptable instead of recompile-to-reconfigure.
+
+struct CliOptions {
+  int threads = 0;  ///< 0 = hardware concurrency / bench default
+  bool has_seeds = false;
+  std::uint64_t seed_lo = 0;
+  std::uint64_t seed_hi = 0;
+  std::string json_path;  ///< empty = no JSON output
+
+  /// Seeds to sweep; `fallback` is the bench's built-in seed when --seeds
+  /// was not given. Ranges are clamped to 4096 seeds.
+  std::vector<std::uint64_t> seeds(std::uint64_t fallback) const {
+    if (!has_seeds) return {fallback};
+    std::vector<std::uint64_t> out;
+    for (std::uint64_t s = seed_lo; s <= seed_hi; ++s) {
+      out.push_back(s);
+      if (out.size() >= 4096 || s == ~0ull) break;
+    }
+    return out;
+  }
+};
+
+[[noreturn]] inline void cli_usage(const std::string& bench, int code) {
+  std::cout << "usage: " << bench
+            << " [--threads N] [--seeds A[:B]] [--json out.json]\n"
+               "  --threads N     worker threads for parallel sections "
+               "(0 = auto)\n"
+               "  --seeds A[:B]   seed, or inclusive seed range, to sweep\n"
+               "  --json FILE     also write results as a JSON array\n";
+  std::exit(code);
+}
+
+inline CliOptions parse_cli(int argc, char** argv, const std::string& bench) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cout << bench << ": missing value for " << arg << "\n";
+        cli_usage(bench, 2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--threads") {
+      options.threads = std::atoi(value().c_str());
+      if (options.threads < 0) options.threads = 0;
+    } else if (arg == "--seeds") {
+      const std::string spec = value();
+      const std::size_t colon = spec.find(':');
+      const auto parse = [&](const char* text) {
+        char* end = nullptr;
+        const std::uint64_t parsed = std::strtoull(text, &end, 10);
+        if (end == text || (*end != '\0' && *end != ':')) {
+          std::cout << bench << ": bad seed in --seeds " << spec << "\n";
+          cli_usage(bench, 2);
+        }
+        return parsed;
+      };
+      options.has_seeds = true;
+      options.seed_lo = parse(spec.c_str());
+      options.seed_hi = colon == std::string::npos
+                            ? options.seed_lo
+                            : parse(spec.c_str() + colon + 1);
+      if (options.seed_hi < options.seed_lo) {
+        options.seed_hi = options.seed_lo;
+      }
+    } else if (arg == "--json") {
+      options.json_path = value();
+    } else if (arg == "--help" || arg == "-h") {
+      cli_usage(bench, 0);
+    } else {
+      std::cout << bench << ": unknown argument " << arg << "\n";
+      cli_usage(bench, 2);
+    }
+  }
+  return options;
+}
+
+// --- JSON rows --------------------------------------------------------------
+// Accumulates flat objects and writes them as a JSON array; enough for
+// piping sweep results into plotting scripts.
+
+class JsonRows {
+ public:
+  void begin_row() { rows_.emplace_back(); }
+
+  JsonRows& field(const std::string& key, const std::string& value) {
+    return raw(key, quote(value));
+  }
+  JsonRows& field(const std::string& key, const char* value) {
+    return raw(key, quote(value));
+  }
+  JsonRows& field(const std::string& key, bool value) {
+    return raw(key, value ? "true" : "false");
+  }
+  template <class Number>
+  JsonRows& field(const std::string& key, Number value) {
+    std::ostringstream out;
+    out << value;
+    return raw(key, out.str());
+  }
+
+  /// Writes `[ {...}, ... ]`; returns success.
+  bool write_file(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "[\n";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      out << "  {";
+      for (std::size_t f = 0; f < rows_[r].size(); ++f) {
+        if (f > 0) out << ", ";
+        out << quote(rows_[r][f].first) << ": " << rows_[r][f].second;
+      }
+      out << (r + 1 < rows_.size() ? "},\n" : "}\n");
+    }
+    out << "]\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  using Row = std::vector<std::pair<std::string, std::string>>;
+
+  JsonRows& raw(const std::string& key, std::string rendered) {
+    if (rows_.empty()) rows_.emplace_back();
+    rows_.back().emplace_back(key, std::move(rendered));
+    return *this;
+  }
+
+  static std::string quote(const std::string& text) {
+    std::string out = "\"";
+    for (const char c : text) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  std::vector<Row> rows_;
 };
 
 }  // namespace wfd::bench

@@ -1,0 +1,54 @@
+// Campaign runner: fan a vector of experiment configurations across a
+// thread pool. Each configuration builds its own Rig/engine (the simulator
+// has no global mutable state), so independent runs parallelize trivially;
+// results come back in configuration order regardless of scheduling, which
+// keeps sweep output deterministic.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace wfd::harness {
+
+/// Worker count for `jobs` independent runs; `requested` 0 = hardware
+/// concurrency, always clamped to [1, jobs].
+inline int campaign_threads(int requested, std::size_t jobs) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  auto threads = static_cast<std::size_t>(
+      requested > 0 ? requested : (hw == 0 ? 1 : static_cast<int>(hw)));
+  if (threads > jobs) threads = jobs;
+  return threads < 1 ? 1 : static_cast<int>(threads);
+}
+
+/// Run `fn(config)` for every configuration on up to `threads` workers.
+/// `fn` must be callable concurrently from distinct threads and its result
+/// default-constructible; results keep configuration order.
+template <class Config, class Fn>
+auto run_campaign(const std::vector<Config>& configs, Fn fn, int threads = 0)
+    -> std::vector<std::invoke_result_t<Fn&, const Config&>> {
+  using Result = std::invoke_result_t<Fn&, const Config&>;
+  std::vector<Result> results(configs.size());
+  const int pool_size = campaign_threads(threads, configs.size());
+  std::atomic<std::size_t> cursor{0};
+  auto worker = [&] {
+    for (std::size_t i = cursor.fetch_add(1); i < configs.size();
+         i = cursor.fetch_add(1)) {
+      results[i] = fn(configs[i]);
+    }
+  };
+  if (pool_size == 1) {
+    worker();
+    return results;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(pool_size) - 1);
+  for (int t = 1; t < pool_size; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+}  // namespace wfd::harness

@@ -1,157 +1,137 @@
 #include "mc/ablation_model.hpp"
 
 #include <deque>
-#include <map>
 #include <set>
 #include <sstream>
-#include <vector>
+#include <utility>
+
+#include "mc/engine.hpp"
 
 namespace wfd::mc {
 namespace {
 
 // State: witness {idle,hungry,eating}, subject {idle,hungry,eating},
 // haveping, ping_enabled, ping/ack channel occupancy (<=1 each).
-struct AState {
-  std::uint32_t bits = 0;
-
-  enum : std::uint32_t {
-    kWShift = 0,   // 2 bits
-    kSShift = 2,   // 2 bits
-    kHavePing = 1u << 4,
-    kPingEnabled = 1u << 5,
-    kPingChan = 1u << 6,
-    kAckChan = 1u << 7,
-  };
-  enum : std::uint32_t { kIdle = 0, kHungry = 1, kEating = 2 };
-
-  std::uint32_t w() const { return (bits >> kWShift) & 3; }
-  std::uint32_t s() const { return (bits >> kSShift) & 3; }
-  AState with_w(std::uint32_t v) const {
-    AState n = *this;
-    n.bits = (n.bits & ~(3u << kWShift)) | (v << kWShift);
-    return n;
-  }
-  AState with_s(std::uint32_t v) const {
-    AState n = *this;
-    n.bits = (n.bits & ~(3u << kSShift)) | (v << kSShift);
-    return n;
-  }
-  bool get(std::uint32_t mask) const { return (bits & mask) != 0; }
-  AState with(std::uint32_t mask, bool value) const {
-    AState n = *this;
-    if (value) {
-      n.bits |= mask;
-    } else {
-      n.bits &= ~mask;
-    }
-    return n;
-  }
+enum : std::uint32_t {
+  kWShift = 0,  // 2 bits
+  kSShift = 2,  // 2 bits
+  kHavePing = 1u << 4,
+  kPingEnabled = 1u << 5,
+  kPingChan = 1u << 6,
+  kAckChan = 1u << 7,
 };
+enum : std::uint32_t { kIdle = 0, kHungry = 1, kEating = 2 };
 
-struct Edge {
-  AState to;
-  bool wrongful_suspicion = false;
-  bool subject_meal = false;
-};
+using AState = AblationModel::State;
 
-std::vector<Edge> successors(const AState& st) {
-  std::vector<Edge> out;
-  // Witness requests.
-  if (st.w() == AState::kIdle) {
-    out.push_back({st.with_w(AState::kHungry), false, false});
+std::uint32_t w(const AState& st) { return (st.bits >> kWShift) & 3; }
+std::uint32_t s(const AState& st) { return (st.bits >> kSShift) & 3; }
+
+AState with_w(const AState& st, std::uint32_t v) {
+  return {(st.bits & ~(3u << kWShift)) | (v << kWShift)};
+}
+AState with_s(const AState& st, std::uint32_t v) {
+  return {(st.bits & ~(3u << kSShift)) | (v << kSShift)};
+}
+bool get(const AState& st, std::uint32_t mask) {
+  return (st.bits & mask) != 0;
+}
+AState with(const AState& st, std::uint32_t mask, bool value) {
+  AState n = st;
+  if (value) {
+    n.bits |= mask;
+  } else {
+    n.bits &= ~mask;
   }
-  // Box grants the witness (exclusive: not while the subject eats).
-  if (st.w() == AState::kHungry && st.s() != AState::kEating) {
-    out.push_back({st.with_w(AState::kEating), false, false});
-  }
-  // Witness judges and exits (the whole A_x action).
-  if (st.w() == AState::kEating) {
-    Edge edge{st.with_w(AState::kIdle).with(AState::kHavePing, false),
-              /*wrongful_suspicion=*/!st.get(AState::kHavePing), false};
-    out.push_back(edge);
-  }
-  // Subject requests.
-  if (st.s() == AState::kIdle) {
-    out.push_back({st.with_s(AState::kHungry), false, false});
-  }
-  // Box grants the subject.
-  if (st.s() == AState::kHungry && st.w() != AState::kEating) {
-    out.push_back({st.with_s(AState::kEating), false, false});
-  }
-  // Subject pings (once per meal).
-  if (st.s() == AState::kEating && st.get(AState::kPingEnabled) &&
-      !st.get(AState::kPingChan)) {
-    out.push_back({st.with(AState::kPingEnabled, false)
-                       .with(AState::kPingChan, true),
-                   false, false});
-  }
-  // Ping delivery: witness remembers and acks (atomic, as in Alg. 1).
-  if (st.get(AState::kPingChan) && !st.get(AState::kAckChan)) {
-    out.push_back({st.with(AState::kPingChan, false)
-                       .with(AState::kHavePing, true)
-                       .with(AState::kAckChan, true),
-                   false, false});
-  }
-  // Ack delivery: the subject's meal completes.
-  if (st.get(AState::kAckChan) && st.s() == AState::kEating) {
-    out.push_back({st.with(AState::kAckChan, false)
-                       .with_s(AState::kIdle)
-                       .with(AState::kPingEnabled, true),
-                   false, /*subject_meal=*/true});
-  }
-  return out;
+  return n;
 }
 
 const char* tstate(std::uint32_t v) {
   switch (v) {
-    case AState::kIdle: return "idle";
-    case AState::kHungry: return "hungry";
-    case AState::kEating: return "eating";
+    case kIdle: return "idle";
+    case kHungry: return "hungry";
+    case kEating: return "eating";
   }
   return "?";
 }
 
-std::string describe(const AState& st) {
+}  // namespace
+
+std::vector<AState> AblationModel::initial_states() const {
+  return {with(AState{}, kPingEnabled, true)};
+}
+
+void AblationModel::successors(const State& st,
+                               std::vector<Transition<State>>& out) const {
+  // Witness requests.
+  if (w(st) == kIdle) {
+    out.push_back({with_w(st, kHungry), kLabelNone});
+  }
+  // Box grants the witness (exclusive: not while the subject eats).
+  if (w(st) == kHungry && s(st) != kEating) {
+    out.push_back({with_w(st, kEating), kLabelNone});
+  }
+  // Witness judges and exits (the whole A_x action).
+  if (w(st) == kEating) {
+    out.push_back({with(with_w(st, kIdle), kHavePing, false),
+                   get(st, kHavePing)
+                       ? static_cast<std::uint8_t>(kLabelNone)
+                       : static_cast<std::uint8_t>(kLabelWrongfulSuspicion)});
+  }
+  // Subject requests.
+  if (s(st) == kIdle) {
+    out.push_back({with_s(st, kHungry), kLabelNone});
+  }
+  // Box grants the subject.
+  if (s(st) == kHungry && w(st) != kEating) {
+    out.push_back({with_s(st, kEating), kLabelNone});
+  }
+  // Subject pings (once per meal).
+  if (s(st) == kEating && get(st, kPingEnabled) && !get(st, kPingChan)) {
+    out.push_back({with(with(st, kPingEnabled, false), kPingChan, true),
+                   kLabelNone});
+  }
+  // Ping delivery: witness remembers and acks (atomic, as in Alg. 1).
+  if (get(st, kPingChan) && !get(st, kAckChan)) {
+    out.push_back({with(with(with(st, kPingChan, false), kHavePing, true),
+                        kAckChan, true),
+                   kLabelNone});
+  }
+  // Ack delivery: the subject's meal completes.
+  if (get(st, kAckChan) && s(st) == kEating) {
+    out.push_back({with(with_s(with(st, kAckChan, false), kIdle),
+                        kPingEnabled, true),
+                   kLabelSubjectMeal});
+  }
+}
+
+std::string AblationModel::check_state(const State&) const { return {}; }
+
+std::string AblationModel::check_expansion(
+    const State&, const std::vector<Transition<State>>&) const {
+  return {};
+}
+
+std::string AblationModel::describe(const State& st) const {
   std::ostringstream out;
-  out << "w:" << tstate(st.w()) << " s:" << tstate(st.s())
-      << (st.get(AState::kHavePing) ? " haveping" : "")
-      << (st.get(AState::kPingChan) ? " ping!" : "")
-      << (st.get(AState::kAckChan) ? " ack!" : "");
+  out << "w:" << tstate(w(st)) << " s:" << tstate(s(st))
+      << (get(st, kHavePing) ? " haveping" : "")
+      << (get(st, kPingChan) ? " ping!" : "")
+      << (get(st, kAckChan) ? " ack!" : "");
   return out.str();
 }
 
-}  // namespace
-
-AblationResult check_single_instance_ablation() {
-  AblationResult result;
-  AState initial{};
-  initial = initial.with(AState::kPingEnabled, true);
-
-  std::set<std::uint32_t> seen{initial.bits};
-  std::deque<AState> frontier{initial};
-  std::map<std::uint32_t, std::vector<Edge>> graph;
-  while (!frontier.empty()) {
-    const AState st = frontier.front();
-    frontier.pop_front();
-    ++result.states;
-    auto edges = successors(st);
-    result.transitions += edges.size();
-    graph[st.bits] = edges;
-    for (const Edge& edge : edges) {
-      if (seen.insert(edge.to.bits).second) frontier.push_back(edge.to);
-    }
-  }
-
+std::string AblationModel::analyze(const ReachGraph<State>& graph) const {
   // For each wrongful-suspicion edge u -> v: find a path v ~> u that
   // includes at least one subject meal (product construction over a
   // "meal seen" bit), making the cycle a wait-free run for the subject.
   for (const auto& [bits, edges] : graph) {
-    for (const Edge& suspicion : edges) {
-      if (!suspicion.wrongful_suspicion) continue;
-      std::set<std::pair<std::uint32_t, bool>> visited;
-      std::deque<std::pair<std::uint32_t, bool>> queue;
-      queue.push_back({suspicion.to.bits, false});
-      visited.insert({suspicion.to.bits, false});
+    for (const Transition<State>& suspicion : edges) {
+      if (!(suspicion.label & kLabelWrongfulSuspicion)) continue;
+      std::set<std::pair<std::uint64_t, bool>> visited{
+          {suspicion.to.bits, false}};
+      std::deque<std::pair<std::uint64_t, bool>> queue{
+          {suspicion.to.bits, false}};
       bool found = false;
       while (!queue.empty() && !found) {
         const auto [cur, meal_seen] = queue.front();
@@ -160,25 +140,31 @@ AblationResult check_single_instance_ablation() {
           found = true;
           break;
         }
-        for (const Edge& edge : graph[cur]) {
-          const bool next_meal = meal_seen || edge.subject_meal;
+        const auto it = graph.find(cur);
+        if (it == graph.end()) continue;
+        for (const Transition<State>& edge : it->second) {
+          const bool next_meal =
+              meal_seen || (edge.label & kLabelSubjectMeal) != 0;
           if (visited.insert({edge.to.bits, next_meal}).second) {
             queue.push_back({edge.to.bits, next_meal});
           }
         }
       }
       if (found) {
-        result.lasso_found = true;
-        result.witness_cycle =
-            describe(AState{bits}) +
-            "  --[witness wrongfully suspects]-->  " +
-            describe(suspicion.to) +
-            "  --...(subject eats too)...-->  (repeats forever)";
-        return result;
+        return describe(State{static_cast<std::uint32_t>(bits)}) +
+               "  --[witness wrongfully suspects]-->  " +
+               describe(suspicion.to) +
+               "  --...(subject eats too)...-->  (repeats forever)";
       }
     }
   }
-  return result;
+  return {};
+}
+
+static_assert(AnalyzableModel<AblationModel>);
+
+CheckResult check_ablation(const CheckOptions& check) {
+  return run_check(AblationModel{}, check);
 }
 
 }  // namespace wfd::mc

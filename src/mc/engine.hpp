@@ -1,0 +1,248 @@
+// Parallel explicit-state exploration engine behind mc::run_check.
+//
+// Layer-synchronous BFS: all states at distance d are expanded (in parallel
+// chunks, by a pool of worker threads) before any state at distance d+1.
+// Deduplication goes through a striped-lock open-addressing seen-set keyed
+// by the model's 64-bit packed state.
+//
+// Determinism guarantee: the verdict, reachable-state count, transition
+// count, max depth, and the selected counterexample are identical for every
+// thread count. This holds because (a) the set of states at each BFS level
+// is a pure function of the level before it, regardless of which worker
+// wins an insertion race; (b) a level is always expanded to completion
+// before violations are reported; and (c) among the violations found in the
+// first offending level, the one with the smallest packed state key is
+// selected — an order-free criterion.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "mc/model.hpp"
+
+namespace wfd::mc {
+namespace detail {
+
+/// splitmix64 finalizer — packed states are highly structured; hash before
+/// choosing shards/slots.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Striped-lock open-addressing hash set of 64-bit packed states. The low
+/// hash bits pick the stripe, higher bits the slot, so neighbouring states
+/// spread across stripes.
+class SeenSet {
+ public:
+  SeenSet() {
+    for (Shard& shard : shards_) shard.slots.assign(kInitialSlots, kEmpty);
+  }
+
+  /// True iff `key` was not present. Safe to call from any worker thread.
+  bool insert(std::uint64_t key) {
+    const std::uint64_t hash = mix64(key);
+    Shard& shard = shards_[hash & (kShardCount - 1)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if ((shard.size + 1) * 10 > shard.slots.size() * 7) grow(shard);
+    if (!place(shard.slots, key)) return false;
+    ++shard.size;
+    return true;
+  }
+
+ private:
+  static constexpr std::size_t kShardCount = 64;  // power of two
+  static constexpr std::size_t kInitialSlots = 1024;
+  static constexpr std::uint64_t kEmpty = ~0ull;  // not a legal packed state
+
+  struct alignas(64) Shard {
+    std::mutex mu;
+    std::vector<std::uint64_t> slots;
+    std::size_t size = 0;
+  };
+
+  static bool place(std::vector<std::uint64_t>& slots, std::uint64_t key) {
+    const std::size_t mask = slots.size() - 1;
+    std::size_t i = (mix64(key) >> 6) & mask;
+    while (slots[i] != kEmpty) {
+      if (slots[i] == key) return false;
+      i = (i + 1) & mask;
+    }
+    slots[i] = key;
+    return true;
+  }
+
+  static void grow(Shard& shard) {
+    std::vector<std::uint64_t> bigger(shard.slots.size() * 2, kEmpty);
+    for (std::uint64_t key : shard.slots) {
+      if (key != kEmpty) place(bigger, key);
+    }
+    shard.slots.swap(bigger);
+  }
+
+  std::array<Shard, kShardCount> shards_;
+};
+
+inline int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace detail
+
+/// Exhaustively explore `model`; returns after the full (finite) reachable
+/// space is covered, or at the end of the first BFS level containing a
+/// violation, or once `options.max_states` is exceeded. For AnalyzableModel
+/// types the complete reachable graph is collected and handed to the
+/// model's `analyze` hook afterwards (liveness/lasso searches).
+template <Model M>
+CheckResult run_check(const M& model, const CheckOptions& options = {}) {
+  using S = typename M::State;
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+
+  CheckResult result;
+  result.threads = detail::resolve_threads(options.threads);
+
+  detail::SeenSet seen;
+  std::vector<S> level;
+  for (const S& s : model.initial_states()) {
+    if (seen.insert(static_cast<std::uint64_t>(s.bits))) level.push_back(s);
+  }
+
+  constexpr bool kCollectGraph = AnalyzableModel<M>;
+  ReachGraph<S> graph;
+
+  // Worker-local output, merged at each level barrier.
+  struct WorkerOut {
+    std::vector<S> next;
+    std::uint64_t transitions = 0;
+    bool has_violation = false;
+    std::uint64_t violation_key = 0;
+    std::string violation;
+    std::vector<std::pair<std::uint64_t, std::vector<Transition<S>>>> edges;
+  };
+
+  bool stopped = false;
+  while (!level.empty() && !stopped) {
+    if (result.states + level.size() > options.max_states) {
+      result.verdict = Verdict::kViolation;
+      result.counterexample = "state budget exceeded after " +
+                              std::to_string(result.states) + " states";
+      stopped = true;
+      break;
+    }
+
+    // Small levels still fan out (chunks of kMinChunk) so the parallel path
+    // is exercised — and TSan-checkable — even on tiny models.
+    constexpr std::size_t kMinChunk = 16;
+    const int workers = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(result.threads),
+        (level.size() + kMinChunk - 1) / kMinChunk));
+    const std::size_t chunk = std::clamp<std::size_t>(
+        level.size() / (static_cast<std::size_t>(workers) * 8), kMinChunk,
+        2048);
+
+    std::vector<WorkerOut> outs(static_cast<std::size_t>(workers));
+    std::atomic<std::size_t> cursor{0};
+
+    auto expand = [&](WorkerOut& out) {
+      std::vector<Transition<S>> edges;
+      for (std::size_t base = cursor.fetch_add(chunk); base < level.size();
+           base = cursor.fetch_add(chunk)) {
+        const std::size_t end = std::min(base + chunk, level.size());
+        for (std::size_t i = base; i < end; ++i) {
+          const S st = level[i];
+          const auto key = static_cast<std::uint64_t>(st.bits);
+          const auto note = [&](std::string message) {
+            if (message.empty()) return false;
+            if (!out.has_violation || key < out.violation_key) {
+              out.has_violation = true;
+              out.violation_key = key;
+              out.violation = std::move(message);
+            }
+            return true;
+          };
+          if (note(model.check_state(st))) continue;
+          edges.clear();
+          model.successors(st, edges);
+          if (note(model.check_expansion(st, edges))) continue;
+          out.transitions += edges.size();
+          for (const Transition<S>& t : edges) {
+            if (seen.insert(static_cast<std::uint64_t>(t.to.bits))) {
+              out.next.push_back(t.to);
+            }
+          }
+          if constexpr (kCollectGraph) out.edges.emplace_back(key, edges);
+        }
+      }
+    };
+
+    if (workers == 1) {
+      expand(outs[0]);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(workers) - 1);
+      for (int w = 1; w < workers; ++w) {
+        pool.emplace_back([&outs, &expand, w] {
+          expand(outs[static_cast<std::size_t>(w)]);
+        });
+      }
+      expand(outs[0]);
+      for (std::thread& t : pool) t.join();
+    }
+
+    result.states += level.size();
+    std::size_t total = 0;
+    for (const WorkerOut& out : outs) total += out.next.size();
+    std::vector<S> next;
+    next.reserve(total);
+    const WorkerOut* worst = nullptr;
+    for (WorkerOut& out : outs) {
+      result.transitions += out.transitions;
+      next.insert(next.end(), out.next.begin(), out.next.end());
+      if (out.has_violation &&
+          (worst == nullptr || out.violation_key < worst->violation_key)) {
+        worst = &out;
+      }
+      if constexpr (kCollectGraph) {
+        for (auto& [key, e] : out.edges) graph.emplace(key, std::move(e));
+      }
+    }
+    if (worst != nullptr) {
+      result.verdict = Verdict::kViolation;
+      result.counterexample = worst->violation;
+      stopped = true;
+      break;
+    }
+    if (!next.empty()) ++result.depth;
+    level.swap(next);
+  }
+
+  if (!stopped) {
+    if constexpr (kCollectGraph) {
+      std::string witness = model.analyze(graph);
+      if (!witness.empty()) {
+        result.verdict = Verdict::kViolation;
+        result.counterexample = std::move(witness);
+      }
+    }
+  }
+
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  return result;
+}
+
+}  // namespace wfd::mc

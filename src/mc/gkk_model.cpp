@@ -1,132 +1,117 @@
 #include "mc/gkk_model.hpp"
 
 #include <deque>
-#include <map>
 #include <set>
 #include <sstream>
-#include <vector>
+
+#include "mc/engine.hpp"
 
 namespace wfd::mc {
 namespace {
 
 // State bits: q_requested, q_eating, heartbeat channel (0/1),
 // w_trusts, w_wants_request, w_hungry.
-struct GState {
-  std::uint32_t bits = 0;
-
-  enum : std::uint32_t {
-    kQRequested = 1u << 0,
-    kQEating = 1u << 1,
-    kHbInFlight = 1u << 2,
-    kWTrusts = 1u << 3,
-    kWWants = 1u << 4,
-    kWHungry = 1u << 5,
-  };
-
-  bool get(std::uint32_t mask) const { return (bits & mask) != 0; }
-  GState with(std::uint32_t mask, bool value) const {
-    GState next = *this;
-    if (value) {
-      next.bits |= mask;
-    } else {
-      next.bits &= ~mask;
-    }
-    return next;
-  }
+enum : std::uint32_t {
+  kQRequested = 1u << 0,
+  kQEating = 1u << 1,
+  kHbInFlight = 1u << 2,
+  kWTrusts = 1u << 3,
+  kWWants = 1u << 4,
+  kWHungry = 1u << 5,
 };
 
-struct Edge {
-  GState to;
-  bool wrongful_suspicion = false;
-};
-
-std::vector<Edge> successors(const GState& st, GkkBoxSemantics semantics) {
-  std::vector<Edge> out;
-  // Subject: send a heartbeat (bounded channel: one in flight).
-  if (!st.get(GState::kHbInFlight)) {
-    out.push_back({st.with(GState::kHbInFlight, true), false});
-  }
-  // Deliver the heartbeat: the witness trusts and wants to (re)enter.
-  if (st.get(GState::kHbInFlight)) {
-    out.push_back({st.with(GState::kHbInFlight, false)
-                       .with(GState::kWTrusts, true)
-                       .with(GState::kWWants, true),
-                   false});
-  }
-  // Subject requests permission (once).
-  if (!st.get(GState::kQRequested)) {
-    out.push_back({st.with(GState::kQRequested, true), false});
-  }
-  // Box grants the subject; it enters its critical section and never
-  // exits. Under lockout semantics the grant pins the serial lock.
-  if (st.get(GState::kQRequested) && !st.get(GState::kQEating)) {
-    out.push_back({st.with(GState::kQEating, true), false});
-  }
-  // Witness becomes hungry when it wants to.
-  if (st.get(GState::kWWants) && !st.get(GState::kWHungry)) {
-    out.push_back(
-        {st.with(GState::kWWants, false).with(GState::kWHungry, true), false});
-  }
-  // Box grants the witness — blocked, under lockout semantics, by the
-  // eating subject. The whole GKK meal is one transition: enter, exit,
-  // SUSPECT the subject.
-  if (st.get(GState::kWHungry)) {
-    const bool blocked = semantics == GkkBoxSemantics::kLockout &&
-                         st.get(GState::kQEating);
-    if (!blocked) {
-      out.push_back({st.with(GState::kWHungry, false)
-                         .with(GState::kWTrusts, false),
-                     /*wrongful_suspicion=*/true});
-    }
-  }
-  return out;
+bool get(const GkkModel::State& st, std::uint32_t mask) {
+  return (st.bits & mask) != 0;
 }
 
-std::string describe(const GState& st) {
-  std::ostringstream out;
-  out << (st.get(GState::kQEating) ? "q:CS " : st.get(GState::kQRequested)
-                                                   ? "q:req "
-                                                   : "q:idle ")
-      << (st.get(GState::kHbInFlight) ? "hb! " : "")
-      << (st.get(GState::kWTrusts) ? "w:trusts" : "w:suspects")
-      << (st.get(GState::kWHungry) ? ",hungry" : "")
-      << (st.get(GState::kWWants) ? ",wants" : "");
-  return out.str();
+GkkModel::State with(const GkkModel::State& st, std::uint32_t mask,
+                     bool value) {
+  GkkModel::State next = st;
+  if (value) {
+    next.bits |= mask;
+  } else {
+    next.bits &= ~mask;
+  }
+  return next;
 }
 
 }  // namespace
 
-GkkResult check_gkk(GkkBoxSemantics semantics) {
-  GkkResult result;
-  // BFS over the (tiny) state space, collecting edges.
-  std::set<std::uint32_t> seen;
-  std::deque<GState> frontier;
-  std::map<std::uint32_t, std::vector<Edge>> graph;
-  GState initial{};
-  seen.insert(initial.bits);
-  frontier.push_back(initial);
-  while (!frontier.empty()) {
-    const GState st = frontier.front();
-    frontier.pop_front();
-    ++result.states;
-    auto edges = successors(st, semantics);
-    result.transitions += edges.size();
-    graph[st.bits] = edges;
-    for (const Edge& edge : edges) {
-      if (seen.insert(edge.to.bits).second) frontier.push_back(edge.to);
+std::vector<GkkModel::State> GkkModel::initial_states() const {
+  return {State{}};
+}
+
+void GkkModel::successors(const State& st,
+                          std::vector<Transition<State>>& out) const {
+  // Subject: send a heartbeat (bounded channel: one in flight).
+  if (!get(st, kHbInFlight)) {
+    out.push_back({with(st, kHbInFlight, true), kLabelNone});
+  }
+  // Deliver the heartbeat: the witness trusts and wants to (re)enter.
+  if (get(st, kHbInFlight)) {
+    out.push_back({with(with(with(st, kHbInFlight, false), kWTrusts, true),
+                        kWWants, true),
+                   kLabelNone});
+  }
+  // Subject requests permission (once).
+  if (!get(st, kQRequested)) {
+    out.push_back({with(st, kQRequested, true), kLabelNone});
+  }
+  // Box grants the subject; it enters its critical section and never
+  // exits. Under lockout semantics the grant pins the serial lock.
+  if (get(st, kQRequested) && !get(st, kQEating)) {
+    out.push_back({with(st, kQEating, true), kLabelNone});
+  }
+  // Witness becomes hungry when it wants to.
+  if (get(st, kWWants) && !get(st, kWHungry)) {
+    out.push_back(
+        {with(with(st, kWWants, false), kWHungry, true), kLabelNone});
+  }
+  // Box grants the witness — blocked, under lockout semantics, by the
+  // eating subject. The whole GKK meal is one transition: enter, exit,
+  // SUSPECT the subject.
+  if (get(st, kWHungry)) {
+    const bool blocked =
+        semantics_ == GkkBoxSemantics::kLockout && get(st, kQEating);
+    if (!blocked) {
+      out.push_back({with(with(st, kWHungry, false), kWTrusts, false),
+                     kLabelWrongfulSuspicion});
     }
   }
+}
 
+std::string GkkModel::check_state(const State&) const { return {}; }
+
+std::string GkkModel::check_expansion(
+    const State&, const std::vector<Transition<State>>&) const {
+  return {};
+}
+
+std::string GkkModel::describe(const State& st) const {
+  std::ostringstream out;
+  out << (get(st, kQEating) ? "q:CS "
+          : get(st, kQRequested) ? "q:req "
+                                 : "q:idle ")
+      << (get(st, kHbInFlight) ? "hb! " : "")
+      << (get(st, kWTrusts) ? "w:trusts" : "w:suspects")
+      << (get(st, kWHungry) ? ",hungry" : "")
+      << (get(st, kWWants) ? ",wants" : "");
+  return out.str();
+}
+
+std::string GkkModel::analyze(const ReachGraph<State>& graph) const {
   // Lasso search: a wrongful-suspicion edge u -> v, with q permanently in
   // its CS at u (legal infinite suffix), such that v can reach u again.
-  const auto reaches = [&graph](std::uint32_t from, std::uint32_t target) {
-    std::set<std::uint32_t> visited{from};
-    std::deque<std::uint32_t> queue{from};
+  const auto reaches = [&graph](std::uint64_t from, std::uint64_t target) {
+    std::set<std::uint64_t> visited{from};
+    std::deque<std::uint64_t> queue{from};
     while (!queue.empty()) {
-      const std::uint32_t cur = queue.front();
+      const std::uint64_t cur = queue.front();
       queue.pop_front();
       if (cur == target) return true;
-      for (const Edge& edge : graph[cur]) {
+      const auto it = graph.find(cur);
+      if (it == graph.end()) continue;
+      for (const Transition<State>& edge : it->second) {
         if (visited.insert(edge.to.bits).second) queue.push_back(edge.to.bits);
       }
     }
@@ -134,20 +119,23 @@ GkkResult check_gkk(GkkBoxSemantics semantics) {
   };
 
   for (const auto& [bits, edges] : graph) {
-    const GState st{bits};
-    if (!st.get(GState::kQEating)) continue;  // suffix condition
-    for (const Edge& edge : edges) {
-      if (!edge.wrongful_suspicion) continue;
+    const State st{static_cast<std::uint32_t>(bits)};
+    if (!get(st, kQEating)) continue;  // suffix condition
+    for (const Transition<State>& edge : edges) {
+      if (!(edge.label & kLabelWrongfulSuspicion)) continue;
       if (reaches(edge.to.bits, bits)) {
-        result.lasso_found = true;
-        result.witness_cycle =
-            describe(st) + "  --[w eats & suspects correct q]-->  " +
-            describe(edge.to) + "  --...-->  (repeats forever)";
-        return result;
+        return describe(st) + "  --[w eats & suspects correct q]-->  " +
+               describe(edge.to) + "  --...-->  (repeats forever)";
       }
     }
   }
-  return result;
+  return {};
+}
+
+static_assert(AnalyzableModel<GkkModel>);
+
+CheckResult check_gkk(GkkBoxSemantics semantics, const CheckOptions& check) {
+  return run_check(GkkModel(semantics), check);
 }
 
 }  // namespace wfd::mc

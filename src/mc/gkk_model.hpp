@@ -2,20 +2,26 @@
 // extraction [8], abstracted, against a box with a never-exiting subject.
 //
 // The violation of eventual strong accuracy is a LIVENESS failure — "p
-// suspects correct q infinitely often" — so reachability is not enough; we
-// search for a *lasso*: a reachable cycle that (a) contains a wrongful-
-// suspicion transition and (b) runs entirely after the subject's permanent
-// entry into its critical section (so the cycle is a legal infinite suffix
-// of a run where the box owes nothing more to the subject). If such a
-// cycle exists, some fair run suspects the correct subject forever.
+// suspects correct q infinitely often" — so reachability is not enough; the
+// model's `analyze` hook searches the reached graph for a *lasso*: a
+// reachable cycle that (a) contains a wrongful-suspicion transition and
+// (b) runs entirely after the subject's permanent entry into its critical
+// section (so the cycle is a legal infinite suffix of a run where the box
+// owes nothing more to the subject). If such a cycle exists, some fair run
+// suspects the correct subject forever — reported as a violation with the
+// cycle as counterexample.
 //
 // Expected verdicts (machine-checked in tests and E11):
-//   fork-based semantics ([12]-style): lasso FOUND  — GKK is broken;
-//   lockout semantics:                 no lasso     — GKK happens to work.
+//   fork-based semantics ([12]-style): lasso FOUND (verdict = violation) —
+//     GKK is broken;
+//   lockout semantics: no lasso (verdict = ok) — GKK happens to work.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
+
+#include "mc/model.hpp"
 
 namespace wfd::mc {
 
@@ -24,13 +30,30 @@ enum class GkkBoxSemantics : std::uint8_t {
   kForkBased,  ///< it entered on a scheduling mistake and holds nothing
 };
 
-struct GkkResult {
-  bool lasso_found = false;  ///< infinite wrongful-suspicion run exists
-  std::uint64_t states = 0;
-  std::uint64_t transitions = 0;
-  std::string witness_cycle;  ///< human-readable cycle when found
+/// mc::Model implementation of the abstract GKK extraction; drive it
+/// through mc::run_check (or the check_gkk convenience wrapper).
+class GkkModel {
+ public:
+  struct State {
+    std::uint32_t bits = 0;
+  };
+
+  explicit GkkModel(GkkBoxSemantics semantics) : semantics_(semantics) {}
+
+  std::vector<State> initial_states() const;
+  void successors(const State& state,
+                  std::vector<Transition<State>>& out) const;
+  std::string check_state(const State& state) const;
+  std::string check_expansion(const State& state,
+                              const std::vector<Transition<State>>& edges) const;
+  std::string describe(const State& state) const;
+  /// Lasso search over the reached graph (see file header).
+  std::string analyze(const ReachGraph<State>& graph) const;
+
+ private:
+  GkkBoxSemantics semantics_;
 };
 
-GkkResult check_gkk(GkkBoxSemantics semantics);
+CheckResult check_gkk(GkkBoxSemantics semantics, const CheckOptions& check = {});
 
 }  // namespace wfd::mc

@@ -1,0 +1,95 @@
+// The unified model-checking API. A "model" is anything the explicit-state
+// engine (engine.hpp) can explore: a packed, trivially copyable state type,
+// a set of initial states, a successor generator, and per-state invariant
+// hooks. The three checkers in this directory — the Alg. 1/2 reduction, the
+// GKK counterexample, and the E9 single-instance ablation — all implement
+// this concept, and every test and bench drives them exclusively through
+// mc::run_check / mc::CheckResult.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace wfd::mc {
+
+enum class Verdict : std::uint8_t {
+  kOk,         ///< the full reachable space was covered, no violation
+  kViolation,  ///< an invariant failed, a lasso exists, or budget exhausted
+};
+
+/// Engine knobs, shared by every model.
+struct CheckOptions {
+  /// Worker threads for the frontier exploration; 0 = hardware concurrency.
+  int threads = 0;
+  /// Abort (verdict = violation, "state budget exceeded") past this count.
+  std::uint64_t max_states = 50'000'000;
+};
+
+/// The single result shape every checker returns.
+struct CheckResult {
+  Verdict verdict = Verdict::kOk;
+  std::uint64_t states = 0;       ///< distinct states expanded
+  std::uint64_t transitions = 0;  ///< edges explored
+  std::uint64_t depth = 0;        ///< max BFS distance from an initial state
+  std::string counterexample;     ///< violation / witness cycle, readable
+  double wall_ms = 0.0;           ///< exploration wall time
+  int threads = 1;                ///< worker threads actually used
+
+  bool ok() const { return verdict == Verdict::kOk; }
+};
+
+/// Edge labels a model may attach to transitions; only consumed by the
+/// model's own `analyze` hook (liveness/lasso searches).
+enum EdgeLabel : std::uint8_t {
+  kLabelNone = 0,
+  kLabelWrongfulSuspicion = 1 << 0,
+  kLabelSubjectMeal = 1 << 1,
+};
+
+template <class S>
+struct Transition {
+  S to;
+  std::uint8_t label = kLabelNone;
+};
+
+/// Reached graph handed to `analyze` hooks: packed state -> out-edges,
+/// ordered by packed key so analysis output is deterministic.
+template <class S>
+using ReachGraph = std::map<std::uint64_t, std::vector<Transition<S>>>;
+
+/// What the engine requires of a model:
+///  * `State` — trivially copyable, with a packed integral `bits` key that
+///    uniquely identifies the state (at most 64 bits);
+///  * `initial_states()` — the exploration roots;
+///  * `successors(s, out)` — append every enabled transition from `s`;
+///  * `check_state(s)` — state-local invariant; non-empty string = violation;
+///  * `check_expansion(s, edges)` — invariant over a state plus its outgoing
+///    edges (deadlock-freedom, one-step structural lemmas);
+///  * `describe(s)` — human-readable rendering for diagnostics.
+template <class M>
+concept Model =
+    std::is_trivially_copyable_v<typename M::State> &&
+    requires(const M model, const typename M::State state,
+             std::vector<Transition<typename M::State>>& out) {
+      { static_cast<std::uint64_t>(state.bits) };
+      { model.initial_states() } -> std::same_as<std::vector<typename M::State>>;
+      { model.successors(state, out) } -> std::same_as<void>;
+      { model.check_state(state) } -> std::same_as<std::string>;
+      { model.check_expansion(state, out) } -> std::same_as<std::string>;
+      { model.describe(state) } -> std::same_as<std::string>;
+    };
+
+/// Models that additionally analyze the complete reachable graph after
+/// exploration (lasso searches for liveness properties). A non-empty return
+/// is reported as the counterexample with verdict = kViolation.
+template <class M>
+concept AnalyzableModel =
+    Model<M> &&
+    requires(const M model, const ReachGraph<typename M::State>& graph) {
+      { model.analyze(graph) } -> std::same_as<std::string>;
+    };
+
+}  // namespace wfd::mc

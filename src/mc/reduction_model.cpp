@@ -1,18 +1,21 @@
 #include "mc/reduction_model.hpp"
 
-#include <deque>
 #include <sstream>
-#include <unordered_set>
-#include <vector>
+
+#include "mc/engine.hpp"
 
 namespace wfd::mc {
 namespace {
 
-// --- state packing ----------------------------------------------------------
+// --- per-pair state packing -------------------------------------------------
 // Thread states: 0 thinking, 1 hungry, 2 eating, 3 exiting.
 enum : std::uint64_t { kT = 0, kH = 1, kE = 2, kX = 3 };
 
-struct State {
+constexpr int kPairBits = 26;
+constexpr std::uint64_t kPairMask = (1ull << kPairBits) - 1;
+
+/// One ordered pair's 26-bit block of the packed state.
+struct Pair {
   std::uint64_t bits = 0;
 
   static constexpr int kW0 = 0;      // 2 bits
@@ -60,6 +63,16 @@ struct State {
   void set_crashed(bool v) { set(kCrashed, 1, v ? 1 : 0); }
 };
 
+Pair pair_of(const ReductionModel::State& state, int k) {
+  return Pair{(state.bits >> (k * kPairBits)) & kPairMask};
+}
+
+ReductionModel::State with_pair(const ReductionModel::State& state, int k,
+                                const Pair& pair) {
+  const int shift = k * kPairBits;
+  return {(state.bits & ~(kPairMask << shift)) | (pair.bits << shift)};
+}
+
 const char* thread_name(std::uint64_t v) {
   switch (v) {
     case kT: return "thinking";
@@ -70,8 +83,21 @@ const char* thread_name(std::uint64_t v) {
   return "?";
 }
 
-/// Invariant check; returns empty string when fine.
-std::string check_invariants(const State& st) {
+std::string describe_pair(const Pair& st) {
+  std::ostringstream out;
+  out << "w0=" << thread_name(st.w(0)) << " w1=" << thread_name(st.w(1))
+      << " s0=" << thread_name(st.s(0)) << " s1=" << thread_name(st.s(1))
+      << " switch=" << st.sw() << " trigger=" << st.trigger()
+      << " haveping=" << st.haveping(0) << st.haveping(1)
+      << " ping=" << st.ping_flag(0) << st.ping_flag(1)
+      << " chans=p" << st.ping_chan(0) << st.ping_chan(1) << "/a"
+      << st.ack_chan(0) << st.ack_chan(1)
+      << (st.crashed() ? " CRASHED" : "");
+  return out.str();
+}
+
+/// Safety-lemma check for one pair; empty string when fine.
+std::string check_pair_invariants(const Pair& st) {
   for (int i = 0; i < 2; ++i) {
     // Lemma 2: (s_i != eating) => ping_i
     if (st.s(i) != kE && !st.ping_flag(i) && !st.crashed()) {
@@ -107,211 +133,214 @@ std::string check_invariants(const State& st) {
   return {};
 }
 
-struct Explorer {
-  McOptions options;
-  std::string violation;
+/// Enabled moves of one pair; `emit` receives each successor pair state.
+template <class Emit>
+void pair_successors(const McOptions& options, const Pair& st, Emit&& emit) {
+  const bool exclusive = options.mode == BoxMode::kExclusive;
 
-  /// Append successor if it is a legal move; runs transition-local checks.
-  void emit(std::vector<State>& out, State next) { out.push_back(next); }
+  for (int i = 0; i < 2; ++i) {
+    const int j = 1 - i;
 
-  std::vector<State> successors(const State& st) {
-    std::vector<State> out;
-    out.reserve(16);
-    const bool exclusive = options.mode == BoxMode::kExclusive;
+    // W_h: both witnesses thinking, it's thread i's turn.
+    if (st.w(i) == kT && st.w(j) == kT && st.sw() == i) {
+      Pair n = st;
+      n.set_w(i, kH);
+      emit(n);
+    }
+    // Box grants the witness (nondeterministic; in exclusive mode only
+    // while the peer subject is not eating — a crashed subject frozen
+    // mid-meal does not block, per wait-freedom).
+    if (st.w(i) == kH && (!exclusive || st.s(i) != kE || st.crashed())) {
+      Pair n = st;
+      n.set_w(i, kE);
+      emit(n);
+    }
+    // W_x: judge and exit. (The Theorem 2 accuracy condition over this
+    // judgment is state-local and checked in check_state.)
+    if (st.w(i) == kE) {
+      Pair n = st;
+      if (st.haveping(i)) n.set_warmed(i, true);
+      n.set_haveping(i, false);
+      n.set_sw(j);
+      n.set_w(i, kX);
+      emit(n);
+    }
+    // Witness exiting completes.
+    if (st.w(i) == kX) {
+      Pair n = st;
+      n.set_w(i, kT);
+      emit(n);
+    }
 
-    for (int i = 0; i < 2 && violation.empty(); ++i) {
-      const int j = 1 - i;
-
-      // W_h: both witnesses thinking, it's thread i's turn.
-      if (st.w(i) == kT && st.w(j) == kT && st.sw() == i) {
-        State n = st;
-        n.set_w(i, kH);
-        emit(out, n);
+    if (!st.crashed()) {
+      // S_h: scheduled by trigger.
+      if (st.s(i) == kT && st.trigger() == i) {
+        Pair n = st;
+        n.set_s(i, kH);
+        emit(n);
       }
-      // Box grants the witness (nondeterministic; in exclusive mode only
-      // while the peer subject is not eating — a crashed subject frozen
-      // mid-meal does not block, per wait-freedom).
-      if (st.w(i) == kH && (!exclusive || st.s(i) != kE || st.crashed())) {
-        State n = st;
-        n.set_w(i, kE);
-        emit(out, n);
+      // Box grants the subject.
+      if (st.s(i) == kH && (!exclusive || st.w(i) != kE)) {
+        Pair n = st;
+        n.set_s(i, kE);
+        n.set_some_ate(true);
+        emit(n);
       }
-      // W_x: judge and exit.
-      if (st.w(i) == kE) {
-        if (options.check_accuracy && st.warmed(0) && st.warmed(1) &&
-            !st.haveping(i) && !st.crashed()) {
-          violation =
-              "Theorem 2 violated: wrongful suspicion after warm-up in "
-              "instance " +
-              std::to_string(i);
-          return {};
-        }
-        State n = st;
-        if (st.haveping(i)) n.set_warmed(i, true);
-        n.set_haveping(i, false);
-        n.set_sw(j);
-        n.set_w(i, kX);
-        emit(out, n);
+      // S_p: ping the witness.
+      if (st.s(i) == kE && st.s(j) != kE && st.ping_flag(i)) {
+        Pair n = st;
+        n.set_ping_flag(i, false);
+        n.set_ping_chan(i, st.ping_chan(i) + 1);
+        emit(n);
       }
-      // Witness exiting completes.
-      if (st.w(i) == kX) {
-        State n = st;
-        n.set_w(i, kT);
-        emit(out, n);
+      // S_x: hand-off complete, exit.
+      if (st.s(i) == kE && st.s(j) == kE && st.trigger() == j) {
+        Pair n = st;
+        n.set_ping_flag(i, true);
+        n.set_s(i, kX);
+        emit(n);
       }
-
-      if (!st.crashed()) {
-        // S_h: scheduled by trigger.
-        if (st.s(i) == kT && st.trigger() == i) {
-          State n = st;
-          n.set_s(i, kH);
-          emit(out, n);
-        }
-        // Box grants the subject.
-        if (st.s(i) == kH && (!exclusive || st.w(i) != kE)) {
-          State n = st;
-          n.set_s(i, kE);
-          n.set_some_ate(true);
-          emit(out, n);
-        }
-        // S_p: ping the witness.
-        if (st.s(i) == kE && st.s(j) != kE && st.ping_flag(i)) {
-          State n = st;
-          n.set_ping_flag(i, false);
-          n.set_ping_chan(i, st.ping_chan(i) + 1);
-          emit(out, n);
-        }
-        // S_x: hand-off complete, exit.
-        if (st.s(i) == kE && st.s(j) == kE && st.trigger() == j) {
-          State n = st;
-          n.set_ping_flag(i, true);
-          n.set_s(i, kX);
-          emit(out, n);
-        }
-        // Subject exiting completes.
-        if (st.s(i) == kX) {
-          State n = st;
-          n.set_s(i, kT);
-          emit(out, n);
-        }
-        // Ack delivery (S_a).
-        if (st.ack_chan(i) > 0) {
-          State n = st;
-          n.set_ack_chan(i, st.ack_chan(i) - 1);
-          n.set_trigger(j);
-          emit(out, n);
-        }
-      } else {
-        // Acks to a crashed process vanish at delivery time.
-        if (st.ack_chan(i) > 0) {
-          State n = st;
-          n.set_ack_chan(i, st.ack_chan(i) - 1);
-          emit(out, n);
-        }
+      // Subject exiting completes.
+      if (st.s(i) == kX) {
+        Pair n = st;
+        n.set_s(i, kT);
+        emit(n);
       }
-
-      // Ping delivery (W_p): the witness is correct; receive + ack is one
-      // atomic action in Alg. 1.
-      if (st.ping_chan(i) > 0) {
-        State n = st;
-        n.set_ping_chan(i, st.ping_chan(i) - 1);
-        n.set_haveping(i, true);
-        n.set_ack_chan(i, st.ack_chan(i) + 1);
-        emit(out, n);
+      // Ack delivery (S_a).
+      if (st.ack_chan(i) > 0) {
+        Pair n = st;
+        n.set_ack_chan(i, st.ack_chan(i) - 1);
+        n.set_trigger(j);
+        emit(n);
+      }
+    } else {
+      // Acks to a crashed process vanish at delivery time.
+      if (st.ack_chan(i) > 0) {
+        Pair n = st;
+        n.set_ack_chan(i, st.ack_chan(i) - 1);
+        emit(n);
       }
     }
 
-    // Nondeterministic subject crash.
-    if (options.allow_crash && !st.crashed()) {
-      State n = st;
-      n.set_crashed(true);
-      emit(out, n);
+    // Ping delivery (W_p): the witness is correct; receive + ack is one
+    // atomic action in Alg. 1.
+    if (st.ping_chan(i) > 0) {
+      Pair n = st;
+      n.set_ping_chan(i, st.ping_chan(i) - 1);
+      n.set_haveping(i, true);
+      n.set_ack_chan(i, st.ack_chan(i) + 1);
+      emit(n);
     }
-    return out;
   }
-};
+
+  // Nondeterministic subject crash.
+  if (options.allow_crash && !st.crashed()) {
+    Pair n = st;
+    n.set_crashed(true);
+    emit(n);
+  }
+}
 
 }  // namespace
 
-std::string describe_state(std::uint64_t packed) {
-  State st{packed};
-  std::ostringstream out;
-  out << "w0=" << thread_name(st.w(0)) << " w1=" << thread_name(st.w(1))
-      << " s0=" << thread_name(st.s(0)) << " s1=" << thread_name(st.s(1))
-      << " switch=" << st.sw() << " trigger=" << st.trigger()
-      << " haveping=" << st.haveping(0) << st.haveping(1)
-      << " ping=" << st.ping_flag(0) << st.ping_flag(1)
-      << " chans=p" << st.ping_chan(0) << st.ping_chan(1) << "/a"
-      << st.ack_chan(0) << st.ack_chan(1)
-      << (st.crashed() ? " CRASHED" : "");
-  return out.str();
+ReductionModel::ReductionModel(const McOptions& options) : options_(options) {
+  if (options_.pairs < 1) options_.pairs = 1;
+  if (options_.pairs > 2) options_.pairs = 2;  // 26 bits/pair, 64-bit key
 }
 
-McResult check_reduction(const McOptions& options) {
-  McResult result;
-  Explorer explorer{options, {}};
-
-  State initial{};  // all thinking, switch=0, trigger=0, pings true
-  initial.set_ping_flag(0, true);
-  initial.set_ping_flag(1, true);
-
-  std::unordered_set<std::uint64_t> seen;
-  std::deque<std::pair<State, std::uint64_t>> frontier;  // (state, depth)
-  seen.insert(initial.bits);
-  frontier.emplace_back(initial, 0);
-
-  if (std::string bad = check_invariants(initial); !bad.empty()) {
-    result.violation = bad + " | " + describe_state(initial.bits);
-    return result;
+std::vector<ReductionModel::State> ReductionModel::initial_states() const {
+  Pair pair{};  // all thinking, switch=0, trigger=0, pings true
+  pair.set_ping_flag(0, true);
+  pair.set_ping_flag(1, true);
+  State initial{};
+  for (int k = 0; k < options_.pairs; ++k) {
+    initial = with_pair(initial, k, pair);
   }
+  return {initial};
+}
 
-  while (!frontier.empty()) {
-    const auto [st, depth] = frontier.front();
-    frontier.pop_front();
-    ++result.states;
-    if (depth > result.depth) result.depth = depth;
-    if (result.states > options.max_states) {
-      result.violation = "state budget exceeded";
-      return result;
-    }
+void ReductionModel::successors(const State& state,
+                                std::vector<Transition<State>>& out) const {
+  for (int k = 0; k < options_.pairs; ++k) {
+    pair_successors(options_, pair_of(state, k), [&](const Pair& next) {
+      out.push_back({with_pair(state, k, next), kLabelNone});
+    });
+  }
+}
 
-    const std::vector<State> next = explorer.successors(st);
-    if (!explorer.violation.empty()) {
-      result.violation =
-          explorer.violation + " | from " + describe_state(st.bits);
-      return result;
-    }
-    if (next.empty() && options.check_deadlock && !st.crashed()) {
-      result.violation = "deadlock: " + describe_state(st.bits);
-      return result;
-    }
-    // Theorem 1 structural check: once crashed with drained channels,
-    // nothing may set haveping again.
-    if (st.crashed() && st.ping_chan(0) == 0 && st.ping_chan(1) == 0) {
-      for (const State& n : next) {
-        for (int i = 0; i < 2; ++i) {
-          if (!st.haveping(i) && n.haveping(i)) {
-            result.violation =
-                "Theorem 1 violated: haveping set after crash with empty "
-                "channels | " +
-                describe_state(st.bits);
-            return result;
-          }
+std::string ReductionModel::check_state(const State& state) const {
+  for (int k = 0; k < options_.pairs; ++k) {
+    const Pair st = pair_of(state, k);
+    std::string bad = check_pair_invariants(st);
+    // Theorem 2 inductive step: a warmed-up witness meal over a live
+    // subject always holds a ping at judgment time.
+    if (bad.empty() && options_.check_accuracy && !st.crashed() &&
+        st.warmed(0) && st.warmed(1)) {
+      for (int i = 0; i < 2 && bad.empty(); ++i) {
+        if (st.w(i) == kE && !st.haveping(i)) {
+          bad = "Theorem 2 violated: wrongful suspicion after warm-up in "
+                "instance " +
+                std::to_string(i);
         }
       }
     }
-    for (const State& n : next) {
-      ++result.transitions;
-      if (!seen.insert(n.bits).second) continue;
-      if (std::string bad = check_invariants(n); !bad.empty()) {
-        result.violation = bad + " | " + describe_state(n.bits);
-        return result;
-      }
-      frontier.emplace_back(n, depth + 1);
+    if (!bad.empty()) {
+      return bad + " | pair " + std::to_string(k) + ": " + describe_pair(st);
     }
   }
-  result.ok = true;
-  return result;
+  return {};
+}
+
+std::string ReductionModel::check_expansion(
+    const State& state, const std::vector<Transition<State>>& edges) const {
+  bool any_crashed = false;
+  for (int k = 0; k < options_.pairs; ++k) {
+    any_crashed = any_crashed || pair_of(state, k).crashed();
+  }
+  if (edges.empty() && options_.check_deadlock && !any_crashed) {
+    return "deadlock: " + describe(state);
+  }
+  // Theorem 1 structural check: once crashed with drained channels,
+  // nothing may set haveping again.
+  for (int k = 0; k < options_.pairs; ++k) {
+    const Pair st = pair_of(state, k);
+    if (!st.crashed() || st.ping_chan(0) != 0 || st.ping_chan(1) != 0) {
+      continue;
+    }
+    for (const Transition<State>& t : edges) {
+      const Pair next = pair_of(t.to, k);
+      for (int i = 0; i < 2; ++i) {
+        if (!st.haveping(i) && next.haveping(i)) {
+          return "Theorem 1 violated: haveping set after crash with empty "
+                 "channels | pair " +
+                 std::to_string(k) + ": " + describe_pair(st);
+        }
+      }
+    }
+  }
+  return {};
+}
+
+std::string ReductionModel::describe(const State& state) const {
+  if (options_.pairs == 1) return describe_pair(pair_of(state, 0));
+  std::string out;
+  for (int k = 0; k < options_.pairs; ++k) {
+    if (k > 0) out += "  ||  ";
+    out += "pair" + std::to_string(k) + "[" +
+           describe_pair(pair_of(state, k)) + "]";
+  }
+  return out;
+}
+
+static_assert(Model<ReductionModel>);
+
+std::string describe_state(std::uint64_t packed) {
+  return describe_pair(Pair{packed & kPairMask});
+}
+
+CheckResult check_reduction(const McOptions& options,
+                            const CheckOptions& check) {
+  return run_check(ReductionModel(options), check);
 }
 
 }  // namespace wfd::mc

@@ -1,5 +1,5 @@
-// Explicit-state model checker for the reduction (Alg. 1 + Alg. 2) against
-// an *abstract, fully nondeterministic* WF-<>WX dining box. Where the
+// Explicit-state model of the reduction (Alg. 1 + Alg. 2) against an
+// *abstract, fully nondeterministic* WF-<>WX dining box. Where the
 // simulator samples runs, the checker enumerates every interleaving of a
 // small, faithful abstraction — the right tool for a paper whose entire
 // contribution is a proof (and whose venue history includes a corrigendum:
@@ -20,7 +20,14 @@
 //    wait-freedom);
 //  * optionally, a nondeterministic subject crash that freezes s_0/s_1.
 //
-// Checked on every reachable state / transition:
+// `McOptions::pairs = 2` composes two independent ordered pairs side by
+// side in one 52-bit packed state and explores every interleaving of the
+// product — the reachable space is exactly the product of the per-pair
+// spaces, which both scales the exploration workload and machine-checks
+// that the lemma lattice survives composition (the full extraction runs
+// N(N-1) such pairs concurrently).
+//
+// Checked on every reachable state / transition (per pair):
 //  * Lemma 2:  s_i not eating  =>  ping_i = true
 //  * Lemma 3:  (s_i not eating and ping_i)  =>  both channels empty
 //  * Lemma 4:  s_i hungry  =>  trigger = i
@@ -37,6 +44,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
+
+#include "mc/model.hpp"
 
 namespace wfd::mc {
 
@@ -55,22 +65,37 @@ struct McOptions {
   bool check_accuracy = true;
   /// Check deadlock-freedom (meaningful without crash).
   bool check_deadlock = true;
-  std::uint64_t max_states = 50'000'000;
+  /// Independent ordered pairs composed in one state (1 or 2).
+  int pairs = 1;
 };
 
-struct McResult {
-  bool ok = false;
-  std::uint64_t states = 0;       ///< distinct states reached
-  std::uint64_t transitions = 0;  ///< edges explored
-  std::uint64_t depth = 0;        ///< BFS depth at completion
-  std::string violation;          ///< first violation, human-readable
+/// mc::Model implementation of the reduction abstraction; drive it through
+/// mc::run_check (or the check_reduction convenience wrapper).
+class ReductionModel {
+ public:
+  struct State {
+    std::uint64_t bits = 0;  ///< 26 packed bits per pair
+  };
+
+  explicit ReductionModel(const McOptions& options);
+
+  std::vector<State> initial_states() const;
+  void successors(const State& state,
+                  std::vector<Transition<State>>& out) const;
+  std::string check_state(const State& state) const;
+  std::string check_expansion(const State& state,
+                              const std::vector<Transition<State>>& edges) const;
+  std::string describe(const State& state) const;
+
+ private:
+  McOptions options_;
 };
 
-/// Exhaustively explore the model; returns on the first violation or after
-/// the full (finite) state space is covered.
-McResult check_reduction(const McOptions& options);
+/// Exhaustively explore the reduction model via mc::run_check.
+CheckResult check_reduction(const McOptions& options,
+                            const CheckOptions& check = {});
 
-/// Render a packed state for diagnostics.
+/// Render one pair's packed 26-bit state for diagnostics.
 std::string describe_state(std::uint64_t packed);
 
 }  // namespace wfd::mc

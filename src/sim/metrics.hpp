@@ -4,6 +4,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <iomanip>
 #include <iostream>
@@ -29,15 +30,27 @@ class Summary {
     return total / static_cast<double>(samples_.size());
   }
 
-  double min() const { return order(), samples_.empty() ? 0.0 : samples_.front(); }
-  double max() const { return order(), samples_.empty() ? 0.0 : samples_.back(); }
+  double min() const {
+    if (samples_.empty()) return 0.0;
+    order();
+    return samples_.front();
+  }
 
-  /// q in [0,1]; nearest-rank percentile.
+  double max() const {
+    if (samples_.empty()) return 0.0;
+    order();
+    return samples_.back();
+  }
+
+  /// q in [0,1]; nearest-rank percentile: the smallest sample with at
+  /// least ceil(q*n) samples at or below it (q = 0 yields the minimum).
   double percentile(double q) const {
     if (samples_.empty()) return 0.0;
     order();
-    const double pos = q * static_cast<double>(samples_.size() - 1);
-    const std::size_t idx = static_cast<std::size_t>(pos + 0.5);
+    const double clamped = std::clamp(q, 0.0, 1.0);
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(clamped * static_cast<double>(samples_.size())));
+    const std::size_t idx = rank == 0 ? 0 : rank - 1;
     return samples_[std::min(idx, samples_.size() - 1)];
   }
 

@@ -53,6 +53,45 @@ TEST(Summary, PercentilesMonotone) {
   EXPECT_EQ(summary.percentile(1.0), 99.0);
 }
 
+TEST(Summary, NearestRankAtSmallSampleCounts) {
+  // Nearest-rank: percentile(q) is the ceil(q*n)-th smallest sample. With
+  // two samples the median is the FIRST (ceil(0.5*2) = 1) — the old
+  // midpoint-rounding picked the second.
+  Summary two;
+  two.add(1.0);
+  two.add(2.0);
+  EXPECT_EQ(two.median(), 1.0);
+  EXPECT_EQ(two.percentile(0.25), 1.0);
+  EXPECT_EQ(two.percentile(0.75), 2.0);
+  EXPECT_EQ(two.percentile(1.0), 2.0);
+
+  Summary four;
+  for (double x : {10.0, 20.0, 30.0, 40.0}) four.add(x);
+  EXPECT_EQ(four.percentile(0.25), 10.0);  // ceil(1.0) = rank 1
+  EXPECT_EQ(four.median(), 20.0);          // ceil(2.0) = rank 2
+  EXPECT_EQ(four.percentile(0.51), 30.0);  // ceil(2.04) = rank 3
+  EXPECT_EQ(four.percentile(0.75), 30.0);  // ceil(3.0) = rank 3
+  EXPECT_EQ(four.percentile(0.76), 40.0);  // ceil(3.04) = rank 4
+}
+
+TEST(Summary, PercentileClampsOutOfRangeQuantiles) {
+  Summary summary;
+  summary.add(5.0);
+  summary.add(7.0);
+  EXPECT_EQ(summary.percentile(-0.5), 5.0);
+  EXPECT_EQ(summary.percentile(1.5), 7.0);
+}
+
+TEST(Summary, MinMaxAfterIncrementalAdds) {
+  Summary summary;
+  summary.add(3.0);
+  EXPECT_EQ(summary.min(), 3.0);
+  summary.add(-1.0);  // re-sorts lazily after the earlier query
+  summary.add(9.0);
+  EXPECT_EQ(summary.min(), -1.0);
+  EXPECT_EQ(summary.max(), 9.0);
+}
+
 TEST(Summary, AddAfterQueryStillCorrect) {
   Summary summary;
   summary.add(10.0);

@@ -1,9 +1,16 @@
 // Model-checker tests: exhaustive verification of the reduction's lemma
 // structure over every interleaving of the abstract model, in all three
-// regimes (mistake prefix, converged suffix, subject crash).
+// regimes (mistake prefix, converged suffix, subject crash) — all driven
+// through the unified mc::run_check / mc::CheckResult API — plus the
+// parallel engine's determinism guarantee (identical state count, depth
+// and verdict at every thread count).
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "mc/ablation_model.hpp"
+#include "mc/engine.hpp"
 #include "mc/gkk_model.hpp"
 #include "mc/reduction_model.hpp"
 
@@ -16,8 +23,8 @@ TEST(ModelChecker, ExclusiveSuffixAllLemmasHold) {
   options.allow_crash = false;
   options.check_accuracy = true;
   options.check_deadlock = true;
-  const McResult result = check_reduction(options);
-  EXPECT_TRUE(result.ok) << result.violation;
+  const CheckResult result = check_reduction(options);
+  EXPECT_TRUE(result.ok()) << result.counterexample;
   EXPECT_GT(result.states, 100u);
 }
 
@@ -30,8 +37,8 @@ TEST(ModelChecker, ArbitraryModeSafetyLemmasHold) {
   options.allow_crash = false;
   options.check_accuracy = false;
   options.check_deadlock = true;
-  const McResult result = check_reduction(options);
-  EXPECT_TRUE(result.ok) << result.violation;
+  const CheckResult result = check_reduction(options);
+  EXPECT_TRUE(result.ok()) << result.counterexample;
 }
 
 TEST(ModelChecker, CrashRegimeSafeAndComplete) {
@@ -40,8 +47,8 @@ TEST(ModelChecker, CrashRegimeSafeAndComplete) {
   options.allow_crash = true;
   options.check_accuracy = true;
   options.check_deadlock = true;
-  const McResult result = check_reduction(options);
-  EXPECT_TRUE(result.ok) << result.violation;
+  const CheckResult result = check_reduction(options);
+  EXPECT_TRUE(result.ok()) << result.counterexample;
 }
 
 TEST(ModelChecker, ArbitraryWithCrash) {
@@ -50,8 +57,8 @@ TEST(ModelChecker, ArbitraryWithCrash) {
   options.allow_crash = true;
   options.check_accuracy = false;
   options.check_deadlock = true;
-  const McResult result = check_reduction(options);
-  EXPECT_TRUE(result.ok) << result.violation;
+  const CheckResult result = check_reduction(options);
+  EXPECT_TRUE(result.ok()) << result.counterexample;
 }
 
 TEST(ModelChecker, StateSpaceIsModest) {
@@ -59,19 +66,17 @@ TEST(ModelChecker, StateSpaceIsModest) {
   options.mode = BoxMode::kArbitrary;
   options.allow_crash = true;
   options.check_accuracy = false;
-  const McResult result = check_reduction(options);
-  EXPECT_TRUE(result.ok) << result.violation;
+  const CheckResult result = check_reduction(options);
+  EXPECT_TRUE(result.ok()) << result.counterexample;
   // The abstraction stays tractable — document the scale.
   EXPECT_LT(result.states, 1000000u);
   EXPECT_GT(result.transitions, result.states);
 }
 
 TEST(ModelChecker, BudgetExhaustionReported) {
-  McOptions options;
-  options.max_states = 10;
-  const McResult result = check_reduction(options);
-  EXPECT_FALSE(result.ok);
-  EXPECT_NE(result.violation.find("budget"), std::string::npos);
+  const CheckResult result = check_reduction({}, {.max_states = 10});
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.counterexample.find("budget"), std::string::npos);
 }
 
 TEST(ModelChecker, DescribeStateIsReadable) {
@@ -80,23 +85,141 @@ TEST(ModelChecker, DescribeStateIsReadable) {
   EXPECT_NE(text.find("s1=thinking"), std::string::npos);
 }
 
+TEST(ModelChecker, ResultCarriesRunMetadata) {
+  const CheckResult result = check_reduction({}, {.threads = 2});
+  EXPECT_EQ(result.threads, 2);
+  EXPECT_GE(result.wall_ms, 0.0);
+  EXPECT_GT(result.depth, 0u);
+}
+
+// The reachable space of the two-pair composition is exactly the product
+// of the per-pair spaces (the pairs share no variables), and its BFS
+// diameter is the sum — a strong end-to-end check of both the composed
+// model and the engine's level accounting.
+TEST(ModelChecker, TwoPairCompositionIsProductOfOnePair) {
+  McOptions one;  // exclusive suffix, no crash
+  const CheckResult single = check_reduction(one, {.threads = 1});
+  ASSERT_TRUE(single.ok()) << single.counterexample;
+
+  McOptions two = one;
+  two.pairs = 2;
+  const CheckResult seq = check_reduction(two, {.threads = 1});
+  EXPECT_TRUE(seq.ok()) << seq.counterexample;
+  EXPECT_EQ(seq.states, single.states * single.states);
+  EXPECT_EQ(seq.transitions, 2 * single.states * single.transitions);
+  EXPECT_EQ(seq.depth, 2 * single.depth);
+
+  const CheckResult par = check_reduction(two, {.threads = 4});
+  EXPECT_EQ(par.states, seq.states);
+  EXPECT_EQ(par.transitions, seq.transitions);
+  EXPECT_EQ(par.depth, seq.depth);
+  EXPECT_EQ(par.ok(), seq.ok());
+}
+
+// --- the parallel engine's determinism guarantee ---------------------------
+
+TEST(ParallelEngine, DeterministicAcrossThreadCounts) {
+  for (const BoxMode mode : {BoxMode::kExclusive, BoxMode::kArbitrary}) {
+    for (const bool crash : {false, true}) {
+      McOptions options;
+      options.mode = mode;
+      options.allow_crash = crash;
+      options.check_accuracy = mode == BoxMode::kExclusive;
+      options.check_deadlock = true;
+      const CheckResult base = check_reduction(options, {.threads = 1});
+      for (const int threads : {2, 4}) {
+        const CheckResult result =
+            check_reduction(options, {.threads = threads});
+        EXPECT_EQ(result.states, base.states)
+            << "mode=" << static_cast<int>(mode) << " crash=" << crash
+            << " threads=" << threads;
+        EXPECT_EQ(result.transitions, base.transitions);
+        EXPECT_EQ(result.depth, base.depth);
+        EXPECT_EQ(result.ok(), base.ok());
+        EXPECT_EQ(result.counterexample, base.counterexample);
+        EXPECT_EQ(result.threads, threads);
+      }
+    }
+  }
+}
+
+// A synthetic model with wide BFS levels: the monotone lattice paths of a
+// K x K grid. Exercises run_check against a model defined entirely outside
+// src/mc — the concept is the whole contract — with closed-form state,
+// transition and depth counts.
+struct GridModel {
+  struct State {
+    std::uint64_t bits = 0;
+  };
+  std::uint64_t side = 64;
+
+  std::vector<State> initial_states() const { return {State{0}}; }
+
+  void successors(const State& st, std::vector<Transition<State>>& out) const {
+    const std::uint64_t x = st.bits % side;
+    const std::uint64_t y = st.bits / side;
+    if (x + 1 < side) out.push_back({State{st.bits + 1}, kLabelNone});
+    if (y + 1 < side) out.push_back({State{st.bits + side}, kLabelNone});
+  }
+
+  std::string check_state(const State&) const { return {}; }
+  std::string check_expansion(const State&,
+                              const std::vector<Transition<State>>&) const {
+    return {};
+  }
+  std::string describe(const State& st) const {
+    return "(" + std::to_string(st.bits % side) + "," +
+           std::to_string(st.bits / side) + ")";
+  }
+};
+
+static_assert(Model<GridModel>);
+
+TEST(ParallelEngine, GenericGridModelHasClosedFormCounts) {
+  const GridModel model{.side = 64};
+  const CheckResult base = run_check(model, {.threads = 1});
+  EXPECT_TRUE(base.ok());
+  EXPECT_EQ(base.states, 64u * 64u);
+  EXPECT_EQ(base.transitions, 2u * 64u * 63u);  // 2K(K-1) lattice edges
+  EXPECT_EQ(base.depth, 126u);                  // 2(K-1) anti-diagonals
+  for (const int threads : {2, 4, 8}) {
+    const CheckResult result = run_check(model, {.threads = threads});
+    EXPECT_EQ(result.states, base.states) << "threads=" << threads;
+    EXPECT_EQ(result.transitions, base.transitions);
+    EXPECT_EQ(result.depth, base.depth);
+  }
+}
+
+TEST(ParallelEngine, BudgetStopIsDeterministicToo) {
+  for (const int threads : {1, 2, 4}) {
+    const CheckResult result =
+        run_check(GridModel{.side = 64}, {.threads = threads,
+                                          .max_states = 100});
+    EXPECT_FALSE(result.ok());
+    EXPECT_NE(result.counterexample.find("budget"), std::string::npos);
+    // Complete levels only: 1 + 2 + ... + 13 = 91 states, the 14th level
+    // would cross the 100-state budget.
+    EXPECT_EQ(result.states, 91u) << "threads=" << threads;
+  }
+}
+
 // --- the GKK liveness counterexample, mechanically -------------------------
 
 TEST(GkkModel, ForkBasedBoxAdmitsEternalWrongfulSuspicion) {
-  const GkkResult result = check_gkk(GkkBoxSemantics::kForkBased);
-  EXPECT_TRUE(result.lasso_found)
+  const CheckResult result = check_gkk(GkkBoxSemantics::kForkBased);
+  EXPECT_FALSE(result.ok())
       << "the Section 3 counterexample must exist as a lasso";
-  EXPECT_FALSE(result.witness_cycle.empty());
-  EXPECT_NE(result.witness_cycle.find("suspects correct q"),
+  EXPECT_FALSE(result.counterexample.empty());
+  EXPECT_NE(result.counterexample.find("suspects correct q"),
             std::string::npos);
 }
 
 TEST(GkkModel, LockoutBoxAdmitsNoSuchLasso) {
-  const GkkResult result = check_gkk(GkkBoxSemantics::kLockout);
-  EXPECT_FALSE(result.lasso_found)
+  const CheckResult result = check_gkk(GkkBoxSemantics::kLockout);
+  EXPECT_TRUE(result.ok())
       << "with the never-exiting eater holding the lock, the witness is "
          "locked out: no infinite wrongful-suspicion run — cycle: "
-      << result.witness_cycle;
+      << result.counterexample;
 }
 
 TEST(AblationModel, SingleInstanceAdmitsEternalWrongfulSuspicion) {
@@ -104,16 +227,16 @@ TEST(AblationModel, SingleInstanceAdmitsEternalWrongfulSuspicion) {
   // which the subject keeps completing meals AND the witness keeps
   // judging without a ping — the mechanical counterpart of E9, and the
   // reason the paper's construction needs two instances + the hand-off.
-  const AblationResult result = check_single_instance_ablation();
-  EXPECT_TRUE(result.lasso_found) << "expected the E9 lasso";
-  EXPECT_NE(result.witness_cycle.find("wrongfully suspects"),
+  const CheckResult result = check_ablation();
+  EXPECT_FALSE(result.ok()) << "expected the E9 lasso";
+  EXPECT_NE(result.counterexample.find("wrongfully suspects"),
             std::string::npos);
   EXPECT_LT(result.states, 200u);
 }
 
 TEST(GkkModel, StateSpacesAreTiny) {
-  const GkkResult fork_based = check_gkk(GkkBoxSemantics::kForkBased);
-  const GkkResult lockout = check_gkk(GkkBoxSemantics::kLockout);
+  const CheckResult fork_based = check_gkk(GkkBoxSemantics::kForkBased);
+  const CheckResult lockout = check_gkk(GkkBoxSemantics::kLockout);
   EXPECT_LT(fork_based.states, 100u);
   EXPECT_LT(lockout.states, 100u);
   EXPECT_GT(fork_based.transitions, fork_based.states);
