@@ -22,6 +22,14 @@ class DelayModel {
   virtual ~DelayModel() = default;
   /// Delay for a message src -> dst handed to the channel at `now`.
   virtual Time delay(ProcessId src, ProcessId dst, Time now, Rng& rng) = 0;
+  /// If every delay() is exactly `min + rng.below(max - min + 1)` regardless
+  /// of (src, dst, now), report the bounds and return true: the engine then
+  /// inlines the draw on its send path instead of paying a virtual call per
+  /// message. The inlined draw must consume the identical RNG sequence, so
+  /// only models whose delay() is that one uniform draw may opt in.
+  virtual bool uniform_bounds(Time& /*min*/, Time& /*max*/) const {
+    return false;
+  }
 };
 
 /// Constant delay (synchronous channel; useful for unit tests).
@@ -42,6 +50,11 @@ class UniformDelay final : public DelayModel {
         max_(max_ticks < min_ ? min_ : max_ticks) {}
   Time delay(ProcessId, ProcessId, Time, Rng& rng) override {
     return rng.range(min_, max_);
+  }
+  bool uniform_bounds(Time& min, Time& max) const override {
+    min = min_;
+    max = max_;
+    return true;
   }
 
  private:

@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace wfd::sim {
@@ -29,15 +30,31 @@ void Engine::set_scheduler(std::unique_ptr<Scheduler> scheduler) {
 void Engine::schedule_crash(ProcessId pid, Time at) {
   if (pid >= processes_.size()) throw std::out_of_range("schedule_crash: pid");
   crash_at_[pid] = at;
+  // Rescheduling leaves the superseded entry in the band; apply_crashes_due
+  // filters entries that no longer match crash_at_. Cancellation (kNever)
+  // queues nothing.
+  if (at == kNever) return;
+  const PendingCrash entry{at, pid};
+  pending_crashes_.insert(
+      std::upper_bound(pending_crashes_.begin(), pending_crashes_.end(), entry),
+      entry);
 }
 
 void Engine::init() {
   if (initialized_) return;
   if (!delay_) delay_ = std::make_unique<UniformDelay>(1, 8);
   if (!scheduler_) scheduler_ = std::make_unique<RandomScheduler>();
+  Time delay_max = 1;
+  delay_uniform_ = delay_->uniform_bounds(delay_min_, delay_max);
+  if (delay_uniform_) delay_span_ = delay_max - delay_min_ + 1;
   live_.clear();
-  for (ProcessId pid = 0; pid < processes_.size(); ++pid) live_.push_back(pid);
-  sender_seen_.assign(processes_.size(), false);
+  live_pos_.assign(processes_.size(), 0);
+  for (ProcessId pid = 0; pid < processes_.size(); ++pid) {
+    live_.push_back(pid);
+    live_pos_[pid] = pid;
+  }
+  sender_epoch_.assign(processes_.size(), 0);
+  recv_epoch_ = 0;
   initialized_ = true;
   for (ProcessId pid = 0; pid < processes_.size(); ++pid) {
     Context ctx(*this, pid);
@@ -46,56 +63,62 @@ void Engine::init() {
 }
 
 void Engine::apply_crashes_due() {
-  bool any = false;
-  for (ProcessId pid = 0; pid < processes_.size(); ++pid) {
-    if (!crashed_[pid] && crash_at_[pid] != kNever && now_ >= crash_at_[pid]) {
-      crashed_[pid] = true;
-      any = true;
-      ++stats_.crashes;
-      // A crashed process never takes another step; pending inbound traffic
-      // can never be observed, so discard it now.
-      stats_.messages_dropped += inbound_[pid].size();
-      inbound_[pid] = TransitQueue{};
-      trace_.emit(Event{now_, EventKind::kCrash, pid, 0, 0, 0});
-    }
-  }
-  if (any) {
-    live_.clear();
-    for (ProcessId pid = 0; pid < processes_.size(); ++pid) {
-      if (!crashed_[pid]) live_.push_back(pid);
-    }
+  // Entries pop in (time, pid) order; step() only calls this when the back
+  // entry is actually due. Superseded entries (crash rescheduled or
+  // cancelled after queueing) no longer match crash_at_ and are skipped.
+  while (!pending_crashes_.empty() && pending_crashes_.back().at <= now_) {
+    const PendingCrash entry = pending_crashes_.back();
+    pending_crashes_.pop_back();
+    const ProcessId pid = entry.pid;
+    if (crashed_[pid] || crash_at_[pid] != entry.at) continue;
+    crashed_[pid] = true;
+    ++stats_.crashes;
+    // A crashed process never takes another step; pending inbound traffic
+    // can never be observed, so discard it now.
+    stats_.messages_dropped += inbound_[pid].size();
+    inbound_[pid].clear();
+    trace_.emit(EventKind::kCrash, now_, pid);
+    const std::size_t pos = live_pos_[pid];
+    live_.erase(live_.begin() + static_cast<std::ptrdiff_t>(pos));
+    for (std::size_t i = pos; i < live_.size(); ++i) live_pos_[live_[i]] = i;
   }
 }
 
 void Engine::deliver_phase(ProcessId pid, Context& ctx) {
   // Receive at most one deliverable message per sender (Section 4's step
-  // semantics). Later-deadline duplicates from the same sender stay queued
-  // for subsequent steps; reliability is preserved because deadlines are
-  // finite and the process steps infinitely often while correct.
-  TransitQueue& queue = inbound_[pid];
-  deferred_.clear();
-  std::fill(sender_seen_.begin(), sender_seen_.end(), false);
-  while (!queue.empty() && queue.top().deliver_at <= now_) {
-    InTransit item = queue.top();
-    queue.pop();
+  // semantics). Later-deadline duplicates from the same sender stay in the
+  // queue's deferred band for subsequent steps; reliability is preserved
+  // because deadlines are finite and the process steps infinitely often
+  // while correct.
+  CalendarQueue& queue = inbound_[pid];
+  if (queue.size() == 0) return;
+  const std::uint64_t epoch = ++recv_epoch_;
+  // Hoisted locals: on_message may send (mutating engine state the compiler
+  // must otherwise assume aliases these), but never the clock, the stamp
+  // array, or the receiving process.
+  std::uint64_t* const stamps = sender_epoch_.data();
+  Process* const proc = processes_[pid].get();
+  const Time now = now_;
+  std::uint64_t delivered = 0;
+  queue.drain_due(now, [&](const InTransit& item) {
     const ProcessId src = item.msg.src;
-    if (sender_seen_[src]) {
-      deferred_.push_back(std::move(item));
-      continue;
-    }
-    sender_seen_[src] = true;
-    ++stats_.messages_delivered;
-    trace_.emit(Event{now_, EventKind::kDeliver, pid, src, item.msg.port,
-                      item.msg.payload.kind});
-    processes_[pid]->on_message(ctx, item.msg);
-  }
-  for (InTransit& item : deferred_) queue.push(std::move(item));
+    if (stamps[src] == epoch) return false;  // defer the duplicate
+    stamps[src] = epoch;
+    ++delivered;
+    trace_.emit(EventKind::kDeliver, now, pid, src, item.msg.port,
+                item.msg.payload.kind);
+    proc->on_message(ctx, item.msg);
+    return true;
+  });
+  stats_.messages_delivered += delivered;
 }
 
 bool Engine::step() {
   if (!initialized_) init();
   ++now_;
-  apply_crashes_due();
+  if (!pending_crashes_.empty() && pending_crashes_.back().at <= now_) {
+    apply_crashes_due();
+  }
   if (live_.empty()) return false;
 
   const ProcessId pid = scheduler_->next(live_, now_, rng_);
@@ -106,7 +129,7 @@ bool Engine::step() {
   deliver_phase(pid, ctx);
   processes_[pid]->on_step(ctx);
   ++stats_.steps;
-  trace_.emit(Event{now_, EventKind::kStep, pid, 0, 0, 0});
+  trace_.emit(EventKind::kStep, now_, pid);
   return true;
 }
 
@@ -131,7 +154,7 @@ bool Engine::run_until(const std::function<bool()>& pred,
 
 std::size_t Engine::in_transit_count() const {
   std::size_t total = 0;
-  for (const TransitQueue& queue : inbound_) total += queue.size();
+  for (const CalendarQueue& queue : inbound_) total += queue.size();
   return total;
 }
 
@@ -143,15 +166,26 @@ void Engine::send_from(ProcessId src, ProcessId dst, Port port,
     throw std::logic_error("send bound exceeded in one atomic step");
   }
   ++stats_.messages_sent;
-  trace_.emit(Event{now_, EventKind::kSend, src, dst, port, payload.kind});
+  trace_.emit(EventKind::kSend, now_, src, dst, port, payload.kind);
   if (crashed_[dst]) {
     ++stats_.messages_dropped;
-    trace_.emit(Event{now_, EventKind::kDrop, dst, src, port, payload.kind});
+    trace_.emit(EventKind::kDrop, now_, dst, src, port, payload.kind);
     return;
   }
-  Message msg{src, dst, port, payload, now_, next_seq_++};
-  const Time transit = delay_->delay(src, dst, now_, rng_);
-  inbound_[dst].push(InTransit{now_ + (transit < 1 ? 1 : transit), msg});
+  Time deliver_at;
+  if (delay_uniform_) {
+    deliver_at = now_ + delay_min_ + rng_.below(delay_span_);  // min >= 1
+  } else {
+    const Time transit = delay_->delay(src, dst, now_, rng_);
+    deliver_at = now_ + (transit < 1 ? 1 : transit);
+  }
+  Message& slot = inbound_[dst].push(deliver_at);
+  slot.src = src;
+  slot.dst = dst;
+  slot.port = port;
+  slot.payload = payload;
+  slot.sent_at = now_;
+  slot.seq = next_seq_++;
 }
 
 }  // namespace wfd::sim

@@ -1,13 +1,27 @@
 // The simulation engine: owns processes, channels, clock, scheduler, fault
 // plan and trace, and advances the run one atomic step at a time. Every run
 // is a pure function of (configuration, seed).
+//
+// Hot-path layout (one step = one scheduled process):
+//   * per-destination CalendarQueue transit queues — O(1) push, bulk-ordered
+//     collect, in-place deferral (sim/transit_queue.hpp);
+//   * pending crashes kept as a time-sorted band, so the no-crash-due common
+//     case is a single comparison instead of an all-process scan;
+//   * the receive phase stamps senders with a step epoch instead of
+//     refilling a seen-bitmap, and defers duplicates inside the queue's
+//     ready band instead of popping into a side buffer and re-pushing;
+//   * trace emission is a branch-and-return unless the event kind is
+//     enabled (sim/trace.hpp).
+// None of this may change observable behavior: delivery follows exact
+// (deliver_at, seq) order and the RNG draw sequence is untouched, so traces
+// stay byte-identical to the pre-overhaul heap engine (pinned by
+// tests/test_determinism.cpp).
 #pragma once
 
 #include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "sim/delay.hpp"
@@ -15,6 +29,7 @@
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/trace.hpp"
+#include "sim/transit_queue.hpp"
 #include "sim/types.hpp"
 
 namespace wfd::sim {
@@ -54,6 +69,8 @@ class Engine {
   void set_delay_model(std::unique_ptr<DelayModel> model);
   void set_scheduler(std::unique_ptr<Scheduler> scheduler);
   /// Schedule a crash: `pid` ceases execution at tick `at` (never recovers).
+  /// May also be called mid-run for a future tick (or `at` = now, taking
+  /// effect on the next step); rescheduling a pid replaces its crash time.
   void schedule_crash(ProcessId pid, Time at);
 
   /// Finish configuration; runs on_init for every process. Idempotent.
@@ -92,17 +109,15 @@ class Engine {
   void apply_crashes_due();
   void deliver_phase(ProcessId pid, Context& ctx);
 
-  struct InTransit {
-    Time deliver_at = 0;
-    Message msg{};
-    /// Min-heap ordering by (deliver_at, seq): deterministic tie-breaks.
-    bool operator>(const InTransit& other) const {
-      if (deliver_at != other.deliver_at) return deliver_at > other.deliver_at;
-      return msg.seq > other.msg.seq;
+  struct PendingCrash {
+    Time at = 0;
+    ProcessId pid = kNoProcess;
+    /// Sorted descending so the earliest (at, pid) sits at the back.
+    friend bool operator<(const PendingCrash& a, const PendingCrash& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.pid > b.pid;
     }
   };
-  using TransitQueue =
-      std::priority_queue<InTransit, std::vector<InTransit>, std::greater<>>;
 
   EngineConfig config_;
   Rng rng_;
@@ -113,16 +128,35 @@ class Engine {
   bool initialized_ = false;
 
   std::vector<std::unique_ptr<Process>> processes_;
-  std::vector<TransitQueue> inbound_;      // per destination
-  std::vector<bool> crashed_;
+  std::vector<CalendarQueue> inbound_;     // per destination
+  /// Byte per pid (not vector<bool>): tested on every send and step.
+  std::vector<std::uint8_t> crashed_;
   std::vector<Time> crash_at_;             // kNever if correct
-  std::vector<ProcessId> live_;            // dense list, rebuilt on crash
+  /// Crash times not yet applied, sorted descending by (at, pid): the step
+  /// loop pays one comparison against the back until a crash is really due.
+  /// May hold stale entries after a reschedule; apply filters them against
+  /// crash_at_.
+  std::vector<PendingCrash> pending_crashes_;
+  /// Dense, ascending list of live process ids. Kept ascending (the
+  /// scheduler draw sequence depends on the order, so a swap-remove would
+  /// change runs); a crash erases at the known index in live_pos_ instead
+  /// of rescanning and reallocating the whole list.
+  std::vector<ProcessId> live_;
+  std::vector<std::size_t> live_pos_;      // pid -> index in live_
   std::unique_ptr<DelayModel> delay_;
   std::unique_ptr<Scheduler> scheduler_;
 
-  // scratch for the receive phase (avoid per-step allocation)
-  std::vector<InTransit> deferred_;
-  std::vector<bool> sender_seen_;
+  /// Devirtualized uniform delay draw (see DelayModel::uniform_bounds):
+  /// when the model opts in, send_from inlines `min + below(span)` — the
+  /// exact draw delay() would make — instead of a virtual call per message.
+  bool delay_uniform_ = false;
+  Time delay_min_ = 1;
+  Time delay_span_ = 1;
+
+  /// Receive-phase epoch stamps: sender_epoch_[src] == recv_epoch_ means
+  /// src already delivered this step. Replaces a per-step O(n) bitmap fill.
+  std::vector<std::uint64_t> sender_epoch_;
+  std::uint64_t recv_epoch_ = 0;
   std::uint32_t sends_this_step_ = 0;
 };
 
@@ -133,12 +167,12 @@ inline void Context::send(ProcessId dst, Port port, const Payload& payload) {
   engine_.send_from(self_, dst, port, payload);
 }
 inline void Context::record(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
-  engine_.trace().emit(Event{engine_.now(), EventKind::kCustom, self_, a, b, c});
+  engine_.trace().emit(EventKind::kCustom, engine_.now(), self_, a, b, c);
 }
 inline void Context::record_kind(std::uint8_t kind, std::uint64_t a,
                                  std::uint64_t b, std::uint64_t c) {
-  engine_.trace().emit(
-      Event{engine_.now(), static_cast<EventKind>(kind), self_, a, b, c});
+  engine_.trace().emit(static_cast<EventKind>(kind), engine_.now(), self_, a,
+                       b, c);
 }
 
 }  // namespace wfd::sim

@@ -42,12 +42,19 @@ class Rng {
   }
 
   /// Uniform integer in [0, bound); bound must be > 0. Debiased via
-  /// rejection on the top of the range.
+  /// rejection on the top of the range. Power-of-two bounds take a mask
+  /// fast path with no divisions; it emits exactly the sequence the general
+  /// path would (2^64 mod bound == 0, so the rejection threshold is 0 and
+  /// the first draw is always accepted), keeping runs bit-identical.
   std::uint64_t below(std::uint64_t bound) {
-    const std::uint64_t threshold = -bound % bound;
+    if ((bound & (bound - 1)) == 0) return next() & (bound - 1);
+    if (bound != cached_bound_) {
+      cached_bound_ = bound;
+      cached_threshold_ = -bound % bound;
+    }
     for (;;) {
       const std::uint64_t r = next();
-      if (r >= threshold) return r % bound;
+      if (r >= cached_threshold_) return r % bound;
     }
   }
 
@@ -92,6 +99,10 @@ class Rng {
     return (x << k) | (x >> (64 - k));
   }
   std::uint64_t state_[4]{};
+  /// Rejection-threshold memo for repeated non-power-of-two bounds (call
+  /// sites overwhelmingly reuse one bound). Pure cache: no effect on draws.
+  std::uint64_t cached_bound_ = 0;
+  std::uint64_t cached_threshold_ = 0;
 };
 
 }  // namespace wfd::sim

@@ -2,8 +2,17 @@
 // processes with no bound on relative speeds; the only obligation is weak
 // fairness: every correct process takes infinitely many steps. Each
 // scheduler here realizes a family of such adversaries.
+//
+// Hot-path contract: `next` runs once per engine step, so every scheduler
+// is O(1) (or O(log n) for weighted draws) per call, with any O(n) work
+// amortized over live-set changes — which only happen on crashes. The
+// number and order of RNG draws per call is part of the engine's
+// bit-reproducibility contract: a scheduler must consume exactly the same
+// draws for the same (live set, now) sequence regardless of internal
+// caching.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -14,7 +23,8 @@
 namespace wfd::sim {
 
 /// Chooses which live process takes the next atomic step. `live` is the
-/// dense list of currently live process ids (never empty when called).
+/// dense list of currently live process ids, sorted ascending (never empty
+/// when called; it changes only when a process crashes).
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
@@ -22,27 +32,19 @@ class Scheduler {
 };
 
 /// Deterministic round-robin over live processes: the most regular fair run.
+/// The cursor indexes the live list directly, so each call is O(1) and after
+/// a crash every surviving process still steps within one round (any
+/// live.size() consecutive calls sweep the whole list, wherever the removal
+/// left the cursor).
 class RoundRobinScheduler final : public Scheduler {
  public:
   ProcessId next(std::span<const ProcessId> live, Time, Rng&) override {
-    // Advance past crashed ids by searching the next live id >= cursor.
-    for (std::size_t scanned = 0; scanned < live.size(); ++scanned) {
-      for (ProcessId pid : live) {
-        if (pid == cursor_) {
-          cursor_ = cursor_ + 1;
-          return pid;
-        }
-      }
-      // cursor_ names a crashed/absent id; try the following one (wrap far).
-      ++cursor_;
-      if (cursor_ > 4 * live.size() + 64) cursor_ = 0;
-    }
-    cursor_ = live.front() + 1;
-    return live.front();
+    if (cursor_ >= live.size()) cursor_ = 0;
+    return live[cursor_++];
   }
 
  private:
-  ProcessId cursor_ = 0;
+  std::size_t cursor_ = 0;
 };
 
 /// Uniform random choice: fair with probability 1, and the default
@@ -56,34 +58,53 @@ class RandomScheduler final : public Scheduler {
 
 /// Random choice with per-process speed weights — models unbounded relative
 /// speeds (a weight-1 process beside a weight-1000 process steps ~1000x
-/// less often, yet still infinitely often).
+/// less often, yet still infinitely often). The live weight total and
+/// prefix sums are cached and rebuilt only when the live set shrinks
+/// (a crash), so a draw is one RNG call plus a binary search instead of two
+/// O(n) walks per step.
 class WeightedScheduler final : public Scheduler {
  public:
   explicit WeightedScheduler(std::vector<std::uint64_t> weights)
       : weights_(std::move(weights)) {}
 
   ProcessId next(std::span<const ProcessId> live, Time, Rng& rng) override {
-    std::uint64_t total = 0;
-    for (ProcessId pid : live) total += weight(pid);
-    std::uint64_t ticket = rng.below(total);
-    for (ProcessId pid : live) {
-      const std::uint64_t w = weight(pid);
-      if (ticket < w) return pid;
-      ticket -= w;
-    }
-    return live.back();
+    if (live.size() != cached_live_) rebuild(live);
+    const std::uint64_t ticket = rng.below(total_);
+    // Smallest index whose inclusive prefix exceeds the ticket — identical
+    // to the sequential subtraction walk this replaced.
+    const auto pos = std::upper_bound(prefix_.begin(), prefix_.end(), ticket);
+    return live[static_cast<std::size_t>(pos - prefix_.begin())];
   }
 
  private:
   std::uint64_t weight(ProcessId pid) const {
     return pid < weights_.size() && weights_[pid] > 0 ? weights_[pid] : 1;
   }
+
+  void rebuild(std::span<const ProcessId> live) {
+    prefix_.clear();
+    total_ = 0;
+    for (ProcessId pid : live) {
+      total_ += weight(pid);
+      prefix_.push_back(total_);
+    }
+    cached_live_ = live.size();
+  }
+
   std::vector<std::uint64_t> weights_;
+  std::vector<std::uint64_t> prefix_;  ///< inclusive prefix sums over live
+  std::uint64_t total_ = 0;
+  std::size_t cached_live_ = 0;  ///< live.size() the cache was built for
 };
 
 /// Adversarial stalls: selected processes take no steps during [from, until)
 /// (a finite pause — correct processes still take infinitely many steps, so
 /// fairness holds). Falls back to uniform choice among unpaused processes.
+///
+/// Pause windows are interval-indexed: a sorted boundary list tracks how
+/// many windows are open at `now`, so outside every window the pick is a
+/// single counter check plus one draw; per-process sorted interval cursors
+/// make each paused() probe O(1) amortized while any window is open.
 class PausingScheduler final : public Scheduler {
  public:
   struct Pause {
@@ -93,9 +114,37 @@ class PausingScheduler final : public Scheduler {
   };
 
   explicit PausingScheduler(std::vector<Pause> pauses)
-      : pauses_(std::move(pauses)) {}
+      : pauses_(std::move(pauses)) {
+    ProcessId max_pid = 0;
+    for (const Pause& pause : pauses_) {
+      if (pause.from >= pause.until || pause.pid == kNoProcess) continue;
+      boundaries_.push_back(Boundary{pause.from, +1});
+      boundaries_.push_back(Boundary{pause.until, -1});
+      if (pause.pid > max_pid) max_pid = pause.pid;
+    }
+    std::sort(boundaries_.begin(), boundaries_.end(),
+              [](const Boundary& a, const Boundary& b) { return a.at < b.at; });
+    intervals_.resize(static_cast<std::size_t>(max_pid) + 1);
+    for (const Pause& pause : pauses_) {
+      if (pause.from >= pause.until || pause.pid == kNoProcess) continue;
+      intervals_[pause.pid].push_back({pause.from, pause.until});
+    }
+    for (auto& list : intervals_) std::sort(list.begin(), list.end());
+    cursors_.assign(intervals_.size(), 0);
+  }
 
   ProcessId next(std::span<const ProcessId> live, Time now, Rng& rng) override {
+    if (now < last_now_) reset();  // reused in a fresh run: rewind the index
+    last_now_ = now;
+    while (boundary_idx_ < boundaries_.size() &&
+           boundaries_[boundary_idx_].at <= now) {
+      open_windows_ += boundaries_[boundary_idx_++].delta;
+    }
+    if (open_windows_ == 0) {
+      // No window open: everyone is eligible, one draw over live — the same
+      // draw the eligible-list path would make.
+      return live[rng.pick_index(live)];
+    }
     eligible_.clear();
     for (ProcessId pid : live) {
       if (!paused(pid, now)) eligible_.push_back(pid);
@@ -106,13 +155,32 @@ class PausingScheduler final : public Scheduler {
   }
 
  private:
-  bool paused(ProcessId pid, Time now) const {
-    for (const Pause& pause : pauses_) {
-      if (pause.pid == pid && now >= pause.from && now < pause.until) return true;
-    }
-    return false;
+  struct Boundary {
+    Time at = 0;
+    int delta = 0;
+  };
+
+  bool paused(ProcessId pid, Time now) {
+    if (pid >= intervals_.size()) return false;
+    const auto& list = intervals_[pid];
+    std::size_t& cursor = cursors_[pid];
+    while (cursor < list.size() && list[cursor].second <= now) ++cursor;
+    return cursor < list.size() && list[cursor].first <= now;
   }
+
+  void reset() {
+    boundary_idx_ = 0;
+    open_windows_ = 0;
+    std::fill(cursors_.begin(), cursors_.end(), 0);
+  }
+
   std::vector<Pause> pauses_;
+  std::vector<Boundary> boundaries_;  ///< sorted window open/close edges
+  std::size_t boundary_idx_ = 0;
+  int open_windows_ = 0;
+  std::vector<std::vector<std::pair<Time, Time>>> intervals_;  ///< per pid
+  std::vector<std::size_t> cursors_;
+  Time last_now_ = 0;
   std::vector<ProcessId> eligible_;
 };
 

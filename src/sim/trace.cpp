@@ -4,6 +4,14 @@
 
 namespace wfd::sim {
 
+void Trace::dispatch(const Event& event) {
+  if (events_.size() < max_events_) events_.push_back(event);
+  const std::uint64_t bit = kind_mask(event.kind);
+  for (const Subscription& sub : observers_) {
+    if (sub.mask & bit) sub.fn(event);
+  }
+}
+
 const char* to_string(EventKind kind) {
   switch (kind) {
     case EventKind::kStep: return "step";

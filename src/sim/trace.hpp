@@ -2,6 +2,13 @@
 // about runs as sequences of enabled steps; monitors and experiments reason
 // about the event trace). Events are small PODs; observers subscribe for
 // online property checking without retaining the whole trace.
+//
+// The emit path is zero-cost when nobody listens: the sink keeps a bitmask
+// of enabled event kinds (the union of retention and every subscription's
+// kind mask), and `emit` is a single branch-and-return unless the event's
+// kind is enabled. Experiments that only care about, say, diner transitions
+// subscribe with a kind mask so the engine never pays std::function fan-out
+// for step/send/deliver events.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +44,19 @@ struct Event {
 const char* to_string(EventKind kind);
 std::string to_string(const Event& event);
 
+/// Bit for one event kind in a subscription mask. Kinds beyond 63 (possible
+/// through the raw record_kind escape hatch) alias low bits, which can only
+/// over-deliver to typed observers, never drop an event they asked for —
+/// full-mask subscriptions are unaffected.
+constexpr std::uint64_t kind_mask(EventKind kind) {
+  return 1ull << (static_cast<unsigned>(kind) & 63u);
+}
+template <class... Kinds>
+constexpr std::uint64_t kind_mask(EventKind first, Kinds... rest) {
+  return kind_mask(first) | kind_mask(rest...);
+}
+inline constexpr std::uint64_t kAllEventKinds = ~0ull;
+
 /// Event sink: optionally retains events (bounded) and fans out to
 /// subscribed observers. Observers must not mutate the engine.
 class Trace {
@@ -45,22 +65,53 @@ class Trace {
 
   /// Retain at most `max_events` in memory (0 = retain nothing; observers
   /// still fire). Retention is for debugging and offline checks.
-  explicit Trace(std::size_t max_events = 0) : max_events_(max_events) {}
+  explicit Trace(std::size_t max_events = 0) : max_events_(max_events) {
+    if (max_events_ > 0) enabled_ = kAllEventKinds;
+  }
 
-  void subscribe(Observer observer) { observers_.push_back(std::move(observer)); }
+  /// Observe every event (legacy form; enables all kinds).
+  void subscribe(Observer observer) {
+    subscribe_kinds(kAllEventKinds, std::move(observer));
+  }
+
+  /// Observe only events whose kind bit is set in `mask` (build it with
+  /// kind_mask(...)). Keeps every other kind on the zero-cost path.
+  void subscribe_kinds(std::uint64_t mask, Observer observer) {
+    observers_.push_back(Subscription{mask, std::move(observer)});
+    enabled_ |= mask;
+  }
+
+  /// True if an emit of `kind` would do any work — lets callers skip even
+  /// assembling the event payload.
+  bool wants(EventKind kind) const { return (enabled_ & kind_mask(kind)) != 0; }
 
   void emit(const Event& event) {
-    if (events_.size() < max_events_) events_.push_back(event);
-    for (const auto& obs : observers_) obs(event);
+    if (!wants(event.kind)) return;  // zero-cost disabled path
+    dispatch(event);
+  }
+
+  /// Emit without constructing the Event unless someone listens.
+  void emit(EventKind kind, Time time, ProcessId pid, std::uint64_t a = 0,
+            std::uint64_t b = 0, std::uint64_t c = 0) {
+    if (!wants(kind)) return;
+    dispatch(Event{time, kind, pid, a, b, c});
   }
 
   const std::vector<Event>& events() const { return events_; }
   void clear() { events_.clear(); }
 
  private:
+  struct Subscription {
+    std::uint64_t mask = kAllEventKinds;
+    Observer fn;
+  };
+
+  void dispatch(const Event& event);  // out of line: the listened-to path
+
+  std::uint64_t enabled_ = 0;  ///< union of retention + subscription masks
   std::size_t max_events_;
   std::vector<Event> events_;
-  std::vector<Observer> observers_;
+  std::vector<Subscription> observers_;
 };
 
 }  // namespace wfd::sim

@@ -1,0 +1,228 @@
+// Calendar transit queue: the per-destination message queue of the engine.
+//
+// The engine delivers messages in exact (deliver_at, seq) order — that order
+// is part of the bit-reproducibility contract (every run is a pure function
+// of configuration + seed), so this structure must be a drop-in replacement
+// for the std::priority_queue<InTransit> it superseded, just without the
+// per-message O(log n) sift and 72-byte shuffling of a binary heap.
+//
+// Layout: three bands ordered by distance from the engine clock.
+//
+//   deferred band  items already due but deferred by the consumer (the
+//                  engine's one-message-per-sender step semantics), kept in
+//                  a flat vector in delivery order and retried at the start
+//                  of the next drain. This replaces the old pop-into-a-side-
+//                  buffer-and-re-push-into-the-heap dance.
+//   calendar band  a ring of kBucketCount tick buckets plus an occupancy
+//                  bitmap. A bucket holds the items of exactly one future
+//                  tick (index = tick mod kBucketCount), appended in seq
+//                  order — so a push is an amortized O(1) vector append, and
+//                  a drain visits exactly the occupied due buckets (one ctz
+//                  per bitmap word) and consumes items straight out of the
+//                  bucket storage, with no intermediate staging copy.
+//   overflow band  far-future items (deliver_at beyond the calendar
+//                  window), kept sorted by (deliver_at, seq). Pushes here
+//                  are rare (heavy-tailed delays, adversarial slowdowns,
+//                  pre-GST partial synchrony), so a sorted-vector insert is
+//                  fine.
+//
+// Ordering argument for the bands: seq numbers are globally increasing, so
+// within one bucket append order is seq order; and because the calendar
+// window's start (next_tick_) only advances, an overflow item for tick T is
+// always pushed before any calendar item for T — so when T becomes due, the
+// overflow prefix of T strictly precedes the bucket items of T in seq.
+// Deferred items are strictly older than anything still in the calendar or
+// overflow bands (pushes always land past the last drained tick), so
+// retrying them first preserves global order.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace wfd::sim {
+
+/// A message waiting in a channel, due at `deliver_at`.
+struct InTransit {
+  Time deliver_at = 0;
+  Message msg{};
+};
+
+class CalendarQueue {
+ public:
+  /// Calendar window width in ticks (power of two). Delays up to this many
+  /// ticks ahead take the O(1) bucket path; longer ones the overflow band.
+  static constexpr std::size_t kBucketCount = 256;
+
+  /// Enqueue a message due at `deliver_at` and return the slot to fill, so
+  /// the caller writes the message fields once, in place. Precondition:
+  /// `deliver_at` is in the future of every drain_due() so far (the engine
+  /// always pushes with deliver_at >= now + 1).
+  Message& push(Time deliver_at) {
+    assert(deliver_at >= next_tick_);
+    if (deliver_at - next_tick_ < kBucketCount) {
+      const std::size_t idx = deliver_at & kBucketMask;
+      std::vector<InTransit>& bucket = buckets_[idx];
+      bucket.emplace_back();
+      bucket.back().deliver_at = deliver_at;
+      occupied_[idx >> 6] |= 1ull << (idx & 63u);
+      ++in_buckets_;
+      return bucket.back().msg;
+    }
+    return insert_overflow(deliver_at);
+  }
+
+  /// Visit every item due at or before `now`, in exact (deliver_at, seq)
+  /// order. `consume(item)` returns true to consume the item or false to
+  /// defer it to a later drain. `consume` may push() into this queue (the
+  /// new item is due past `now`, so it is not visited); the item passed to
+  /// it stays valid for the whole call even if it does.
+  template <class Consume>
+  void drain_due(Time now, Consume&& consume) {
+    if (!deferred_.empty()) retry_deferred(consume);
+    if (next_tick_ > now) return;
+    // Hoisted: pushes made by `consume` are strictly past `now`, so whether
+    // any overflow item is due is fixed for the whole drain. In the common
+    // case (no far-future traffic) this skips every overflow call.
+    const bool overflow_due = overflow_head_ < overflow_.size() &&
+                              overflow_[overflow_head_].deliver_at <= now;
+    if (in_buckets_ > 0) {
+      const Time window_last = next_tick_ + (kBucketCount - 1);
+      const Time last = now < window_last ? now : window_last;
+      for (Time t = next_bucket_tick(next_tick_, last); t != kNever;
+           t = next_bucket_tick(t + 1, last)) {
+        // Overflow items due up to tick t precede its bucket items: earlier
+        // ticks outright, and same-tick ones by the seq argument in the
+        // header comment.
+        if (overflow_due) drain_overflow_through(t, consume);
+        const std::size_t idx = t & kBucketMask;
+        std::vector<InTransit>& bucket = buckets_[idx];
+        // A push during consumption can never land in this (or any due)
+        // bucket: the window starts at the still-unadvanced next_tick_, in
+        // which every due tick owns its residue, so a new item either maps
+        // to its own future tick's bucket or overflows. The bucket storage
+        // is therefore stable while we walk it.
+        const std::size_t count = bucket.size();
+        for (std::size_t i = 0; i < count; ++i) {
+          if (!consume(static_cast<const InTransit&>(bucket[i]))) {
+            deferred_.push_back(bucket[i]);
+          }
+        }
+        assert(bucket.size() == count);
+        in_buckets_ -= count;
+        bucket.clear();
+        occupied_[idx >> 6] &= ~(1ull << (idx & 63u));
+        if (in_buckets_ == 0) break;
+      }
+    }
+    // Remaining due items (ticks past the calendar window, or an empty
+    // calendar) live only in the overflow band, already sorted.
+    if (overflow_due) drain_overflow_through(now, consume);
+    next_tick_ = now + 1;
+  }
+
+  /// Messages currently queued (all bands). Derived, so the per-message hot
+  /// paths maintain no extra counter; only crash cleanup and experiment
+  /// observers ask.
+  std::size_t size() const {
+    return deferred_.size() + in_buckets_ + (overflow_.size() - overflow_head_);
+  }
+
+  /// Drop everything (destination crashed). Keeps the clock position.
+  void clear() {
+    deferred_.clear();
+    if (in_buckets_ > 0) {
+      for (std::vector<InTransit>& bucket : buckets_) bucket.clear();
+      occupied_.fill(0);
+      in_buckets_ = 0;
+    }
+    overflow_.clear();
+    overflow_head_ = 0;
+  }
+
+ private:
+  static constexpr std::size_t kBucketMask = kBucketCount - 1;
+
+  Message& insert_overflow(Time deliver_at) {
+    // Every queued item carries a smaller seq than the one being pushed, so
+    // among equal deliver_at the new item goes last: upper_bound on the
+    // deliver time alone lands exactly there.
+    const auto pos = std::upper_bound(
+        overflow_.begin() + static_cast<std::ptrdiff_t>(overflow_head_),
+        overflow_.end(), deliver_at,
+        [](Time t, const InTransit& item) { return t < item.deliver_at; });
+    return overflow_.insert(pos, InTransit{deliver_at, Message{}})->msg;
+  }
+
+  template <class Consume>
+  void retry_deferred(Consume&& consume) {
+    // Stable in-place compaction: items deferred again keep their order and
+    // stay ahead of anything a later drain appends.
+    std::size_t write = 0;
+    for (std::size_t read = 0; read < deferred_.size(); ++read) {
+      if (!consume(static_cast<const InTransit&>(deferred_[read]))) {
+        if (write != read) deferred_[write] = deferred_[read];
+        ++write;
+      }
+    }
+    deferred_.resize(write);
+  }
+
+  template <class Consume>
+  void drain_overflow_through(Time t, Consume&& consume) {
+    while (overflow_head_ < overflow_.size() &&
+           overflow_[overflow_head_].deliver_at <= t) {
+      // Copy first: consume may push() and grow the overflow band.
+      const InTransit item = overflow_[overflow_head_++];
+      if (!consume(static_cast<const InTransit&>(item))) {
+        deferred_.push_back(item);
+      }
+    }
+    if (overflow_head_ != 0 && overflow_head_ == overflow_.size()) {
+      overflow_.clear();
+      overflow_head_ = 0;
+    }
+  }
+
+  /// Smallest tick in [from, last] whose bucket is non-empty, or kNever.
+  /// The window is at most kBucketCount wide and the ring wraps only at a
+  /// word boundary, so consecutive bits within a word are consecutive ticks.
+  Time next_bucket_tick(Time from, Time last) const {
+    if (from > last) return kNever;
+    std::size_t remaining = static_cast<std::size_t>(last - from) + 1;
+    std::size_t idx = from & kBucketMask;
+    for (;;) {
+      const unsigned bit = static_cast<unsigned>(idx & 63u);
+      const std::uint64_t bits = occupied_[idx >> 6] & (~0ull << bit);
+      if (bits != 0) {
+        const std::size_t off = std::countr_zero(bits) - bit;
+        return off < remaining ? from + off : kNever;
+      }
+      const std::size_t step = 64 - bit;
+      if (step >= remaining) return kNever;
+      remaining -= step;
+      from += step;
+      idx = (idx + step) & kBucketMask;
+    }
+  }
+
+  // Scalars and band headers first: the every-step emptiness probe and the
+  // push fast path stay within the object's first cache lines, ahead of the
+  // 6 KiB bucket-header array.
+  std::size_t in_buckets_ = 0;  ///< total items across all buckets
+  Time next_tick_ = 0;          ///< every tick < next_tick_ has been drained
+  std::size_t overflow_head_ = 0;
+  std::vector<InTransit> deferred_;  ///< due-but-deferred, delivery order
+  std::vector<InTransit> overflow_;  ///< far-future, sorted (deliver_at, seq)
+  /// Occupancy bitmap over buckets_: bit idx set iff buckets_[idx] is
+  /// non-empty. Lets drain_due() skip runs of empty ticks in one ctz.
+  std::array<std::uint64_t, kBucketCount / 64> occupied_{};
+  std::array<std::vector<InTransit>, kBucketCount> buckets_;
+};
+
+}  // namespace wfd::sim

@@ -2,6 +2,7 @@
 // weighting, pausing windows, and crash handling.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -82,6 +83,43 @@ TEST(Scheduler, WeightedStillFairToSlowProcess) {
       std::make_unique<WeightedScheduler>(std::vector<std::uint64_t>{1, 1000}),
       2, 100000);
   EXPECT_GT(counts[0], 0u) << "slow processes must still step";
+}
+
+TEST(Scheduler, RoundRobinCoversEveryLiveProcessWithinOneRoundOfACrash) {
+  // Regression: the pre-overhaul round-robin rescanned `live` with a wrap
+  // heuristic that could starve a live process for many rounds right after a
+  // crash shrank the list. The cursor version must schedule every live
+  // process exactly once in ANY window of live-count consecutive steps —
+  // including the windows straddling and following the crash.
+  constexpr std::uint32_t kN = 8;
+  constexpr Time kCrashAt = 500;
+  Engine engine({.seed = 9});
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    engine.add_process(std::make_unique<StepCounter>());
+  }
+  engine.set_scheduler(std::make_unique<RoundRobinScheduler>());
+  engine.schedule_crash(3, kCrashAt);
+
+  std::vector<ProcessId> stepped_after_crash;
+  engine.trace().subscribe([&](const Event& e) {
+    if (e.kind == EventKind::kStep && e.time >= kCrashAt) {
+      stepped_after_crash.push_back(e.pid);
+    }
+  });
+  engine.init();
+  engine.run(1000);
+
+  ASSERT_GE(stepped_after_crash.size(), 3 * (kN - 1));
+  const std::vector<ProcessId> live{0, 1, 2, 4, 5, 6, 7};
+  for (std::size_t start = 0; start + (kN - 1) <= 3 * (kN - 1); ++start) {
+    std::vector<ProcessId> window(
+        stepped_after_crash.begin() + static_cast<std::ptrdiff_t>(start),
+        stepped_after_crash.begin() + static_cast<std::ptrdiff_t>(start) +
+            (kN - 1));
+    std::sort(window.begin(), window.end());
+    EXPECT_EQ(window, live) << "window at offset " << start
+                            << " did not cover every live process";
+  }
 }
 
 TEST(Scheduler, PausingStallsWindowOnly) {

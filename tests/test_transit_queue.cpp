@@ -1,0 +1,222 @@
+// CalendarQueue vs the ordering oracle it replaced: a binary min-heap over
+// (deliver_at, seq), exactly the engine's pre-overhaul per-destination
+// std::priority_queue<InTransit>. Randomized schedules (bursts, idle gaps,
+// far-future tails) plus the engine's defer/re-queue pattern must produce
+// identical delivery sequences.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/transit_queue.hpp"
+
+namespace wfd::sim {
+namespace {
+
+/// The pre-overhaul queue: min-heap by (deliver_at, seq).
+struct HeapItem {
+  Time deliver_at = 0;
+  Message msg{};
+  bool operator>(const HeapItem& other) const {
+    if (deliver_at != other.deliver_at) return deliver_at > other.deliver_at;
+    return msg.seq > other.msg.seq;
+  }
+};
+using ReferenceHeap =
+    std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>>;
+
+Message make_msg(ProcessId src, std::uint64_t seq) {
+  Message msg;
+  msg.src = src;
+  msg.dst = 0;
+  msg.payload = Payload{7, seq, 0, 0};
+  msg.seq = seq;
+  return msg;
+}
+
+void push_both(CalendarQueue& queue, ReferenceHeap& heap, Time deliver_at,
+               const Message& msg) {
+  queue.push(deliver_at) = msg;
+  heap.push(HeapItem{deliver_at, msg});
+}
+
+/// Drain everything due at `now` from the calendar queue.
+std::vector<std::uint64_t> drain_all(CalendarQueue& queue, Time now) {
+  std::vector<std::uint64_t> got;
+  queue.drain_due(now, [&got](const InTransit& item) {
+    got.push_back(item.msg.seq);
+    return true;
+  });
+  return got;
+}
+
+/// Drain both queues at tick `now` and compare delivery order; returns the
+/// number of messages delivered.
+std::size_t drain_and_compare(CalendarQueue& queue, ReferenceHeap& heap,
+                              Time now) {
+  std::vector<std::uint64_t> expected;
+  while (!heap.empty() && heap.top().deliver_at <= now) {
+    expected.push_back(heap.top().msg.seq);
+    heap.pop();
+  }
+  const std::vector<std::uint64_t> got = drain_all(queue, now);
+  EXPECT_EQ(got, expected) << "divergence at tick " << now;
+  return got.size();
+}
+
+TEST(CalendarQueue, MatchesReferenceHeapOnRandomSchedules) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    Rng rng(seed);
+    CalendarQueue queue;
+    ReferenceHeap heap;
+    std::uint64_t seq = 0;
+    std::size_t delivered = 0;
+    Time now = 0;
+    for (int round = 0; round < 4000; ++round) {
+      // Advance the clock: usually by 1, sometimes a long idle gap (a rarely
+      // scheduled destination), occasionally far past the calendar window.
+      const std::uint64_t jump_kind = rng.below(100);
+      now += jump_kind < 80 ? 1 : (jump_kind < 97 ? rng.range(2, 40) : rng.range(300, 1500));
+
+      // A burst of sends with mixed near/far delays.
+      const std::uint64_t sends = rng.below(6);
+      for (std::uint64_t s = 0; s < sends; ++s) {
+        const bool far = rng.chance(0.1);
+        const Time delay = far ? rng.range(200, 5000) : rng.range(1, 32);
+        push_both(queue, heap, now + delay,
+                  make_msg(static_cast<ProcessId>(rng.below(8)), seq));
+        ++seq;
+      }
+      EXPECT_EQ(queue.size(), heap.size());
+      if (rng.chance(0.7)) delivered += drain_and_compare(queue, heap, now);
+    }
+    // Drain everything left so the whole sequence is compared.
+    delivered += drain_and_compare(queue, heap, now + 10000);
+    EXPECT_EQ(queue.size(), 0u);
+    EXPECT_GT(delivered, 1000u);
+  }
+}
+
+TEST(CalendarQueue, DeferredItemsStayFirstInOrder) {
+  // The engine's receive phase: at most one message per sender per step;
+  // the rest defer and must come back first, still in (deliver_at, seq)
+  // order — exactly what the old heap's pop/re-push produced.
+  Rng rng(99);
+  CalendarQueue queue;
+  ReferenceHeap heap;
+  std::uint64_t seq = 0;
+  Time now = 0;
+  for (int round = 0; round < 2000; ++round) {
+    now += rng.range(1, 3);
+    for (std::uint64_t s = rng.below(5); s > 0; --s) {
+      const Time delay = rng.range(1, 12);
+      push_both(queue, heap, now + delay,
+                make_msg(static_cast<ProcessId>(rng.below(3)), seq));
+      ++seq;
+    }
+
+    // Reference: pop due items, deliver first-per-sender, re-push the rest.
+    bool seen[3] = {false, false, false};
+    std::vector<std::uint64_t> expected;
+    std::vector<HeapItem> deferred;
+    while (!heap.empty() && heap.top().deliver_at <= now) {
+      HeapItem item = heap.top();
+      heap.pop();
+      if (seen[item.msg.src]) {
+        deferred.push_back(item);
+      } else {
+        seen[item.msg.src] = true;
+        expected.push_back(item.msg.seq);
+      }
+    }
+    for (const HeapItem& item : deferred) heap.push(item);
+
+    bool got_seen[3] = {false, false, false};
+    std::vector<std::uint64_t> got;
+    queue.drain_due(now, [&](const InTransit& item) {
+      if (got_seen[item.msg.src]) return false;  // defer
+      got_seen[item.msg.src] = true;
+      got.push_back(item.msg.seq);
+      return true;
+    });
+    ASSERT_EQ(got, expected) << "divergence at tick " << now;
+    ASSERT_EQ(queue.size(), heap.size());
+  }
+}
+
+TEST(CalendarQueue, PushDuringDrainLandsInTheFuture) {
+  // The engine's consume callback may send: a handler delivery can push
+  // into the very queue being drained. New items must never be visited in
+  // the same drain (they are due strictly past now), including when their
+  // tick's ring index aliases a due tick, and must come out at their own
+  // tick later — the same behavior the heap gave the old engine.
+  CalendarQueue queue;
+  std::uint64_t next_seq = 0;
+  for (Time t = 1; t <= 6; ++t) {
+    queue.push(t) = make_msg(0, next_seq++);
+  }
+  std::vector<std::uint64_t> got;
+  queue.drain_due(6, [&](const InTransit& item) {
+    got.push_back(item.msg.seq);
+    if (item.msg.seq == 0) {
+      // Re-entrant pushes: one near (bucket), one aliasing a due tick's ring
+      // index (2 + 256 — forced to the overflow band), one far.
+      queue.push(7) = make_msg(1, next_seq++);        // seq 6
+      queue.push(2 + 256) = make_msg(1, next_seq++);  // seq 7
+      queue.push(900) = make_msg(1, next_seq++);      // seq 8
+    }
+    return true;
+  });
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(drain_all(queue, 7), (std::vector<std::uint64_t>{6}));
+  EXPECT_EQ(drain_all(queue, 258), (std::vector<std::uint64_t>{7}));
+  EXPECT_EQ(drain_all(queue, 900), (std::vector<std::uint64_t>{8}));
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(CalendarQueue, FarFutureOverflowDeliversAtTheRightTick) {
+  CalendarQueue queue;
+  // One message well past the calendar window, one near.
+  queue.push(5) = make_msg(0, 0);
+  queue.push(5000) = make_msg(1, 1);
+  EXPECT_TRUE(drain_all(queue, 4).empty());
+  std::vector<std::uint64_t> got = drain_all(queue, 5);
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{0}));
+  EXPECT_TRUE(drain_all(queue, 4999).empty());
+  got = drain_all(queue, 5001);
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(CalendarQueue, OverflowThenCalendarSameTickKeepsSeqOrder) {
+  CalendarQueue queue;
+  // seq 0 lands at tick 600 while 600 is beyond the window (overflow);
+  // after the window slides past 344, seq 1 for the same tick goes into the
+  // calendar band. Delivery must still be seq order.
+  queue.push(600) = make_msg(0, 0);
+  EXPECT_TRUE(drain_all(queue, 400).empty());  // window now covers tick 600
+  queue.push(600) = make_msg(1, 1);
+  queue.push(599) = make_msg(2, 2);
+  EXPECT_EQ(drain_all(queue, 600), (std::vector<std::uint64_t>{2, 0, 1}));
+}
+
+TEST(CalendarQueue, ClearDropsEverything) {
+  CalendarQueue queue;
+  for (std::uint64_t s = 0; s < 50; ++s) {
+    queue.push(10 + s % 7) = make_msg(0, s);
+    queue.push(900 + s) = make_msg(1, 100 + s);
+  }
+  EXPECT_EQ(queue.size(), 100u);
+  queue.clear();
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_TRUE(drain_all(queue, 5000).empty());
+  // Still usable after a clear.
+  queue.push(5001) = make_msg(0, 1000);
+  EXPECT_EQ(drain_all(queue, 5001), (std::vector<std::uint64_t>{1000}));
+}
+
+}  // namespace
+}  // namespace wfd::sim
