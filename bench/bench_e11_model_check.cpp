@@ -42,14 +42,15 @@ int main(int argc, char** argv) {
     bool crash;
     bool accuracy;
     int pairs;
+    std::uint64_t expected_states;  // pre-sizes the seen-set (known spaces)
   };
   const Config configs[] = {
-      {mc::BoxMode::kExclusive, false, true, 1},
-      {mc::BoxMode::kExclusive, true, true, 1},
-      {mc::BoxMode::kArbitrary, false, false, 1},
-      {mc::BoxMode::kArbitrary, true, false, 1},
-      {mc::BoxMode::kExclusive, true, true, 2},
-      {mc::BoxMode::kArbitrary, true, false, 2},  // largest: ~8.3M states
+      {mc::BoxMode::kExclusive, false, true, 1, 719},
+      {mc::BoxMode::kExclusive, true, true, 1, 2095},
+      {mc::BoxMode::kArbitrary, false, false, 1, 1320},
+      {mc::BoxMode::kArbitrary, true, false, 1, 2888},
+      {mc::BoxMode::kExclusive, true, true, 2, 4389025},
+      {mc::BoxMode::kArbitrary, true, false, 2, 8340544},  // largest
   };
   double largest_speedup = 0.0;
   std::uint64_t largest_states = 0;
@@ -60,10 +61,12 @@ int main(int argc, char** argv) {
     options.check_accuracy = config.accuracy;
     options.check_deadlock = true;
     options.pairs = config.pairs;
-    const mc::CheckResult seq =
-        mc::check_reduction(options, {.threads = 1});
-    const mc::CheckResult par =
-        mc::check_reduction(options, {.threads = par_threads});
+    const mc::CheckResult seq = mc::check_reduction(
+        options,
+        {.threads = 1, .expected_states = config.expected_states});
+    const mc::CheckResult par = mc::check_reduction(
+        options,
+        {.threads = par_threads, .expected_states = config.expected_states});
     const double speedup = par.wall_ms > 0.0 ? seq.wall_ms / par.wall_ms : 1.0;
     const char* mode_name =
         config.mode == mc::BoxMode::kExclusive ? "exclusive" : "arbitrary";
@@ -86,7 +89,10 @@ int main(int argc, char** argv) {
         .field("states", seq.states).field("transitions", seq.transitions)
         .field("depth", seq.depth).field("seq_ms", seq.wall_ms)
         .field("par_ms", par.wall_ms).field("threads", par.threads)
-        .field("speedup", speedup).field("ok", seq.ok());
+        .field("speedup", speedup).field("ok", seq.ok())
+        .field("verdict", mc::verdict_name(seq.verdict))
+        .field("seen_bytes", par.seen_bytes)
+        .field("graph_bytes", par.graph_bytes);
   }
   std::cout << "\nParallel frontier exploration: " << par_threads
             << " threads, speedup " << largest_speedup
@@ -123,10 +129,12 @@ int main(int argc, char** argv) {
   json.begin_row();
   json.field("experiment", "e11_gkk").field("box", "fork-based")
       .field("states", fork_based.states)
-      .field("lasso", !fork_based.ok());
+      .field("lasso", !fork_based.ok())
+      .field("graph_bytes", fork_based.graph_bytes);
   json.begin_row();
   json.field("experiment", "e11_gkk").field("box", "lockout")
-      .field("states", lockout.states).field("lasso", !lockout.ok());
+      .field("states", lockout.states).field("lasso", !lockout.ok())
+      .field("graph_bytes", lockout.graph_bytes);
 
   // Part 3: the E9 ablation, mechanically — the single-instance extraction
   // admits a legal wait-free run of eternal wrongful suspicion.

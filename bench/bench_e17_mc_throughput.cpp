@@ -1,0 +1,259 @@
+// E17 — model-checker engine throughput. Measures exhaustive-exploration
+// speed (reachable states/sec) across every checker model, thread count,
+// and crash configuration:
+//
+//   reduction  the Alg. 1/2 abstraction, one- and two-pair composition —
+//              the two-pair spaces (~0.5M / ~8.3M states) are the real
+//              workload; the one-pair rows mostly measure fixed overhead;
+//   gkk        the Section 3 counterexample (graph-collecting, tiny);
+//   ablation   the E9 single-instance extraction (graph-collecting, tiny).
+//
+// This is the perf-trajectory anchor for the model-checker engine: run it
+// before and after any engine change and diff the JSON rows (see
+// BENCH_e17.json at the repo root for the recorded lock-free-overhaul
+// baseline). The headline rows are the pairs=2 reductions at 4 threads.
+//
+// Every configuration is explored at each thread count and the results are
+// shape-checked for the engine's determinism guarantee: identical states,
+// transitions, depth and verdict at every thread count.
+//
+// Sweep scheduling goes through harness::run_campaign with one JobMeta per
+// configuration, which forwards the exact per-config reachable-state count
+// into CheckOptions::expected_states — each job's seen-set is pre-sized to
+// its own space, never rehashes, and never oversizes (an oversized table
+// measurably hurts cache locality on the small spaces). The campaign pool
+// is one job at a time: each job is internally parallel, and overlapping
+// jobs would corrupt each other's timings.
+//
+// Usage: bench_e17_mc_throughput [--quick] [--threads N] [--json out.json]
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "harness/campaign.hpp"
+#include "mc/ablation_model.hpp"
+#include "mc/gkk_model.hpp"
+#include "mc/reduction_model.hpp"
+#include "sim/metrics.hpp"
+
+namespace {
+
+using namespace wfd;
+
+struct Config {
+  std::string model;  // "reduction", "gkk-fork", "gkk-lockout", "ablation"
+  mc::BoxMode mode = mc::BoxMode::kExclusive;
+  bool crash = false;
+  bool accuracy = false;
+  int pairs = 1;
+  int threads = 1;
+};
+
+struct Row {
+  Config config;
+  mc::CheckResult result;
+  double seconds = 0.0;
+};
+
+mc::CheckResult run_config(const Config& config,
+                           const mc::CheckOptions& check) {
+  if (config.model == "gkk-fork") {
+    return mc::check_gkk(mc::GkkBoxSemantics::kForkBased, check);
+  }
+  if (config.model == "gkk-lockout") {
+    return mc::check_gkk(mc::GkkBoxSemantics::kLockout, check);
+  }
+  if (config.model == "ablation") {
+    return mc::check_ablation(check);
+  }
+  mc::McOptions options;
+  options.mode = config.mode;
+  options.allow_crash = config.crash;
+  options.check_accuracy = config.accuracy;
+  options.check_deadlock = true;
+  options.pairs = config.pairs;
+  return mc::check_reduction(options, check);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::vector<char*> args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") {
+      quick = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  const bench::CliOptions cli =
+      bench::parse_cli(static_cast<int>(args.size()), args.data(),
+                       "bench_e17_mc_throughput");
+
+  bench::banner("E17: model-checker throughput",
+                "Exhaustive-exploration speed of every checker model across "
+                "thread counts and crash configurations.");
+
+  // The exact reachable-state counts (machine-checked in tests and E11)
+  // become per-job seen-set pre-sizing hints.
+  struct Shape {
+    Config config;
+    std::uint64_t expected_states;
+  };
+  std::vector<Shape> shapes;
+  const std::vector<int> thread_grid =
+      quick ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+  const auto add_reduction = [&](mc::BoxMode mode, bool crash, bool accuracy,
+                                 int pairs, std::uint64_t states) {
+    for (const int threads : thread_grid) {
+      shapes.push_back({{"reduction", mode, crash, accuracy, pairs, threads},
+                        states});
+    }
+  };
+  if (!quick) {
+    add_reduction(mc::BoxMode::kExclusive, false, true, 1, 719);
+    add_reduction(mc::BoxMode::kExclusive, true, true, 1, 2095);
+    add_reduction(mc::BoxMode::kArbitrary, false, false, 1, 1320);
+    add_reduction(mc::BoxMode::kArbitrary, true, false, 1, 2888);
+  }
+  add_reduction(mc::BoxMode::kExclusive, false, true, 2, 516961);
+  if (!quick) {
+    add_reduction(mc::BoxMode::kArbitrary, true, false, 2, 8340544);
+    shapes.push_back({{"gkk-fork", {}, false, false, 1, 1}, 64});
+    shapes.push_back({{"gkk-lockout", {}, false, false, 1, 1}, 64});
+    shapes.push_back({{"ablation", {}, false, false, 1, 1}, 64});
+  }
+
+  std::vector<Config> configs;
+  std::vector<harness::JobMeta> metas;
+  for (const Shape& shape : shapes) {
+    configs.push_back(shape.config);
+    metas.push_back({shape.expected_states});
+  }
+
+  // One campaign job at a time (each job is internally parallel).
+  const std::vector<Row> rows = harness::run_campaign(
+      configs, metas,
+      [](const Config& config, const harness::JobMeta& meta) {
+        const auto start = std::chrono::steady_clock::now();
+        const mc::CheckResult result = run_config(
+            config, {.threads = config.threads,
+                     .expected_states = meta.expected_states});
+        Row row;
+        row.config = config;
+        row.result = result;
+        row.seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        return row;
+      },
+      /*threads=*/1);
+
+  sim::Table table({"model", "mode", "crash", "pairs", "threads", "states",
+                    "states_per_sec", "seen_mb", "verdict"}, 12);
+  table.print_header();
+  bench::ShapeCheck shape_check;
+  bench::JsonRows json;
+  for (const Row& row : rows) {
+    const Config& c = row.config;
+    const mc::CheckResult& r = row.result;
+    const double rate = row.seconds > 0.0 ? r.states / row.seconds : 0.0;
+    const char* mode_name = c.model == "reduction"
+                                ? (c.mode == mc::BoxMode::kExclusive
+                                       ? "exclusive"
+                                       : "arbitrary")
+                                : "-";
+    table.print_row(c.model, mode_name, bench::yesno(c.crash), c.pairs,
+                    c.threads, r.states, static_cast<std::uint64_t>(rate),
+                    r.seen_bytes / (1024.0 * 1024.0),
+                    mc::verdict_name(r.verdict));
+    json.begin_row();
+    json.field("experiment", "e17").field("model", c.model)
+        .field("mode", mode_name).field("crash", c.crash)
+        .field("pairs", c.pairs).field("threads", c.threads)
+        .field("states", r.states).field("transitions", r.transitions)
+        .field("depth", r.depth).field("seconds", row.seconds)
+        .field("states_per_sec", static_cast<std::uint64_t>(rate))
+        .field("seen_bytes", r.seen_bytes)
+        .field("graph_bytes", r.graph_bytes)
+        .field("verdict", mc::verdict_name(r.verdict));
+  }
+
+  // Determinism: within one configuration, every thread count must report
+  // the identical exploration.
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t j = i + 1; j < rows.size(); ++j) {
+      const Config& a = rows[i].config;
+      const Config& b = rows[j].config;
+      if (a.model != b.model || a.mode != b.mode || a.crash != b.crash ||
+          a.pairs != b.pairs) {
+        continue;
+      }
+      const mc::CheckResult& ra = rows[i].result;
+      const mc::CheckResult& rb = rows[j].result;
+      shape_check.expect(ra.states == rb.states &&
+                             ra.transitions == rb.transitions &&
+                             ra.depth == rb.depth &&
+                             ra.verdict == rb.verdict,
+                         "thread-count-independent exploration for " +
+                             a.model + " pairs=" + std::to_string(a.pairs));
+    }
+  }
+  // The expected verdicts (the throughput run is still a real check).
+  for (const Row& row : rows) {
+    const bool lasso_expected =
+        row.config.model == "gkk-fork" || row.config.model == "ablation";
+    shape_check.expect(row.result.verdict == (lasso_expected
+                                                  ? mc::Verdict::kViolation
+                                                  : mc::Verdict::kOk),
+                       row.config.model + ": unexpected verdict " +
+                           mc::verdict_name(row.result.verdict));
+  }
+
+  // Headline: the pairs=2 reduction at 4 threads should beat 1 thread on
+  // real multi-core hardware. Single-core containers cannot show parallel
+  // speedup, so there the check is reported but not enforced.
+  double best_par = 0.0;
+  double base_seq = 0.0;
+  for (const Row& row : rows) {
+    if (row.config.model != "reduction" || row.config.pairs != 2 ||
+        row.config.mode != mc::BoxMode::kExclusive || row.seconds <= 0.0) {
+      continue;
+    }
+    const double rate = row.result.states / row.seconds;
+    if (row.config.threads == 1) base_seq = rate;
+    if (row.config.threads == 4) best_par = rate;
+  }
+  if (base_seq > 0.0 && best_par > 0.0) {
+    std::cout << "\npairs=2 exclusive reduction: " << std::uint64_t(base_seq)
+              << " states/s at 1 thread, " << std::uint64_t(best_par)
+              << " at 4 threads\n";
+    if (std::thread::hardware_concurrency() >= 4) {
+      shape_check.expect(best_par >= base_seq,
+                         "4-thread exploration at least matches 1 thread");
+    } else {
+      std::cout << "(only " << std::thread::hardware_concurrency()
+                << " hardware thread(s) — parallel speedup check skipped)\n";
+    }
+  }
+
+  if (!cli.json_path.empty()) {
+    if (json.write_file(cli.json_path)) {
+      std::cout << "\nresults written to " << cli.json_path << '\n';
+    } else {
+      shape_check.expect(false, "failed to write " + cli.json_path);
+    }
+  }
+
+  std::cout << "\nEngine shape: lock-free seen-set (one CAS per new state), "
+               "persistent worker pool\n(std::barrier per BFS level), CSR "
+               "reachable graph for analyze hooks; identical\nverdict and "
+               "state count at every thread count (see also BENCH_e17.json "
+               "for the\nrecorded pre/post overhaul comparison).\n";
+  return shape_check.finish("E17");
+}

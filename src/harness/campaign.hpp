@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -22,6 +23,15 @@ inline int campaign_threads(int requested, std::size_t jobs) {
   if (threads > jobs) threads = jobs;
   return threads < 1 ? 1 : static_cast<int>(threads);
 }
+
+/// Per-job sizing metadata a sweep can attach to its configurations.
+/// Checker sweeps forward `expected_states` into
+/// mc::CheckOptions::expected_states so each job's seen-set is pre-sized to
+/// its own space (an accurate per-config hint; one global estimate would
+/// oversize small jobs, which measurably hurts cache locality).
+struct JobMeta {
+  std::uint64_t expected_states = 0;
+};
 
 /// Run `fn(config)` for every configuration on up to `threads` workers.
 /// `fn` must be callable concurrently from distinct threads and its result
@@ -49,6 +59,30 @@ auto run_campaign(const std::vector<Config>& configs, Fn fn, int threads = 0)
   worker();
   for (std::thread& t : pool) t.join();
   return results;
+}
+
+/// As above, with one JobMeta per configuration: runs `fn(config, meta)`.
+/// `metas` must be the same length as `configs`.
+template <class Config, class Fn>
+auto run_campaign(const std::vector<Config>& configs,
+                  const std::vector<JobMeta>& metas, Fn fn, int threads = 0)
+    -> std::vector<std::invoke_result_t<Fn&, const Config&, const JobMeta&>> {
+  struct Job {
+    const Config* config;
+    const JobMeta* meta;
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    jobs.push_back({&configs[i], i < metas.size() ? &metas[i] : nullptr});
+  }
+  static const JobMeta kNoMeta{};
+  return run_campaign(
+      jobs,
+      [&fn](const Job& job) {
+        return fn(*job.config, job.meta != nullptr ? *job.meta : kNoMeta);
+      },
+      threads);
 }
 
 }  // namespace wfd::harness

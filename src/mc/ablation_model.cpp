@@ -1,9 +1,8 @@
 #include "mc/ablation_model.hpp"
 
-#include <deque>
-#include <set>
+#include <algorithm>
 #include <sstream>
-#include <utility>
+#include <vector>
 
 #include "mc/engine.hpp"
 
@@ -121,39 +120,47 @@ std::string AblationModel::describe(const State& st) const {
   return out.str();
 }
 
-std::string AblationModel::analyze(const ReachGraph<State>& graph) const {
+std::string AblationModel::analyze(const ReachView<State>& graph) const {
   // For each wrongful-suspicion edge u -> v: find a path v ~> u that
   // includes at least one subject meal (product construction over a
   // "meal seen" bit), making the cycle a wait-free run for the subject.
-  for (const auto& [bits, edges] : graph) {
-    for (const Transition<State>& suspicion : edges) {
-      if (!(suspicion.label & kLabelWrongfulSuspicion)) continue;
-      std::set<std::pair<std::uint64_t, bool>> visited{
-          {suspicion.to.bits, false}};
-      std::deque<std::pair<std::uint64_t, bool>> queue{
-          {suspicion.to.bits, false}};
+  // Product nodes are (CSR index, meal bit), visited as a flat byte array.
+  std::vector<std::uint8_t> visited(2 * graph.node_count());
+  std::vector<std::size_t> queue;  // node * 2 + meal_seen
+  for (std::size_t node = 0; node < graph.node_count(); ++node) {
+    for (std::size_t s = 0; s < graph.out_degree(node); ++s) {
+      if (!(graph.edge_label(node, s) & kLabelWrongfulSuspicion)) continue;
+      const State suspicion_to = graph.edge_to(node, s);
+      const std::size_t entry = graph.find(suspicion_to.bits);
+      if (entry == ReachView<State>::npos) continue;
+      std::fill(visited.begin(), visited.end(), 0);
+      queue.clear();
+      queue.push_back(entry * 2);
+      visited[entry * 2] = 1;
       bool found = false;
-      while (!queue.empty() && !found) {
-        const auto [cur, meal_seen] = queue.front();
-        queue.pop_front();
-        if (cur == bits && meal_seen) {
+      for (std::size_t head = 0; head < queue.size() && !found; ++head) {
+        const std::size_t cur = queue[head] / 2;
+        const bool meal_seen = (queue[head] & 1) != 0;
+        if (cur == node && meal_seen) {
           found = true;
           break;
         }
-        const auto it = graph.find(cur);
-        if (it == graph.end()) continue;
-        for (const Transition<State>& edge : it->second) {
+        for (std::size_t e = 0; e < graph.out_degree(cur); ++e) {
+          const std::size_t next = graph.find(graph.edge_to(cur, e).bits);
+          if (next == ReachView<State>::npos) continue;
           const bool next_meal =
-              meal_seen || (edge.label & kLabelSubjectMeal) != 0;
-          if (visited.insert({edge.to.bits, next_meal}).second) {
-            queue.push_back({edge.to.bits, next_meal});
+              meal_seen || (graph.edge_label(cur, e) & kLabelSubjectMeal) != 0;
+          const std::size_t product = next * 2 + (next_meal ? 1 : 0);
+          if (!visited[product]) {
+            visited[product] = 1;
+            queue.push_back(product);
           }
         }
       }
       if (found) {
-        return describe(State{static_cast<std::uint32_t>(bits)}) +
+        return describe(State{static_cast<std::uint32_t>(graph.key(node))}) +
                "  --[witness wrongfully suspects]-->  " +
-               describe(suspicion.to) +
+               describe(suspicion_to) +
                "  --...(subject eats too)...-->  (repeats forever)";
       }
     }

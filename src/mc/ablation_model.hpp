@@ -37,7 +37,7 @@ class AblationModel {
                               const std::vector<Transition<State>>& edges) const;
   std::string describe(const State& state) const;
   /// Lasso search over the reached graph (see file header).
-  std::string analyze(const ReachGraph<State>& graph) const;
+  std::string analyze(const ReachView<State>& graph) const;
 };
 
 CheckResult check_ablation(const CheckOptions& check = {});

@@ -1,9 +1,20 @@
 // Parallel explicit-state exploration engine behind mc::run_check.
 //
 // Layer-synchronous BFS: all states at distance d are expanded (in parallel
-// chunks, by a pool of worker threads) before any state at distance d+1.
-// Deduplication goes through a striped-lock open-addressing seen-set keyed
-// by the model's 64-bit packed state.
+// chunks, by a persistent pool of worker threads synchronized with a
+// std::barrier) before any state at distance d+1. Deduplication goes
+// through a lock-free open-addressing seen-set keyed by the model's 64-bit
+// packed state: one CAS per new state, one relaxed load per duplicate, no
+// locks anywhere on the hot path. The table is pre-sized from
+// CheckOptions::expected_states and otherwise grown stop-the-world at the
+// level barrier — the only quiescent point, which is also what makes the
+// resize safe without hazard pointers (no worker holds a slot reference
+// across a barrier).
+//
+// For AnalyzableModel types each worker appends its expansions to a flat
+// edge log; after exploration the logs are merged once into a CSR
+// (compressed sparse row) ReachView sorted by packed key, so `analyze`
+// hooks see a deterministic graph regardless of worker count.
 //
 // Determinism guarantee: the verdict, reachable-state count, transition
 // count, max depth, and the selected counterexample are identical for every
@@ -16,15 +27,22 @@
 #pragma once
 
 #include <algorithm>
-#include <array>
 #include <atomic>
+#include <barrier>
+#include <cassert>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
+#include <cstring>
+#include <memory>
+#include <new>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
 
 #include "mc/model.hpp"
 
@@ -32,7 +50,7 @@ namespace wfd::mc {
 namespace detail {
 
 /// splitmix64 finalizer — packed states are highly structured; hash before
-/// choosing shards/slots.
+/// choosing probe positions.
 inline std::uint64_t mix64(std::uint64_t x) {
   x += 0x9e3779b97f4a7c15ull;
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
@@ -40,57 +58,139 @@ inline std::uint64_t mix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
-/// Striped-lock open-addressing hash set of 64-bit packed states. The low
-/// hash bits pick the stripe, higher bits the slot, so neighbouring states
-/// spread across stripes.
+/// The one packed key no model may use: it marks an empty seen-set slot.
+/// The engine reports a model that packs it as a violation (it would
+/// otherwise be silently conflated with "not seen yet").
+inline constexpr std::uint64_t kReservedKey = ~0ull;
+
+/// Lock-free open-addressing hash set of 64-bit packed states. Insertion is
+/// a single CAS on an atomic slot (linear probing, splitmix64-mixed start);
+/// duplicates cost one relaxed load. There is no deletion and no concurrent
+/// growth: `reserve_level` may only be called while no worker is probing
+/// (the engine calls it between BFS levels) and rebuilds the table
+/// single-threaded.
 class SeenSet {
  public:
-  SeenSet() {
-    for (Shard& shard : shards_) shard.slots.assign(kInitialSlots, kEmpty);
+  explicit SeenSet(std::uint64_t expected_states) {
+    std::uint64_t capacity = kMinSlots;
+    // Size for a <=50% steady-state load factor on the hinted state count.
+    while (capacity < expected_states * 2) capacity <<= 1;
+    rebuild(capacity);
   }
 
   /// True iff `key` was not present. Safe to call from any worker thread.
-  bool insert(std::uint64_t key) {
-    const std::uint64_t hash = mix64(key);
-    Shard& shard = shards_[hash & (kShardCount - 1)];
-    std::lock_guard<std::mutex> lock(shard.mu);
-    if ((shard.size + 1) * 10 > shard.slots.size() * 7) grow(shard);
-    if (!place(shard.slots, key)) return false;
-    ++shard.size;
-    return true;
+  /// The set does not count its own fill (that would be a shared atomic
+  /// increment per new state); the engine derives it from its level
+  /// accounting and passes it back into reserve_level.
+  bool insert(std::uint64_t key) { return insert_hashed(mix64(key), key); }
+
+  /// Insert with a precomputed mix64 hash (pairs with `prefetch`).
+  bool insert_hashed(std::uint64_t hash, std::uint64_t key) {
+    assert(key != kReservedKey && "packed state collides with the sentinel");
+    std::size_t i = static_cast<std::size_t>(hash) & mask_;
+    for (;;) {
+      std::atomic_ref<std::uint64_t> slot(slots_[i]);
+      std::uint64_t cur = slot.load(std::memory_order_relaxed);
+      if (cur == key) return false;
+      if (cur == kReservedKey) {
+        if (slot.compare_exchange_strong(cur, key,
+                                         std::memory_order_relaxed)) {
+          return true;
+        }
+        if (cur == key) return false;  // lost the race to the same key
+      }
+      i = (i + 1) & mask_;
+    }
   }
+
+  /// Warm the cache line of `hash`'s home slot; batching prefetches before
+  /// a run of inserts hides the DRAM latency of the (random-access) table.
+  void prefetch(std::uint64_t hash) const {
+    __builtin_prefetch(&slots_[static_cast<std::size_t>(hash) & mask_], 1, 3);
+  }
+
+  /// Grow so that `projected_inserts` more keys on top of the `fill` keys
+  /// already present keep the load factor at or below 50%. MUST only be
+  /// called while no worker thread is probing (the engine's level barrier);
+  /// the rebuild is stop-the-world.
+  void reserve_level(std::uint64_t fill, std::uint64_t projected_inserts) {
+    const std::uint64_t want = (fill + projected_inserts) * 2;
+    if (want <= capacity()) return;
+    std::uint64_t next = capacity();
+    while (next < want) next <<= 1;
+    Slab old = std::move(storage_);
+    const std::size_t old_capacity = mask_ + 1;
+    rebuild(next);
+    for (std::size_t i = 0; i < old_capacity; ++i) {
+      const std::uint64_t key = old.data[i];  // quiescent: plain loads fine
+      if (key == kReservedKey) continue;
+      std::size_t j = static_cast<std::size_t>(mix64(key)) & mask_;
+      while (slots_[j] != kReservedKey) {
+        j = (j + 1) & mask_;
+      }
+      slots_[j] = key;
+    }
+  }
+
+  std::uint64_t capacity() const { return mask_ + 1; }
+  std::uint64_t bytes() const { return capacity() * sizeof(std::uint64_t); }
 
  private:
-  static constexpr std::size_t kShardCount = 64;  // power of two
-  static constexpr std::size_t kInitialSlots = 1024;
-  static constexpr std::uint64_t kEmpty = ~0ull;  // not a legal packed state
+  static constexpr std::uint64_t kMinSlots = 1ull << 16;
+  /// Tables larger than a few MB are random-access DRAM; backing them with
+  /// transparent huge pages keeps the TLB from becoming the bottleneck
+  /// (a 2^25-slot table spans 65k 4K pages but only 128 huge ones).
+  static constexpr std::size_t kHugePage = 2 * 1024 * 1024;
 
-  struct alignas(64) Shard {
-    std::mutex mu;
-    std::vector<std::uint64_t> slots;
-    std::size_t size = 0;
+  /// 2MB-aligned allocation of plain uint64_t slots, advised towards huge
+  /// pages. Plain storage + std::atomic_ref on the probe path keeps
+  /// initialization a single memset (the sentinel is all-ones).
+  struct Slab {
+    std::uint64_t* data = nullptr;
+    std::size_t count = 0;
+
+    Slab() = default;
+    explicit Slab(std::size_t n) : count(n) {
+      const std::size_t size = n * sizeof(std::uint64_t);
+      data = static_cast<std::uint64_t*>(
+          ::operator new(size, std::align_val_t{kHugePage}));
+#if defined(__linux__)
+      if (size >= kHugePage) madvise(data, size, MADV_HUGEPAGE);
+#endif
+    }
+    Slab(Slab&& other) noexcept
+        : data(std::exchange(other.data, nullptr)),
+          count(std::exchange(other.count, 0)) {}
+    Slab& operator=(Slab&& other) noexcept {
+      if (this != &other) {
+        release();
+        data = std::exchange(other.data, nullptr);
+        count = std::exchange(other.count, 0);
+      }
+      return *this;
+    }
+    ~Slab() { release(); }
+
+   private:
+    void release() {
+      if (data != nullptr) {
+        ::operator delete(data, count * sizeof(std::uint64_t),
+                          std::align_val_t{kHugePage});
+      }
+    }
   };
 
-  static bool place(std::vector<std::uint64_t>& slots, std::uint64_t key) {
-    const std::size_t mask = slots.size() - 1;
-    std::size_t i = (mix64(key) >> 6) & mask;
-    while (slots[i] != kEmpty) {
-      if (slots[i] == key) return false;
-      i = (i + 1) & mask;
-    }
-    slots[i] = key;
-    return true;
+  void rebuild(std::uint64_t capacity) {
+    storage_ = Slab(static_cast<std::size_t>(capacity));
+    slots_ = storage_.data;
+    mask_ = static_cast<std::size_t>(capacity) - 1;
+    std::memset(slots_, 0xFF, static_cast<std::size_t>(capacity) *
+                                  sizeof(std::uint64_t));  // all kReservedKey
   }
 
-  static void grow(Shard& shard) {
-    std::vector<std::uint64_t> bigger(shard.slots.size() * 2, kEmpty);
-    for (std::uint64_t key : shard.slots) {
-      if (key != kEmpty) place(bigger, key);
-    }
-    shard.slots.swap(bigger);
-  }
-
-  std::array<Shard, kShardCount> shards_;
+  Slab storage_;
+  std::uint64_t* slots_ = nullptr;
+  std::size_t mask_ = 0;
 };
 
 inline int resolve_threads(int requested) {
@@ -99,13 +199,106 @@ inline int resolve_threads(int requested) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+/// Per-worker state, allocated once and reused across every BFS level (the
+/// scratch vectors keep their capacity, so steady-state expansion does not
+/// allocate).
+template <class S>
+struct Worker {
+  /// One prefetched-but-not-yet-inserted edge (see the pipeline note in
+  /// run_check's expand loop).
+  struct PendingEdge {
+    std::uint64_t hash;
+    S to;
+  };
+
+  /// Direct-mapped duplicate filter: caches keys this worker has proven
+  /// present in the shared seen-set, so repeat successors (BFS frontiers
+  /// revisit neighbours constantly) skip the DRAM-sized table entirely.
+  /// Only ever an optimization — a hit means "certainly already seen", a
+  /// miss or collision just falls through to the real probe — so verdicts
+  /// and state counts are unaffected.
+  static constexpr std::size_t kFilterBits = 15;
+  static constexpr std::size_t kFilterMask = (std::size_t{1} << kFilterBits) - 1;
+
+  std::vector<S> next;                      // newly discovered states
+  std::vector<Transition<S>> edges;         // successor scratch
+  std::vector<PendingEdge> batch;           // current state's hashed edges
+  std::vector<PendingEdge> pending;         // previous state's insert lag
+  std::vector<std::uint64_t> filter =
+      std::vector<std::uint64_t>(kFilterMask + 1, kReservedKey);
+  std::uint64_t transitions = 0;
+  std::size_t max_degree = 0;
+  bool has_violation = false;
+  std::uint64_t violation_key = 0;
+  std::string violation;
+  // Flat edge log for CSR assembly (collect-graph models only): one
+  // (key, degree) pair per expanded state, edges appended in order.
+  std::vector<std::uint64_t> log_key;
+  std::vector<std::uint32_t> log_degree;
+  std::vector<S> log_to;
+  std::vector<std::uint8_t> log_label;
+};
+
+/// Merge the per-worker edge logs into a CSR ReachView sorted by packed key
+/// (keys are unique — each state is expanded exactly once — so the result
+/// is independent of which worker expanded what).
+template <class S>
+ReachView<S> build_reach_view(std::vector<Worker<S>>& workers) {
+  struct NodeRef {
+    std::uint64_t key;
+    std::uint32_t worker;
+    std::uint32_t degree;
+    std::uint64_t offset;  // into the owning worker's log_to/log_label
+  };
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  for (const Worker<S>& w : workers) {
+    nodes += w.log_key.size();
+    edges += w.log_to.size();
+  }
+  std::vector<NodeRef> refs;
+  refs.reserve(nodes);
+  for (std::uint32_t w = 0; w < workers.size(); ++w) {
+    std::uint64_t offset = 0;
+    for (std::size_t n = 0; n < workers[w].log_key.size(); ++n) {
+      const std::uint32_t degree = workers[w].log_degree[n];
+      refs.push_back({workers[w].log_key[n], w, degree, offset});
+      offset += degree;
+    }
+  }
+  std::sort(refs.begin(), refs.end(),
+            [](const NodeRef& a, const NodeRef& b) { return a.key < b.key; });
+
+  std::vector<std::uint64_t> keys;
+  std::vector<std::uint64_t> offsets;
+  std::vector<S> to;
+  std::vector<std::uint8_t> labels;
+  keys.reserve(nodes);
+  offsets.reserve(nodes + 1);
+  to.reserve(edges);
+  labels.reserve(edges);
+  offsets.push_back(0);
+  for (const NodeRef& ref : refs) {
+    const Worker<S>& w = workers[ref.worker];
+    keys.push_back(ref.key);
+    for (std::uint32_t e = 0; e < ref.degree; ++e) {
+      to.push_back(w.log_to[ref.offset + e]);
+      labels.push_back(w.log_label[ref.offset + e]);
+    }
+    offsets.push_back(static_cast<std::uint64_t>(to.size()));
+  }
+  return ReachView<S>(std::move(keys), std::move(offsets), std::move(to),
+                      std::move(labels));
+}
+
 }  // namespace detail
 
 /// Exhaustively explore `model`; returns after the full (finite) reachable
 /// space is covered, or at the end of the first BFS level containing a
-/// violation, or once `options.max_states` is exceeded. For AnalyzableModel
-/// types the complete reachable graph is collected and handed to the
-/// model's `analyze` hook afterwards (liveness/lasso searches).
+/// violation, or once `options.max_states` is exceeded (verdict =
+/// kBudgetExceeded). For AnalyzableModel types the complete reachable graph
+/// is assembled into a CSR ReachView and handed to the model's `analyze`
+/// hook afterwards (liveness/lasso searches).
 template <Model M>
 CheckResult run_check(const M& model, const CheckOptions& options = {}) {
   using S = typename M::State;
@@ -114,110 +307,177 @@ CheckResult run_check(const M& model, const CheckOptions& options = {}) {
 
   CheckResult result;
   result.threads = detail::resolve_threads(options.threads);
+  const int workers = result.threads;
 
-  detail::SeenSet seen;
+  detail::SeenSet seen(options.expected_states);
   std::vector<S> level;
   for (const S& s : model.initial_states()) {
-    if (seen.insert(static_cast<std::uint64_t>(s.bits))) level.push_back(s);
+    const auto key = static_cast<std::uint64_t>(s.bits);
+    if (key == detail::kReservedKey) {
+      result.verdict = Verdict::kViolation;
+      result.counterexample =
+          "model error: initial state packs the reserved seen-set sentinel "
+          "key ~0";
+      result.seen_bytes = seen.bytes();
+      result.wall_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - start)
+              .count();
+      return result;
+    }
+    if (seen.insert(key)) level.push_back(s);
   }
 
   constexpr bool kCollectGraph = AnalyzableModel<M>;
-  ReachGraph<S> graph;
 
-  // Worker-local output, merged at each level barrier.
-  struct WorkerOut {
-    std::vector<S> next;
-    std::uint64_t transitions = 0;
-    bool has_violation = false;
-    std::uint64_t violation_key = 0;
-    std::string violation;
-    std::vector<std::pair<std::uint64_t, std::vector<Transition<S>>>> edges;
+  std::vector<detail::Worker<S>> outs(static_cast<std::size_t>(workers));
+  std::atomic<std::size_t> cursor{0};
+  std::size_t chunk = 1;
+  bool stop = false;  // written by the main thread at barriers only
+
+  // Small levels still fan out (chunks of kMinChunk) so the parallel path
+  // is exercised — and TSan-checkable — even on tiny models.
+  constexpr std::size_t kMinChunk = 16;
+
+  auto expand = [&](detail::Worker<S>& out) {
+    // Inserts run one state behind their prefetches: a state's edges are
+    // hashed and prefetched while the PREVIOUS state's batch (whose cache
+    // lines have had a whole state's worth of successor generation to
+    // arrive) is inserted. Insertion order within a level is irrelevant —
+    // the level's reached set is what matters — so the lag is free.
+    const auto flush = [&] {
+      for (const auto& p : out.pending) {
+        const auto to_key = static_cast<std::uint64_t>(p.to.bits);
+        if (seen.insert_hashed(p.hash, to_key)) {
+          out.next.push_back(p.to);
+        }
+        // Either way the key is now certainly in the table.
+        out.filter[p.hash >> (64 - detail::Worker<S>::kFilterBits)] = to_key;
+      }
+      out.pending.clear();
+    };
+    out.batch.clear();
+    out.pending.clear();
+    for (std::size_t base = cursor.fetch_add(chunk); base < level.size();
+         base = cursor.fetch_add(chunk)) {
+      const std::size_t end = std::min(base + chunk, level.size());
+      for (std::size_t i = base; i < end; ++i) {
+        const S st = level[i];
+        const auto key = static_cast<std::uint64_t>(st.bits);
+        const auto note = [&](std::string message) {
+          if (message.empty()) return false;
+          if (!out.has_violation || key < out.violation_key) {
+            out.has_violation = true;
+            out.violation_key = key;
+            out.violation = std::move(message);
+          }
+          return true;
+        };
+        if (note(model.check_state(st))) continue;
+        out.edges.clear();
+        model.successors(st, out.edges);
+        if (note(model.check_expansion(st, out.edges))) continue;
+        out.transitions += out.edges.size();
+        out.max_degree = std::max(out.max_degree, out.edges.size());
+        bool reserved = false;
+        for (const Transition<S>& t : out.edges) {
+          const auto to_key = static_cast<std::uint64_t>(t.to.bits);
+          reserved = reserved || to_key == detail::kReservedKey;
+          const std::uint64_t hash = detail::mix64(to_key);
+          if (out.filter[hash >> (64 - detail::Worker<S>::kFilterBits)] ==
+              to_key) {
+            continue;  // duplicate of a key already in the table
+          }
+          out.batch.push_back({hash, t.to});
+          seen.prefetch(hash);
+        }
+        if (reserved) {
+          out.batch.clear();
+          note(
+              "model error: successor packs the reserved seen-set sentinel "
+              "key ~0 | from " +
+              model.describe(st));
+          continue;
+        }
+        flush();  // previous state's batch, prefetched a full state ago
+        std::swap(out.batch, out.pending);
+        if constexpr (kCollectGraph) {
+          out.log_key.push_back(key);
+          out.log_degree.push_back(
+              static_cast<std::uint32_t>(out.edges.size()));
+          for (const Transition<S>& t : out.edges) {
+            out.log_to.push_back(t.to);
+            out.log_label.push_back(t.label);
+          }
+        }
+      }
+    }
+    flush();  // drain the last state's lagged batch before the barrier
   };
 
+  // Persistent worker pool: one std::barrier phase releases the workers
+  // into a level, the next phase closes it; between the closing phase and
+  // the next opening one every worker is parked, so the main thread may
+  // freely resize the seen-set and rebuild the level vector.
+  std::barrier barrier(workers);
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers) - 1);
+  for (int w = 1; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      for (;;) {
+        barrier.arrive_and_wait();  // level opens (or stop)
+        if (stop) return;
+        expand(outs[static_cast<std::size_t>(w)]);
+        barrier.arrive_and_wait();  // level closes
+      }
+    });
+  }
+
   bool stopped = false;
-  while (!level.empty() && !stopped) {
+  std::size_t max_degree_seen = 8;  // conservative floor for projections
+  std::vector<S> next;
+  while (!level.empty()) {
     if (result.states + level.size() > options.max_states) {
-      result.verdict = Verdict::kViolation;
+      result.verdict = Verdict::kBudgetExceeded;
       result.counterexample = "state budget exceeded after " +
                               std::to_string(result.states) + " states";
       stopped = true;
       break;
     }
 
-    // Small levels still fan out (chunks of kMinChunk) so the parallel path
-    // is exercised — and TSan-checkable — even on tiny models.
-    constexpr std::size_t kMinChunk = 16;
-    const int workers = static_cast<int>(std::min<std::size_t>(
-        static_cast<std::size_t>(result.threads),
-        (level.size() + kMinChunk - 1) / kMinChunk));
-    const std::size_t chunk = std::clamp<std::size_t>(
+    // Guarantee headroom for the whole level before any worker probes: a
+    // level inserts at most level * max-out-degree new keys (projected from
+    // the largest degree observed so far — models whose degree explodes
+    // faster than 2x headroom between adjacent levels would need a
+    // mid-level resize, which the design deliberately excludes), so
+    // growing here (the quiescent point) keeps the mid-level table fixed.
+    // The fill is exact at the barrier: every state ever inserted is either
+    // already expanded (result.states) or in the current frontier.
+    seen.reserve_level(result.states + level.size(),
+                       level.size() * max_degree_seen);
+    chunk = std::clamp<std::size_t>(
         level.size() / (static_cast<std::size_t>(workers) * 8), kMinChunk,
         2048);
+    cursor.store(0, std::memory_order_relaxed);
+    for (detail::Worker<S>& out : outs) out.next.clear();
 
-    std::vector<WorkerOut> outs(static_cast<std::size_t>(workers));
-    std::atomic<std::size_t> cursor{0};
-
-    auto expand = [&](WorkerOut& out) {
-      std::vector<Transition<S>> edges;
-      for (std::size_t base = cursor.fetch_add(chunk); base < level.size();
-           base = cursor.fetch_add(chunk)) {
-        const std::size_t end = std::min(base + chunk, level.size());
-        for (std::size_t i = base; i < end; ++i) {
-          const S st = level[i];
-          const auto key = static_cast<std::uint64_t>(st.bits);
-          const auto note = [&](std::string message) {
-            if (message.empty()) return false;
-            if (!out.has_violation || key < out.violation_key) {
-              out.has_violation = true;
-              out.violation_key = key;
-              out.violation = std::move(message);
-            }
-            return true;
-          };
-          if (note(model.check_state(st))) continue;
-          edges.clear();
-          model.successors(st, edges);
-          if (note(model.check_expansion(st, edges))) continue;
-          out.transitions += edges.size();
-          for (const Transition<S>& t : edges) {
-            if (seen.insert(static_cast<std::uint64_t>(t.to.bits))) {
-              out.next.push_back(t.to);
-            }
-          }
-          if constexpr (kCollectGraph) out.edges.emplace_back(key, edges);
-        }
-      }
-    };
-
-    if (workers == 1) {
-      expand(outs[0]);
-    } else {
-      std::vector<std::thread> pool;
-      pool.reserve(static_cast<std::size_t>(workers) - 1);
-      for (int w = 1; w < workers; ++w) {
-        pool.emplace_back([&outs, &expand, w] {
-          expand(outs[static_cast<std::size_t>(w)]);
-        });
-      }
-      expand(outs[0]);
-      for (std::thread& t : pool) t.join();
-    }
+    barrier.arrive_and_wait();  // open the level
+    expand(outs[0]);
+    barrier.arrive_and_wait();  // close it: every worker is parked again
 
     result.states += level.size();
     std::size_t total = 0;
-    for (const WorkerOut& out : outs) total += out.next.size();
-    std::vector<S> next;
+    for (const detail::Worker<S>& out : outs) total += out.next.size();
+    next.clear();
     next.reserve(total);
-    const WorkerOut* worst = nullptr;
-    for (WorkerOut& out : outs) {
+    const detail::Worker<S>* worst = nullptr;
+    for (detail::Worker<S>& out : outs) {
       result.transitions += out.transitions;
+      out.transitions = 0;
+      max_degree_seen = std::max(max_degree_seen, out.max_degree);
       next.insert(next.end(), out.next.begin(), out.next.end());
       if (out.has_violation &&
           (worst == nullptr || out.violation_key < worst->violation_key)) {
         worst = &out;
-      }
-      if constexpr (kCollectGraph) {
-        for (auto& [key, e] : out.edges) graph.emplace(key, std::move(e));
       }
     }
     if (worst != nullptr) {
@@ -230,8 +490,15 @@ CheckResult run_check(const M& model, const CheckOptions& options = {}) {
     level.swap(next);
   }
 
+  stop = true;
+  barrier.arrive_and_wait();  // release parked workers into their exit
+  for (std::thread& t : pool) t.join();
+
+  result.seen_bytes = seen.bytes();
   if (!stopped) {
     if constexpr (kCollectGraph) {
+      const ReachView<S> graph = detail::build_reach_view<S>(outs);
+      result.graph_bytes = graph.bytes();
       std::string witness = model.analyze(graph);
       if (!witness.empty()) {
         result.verdict = Verdict::kViolation;

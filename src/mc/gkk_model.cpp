@@ -1,8 +1,8 @@
 #include "mc/gkk_model.hpp"
 
-#include <deque>
-#include <set>
+#include <algorithm>
 #include <sstream>
+#include <vector>
 
 #include "mc/engine.hpp"
 
@@ -99,33 +99,41 @@ std::string GkkModel::describe(const State& st) const {
   return out.str();
 }
 
-std::string GkkModel::analyze(const ReachGraph<State>& graph) const {
+std::string GkkModel::analyze(const ReachView<State>& graph) const {
   // Lasso search: a wrongful-suspicion edge u -> v, with q permanently in
   // its CS at u (legal infinite suffix), such that v can reach u again.
-  const auto reaches = [&graph](std::uint64_t from, std::uint64_t target) {
-    std::set<std::uint64_t> visited{from};
-    std::deque<std::uint64_t> queue{from};
-    while (!queue.empty()) {
-      const std::uint64_t cur = queue.front();
-      queue.pop_front();
+  // Nodes are addressed by CSR index; the visited set is a flat byte array.
+  std::vector<std::uint8_t> visited(graph.node_count());
+  std::vector<std::size_t> queue;
+  const auto reaches = [&](std::size_t from, std::size_t target) {
+    std::fill(visited.begin(), visited.end(), 0);
+    queue.clear();
+    queue.push_back(from);
+    visited[from] = 1;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const std::size_t cur = queue[head];
       if (cur == target) return true;
-      const auto it = graph.find(cur);
-      if (it == graph.end()) continue;
-      for (const Transition<State>& edge : it->second) {
-        if (visited.insert(edge.to.bits).second) queue.push_back(edge.to.bits);
+      for (std::size_t e = 0; e < graph.out_degree(cur); ++e) {
+        const std::size_t next = graph.find(graph.edge_to(cur, e).bits);
+        if (next != ReachView<State>::npos && !visited[next]) {
+          visited[next] = 1;
+          queue.push_back(next);
+        }
       }
     }
     return false;
   };
 
-  for (const auto& [bits, edges] : graph) {
-    const State st{static_cast<std::uint32_t>(bits)};
+  for (std::size_t node = 0; node < graph.node_count(); ++node) {
+    const State st{static_cast<std::uint32_t>(graph.key(node))};
     if (!get(st, kQEating)) continue;  // suffix condition
-    for (const Transition<State>& edge : edges) {
-      if (!(edge.label & kLabelWrongfulSuspicion)) continue;
-      if (reaches(edge.to.bits, bits)) {
+    for (std::size_t e = 0; e < graph.out_degree(node); ++e) {
+      if (!(graph.edge_label(node, e) & kLabelWrongfulSuspicion)) continue;
+      const State to = graph.edge_to(node, e);
+      const std::size_t entry = graph.find(to.bits);
+      if (entry != ReachView<State>::npos && reaches(entry, node)) {
         return describe(st) + "  --[w eats & suspects correct q]-->  " +
-               describe(edge.to) + "  --...-->  (repeats forever)";
+               describe(to) + "  --...-->  (repeats forever)";
       }
     }
   }

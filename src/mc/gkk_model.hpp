@@ -48,7 +48,7 @@ class GkkModel {
                               const std::vector<Transition<State>>& edges) const;
   std::string describe(const State& state) const;
   /// Lasso search over the reached graph (see file header).
-  std::string analyze(const ReachGraph<State>& graph) const;
+  std::string analyze(const ReachView<State>& graph) const;
 
  private:
   GkkBoxSemantics semantics_;

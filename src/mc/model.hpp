@@ -7,25 +7,40 @@
 // mc::run_check / mc::CheckResult.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <map>
 #include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace wfd::mc {
 
 enum class Verdict : std::uint8_t {
-  kOk,         ///< the full reachable space was covered, no violation
-  kViolation,  ///< an invariant failed, a lasso exists, or budget exhausted
+  kOk,              ///< the full reachable space was covered, no violation
+  kViolation,       ///< an invariant failed or a lasso exists
+  kBudgetExceeded,  ///< max_states hit before the space was covered
 };
+
+inline const char* verdict_name(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kOk: return "ok";
+    case Verdict::kViolation: return "violation";
+    case Verdict::kBudgetExceeded: return "budget_exceeded";
+  }
+  return "?";
+}
 
 /// Engine knobs, shared by every model.
 struct CheckOptions {
   /// Worker threads for the frontier exploration; 0 = hardware concurrency.
   int threads = 0;
-  /// Abort (verdict = violation, "state budget exceeded") past this count.
+  /// Abort (verdict = kBudgetExceeded) past this count.
   std::uint64_t max_states = 50'000'000;
+  /// Pre-size hint for the seen-set (reachable-state estimate). 0 = unknown;
+  /// the table then starts small and grows at level barriers. Sweep runners
+  /// forward this from campaign metadata so big runs never rehash.
+  std::uint64_t expected_states = 0;
 };
 
 /// The single result shape every checker returns.
@@ -37,6 +52,9 @@ struct CheckResult {
   std::string counterexample;     ///< violation / witness cycle, readable
   double wall_ms = 0.0;           ///< exploration wall time
   int threads = 1;                ///< worker threads actually used
+  std::uint64_t seen_bytes = 0;   ///< peak seen-set footprint
+  std::uint64_t graph_bytes = 0;  ///< CSR reachable-graph footprint (0 if
+                                  ///< the model has no analyze hook)
 
   bool ok() const { return verdict == Verdict::kOk; }
 };
@@ -55,14 +73,76 @@ struct Transition {
   std::uint8_t label = kLabelNone;
 };
 
-/// Reached graph handed to `analyze` hooks: packed state -> out-edges,
-/// ordered by packed key so analysis output is deterministic.
+/// The reachable graph handed to `analyze` hooks, stored as compressed
+/// sparse rows: nodes sorted ascending by packed key (so analysis output is
+/// deterministic regardless of how many workers explored), one flat edge
+/// array indexed by per-node offsets. Compared to the former
+/// `std::map<key, vector<Transition>>` this is three flat allocations
+/// instead of one tree node plus one heap vector per state.
 template <class S>
-using ReachGraph = std::map<std::uint64_t, std::vector<Transition<S>>>;
+class ReachView {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  ReachView() = default;
+  /// Built by the engine from per-worker edge logs; `keys` must be sorted
+  /// ascending and unique, `offsets` exclusive-prefix with offsets.back()
+  /// == to.size() == labels.size().
+  ReachView(std::vector<std::uint64_t> keys,
+            std::vector<std::uint64_t> offsets, std::vector<S> to,
+            std::vector<std::uint8_t> labels)
+      : keys_(std::move(keys)),
+        offsets_(std::move(offsets)),
+        to_(std::move(to)),
+        labels_(std::move(labels)) {}
+
+  std::size_t node_count() const { return keys_.size(); }
+  std::uint64_t key(std::size_t node) const { return keys_[node]; }
+
+  /// Node index of `key`, or npos. Binary search over the sorted key array.
+  std::size_t find(std::uint64_t key) const {
+    std::size_t lo = 0;
+    std::size_t hi = keys_.size();
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (keys_[mid] < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo < keys_.size() && keys_[lo] == key ? lo : npos;
+  }
+
+  std::size_t out_degree(std::size_t node) const {
+    return static_cast<std::size_t>(offsets_[node + 1] - offsets_[node]);
+  }
+  const S& edge_to(std::size_t node, std::size_t e) const {
+    return to_[offsets_[node] + e];
+  }
+  std::uint8_t edge_label(std::size_t node, std::size_t e) const {
+    return labels_[offsets_[node] + e];
+  }
+
+  /// Footprint of the CSR arrays (reported as CheckResult::graph_bytes).
+  std::uint64_t bytes() const {
+    return keys_.capacity() * sizeof(std::uint64_t) +
+           offsets_.capacity() * sizeof(std::uint64_t) +
+           to_.capacity() * sizeof(S) + labels_.capacity();
+  }
+
+ private:
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint64_t> offsets_;  // size node_count() + 1
+  std::vector<S> to_;
+  std::vector<std::uint8_t> labels_;
+};
 
 /// What the engine requires of a model:
 ///  * `State` — trivially copyable, with a packed integral `bits` key that
-///    uniquely identifies the state (at most 64 bits);
+///    uniquely identifies the state (at most 64 bits; the all-ones key
+///    ~0ull is reserved as the seen-set's empty sentinel and packing it is
+///    reported as a violation);
 ///  * `initial_states()` — the exploration roots;
 ///  * `successors(s, out)` — append every enabled transition from `s`;
 ///  * `check_state(s)` — state-local invariant; non-empty string = violation;
@@ -88,7 +168,7 @@ concept Model =
 template <class M>
 concept AnalyzableModel =
     Model<M> &&
-    requires(const M model, const ReachGraph<typename M::State>& graph) {
+    requires(const M model, const ReachView<typename M::State>& graph) {
       { model.analyze(graph) } -> std::same_as<std::string>;
     };
 

@@ -6,7 +6,10 @@
 // and verdict at every thread count).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "mc/ablation_model.hpp"
@@ -76,6 +79,10 @@ TEST(ModelChecker, StateSpaceIsModest) {
 TEST(ModelChecker, BudgetExhaustionReported) {
   const CheckResult result = check_reduction({}, {.max_states = 10});
   EXPECT_FALSE(result.ok());
+  // A budget stop is an aborted search, not a property violation — it must
+  // be distinguishable from a real counterexample.
+  EXPECT_EQ(result.verdict, Verdict::kBudgetExceeded);
+  EXPECT_STREQ(verdict_name(result.verdict), "budget_exceeded");
   EXPECT_NE(result.counterexample.find("budget"), std::string::npos);
 }
 
@@ -90,6 +97,11 @@ TEST(ModelChecker, ResultCarriesRunMetadata) {
   EXPECT_EQ(result.threads, 2);
   EXPECT_GE(result.wall_ms, 0.0);
   EXPECT_GT(result.depth, 0u);
+  EXPECT_EQ(result.verdict, Verdict::kOk);
+  // The reduction model collects no graph, so only the seen-set costs
+  // memory; both figures are reported for capacity planning.
+  EXPECT_GT(result.seen_bytes, 0u);
+  EXPECT_EQ(result.graph_bytes, 0u);
 }
 
 // The reachable space of the two-pair composition is exactly the product
@@ -127,7 +139,11 @@ TEST(ParallelEngine, DeterministicAcrossThreadCounts) {
       options.check_accuracy = mode == BoxMode::kExclusive;
       options.check_deadlock = true;
       const CheckResult base = check_reduction(options, {.threads = 1});
-      for (const int threads : {2, 4}) {
+      const int oversubscribed =
+          2 * static_cast<int>(std::thread::hardware_concurrency() == 0
+                                   ? 2u
+                                   : std::thread::hardware_concurrency());
+      for (const int threads : {2, 4, 8, oversubscribed}) {
         const CheckResult result =
             check_reduction(options, {.threads = threads});
         EXPECT_EQ(result.states, base.states)
@@ -196,11 +212,115 @@ TEST(ParallelEngine, BudgetStopIsDeterministicToo) {
         run_check(GridModel{.side = 64}, {.threads = threads,
                                           .max_states = 100});
     EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.verdict, Verdict::kBudgetExceeded) << "threads=" << threads;
     EXPECT_NE(result.counterexample.find("budget"), std::string::npos);
     // Complete levels only: 1 + 2 + ... + 13 = 91 states, the 14th level
     // would cross the 100-state budget.
     EXPECT_EQ(result.states, 91u) << "threads=" << threads;
   }
+}
+
+// Exercises the lock-free seen-set directly: every thread races to insert
+// an overlapping key range, and exactly one insertion per distinct key may
+// succeed. Named under ParallelEngine so the TSan-instrumented test binary
+// picks it up (tests/CMakeLists.txt runs --gtest_filter=ParallelEngine.*).
+TEST(ParallelEngine, LockFreeSeenSetConcurrentInsert) {
+  constexpr std::uint64_t kKeys = 200000;
+  constexpr int kThreads = 8;
+  detail::SeenSet seen(kKeys);
+  std::atomic<std::uint64_t> inserted{0};
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&seen, &inserted, t] {
+      std::uint64_t mine = 0;
+      // Each thread walks the full key range from a different offset, so
+      // every key is contended by all threads.
+      for (std::uint64_t i = 0; i < kKeys; ++i) {
+        const std::uint64_t key =
+            (i + static_cast<std::uint64_t>(t) * (kKeys / kThreads)) % kKeys;
+        if (seen.insert(key)) ++mine;
+      }
+      inserted.fetch_add(mine);
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(inserted.load(), kKeys);
+  // Re-inserting any key now fails.
+  for (std::uint64_t key = 0; key < kKeys; key += 997) {
+    EXPECT_FALSE(seen.insert(key)) << key;
+  }
+}
+
+// A model that (wrongly) packs a state equal to the seen-set's reserved
+// empty-slot sentinel (~0). The engine must refuse it with a deterministic
+// violation instead of silently conflating it with "not seen yet".
+struct SentinelModel {
+  struct State {
+    std::uint64_t bits = 0;
+  };
+  bool sentinel_initial = false;
+
+  std::vector<State> initial_states() const {
+    if (sentinel_initial) return {State{~0ull}};
+    return {State{0}};
+  }
+  void successors(const State& st, std::vector<Transition<State>>& out) const {
+    if (st.bits < 3) out.push_back({State{st.bits + 1}, kLabelNone});
+    if (st.bits == 3) out.push_back({State{~0ull}, kLabelNone});
+  }
+  std::string check_state(const State&) const { return {}; }
+  std::string check_expansion(const State&,
+                              const std::vector<Transition<State>>&) const {
+    return {};
+  }
+  std::string describe(const State& st) const {
+    return "s" + std::to_string(st.bits);
+  }
+};
+
+static_assert(Model<SentinelModel>);
+
+TEST(ParallelEngine, ReservedSentinelKeyIsRejectedNotConflated) {
+  for (const int threads : {1, 4}) {
+    const CheckResult result = run_check(SentinelModel{}, {.threads = threads});
+    EXPECT_EQ(result.verdict, Verdict::kViolation) << "threads=" << threads;
+    EXPECT_NE(result.counterexample.find("sentinel"), std::string::npos)
+        << result.counterexample;
+    EXPECT_NE(result.counterexample.find("s3"), std::string::npos)
+        << "the offending predecessor must be named: "
+        << result.counterexample;
+  }
+}
+
+TEST(ParallelEngine, ReservedSentinelInitialStateIsRejected) {
+  const CheckResult result =
+      run_check(SentinelModel{.sentinel_initial = true}, {});
+  EXPECT_EQ(result.verdict, Verdict::kViolation);
+  EXPECT_NE(result.counterexample.find("sentinel"), std::string::npos)
+      << result.counterexample;
+}
+
+// --- oversubscription: more workers than the hardware has ------------------
+
+TEST(EngineScale, OversubscribedDeterminism) {
+  McOptions options;  // the pairs=2 composition: the largest tier-1 space
+  options.mode = BoxMode::kExclusive;
+  options.allow_crash = false;
+  options.check_accuracy = true;
+  options.check_deadlock = true;
+  options.pairs = 2;
+  const CheckResult base = check_reduction(options, {.threads = 1});
+  ASSERT_TRUE(base.ok()) << base.counterexample;
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int oversubscribed = 2 * static_cast<int>(hw == 0 ? 2u : hw);
+  const CheckResult result =
+      check_reduction(options, {.threads = oversubscribed});
+  EXPECT_EQ(result.states, base.states) << "threads=" << oversubscribed;
+  EXPECT_EQ(result.transitions, base.transitions);
+  EXPECT_EQ(result.depth, base.depth);
+  EXPECT_EQ(result.verdict, base.verdict);
+  EXPECT_EQ(result.counterexample, base.counterexample);
 }
 
 // --- the GKK liveness counterexample, mechanically -------------------------
@@ -240,6 +360,33 @@ TEST(GkkModel, StateSpacesAreTiny) {
   EXPECT_LT(fork_based.states, 100u);
   EXPECT_LT(lockout.states, 100u);
   EXPECT_GT(fork_based.transitions, fork_based.states);
+  // Analyzable models collect the reachable graph; its CSR footprint is
+  // reported alongside the seen-set's.
+  EXPECT_GT(fork_based.graph_bytes, 0u);
+  EXPECT_GT(fork_based.seen_bytes, 0u);
+}
+
+// --- the CSR reachable-graph view, directly --------------------------------
+
+TEST(ReachViewTest, CsrLookupAndIteration) {
+  struct S {
+    std::uint32_t bits = 0;
+  };
+  // Three nodes (keys 5, 9, 12); node 5 -> {9, 12}, node 9 -> {12}, node 12
+  // has no successors.
+  const ReachView<S> view({5, 9, 12}, {0, 2, 3, 3},
+                          {S{9}, S{12}, S{12}},
+                          {kLabelNone, kLabelWrongfulSuspicion, kLabelNone});
+  ASSERT_EQ(view.node_count(), 3u);
+  EXPECT_EQ(view.key(0), 5u);
+  EXPECT_EQ(view.key(2), 12u);
+  EXPECT_EQ(view.find(9), 1u);
+  EXPECT_EQ(view.find(7), ReachView<S>::npos);
+  ASSERT_EQ(view.out_degree(0), 2u);
+  EXPECT_EQ(view.edge_to(0, 1).bits, 12u);
+  EXPECT_EQ(view.edge_label(0, 1), kLabelWrongfulSuspicion);
+  EXPECT_EQ(view.out_degree(2), 0u);
+  EXPECT_GT(view.bytes(), 0u);
 }
 
 }  // namespace
