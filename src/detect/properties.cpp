@@ -48,6 +48,19 @@ std::uint64_t DetectorHistory::suspicion_episodes(sim::ProcessId watcher,
   return episodes;
 }
 
+std::uint64_t DetectorHistory::suspicion_episodes_since(
+    sim::ProcessId watcher, sim::ProcessId subject, sim::Time from) const {
+  auto it = logs_.find({watcher, subject});
+  if (it == logs_.end()) return 0;
+  std::uint64_t episodes = (it->second.initial && from == 0) ? 1 : 0;
+  bool prev = it->second.initial;
+  for (const auto& [time, suspected] : it->second.flips) {
+    if (suspected && !prev && time >= from) ++episodes;
+    prev = suspected;
+  }
+  return episodes;
+}
+
 std::vector<std::pair<sim::ProcessId, sim::ProcessId>> DetectorHistory::pairs()
     const {
   std::vector<Key> out;

@@ -53,6 +53,12 @@ class DetectorHistory {
   /// Number of times `watcher` newly began suspecting `subject`.
   std::uint64_t suspicion_episodes(sim::ProcessId watcher,
                                    sim::ProcessId subject) const;
+  /// As above, counting only episodes starting at or after `from` (an
+  /// initial suspicion counts iff `from` == 0). Lets oracles grade accuracy
+  /// after a known convergence deadline instead of over the whole run.
+  std::uint64_t suspicion_episodes_since(sim::ProcessId watcher,
+                                         sim::ProcessId subject,
+                                         sim::Time from) const;
 
   /// Every crashed subject is eventually permanently suspected by every
   /// correct registered watcher.

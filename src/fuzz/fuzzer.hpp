@@ -1,0 +1,93 @@
+// Campaign driver: swarm sampling over the FuzzConfig space, novelty
+// tracking via feature-hash signatures (the mc seen-set mixer over run
+// shape features), and a delta-debugging shrinker that reduces a failing
+// configuration to a minimal reproducer while preserving the failing
+// oracle. Campaigns fan batches of independent runs through
+// harness::run_campaign; with a fixed --runs count the outcome is
+// deterministic regardless of thread count (corpus updates happen in
+// configuration order).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fuzz/config.hpp"
+#include "fuzz/oracles.hpp"
+
+namespace wfd::fuzz {
+
+struct CampaignOptions {
+  std::uint64_t master_seed = 1;
+  /// Exact number of runs (deterministic mode). 0 = keep going until the
+  /// time budget expires.
+  std::uint64_t runs = 0;
+  /// Wall-clock budget in milliseconds, checked between batches. 0 = none
+  /// (then `runs` must be > 0).
+  std::uint64_t budget_ms = 0;
+  int threads = 1;
+  /// Target pool to sample from; empty = all legal targets.
+  std::vector<TargetKind> targets;
+  bool shrink = true;
+  std::uint32_t max_shrink_attempts = 160;
+  /// Shrink at most this many distinct failures per campaign.
+  std::uint32_t max_repros = 4;
+};
+
+struct CampaignStats {
+  std::uint64_t executed = 0;
+  std::uint64_t failing = 0;
+  std::uint64_t corpus_size = 0;  ///< distinct feature signatures seen
+  std::uint64_t novel = 0;        ///< runs that added a new signature
+  std::uint64_t shrink_runs = 0;  ///< extra runs spent shrinking
+  std::uint64_t total_steps = 0;
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_meals = 0;
+  std::uint64_t elapsed_ms = 0;
+  std::map<std::string, std::uint64_t> oracle_failures;  ///< name -> count
+};
+
+struct CampaignResult {
+  CampaignStats stats;
+  /// One (shrunk, re-validated) reproducer per distinct failure signature,
+  /// capped at options.max_repros.
+  std::vector<ReproCase> repros;
+};
+
+/// Swarm-sample configuration #`index` of the campaign keyed by
+/// `master_seed`. Pure function of (master_seed, index, pool).
+FuzzConfig sample_config(std::uint64_t master_seed, std::uint64_t index,
+                         const std::vector<TargetKind>& pool);
+
+/// All four legal targets (clean campaigns must stay clean on these).
+std::vector<TargetKind> legal_targets();
+/// The deliberately-broken targets (campaigns must find these).
+std::vector<TargetKind> broken_targets();
+
+struct ShrinkOutcome {
+  ReproCase repro;           ///< minimal failing case with expected outcome
+  std::uint32_t attempts = 0;
+  std::uint32_t accepted = 0;  ///< candidates that kept the failure
+  std::uint32_t runs = 0;      ///< run_config invocations spent
+};
+
+/// Delta-debug `failing` down: drop crash/mistake/pause plans (ddmin),
+/// simplify scheduler/delay/graph, reduce n and the scripted knobs, shorten
+/// the run — accepting a candidate only if it still fails with the SAME
+/// oracle. Returns the minimal case plus its recorded expected outcome.
+ShrinkOutcome shrink_case(const FuzzConfig& failing,
+                          std::uint32_t max_attempts);
+
+/// Replay a stored case: re-run its config and check the outcome matches
+/// bit-identically (oracle name, violation time, detail; a "none" case must
+/// run clean). On mismatch `why` explains the divergence.
+bool replay_case(const ReproCase& repro, std::string* why);
+
+/// Run a fuzzing campaign. `narrate`, if set, receives progress lines.
+CampaignResult run_fuzz_campaign(
+    const CampaignOptions& options,
+    const std::function<void(const std::string&)>& narrate = {});
+
+}  // namespace wfd::fuzz

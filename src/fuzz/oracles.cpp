@@ -1,0 +1,533 @@
+#include "fuzz/oracles.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "detect/properties.hpp"
+#include "dining/client.hpp"
+#include "dining/instance.hpp"
+#include "dining/monitors.hpp"
+#include "dining/scripted_box.hpp"
+#include "graph/conflict_graph.hpp"
+#include "harness/rig.hpp"
+#include "mc/engine.hpp"
+#include "reduce/ablation.hpp"
+#include "reduce/extraction.hpp"
+#include "sim/engine.hpp"
+
+namespace wfd::fuzz {
+
+namespace {
+
+constexpr sim::Port kDiningPort = 10;
+constexpr std::uint64_t kDiningTag = 0x42;
+constexpr std::uint64_t kExtractTag = 0xED;
+
+graph::ConflictGraph make_graph(GraphKind kind, std::uint32_t n) {
+  switch (kind) {
+    case GraphKind::kPair: return graph::make_pair();
+    case GraphKind::kRing: return graph::make_ring(n);
+    case GraphKind::kClique: return graph::make_clique(n);
+    case GraphKind::kStar: return graph::make_star(n);
+    case GraphKind::kPath: return graph::make_path(n);
+  }
+  return graph::make_ring(n);
+}
+
+/// Watches step/crash events for simulator-contract breaches while the run
+/// is live (retaining nothing).
+struct EngineInvariantObserver {
+  const sim::Engine* engine = nullptr;
+  sim::Time last_time = 0;
+  bool time_regressed = false;
+  sim::Time regressed_at = 0;
+  bool dead_step = false;
+  sim::Time dead_step_at = 0;
+  sim::ProcessId dead_step_pid = sim::kNoProcess;
+
+  void on_event(const sim::Event& event) {
+    if (event.time < last_time && !time_regressed) {
+      time_regressed = true;
+      regressed_at = event.time;
+    }
+    last_time = std::max(last_time, event.time);
+    if (event.kind == sim::EventKind::kStep &&
+        event.time >= engine->crash_time(event.pid) && !dead_step) {
+      dead_step = true;
+      dead_step_at = event.time;
+      dead_step_pid = event.pid;
+    }
+  }
+};
+
+std::string fmt(const char* pattern, std::uint64_t a, std::uint64_t b = 0,
+                std::uint64_t c = 0) {
+  std::ostringstream out;
+  for (const char* p = pattern; *p != '\0'; ++p) {
+    if (*p == '%') {
+      switch (*++p) {
+        case 'a': out << a; break;
+        case 'b': out << b; break;
+        case 'c': out << c; break;
+        default: out << *p;
+      }
+    } else {
+      out << *p;
+    }
+  }
+  return out.str();
+}
+
+std::uint64_t log2_bucket(std::uint64_t value) {
+  std::uint64_t bucket = 0;
+  while (value > 0) {
+    value >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+std::uint64_t hash_string(const std::string& text) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const char c : text) {
+    h = mc::detail::mix64(h ^ static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  }
+  return h;
+}
+
+std::uint64_t compute_signature(const FuzzConfig& config,
+                                const RunResult& result) {
+  using mc::detail::mix64;
+  std::uint64_t h = mix64(static_cast<std::uint64_t>(config.target));
+  const auto fold = [&h](std::uint64_t v) { h = mix64(h ^ v); };
+  fold(config.n);
+  fold(static_cast<std::uint64_t>(config.scheduler));
+  fold(static_cast<std::uint64_t>(config.delay));
+  fold(static_cast<std::uint64_t>(config.graph));
+  fold(static_cast<std::uint64_t>(config.semantics));
+  fold(config.crashes.size());
+  fold(config.mistakes.size());
+  fold(config.pauses.size());
+  fold(config.member0_burst > 0 ? 1 : 0);
+  fold(config.grant_holdoff > 0 ? 1 : 0);
+  fold(config.never_exit_member >= 0 ? 1 : 0);
+  fold(log2_bucket(effective_delay_max(config)));
+  fold(log2_bucket(result.stats.total_meals));
+  fold(log2_bucket(result.stats.exclusion_violations));
+  fold(log2_bucket(result.stats.detector_flips));
+  fold(log2_bucket(result.stats.messages_sent));
+  if (const OracleFailure* failure = result.primary()) {
+    fold(hash_string(failure->oracle));
+  }
+  return h;
+}
+
+}  // namespace
+
+FuzzConfig normalize(FuzzConfig config) {
+  const bool extraction = is_extraction_target(config.target);
+  // Population: a full extraction is n(n-1) witness/subject pairs and
+  // 2n(n-1) dining instances — quadratic, so it gets a tighter cap.
+  const std::uint32_t max_n = extraction ? 3 : 8;
+  config.n = std::clamp<std::uint32_t>(config.n, 2, max_n);
+  if (config.target == TargetKind::kBrokenSingleInstance) config.n = 2;
+  // graph::make_pair() is a fixed 2-vertex graph; with more members the
+  // instance would index past it, so keep the topology consistent with n.
+  if (config.graph == GraphKind::kPair && config.n != 2) {
+    config.graph = GraphKind::kPath;
+  }
+  config.steps = std::clamp<std::uint64_t>(config.steps, 2000, 2000000);
+
+  config.delay_min = std::clamp<sim::Time>(config.delay_min, 1, 64);
+  config.delay_max = std::clamp<sim::Time>(config.delay_max, 1, 64);
+  if (config.delay_max < config.delay_min) config.delay_max = config.delay_min;
+  config.geo_p = std::clamp(config.geo_p, 0.02, 0.9);
+  if (config.gst > config.steps / 2) config.gst = config.steps / 2;
+
+  // Disturbances must end with runway left: every plan time is clamped to
+  // the first half of the run so the post-deadline suffix stays long.
+  const sim::Time half = config.steps / 2;
+  const bool scripted_dining = config.target == TargetKind::kScriptedDining ||
+                               config.target == TargetKind::kBrokenForkBased;
+  std::vector<CrashPlan> crashes;
+  for (CrashPlan crash : config.crashes) {
+    if (crash.pid >= config.n) continue;
+    // The scripted-dining manager lives on member 0's host; crashing it
+    // voids the box's conditional wait-freedom (legal, but unfalsifiable).
+    if (scripted_dining && crash.pid == 0) continue;
+    if (std::any_of(crashes.begin(), crashes.end(),
+                    [&](const CrashPlan& c) { return c.pid == crash.pid; })) {
+      continue;
+    }
+    crash.at = std::clamp<sim::Time>(crash.at, 1, half);
+    crashes.push_back(crash);
+    // Keep a majority alive so every target retains correct watchers,
+    // subjects and neighbors to grade.
+    if (crashes.size() >= (config.n - 1) / 2 + (config.n > 2 ? 1 : 0)) break;
+  }
+  if (config.target == TargetKind::kBrokenSingleInstance) crashes.clear();
+  config.crashes = std::move(crashes);
+
+  std::vector<PausePlan> pauses;
+  for (PausePlan pause : config.pauses) {
+    if (pause.pid >= config.n) continue;
+    pause.from = std::min(pause.from, half);
+    pause.until = std::min(pause.until, half);
+    if (pause.from >= pause.until) continue;
+    pauses.push_back(pause);
+    if (pauses.size() >= 8) break;
+  }
+  config.pauses = std::move(pauses);
+  if (config.scheduler != SchedulerKind::kPausing) config.pauses.clear();
+  if (config.scheduler != SchedulerKind::kWeighted) config.weights.clear();
+  config.weights.resize(config.n, 1);
+  for (auto& weight : config.weights) {
+    weight = std::clamp<std::uint64_t>(weight, 1, 1000);
+  }
+
+  std::vector<detect::MistakeWindow> mistakes;
+  for (detect::MistakeWindow window : config.mistakes) {
+    if (window.watcher >= config.n || window.subject >= config.n ||
+        window.watcher == window.subject) {
+      continue;
+    }
+    window.from = std::min(window.from, half);
+    window.until = std::min(window.until, half);
+    if (window.from >= window.until) continue;
+    mistakes.push_back(window);
+    if (mistakes.size() >= 8) break;
+  }
+  config.mistakes = std::move(mistakes);
+  config.detector_lag = std::clamp<sim::Time>(config.detector_lag, 1, 200);
+
+  config.exclusive_from = std::min(config.exclusive_from, half);
+  config.member0_burst = std::min<std::uint32_t>(config.member0_burst, 6);
+  config.grant_holdoff = std::min<sim::Time>(config.grant_holdoff, 50);
+  if (config.never_exit_member >= static_cast<std::int32_t>(config.n)) {
+    config.never_exit_member = -1;
+  }
+
+  switch (config.target) {
+    case TargetKind::kBrokenSingleInstance:
+      // The E9 regime: unfair lockout box, short mistake prefix. The
+      // witness then outpaces the subject forever and keeps wrongfully
+      // suspecting it — the defect the fuzzer must find.
+      config.semantics = dining::BoxSemantics::kLockout;
+      if (config.member0_burst < 2) config.member0_burst = 2;
+      config.exclusive_from =
+          std::clamp<sim::Time>(config.exclusive_from, 1, 2000);
+      config.grant_holdoff = 0;
+      config.never_exit_member = -1;
+      break;
+    case TargetKind::kBrokenForkBased: {
+      // Section 3's counterexample: the never-exiting diner must be granted
+      // DURING the mistake prefix (fork-based grants in the prefix hold no
+      // lock), so the prefix has to outlast the first think+request round
+      // trip by a wide margin.
+      config.semantics = dining::BoxSemantics::kForkBased;
+      const sim::Time min_prefix = 400 + 30 * effective_delay_max(config);
+      config.exclusive_from =
+          std::clamp<sim::Time>(config.exclusive_from, min_prefix, half);
+      if (config.never_exit_member < 0 ||
+          config.never_exit_member >= static_cast<std::int32_t>(config.n)) {
+        config.never_exit_member = static_cast<std::int32_t>(config.n) - 1;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  if (!is_broken_target(config.target) &&
+      config.target != TargetKind::kScriptedDining) {
+    config.never_exit_member = -1;
+  }
+
+  // Guarantee post-deadline runway: the oracles are only meaningful if the
+  // run extends well past the convergence deadline.
+  const sim::Time deadline = convergence_deadline(config);
+  const sim::Time runway = 20000 + 400 * effective_delay_max(config);
+  if (config.steps < deadline + runway) config.steps = deadline + runway;
+  return config;
+}
+
+RunResult run_config(const FuzzConfig& raw) {
+  const FuzzConfig config = normalize(raw);
+  RunResult result;
+  result.stats.deadline = convergence_deadline(config);
+  result.stats.wait_bound = wait_free_bound(config);
+
+  sim::Engine engine(sim::EngineConfig{.seed = config.seed});
+  std::vector<sim::ComponentHost*> hosts;
+  for (sim::ProcessId p = 0; p < config.n; ++p) {
+    auto host = std::make_unique<sim::ComponentHost>();
+    hosts.push_back(host.get());
+    engine.add_process(std::move(host));
+  }
+
+  // Internal <>P modules (the box's own oracle): used by the real wait-free
+  // algorithm targets; inert (but ticking) elsewhere, keeping the builds
+  // uniform. Scripted mistake windows land here — they are *internal*
+  // detector mistakes the legal targets must absorb.
+  std::vector<std::shared_ptr<detect::OracleEventuallyPerfect>> detectors;
+  for (sim::ProcessId p = 0; p < config.n; ++p) {
+    auto oracle = std::make_shared<detect::OracleEventuallyPerfect>(
+        engine, p, config.n, config.detector_lag, config.mistakes,
+        /*tag=*/0xFD);
+    detectors.push_back(oracle);
+    hosts[p]->add_component(oracle, {});
+  }
+
+  switch (config.delay) {
+    case DelayKind::kFixed:
+      engine.set_delay_model(std::make_unique<sim::FixedDelay>(config.delay_max));
+      break;
+    case DelayKind::kUniform:
+      engine.set_delay_model(std::make_unique<sim::UniformDelay>(
+          config.delay_min, config.delay_max));
+      break;
+    case DelayKind::kGeometric:
+      engine.set_delay_model(std::make_unique<sim::GeometricDelay>(
+          config.geo_p, config.delay_max));
+      break;
+    case DelayKind::kPartialSynchrony:
+      engine.set_delay_model(std::make_unique<sim::PartialSynchronyDelay>(
+          config.gst, config.delay_min, config.delay_max));
+      break;
+  }
+  switch (config.scheduler) {
+    case SchedulerKind::kRoundRobin:
+      engine.set_scheduler(std::make_unique<sim::RoundRobinScheduler>());
+      break;
+    case SchedulerKind::kRandom:
+      engine.set_scheduler(std::make_unique<sim::RandomScheduler>());
+      break;
+    case SchedulerKind::kWeighted:
+      engine.set_scheduler(
+          std::make_unique<sim::WeightedScheduler>(config.weights));
+      break;
+    case SchedulerKind::kPausing: {
+      std::vector<sim::PausingScheduler::Pause> pauses;
+      for (const PausePlan& plan : config.pauses) {
+        pauses.push_back({plan.pid, plan.from, plan.until});
+      }
+      engine.set_scheduler(
+          std::make_unique<sim::PausingScheduler>(std::move(pauses)));
+      break;
+    }
+  }
+  for (const CrashPlan& crash : config.crashes) {
+    engine.schedule_crash(crash.pid, crash.at);
+  }
+
+  EngineInvariantObserver invariants;
+  invariants.engine = &engine;
+  engine.trace().subscribe_kinds(
+      sim::kind_mask(sim::EventKind::kStep, sim::EventKind::kCrash),
+      [&invariants](const sim::Event& e) { invariants.on_event(e); });
+
+  // --- target wiring --------------------------------------------------------
+  const bool dining_target = !is_extraction_target(config.target);
+  std::unique_ptr<dining::DiningMonitor> monitor;
+  detect::DetectorHistory history(kExtractTag);
+  std::vector<std::pair<sim::ProcessId, sim::ProcessId>> graded_pairs;
+
+  // Keep the built components alive for the duration of the run.
+  dining::BuiltInstance dining_instance;
+  dining::BuiltScriptedBox scripted_box;
+  std::vector<std::shared_ptr<dining::DinerClient>> clients;
+  reduce::Extraction extraction;
+  reduce::SingleInstancePair single_pair;
+  std::unique_ptr<reduce::BoxFactory> factory;
+
+  const auto add_clients_for = [&](dining::DiningService& service,
+                                   std::uint32_t member) {
+    dining::ClientConfig client_config;
+    client_config.never_exit =
+        config.never_exit_member == static_cast<std::int32_t>(member);
+    auto client = std::make_shared<dining::DinerClient>(service, client_config);
+    hosts[member]->add_component(client, {});
+    clients.push_back(std::move(client));
+  };
+
+  switch (config.target) {
+    case TargetKind::kDining: {
+      dining::DiningInstanceConfig instance_config;
+      instance_config.port = kDiningPort;
+      instance_config.tag = kDiningTag;
+      for (sim::ProcessId p = 0; p < config.n; ++p) {
+        instance_config.members.push_back(p);
+      }
+      instance_config.graph = make_graph(config.graph, config.n);
+      std::vector<const detect::FailureDetector*> fds;
+      for (const auto& d : detectors) fds.push_back(d.get());
+      dining_instance =
+          dining::build_dining_instance(hosts, instance_config, fds);
+      for (std::uint32_t i = 0; i < config.n; ++i) {
+        add_clients_for(*dining_instance.diners[i], i);
+      }
+      monitor = std::make_unique<dining::DiningMonitor>(engine, instance_config);
+      dining::DiningMonitor::attach(engine, *monitor);
+      break;
+    }
+    case TargetKind::kScriptedDining:
+    case TargetKind::kBrokenForkBased: {
+      dining::ScriptedBoxConfig box_config;
+      box_config.port = kDiningPort;
+      box_config.tag = kDiningTag;
+      for (sim::ProcessId p = 0; p < config.n; ++p) {
+        box_config.members.push_back(p);
+      }
+      box_config.exclusive_from = config.exclusive_from;
+      box_config.semantics = config.semantics;
+      box_config.member0_burst = config.member0_burst;
+      box_config.grant_holdoff = config.grant_holdoff;
+      scripted_box = dining::build_scripted_box(engine, hosts, box_config);
+      for (std::uint32_t i = 0; i < config.n; ++i) {
+        add_clients_for(*scripted_box.diners[i], i);
+      }
+      // The scripted manager serializes all post-prefix grants, so every
+      // member conflicts with every other: grade against the clique.
+      dining::DiningInstanceConfig monitor_config;
+      monitor_config.port = kDiningPort;
+      monitor_config.tag = kDiningTag;
+      monitor_config.members = box_config.members;
+      monitor_config.graph = graph::make_clique(config.n);
+      monitor = std::make_unique<dining::DiningMonitor>(engine, monitor_config);
+      dining::DiningMonitor::attach(engine, *monitor);
+      break;
+    }
+    case TargetKind::kExtraction:
+    case TargetKind::kScriptedExtraction: {
+      if (config.target == TargetKind::kExtraction) {
+        factory = std::make_unique<reduce::WaitFreeBoxFactory>(
+            [&detectors](sim::ProcessId p) { return detectors[p].get(); });
+      } else {
+        factory = std::make_unique<reduce::ScriptedBoxFactory>(
+            engine, config.exclusive_from, config.semantics,
+            config.member0_burst);
+      }
+      extraction = reduce::build_full_extraction(hosts, *factory,
+                                                 reduce::ExtractionOptions{});
+      engine.trace().subscribe_kinds(
+          sim::kind_mask(sim::EventKind::kDetectorChange),
+          [&history](const sim::Event& e) { history.on_event(e); });
+      for (const auto& pair : extraction.pairs) {
+        history.set_initial(pair.watcher, pair.subject, true);
+        graded_pairs.emplace_back(pair.watcher, pair.subject);
+      }
+      break;
+    }
+    case TargetKind::kBrokenSingleInstance: {
+      factory = std::make_unique<reduce::ScriptedBoxFactory>(
+          engine, config.exclusive_from, config.semantics,
+          config.member0_burst);
+      single_pair = reduce::build_single_instance_pair(
+          *hosts[0], *hosts[1], 0, 1, *factory, /*base_port=*/2000, kDiningTag,
+          kExtractTag);
+      engine.trace().subscribe_kinds(
+          sim::kind_mask(sim::EventKind::kDetectorChange),
+          [&history](const sim::Event& e) { history.on_event(e); });
+      history.set_initial(0, 1, true);
+      graded_pairs.emplace_back(0, 1);
+      break;
+    }
+  }
+
+  engine.init();
+  engine.run(config.steps);
+
+  // --- stats ----------------------------------------------------------------
+  const sim::Time deadline = result.stats.deadline;
+  result.stats.steps = engine.stats().steps;
+  result.stats.messages_sent = engine.stats().messages_sent;
+  result.stats.messages_delivered = engine.stats().messages_delivered;
+  result.stats.messages_dropped = engine.stats().messages_dropped;
+  result.stats.in_transit = engine.in_transit_count();
+  result.stats.crashes = engine.stats().crashes;
+  if (monitor != nullptr) {
+    result.stats.total_meals = monitor->total_meals();
+    result.stats.exclusion_violations = monitor->exclusion_violations();
+    result.stats.late_violations = monitor->violations_since(deadline);
+    result.stats.last_violation = monitor->last_violation();
+  }
+  result.stats.detector_flips = history.flip_count();
+  for (const auto& [watcher, subject] : graded_pairs) {
+    if (engine.is_correct(watcher) && engine.is_correct(subject)) {
+      result.stats.late_suspicion_episodes +=
+          history.suspicion_episodes_since(watcher, subject, deadline);
+    }
+  }
+
+  // --- oracles (severity order: safety, liveness, detector, engine) --------
+  if (dining_target && monitor != nullptr) {
+    if (result.stats.late_violations > 0) {
+      result.failures.push_back(
+          {"wx_safety", result.stats.last_violation,
+           fmt("%a exclusion violation(s) at/after the convergence deadline "
+               "t=%b (last at t=%c)",
+               result.stats.late_violations, deadline,
+               result.stats.last_violation)});
+    }
+    std::string wait_detail;
+    if (!monitor->wait_free(engine.now(), result.stats.wait_bound,
+                            &wait_detail)) {
+      result.failures.push_back({"wait_free", engine.now(), wait_detail});
+    }
+    if (result.stats.total_meals == 0) {
+      result.failures.push_back(
+          {"activity", engine.now(),
+           fmt("no diner completed a meal in %a steps", config.steps)});
+    }
+  }
+  if (is_extraction_target(config.target)) {
+    for (const auto& [watcher, subject] : graded_pairs) {
+      if (!engine.is_correct(watcher) || !engine.is_correct(subject)) continue;
+      const std::uint64_t late =
+          history.suspicion_episodes_since(watcher, subject, deadline);
+      const bool still = history.currently_suspects(watcher, subject);
+      if (late > 0 || still) {
+        std::ostringstream detail;
+        detail << "watcher " << watcher << " vs correct subject " << subject
+               << ": " << late << " suspicion episode(s) started at/after the "
+               << "deadline t=" << deadline
+               << (still ? "; still suspecting at end of run" : "");
+        result.failures.push_back({"detector_accuracy",
+                                   history.last_flip(watcher, subject),
+                                   detail.str()});
+        break;  // one witness pair is evidence enough
+      }
+    }
+    const detect::Verdict completeness = history.strong_completeness(engine);
+    if (!completeness.holds) {
+      result.failures.push_back(
+          {"detector_completeness", completeness.convergence,
+           completeness.detail});
+    }
+  }
+  if (invariants.time_regressed) {
+    result.failures.push_back({"engine", invariants.regressed_at,
+                               "trace time went backwards"});
+  }
+  if (invariants.dead_step) {
+    result.failures.push_back(
+        {"engine", invariants.dead_step_at,
+         fmt("process %a stepped at t=%b, at/after its crash time",
+             invariants.dead_step_pid, invariants.dead_step_at)});
+  }
+  const std::uint64_t accounted = result.stats.messages_delivered +
+                                  result.stats.messages_dropped +
+                                  result.stats.in_transit;
+  if (result.stats.messages_sent != accounted) {
+    result.failures.push_back(
+        {"engine", engine.now(),
+         fmt("message conservation broken: sent=%a != delivered+dropped+"
+             "in_transit=%b",
+             result.stats.messages_sent, accounted)});
+  }
+
+  result.signature = compute_signature(config, result);
+  return result;
+}
+
+}  // namespace wfd::fuzz

@@ -1,0 +1,81 @@
+// Property oracles: execute one FuzzConfig and grade the run against the
+// machine-checkable obligations of the paper's model —
+//
+//  * wx_safety    — eventual weak exclusion: no two live conflicting diners
+//                   eat simultaneously at or after the config's convergence
+//                   deadline (dining targets; graded by dining::DiningMonitor);
+//  * wait_free    — every correct hungry diner eats within the config's
+//                   wait bound (dining targets);
+//  * activity     — the run made progress at all (a zero-meal dining run
+//                   means the service deadlocked);
+//  * detector_completeness — crashed subjects end up permanently suspected
+//                   by every correct watcher (extraction targets; graded by
+//                   detect::DetectorHistory over the extracted tag);
+//  * detector_accuracy — no correct watcher starts a suspicion episode
+//                   against a correct subject at or after the deadline, and
+//                   none still suspects one at the end (extraction targets;
+//                   strictly stronger than the end-state-only
+//                   eventual_strong_accuracy — it catches oscillation);
+//  * engine       — simulator invariants: event time monotonicity, no step
+//                   by a crashed process, end-of-run message conservation
+//                   (sent == delivered + dropped + in transit).
+//
+// run_config is a pure function of the (normalized) config: same config,
+// same failures, bit for bit — the property that makes .repro replay and
+// delta-debugging shrinks trustworthy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/config.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::fuzz {
+
+struct OracleFailure {
+  std::string oracle;  ///< failing oracle's name (stable identifier)
+  sim::Time at = 0;    ///< violation instant (oracle-specific anchor)
+  std::string detail;  ///< human-readable evidence
+};
+
+struct RunStats {
+  std::uint64_t steps = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t in_transit = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t total_meals = 0;
+  std::uint64_t exclusion_violations = 0;
+  std::uint64_t late_violations = 0;       ///< at or after the deadline
+  sim::Time last_violation = 0;
+  std::uint64_t detector_flips = 0;
+  std::uint64_t late_suspicion_episodes = 0;
+  sim::Time deadline = 0;
+  sim::Time wait_bound = 0;
+};
+
+struct RunResult {
+  std::vector<OracleFailure> failures;
+  RunStats stats;
+  std::uint64_t signature = 0;  ///< feature hash for the novelty corpus
+
+  bool ok() const { return failures.empty(); }
+  /// Most significant failure (failures are appended in severity order).
+  const OracleFailure* primary() const {
+    return failures.empty() ? nullptr : &failures.front();
+  }
+};
+
+/// Clamp a raw (sampled, shrunk or hand-edited) config into the domain
+/// run_config supports: n and steps bounded, plans referencing only real
+/// pids with in-run times, broken targets forced into the regime where
+/// their defect is expressible. Deterministic, idempotent.
+FuzzConfig normalize(FuzzConfig config);
+
+/// Build the target system described by `config`, run it, grade it.
+RunResult run_config(const FuzzConfig& config);
+
+}  // namespace wfd::fuzz

@@ -1,0 +1,310 @@
+// wfd_fuzz — adversarial schedule fuzzer for the wait-free dining reduction.
+//
+// Run mode: sample randomized campaigns over the FuzzConfig space, grade
+// every run against the property oracles, shrink failures to minimal
+// replayable .repro files:
+//   wfd_fuzz --target legal --runs 40 --threads 2 --json out.json
+//   wfd_fuzz --target broken --runs 8 --repro-dir repros --expect-failure
+//   wfd_fuzz --budget-ms 30000 --seeds 1:4
+//
+// Replay mode: re-execute stored cases deterministically and verify the
+// recorded outcome bit-identically:
+//   wfd_fuzz --replay repros/            (every *.repro in the directory)
+//   wfd_fuzz --replay case.repro
+//
+// Exit codes: plain run — 0 iff zero oracle failures; --expect-failure —
+// 0 iff a failure was found, shrunk and its replay reproduced the recorded
+// outcome; replay — 0 iff every case reproduced.
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "fuzz/fuzzer.hpp"
+
+namespace {
+
+using namespace wfd;
+
+struct Cli {
+  std::vector<std::string> target_specs;
+  std::uint64_t runs = 0;
+  std::uint64_t budget_ms = 0;
+  std::uint64_t seed_lo = 1;
+  std::uint64_t seed_hi = 1;
+  int threads = 1;
+  std::string json_path;
+  std::string repro_dir;
+  std::vector<std::string> replay_paths;
+  bool shrink = true;
+  bool expect_failure = false;
+  std::uint32_t max_shrink = 160;
+  bool quiet = false;
+};
+
+[[noreturn]] void usage(int code) {
+  std::cout <<
+      "usage: wfd_fuzz [options]\n"
+      "  --target SPEC     legal | broken | all | comma-separated target names\n"
+      "                    (dining, scripted_dining, extraction,\n"
+      "                     scripted_extraction, broken_single_instance,\n"
+      "                     broken_fork_based); default legal\n"
+      "  --runs N          exact number of runs per campaign (deterministic)\n"
+      "  --budget-ms MS    wall-clock budget per campaign (with --runs 0)\n"
+      "  --seeds A[:B]     master seed or inclusive range (one campaign each)\n"
+      "  --threads N       worker threads for the run fan-out\n"
+      "  --json FILE       write campaign stats as a JSON array\n"
+      "  --repro-dir DIR   write shrunk .repro files here\n"
+      "  --no-shrink       keep failing configs unshrunk\n"
+      "  --max-shrink N    shrink attempt budget per failure (default 160)\n"
+      "  --expect-failure  exit 0 iff a failure was found and reproduced\n"
+      "  --replay PATH     replay a .repro file or every *.repro in a dir\n"
+      "  --quiet           suppress per-run narration\n";
+  std::exit(code);
+}
+
+Cli parse(int argc, char** argv) {
+  Cli cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cout << "wfd_fuzz: missing value for " << arg << "\n";
+        usage(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--target") {
+      cli.target_specs.push_back(value());
+    } else if (arg == "--runs") {
+      cli.runs = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--budget-ms") {
+      cli.budget_ms = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--seeds") {
+      const std::string spec = value();
+      const std::size_t colon = spec.find(':');
+      cli.seed_lo = std::strtoull(spec.c_str(), nullptr, 10);
+      cli.seed_hi = colon == std::string::npos
+                        ? cli.seed_lo
+                        : std::strtoull(spec.c_str() + colon + 1, nullptr, 10);
+      if (cli.seed_hi < cli.seed_lo) cli.seed_hi = cli.seed_lo;
+    } else if (arg == "--threads") {
+      cli.threads = std::atoi(value().c_str());
+      if (cli.threads < 0) cli.threads = 0;
+    } else if (arg == "--json") {
+      cli.json_path = value();
+    } else if (arg == "--repro-dir") {
+      cli.repro_dir = value();
+    } else if (arg == "--replay") {
+      cli.replay_paths.push_back(value());
+    } else if (arg == "--no-shrink") {
+      cli.shrink = false;
+    } else if (arg == "--max-shrink") {
+      cli.max_shrink =
+          static_cast<std::uint32_t>(std::strtoul(value().c_str(), nullptr, 10));
+    } else if (arg == "--expect-failure") {
+      cli.expect_failure = true;
+    } else if (arg == "--quiet") {
+      cli.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else {
+      std::cout << "wfd_fuzz: unknown argument " << arg << "\n";
+      usage(2);
+    }
+  }
+  return cli;
+}
+
+std::vector<fuzz::TargetKind> resolve_targets(
+    const std::vector<std::string>& specs) {
+  std::vector<fuzz::TargetKind> pool;
+  const auto add = [&pool](fuzz::TargetKind target) {
+    if (std::find(pool.begin(), pool.end(), target) == pool.end()) {
+      pool.push_back(target);
+    }
+  };
+  for (const std::string& spec : specs) {
+    std::size_t begin = 0;
+    while (begin <= spec.size()) {
+      const std::size_t comma = spec.find(',', begin);
+      const std::string name =
+          spec.substr(begin, comma == std::string::npos ? std::string::npos
+                                                        : comma - begin);
+      if (name == "legal") {
+        for (fuzz::TargetKind t : fuzz::legal_targets()) add(t);
+      } else if (name == "broken") {
+        for (fuzz::TargetKind t : fuzz::broken_targets()) add(t);
+      } else if (name == "all") {
+        for (fuzz::TargetKind t : fuzz::legal_targets()) add(t);
+        for (fuzz::TargetKind t : fuzz::broken_targets()) add(t);
+      } else if (!name.empty()) {
+        fuzz::TargetKind target;
+        if (!fuzz::target_from_string(name, &target)) {
+          std::cout << "wfd_fuzz: unknown target " << name << "\n";
+          usage(2);
+        }
+        add(target);
+      }
+      if (comma == std::string::npos) break;
+      begin = comma + 1;
+    }
+  }
+  return pool;  // empty = campaign default (legal)
+}
+
+int replay_main(const Cli& cli) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& path : cli.replay_paths) {
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (const auto& entry : fs::directory_iterator(path, ec)) {
+        if (entry.path().extension() == ".repro") {
+          files.push_back(entry.path().string());
+        }
+      }
+    } else {
+      files.push_back(path);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::cout << "wfd_fuzz: nothing to replay\n";
+    return 1;
+  }
+  int failed = 0;
+  for (const std::string& file : files) {
+    fuzz::ReproCase repro;
+    std::string error;
+    if (!fuzz::load_repro_file(file, &repro, &error)) {
+      std::cout << "LOAD FAIL  " << file << ": " << error << "\n";
+      ++failed;
+      continue;
+    }
+    std::string why;
+    if (fuzz::replay_case(repro, &why)) {
+      std::cout << "REPLAY OK  " << file << " (" << repro.oracle;
+      if (repro.oracle != "none") std::cout << " at t=" << repro.at;
+      std::cout << ")\n";
+    } else {
+      std::cout << "REPLAY FAIL " << file << ": " << why << "\n";
+      ++failed;
+    }
+  }
+  std::cout << files.size() - failed << "/" << files.size()
+            << " cases reproduced\n";
+  return failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli = parse(argc, argv);
+  if (!cli.replay_paths.empty()) return replay_main(cli);
+
+  fuzz::CampaignOptions options;
+  options.runs = cli.runs;
+  options.budget_ms = cli.budget_ms;
+  options.threads = cli.threads;
+  options.targets = resolve_targets(cli.target_specs);
+  options.shrink = cli.shrink;
+  options.max_shrink_attempts = cli.max_shrink;
+
+  if (!cli.repro_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(cli.repro_dir, ec);
+  }
+
+  bench::JsonRows rows;
+  std::uint64_t total_failing = 0;
+  std::uint64_t repro_count = 0;
+  bool all_replays_ok = true;
+
+  for (std::uint64_t seed = cli.seed_lo; seed <= cli.seed_hi; ++seed) {
+    options.master_seed = seed;
+    const auto narrate = [&](const std::string& line) {
+      if (!cli.quiet) std::cout << "  [seed " << seed << "] " << line << "\n";
+    };
+    const fuzz::CampaignResult campaign =
+        fuzz::run_fuzz_campaign(options, narrate);
+    const fuzz::CampaignStats& stats = campaign.stats;
+    total_failing += stats.failing;
+
+    std::cout << "campaign seed=" << seed << ": " << stats.executed
+              << " runs, " << stats.failing << " failing, corpus "
+              << stats.corpus_size << " (" << stats.novel << " novel), "
+              << stats.total_steps << " sim steps, " << stats.shrink_runs
+              << " shrink runs, " << stats.elapsed_ms << " ms\n";
+    for (const auto& [oracle, count] : stats.oracle_failures) {
+      std::cout << "  oracle " << oracle << ": " << count << " failing run(s)\n";
+    }
+
+    rows.begin_row();
+    rows.field("master_seed", seed)
+        .field("executed", stats.executed)
+        .field("failing", stats.failing)
+        .field("corpus_size", stats.corpus_size)
+        .field("novel", stats.novel)
+        .field("shrink_runs", stats.shrink_runs)
+        .field("total_steps", stats.total_steps)
+        .field("total_messages", stats.total_messages)
+        .field("total_meals", stats.total_meals)
+        .field("elapsed_ms", stats.elapsed_ms)
+        .field("repros", campaign.repros.size());
+    for (const auto& [oracle, count] : stats.oracle_failures) {
+      rows.field("fail_" + oracle, count);
+    }
+
+    for (const fuzz::ReproCase& repro : campaign.repros) {
+      if (repro.oracle == "none") continue;
+      ++repro_count;
+      std::string why;
+      bool ok;
+      if (!cli.repro_dir.empty()) {
+        // Full round trip: serialize, reload, re-run, compare bit-exactly.
+        const std::string file =
+            cli.repro_dir + "/" + to_string(repro.config.target) + "-" +
+            repro.oracle + "-seed" + std::to_string(seed) + ".repro";
+        fuzz::ReproCase reloaded;
+        ok = fuzz::save_repro_file(file, repro) &&
+             fuzz::load_repro_file(file, &reloaded, &why) &&
+             fuzz::replay_case(reloaded, &why);
+        std::cout << "  repro " << file << ": "
+                  << (ok ? "replay reproduces the failure bit-identically"
+                         : "REPLAY MISMATCH: " + why)
+                  << "\n";
+      } else {
+        ok = fuzz::replay_case(repro, &why);
+        std::cout << "  repro (" << repro.oracle << " at t=" << repro.at
+                  << "): "
+                  << (ok ? "replay reproduces the failure bit-identically"
+                         : "REPLAY MISMATCH: " + why)
+                  << "\n";
+      }
+      all_replays_ok = all_replays_ok && ok;
+    }
+  }
+
+  if (!cli.json_path.empty() && !rows.write_file(cli.json_path)) {
+    std::cout << "wfd_fuzz: cannot write " << cli.json_path << "\n";
+    return 2;
+  }
+
+  if (cli.expect_failure) {
+    const bool ok = repro_count > 0 && all_replays_ok;
+    std::cout << (ok ? "expected failure found, shrunk and reproduced\n"
+                     : "EXPECTED A FAILURE but none was found/reproduced\n");
+    return ok ? 0 : 1;
+  }
+  if (total_failing > 0) {
+    std::cout << total_failing << " oracle failure(s) — see repros above\n";
+    return 1;
+  }
+  std::cout << "all runs clean\n";
+  return 0;
+}

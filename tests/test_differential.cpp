@@ -1,0 +1,152 @@
+// Differential testing between the two verification stacks: the explicit-
+// state model checker (src/mc, which enumerates every interleaving of a
+// small abstraction) and the discrete-event simulator driven through the
+// fuzzer's oracles (src/sim + src/reduce, which samples concrete runs of
+// the real implementation). Both encode the same paper: on matching regimes
+// their verdicts must agree. Disagreement in either direction means the
+// abstraction and the implementation have drifted apart — exactly the bug
+// class a corrigendum paper teaches us to fear.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fuzz/config.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/oracles.hpp"
+#include "mc/ablation_model.hpp"
+#include "mc/reduction_model.hpp"
+
+namespace wfd {
+namespace {
+
+/// A concrete simulator run of the two-instance extraction against the
+/// scripted box, in the regime the model abstracts: finite mistake prefix
+/// (kArbitrary until exclusive_from, kExclusive after).
+fuzz::FuzzConfig scripted_extraction_config(std::uint64_t seed,
+                                            sim::Time exclusive_from) {
+  fuzz::FuzzConfig config;
+  config.seed = seed;
+  config.target = fuzz::TargetKind::kScriptedExtraction;
+  config.n = 2;
+  config.steps = 60000;
+  config.scheduler = fuzz::SchedulerKind::kRandom;
+  config.delay = fuzz::DelayKind::kUniform;
+  config.delay_min = 1;
+  config.delay_max = 4;
+  config.exclusive_from = exclusive_from;
+  return config;
+}
+
+TEST(Differential, ExclusiveRegimeBothStacksPass) {
+  // Model: exhaustive exploration of the converged (kExclusive) regime —
+  // every lemma plus the Theorem 2 accuracy step holds on all interleavings.
+  mc::McOptions options;
+  options.mode = mc::BoxMode::kExclusive;
+  options.check_accuracy = true;
+  const mc::CheckResult model = mc::check_reduction(options);
+  ASSERT_TRUE(model.ok()) << model.counterexample;
+
+  // Simulator: sampled runs of the real extraction in the same regime
+  // (converged from the start) must show zero oracle failures.
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const fuzz::RunResult run =
+        fuzz::run_config(scripted_extraction_config(seed, 0));
+    EXPECT_TRUE(run.ok()) << "seed " << seed << ": "
+                          << run.primary()->oracle << " — "
+                          << run.primary()->detail;
+  }
+}
+
+TEST(Differential, MistakePrefixRegimeBothStacksPass) {
+  // Model: during the mistake prefix (kArbitrary) the safety lemmas hold on
+  // every interleaving; accuracy is a suffix property, so it is off.
+  mc::McOptions options;
+  options.mode = mc::BoxMode::kArbitrary;
+  options.check_accuracy = false;
+  const mc::CheckResult model = mc::check_reduction(options);
+  ASSERT_TRUE(model.ok()) << model.counterexample;
+
+  // Simulator: a run whose box has a long mistake prefix must still
+  // converge — no post-deadline wrongful suspicion, completeness intact.
+  for (std::uint64_t seed : {4ull, 5ull}) {
+    const fuzz::RunResult run =
+        fuzz::run_config(scripted_extraction_config(seed, 4000));
+    EXPECT_TRUE(run.ok()) << "seed " << seed << ": "
+                          << run.primary()->oracle << " — "
+                          << run.primary()->detail;
+  }
+}
+
+TEST(Differential, CrashRegimeBothStacksPass) {
+  // Model: with a nondeterministic subject crash, Theorem 1 (suspicion of a
+  // drained crashed subject is permanent) holds on every interleaving.
+  mc::McOptions options;
+  options.mode = mc::BoxMode::kExclusive;
+  options.allow_crash = true;
+  const mc::CheckResult model = mc::check_reduction(options);
+  ASSERT_TRUE(model.ok()) << model.counterexample;
+
+  // Simulator: crash one process mid-run; the extracted detector must stay
+  // accurate for the survivors and complete against the crashed one (the
+  // detector_completeness oracle grades exactly Theorem 1's conclusion).
+  fuzz::FuzzConfig config = scripted_extraction_config(6, 0);
+  config.n = 3;
+  config.crashes.push_back({2, 9000});
+  const fuzz::RunResult run = fuzz::run_config(config);
+  EXPECT_TRUE(run.ok()) << run.primary()->oracle << " — "
+                        << run.primary()->detail;
+  EXPECT_EQ(run.stats.crashes, 1u);
+}
+
+TEST(Differential, SingleInstanceAblationBothStacksFail) {
+  // Model: the E9 ablation (one instance, no hand-off) has a lasso — a
+  // legal wait-free exclusive run in which the witness wrongfully suspects
+  // the correct subject infinitely often. Verdict: violation.
+  const mc::CheckResult model = mc::check_ablation();
+  ASSERT_EQ(model.verdict, mc::Verdict::kViolation);
+  EXPECT_FALSE(model.counterexample.empty());
+
+  // Simulator: the concrete single-instance extraction against the unfair
+  // lockout box realizes that lasso — recurring post-deadline suspicion
+  // episodes of a correct subject, i.e. the detector_accuracy oracle fires.
+  // The model's infinitely-often cycle shows up as an unbounded episode
+  // count on the finite run.
+  fuzz::FuzzConfig config;
+  config.seed = 1;
+  config.target = fuzz::TargetKind::kBrokenSingleInstance;
+  config.steps = 50000;
+  const fuzz::RunResult run = fuzz::run_config(config);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.primary()->oracle, "detector_accuracy");
+  EXPECT_GT(run.stats.late_suspicion_episodes, 1u)
+      << "expected recurring (not one-shot) wrongful suspicion, matching the "
+         "model's lasso";
+}
+
+TEST(Differential, ComposedPairsMatchSimulatedFullExtraction) {
+  // Model: two independent ordered pairs composed in one state — the lemma
+  // lattice survives composition (the full extraction runs N(N-1) pairs).
+  mc::McOptions options;
+  options.mode = mc::BoxMode::kExclusive;
+  options.pairs = 2;
+  const mc::CheckResult model = mc::check_reduction(options);
+  ASSERT_TRUE(model.ok()) << model.counterexample;
+
+  // Simulator: the real N=3 full extraction (6 ordered pairs over the real
+  // wait-free algorithm) must grade clean on the same oracles.
+  fuzz::FuzzConfig config;
+  config.seed = 8;
+  config.target = fuzz::TargetKind::kExtraction;
+  config.n = 3;
+  config.steps = 60000;
+  config.delay = fuzz::DelayKind::kUniform;
+  config.delay_min = 1;
+  config.delay_max = 3;
+  const fuzz::RunResult run = fuzz::run_config(config);
+  EXPECT_TRUE(run.ok()) << run.primary()->oracle << " — "
+                        << run.primary()->detail;
+  EXPECT_GT(run.stats.detector_flips, 0u);
+}
+
+}  // namespace
+}  // namespace wfd

@@ -1,0 +1,218 @@
+// The fuzzer's own contracts: sampling and runs are pure functions of their
+// seeds, normalize() establishes the documented invariants for every input,
+// configs and repro cases survive a JSON round trip bit-exactly, the
+// shrinker preserves the failing oracle while only ever simplifying, and a
+// campaign's outcome does not depend on the worker thread count.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fuzz/config.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/json.hpp"
+#include "fuzz/oracles.hpp"
+
+namespace wfd::fuzz {
+namespace {
+
+FuzzConfig broken_fork_based_config() {
+  FuzzConfig config;
+  config.seed = 7;
+  config.target = TargetKind::kBrokenForkBased;
+  config.n = 3;
+  config.steps = 40000;
+  config.graph = GraphKind::kClique;
+  config.scheduler = SchedulerKind::kRoundRobin;
+  config.delay = DelayKind::kFixed;
+  config.delay_min = 2;
+  config.delay_max = 2;
+  return config;
+}
+
+TEST(FuzzSampling, PureFunctionOfSeedAndIndex) {
+  const std::vector<TargetKind> pool = legal_targets();
+  for (std::uint64_t index : {0ull, 1ull, 17ull}) {
+    const FuzzConfig a = sample_config(42, index, pool);
+    const FuzzConfig b = sample_config(42, index, pool);
+    EXPECT_EQ(config_to_json(a), config_to_json(b));
+  }
+  // Different indices (and different master seeds) must diverge somewhere.
+  EXPECT_NE(config_to_json(sample_config(42, 0, pool)),
+            config_to_json(sample_config(42, 1, pool)));
+  EXPECT_NE(config_to_json(sample_config(42, 0, pool)),
+            config_to_json(sample_config(43, 0, pool)));
+}
+
+TEST(FuzzSampling, DrawsOnlyFromThePool) {
+  const std::vector<TargetKind> pool = {TargetKind::kScriptedDining};
+  for (std::uint64_t index = 0; index < 32; ++index) {
+    EXPECT_EQ(sample_config(9, index, pool).target,
+              TargetKind::kScriptedDining);
+  }
+}
+
+TEST(FuzzNormalize, EstablishesDocumentedInvariants) {
+  FuzzConfig wild;
+  wild.target = TargetKind::kScriptedDining;
+  wild.n = 40;
+  wild.steps = 10;
+  wild.delay_min = 90;
+  wild.delay_max = 3;
+  wild.scheduler = SchedulerKind::kRoundRobin;
+  wild.pauses.push_back({1, 100, 50});             // inverted window
+  wild.crashes.push_back({0, 10});                 // manager host: dropped
+  wild.crashes.push_back({99, 10});                // no such process
+  wild.crashes.push_back({1, 5000000});            // clamped into first half
+  wild.mistakes.push_back({2, 2, 0, 100});         // watcher == subject
+  const FuzzConfig config = normalize(wild);
+  EXPECT_LE(config.n, 8u);
+  EXPECT_GE(config.n, 2u);
+  EXPECT_GE(config.delay_max, config.delay_min);
+  EXPECT_TRUE(config.pauses.empty());  // non-pausing scheduler
+  ASSERT_EQ(config.crashes.size(), 1u);
+  EXPECT_EQ(config.crashes[0].pid, 1u);
+  EXPECT_LE(config.crashes[0].at, config.steps / 2);
+  EXPECT_TRUE(config.mistakes.empty());
+  // Runway: the run must extend past the convergence deadline.
+  EXPECT_GT(config.steps, convergence_deadline(config));
+  // Normalize must be idempotent, or replay-after-normalize would drift.
+  EXPECT_EQ(config_to_json(normalize(config)), config_to_json(config));
+}
+
+TEST(FuzzNormalize, PairGraphRequiresTwoProcesses) {
+  FuzzConfig config;
+  config.target = TargetKind::kDining;
+  config.n = 5;
+  config.graph = GraphKind::kPair;
+  EXPECT_EQ(normalize(config).graph, GraphKind::kPath);
+  config.n = 2;
+  EXPECT_EQ(normalize(config).graph, GraphKind::kPair);
+}
+
+TEST(FuzzNormalize, BrokenTargetsForceTheirDefect) {
+  FuzzConfig config;
+  config.target = TargetKind::kBrokenSingleInstance;
+  config.member0_burst = 0;
+  config.exclusive_from = 0;
+  const FuzzConfig single = normalize(config);
+  EXPECT_EQ(single.n, 2u);
+  EXPECT_EQ(single.semantics, dining::BoxSemantics::kLockout);
+  EXPECT_GE(single.member0_burst, 2u);
+  EXPECT_GE(single.exclusive_from, 1u);
+  EXPECT_TRUE(single.crashes.empty());
+
+  config = FuzzConfig{};
+  config.target = TargetKind::kBrokenForkBased;
+  const FuzzConfig fork = normalize(config);
+  EXPECT_EQ(fork.semantics, dining::BoxSemantics::kForkBased);
+  EXPECT_GT(fork.exclusive_from, 0u);
+  EXPECT_GE(fork.never_exit_member, 0);
+  EXPECT_LT(fork.never_exit_member, static_cast<std::int32_t>(fork.n));
+}
+
+TEST(FuzzConfigJson, RoundTripsBitExactly) {
+  FuzzConfig config = sample_config(123, 5, legal_targets());
+  config.crashes.push_back({1, 777});
+  config.mistakes.push_back({0, 1, 10, 500});
+  const std::string text = config_to_json(config);
+  FuzzConfig parsed;
+  std::string error;
+  ASSERT_TRUE(config_from_json(text, &parsed, &error)) << error;
+  EXPECT_EQ(config_to_json(parsed), text);
+}
+
+TEST(FuzzReproJson, RoundTripsExpectedOutcome) {
+  ReproCase repro;
+  repro.config = normalize(broken_fork_based_config());
+  repro.oracle = "wx_safety";
+  repro.at = 31337;
+  repro.detail = "detail text with \"quotes\" and \\ backslash";
+  const std::string text = repro_to_json(repro);
+  ReproCase parsed;
+  std::string error;
+  ASSERT_TRUE(repro_from_json(text, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.oracle, repro.oracle);
+  EXPECT_EQ(parsed.at, repro.at);
+  EXPECT_EQ(parsed.detail, repro.detail);
+  EXPECT_EQ(config_to_json(parsed.config), config_to_json(repro.config));
+}
+
+TEST(FuzzJson, RejectsMalformedInput) {
+  Json value;
+  std::string error;
+  EXPECT_FALSE(Json::parse("{\"a\": }", &value, &error));
+  EXPECT_FALSE(Json::parse("{\"a\": 1} trailing", &value, &error));
+  EXPECT_FALSE(Json::parse("", &value, &error));
+  FuzzConfig config;
+  EXPECT_FALSE(config_from_json("[1, 2, 3]", &config, &error));
+}
+
+TEST(FuzzRun, DeterministicAcrossInvocations) {
+  const FuzzConfig config = sample_config(5, 2, legal_targets());
+  const RunResult a = run_config(config);
+  const RunResult b = run_config(config);
+  EXPECT_EQ(a.signature, b.signature);
+  EXPECT_EQ(a.stats.steps, b.stats.steps);
+  EXPECT_EQ(a.stats.messages_sent, b.stats.messages_sent);
+  EXPECT_EQ(a.failures.size(), b.failures.size());
+}
+
+TEST(FuzzShrink, PreservesOracleAndOnlySimplifies) {
+  const FuzzConfig failing = normalize(broken_fork_based_config());
+  const RunResult before = run_config(failing);
+  ASSERT_FALSE(before.ok());
+  const std::string oracle = before.primary()->oracle;
+
+  const ShrinkOutcome outcome = shrink_case(failing, 80);
+  EXPECT_EQ(outcome.repro.oracle, oracle);
+  const FuzzConfig& shrunk = outcome.repro.config;
+  EXPECT_LE(shrunk.n, failing.n);
+  EXPECT_LE(shrunk.steps, failing.steps);
+  EXPECT_LE(shrunk.crashes.size(), failing.crashes.size());
+  // The recorded outcome is what the shrunk config actually produces.
+  std::string why;
+  EXPECT_TRUE(replay_case(outcome.repro, &why)) << why;
+}
+
+TEST(FuzzReplay, DetectsOutcomeDrift) {
+  ReproCase repro = shrink_case(normalize(broken_fork_based_config()), 40).repro;
+  std::string why;
+  ASSERT_TRUE(replay_case(repro, &why)) << why;
+  repro.at += 1;  // stored outcome no longer matches the run
+  EXPECT_FALSE(replay_case(repro, &why));
+  EXPECT_FALSE(why.empty());
+}
+
+TEST(FuzzCampaign, ThreadCountDoesNotChangeTheOutcome) {
+  CampaignOptions options;
+  options.master_seed = 11;
+  options.runs = 6;
+  options.shrink = false;
+  options.targets = legal_targets();
+  options.threads = 1;
+  const CampaignResult sequential = run_fuzz_campaign(options);
+  options.threads = 4;
+  const CampaignResult parallel = run_fuzz_campaign(options);
+  EXPECT_EQ(sequential.stats.executed, parallel.stats.executed);
+  EXPECT_EQ(sequential.stats.failing, parallel.stats.failing);
+  EXPECT_EQ(sequential.stats.corpus_size, parallel.stats.corpus_size);
+  EXPECT_EQ(sequential.stats.total_steps, parallel.stats.total_steps);
+}
+
+TEST(FuzzCampaign, BrokenPoolYieldsAShrunkReproducer) {
+  CampaignOptions options;
+  options.master_seed = 1;
+  options.runs = 2;
+  options.targets = {TargetKind::kBrokenForkBased};
+  options.max_shrink_attempts = 60;
+  const CampaignResult campaign = run_fuzz_campaign(options);
+  EXPECT_EQ(campaign.stats.failing, 2u);
+  ASSERT_FALSE(campaign.repros.empty());
+  EXPECT_EQ(campaign.repros[0].oracle, "wx_safety");
+  std::string why;
+  EXPECT_TRUE(replay_case(campaign.repros[0], &why)) << why;
+}
+
+}  // namespace
+}  // namespace wfd::fuzz

@@ -1,0 +1,196 @@
+// Mutation tests for the property oracles: deliberately inject each failure
+// the monitors exist to catch — a post-convergence exclusion violation, a
+// starved diner, a never-converging detector — and assert that
+// dining::DiningMonitor and detect::DetectorHistory actually flag it.
+// Every mutation runs next to a de-mutated control on otherwise identical
+// wiring, so a monitor that went silent (or one that cries wolf) fails
+// here rather than silently grading fuzz campaigns wrong.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "detect/oracle.hpp"
+#include "detect/properties.hpp"
+#include "dining/client.hpp"
+#include "dining/monitors.hpp"
+#include "dining/scripted_box.hpp"
+#include "graph/conflict_graph.hpp"
+#include "sim/engine.hpp"
+
+namespace wfd {
+namespace {
+
+constexpr sim::Port kPort = 10;
+constexpr std::uint64_t kTag = 0x42;
+
+/// A scripted-box run graded by a DiningMonitor: n diners on a clique,
+/// round-robin scheduling, fixed small delay, so outcomes are stable.
+struct ScriptedRun {
+  sim::Engine engine;
+  std::vector<sim::ComponentHost*> hosts;
+  dining::BuiltScriptedBox box;
+  std::vector<std::shared_ptr<dining::DinerClient>> clients;
+  std::unique_ptr<dining::DiningMonitor> monitor;
+
+  ScriptedRun(std::uint32_t n, sim::Time exclusive_from,
+              dining::BoxSemantics semantics, std::int32_t never_exit_member)
+      : engine(sim::EngineConfig{.seed = 1}) {
+    for (sim::ProcessId p = 0; p < n; ++p) {
+      auto host = std::make_unique<sim::ComponentHost>();
+      hosts.push_back(host.get());
+      engine.add_process(std::move(host));
+    }
+    engine.set_delay_model(std::make_unique<sim::FixedDelay>(2));
+    engine.set_scheduler(std::make_unique<sim::RoundRobinScheduler>());
+
+    dining::ScriptedBoxConfig config;
+    config.port = kPort;
+    config.tag = kTag;
+    for (sim::ProcessId p = 0; p < n; ++p) config.members.push_back(p);
+    config.exclusive_from = exclusive_from;
+    config.semantics = semantics;
+    box = dining::build_scripted_box(engine, hosts, config);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      dining::ClientConfig client_config;
+      client_config.never_exit =
+          never_exit_member == static_cast<std::int32_t>(i);
+      auto client = std::make_shared<dining::DinerClient>(*box.diners[i],
+                                                          client_config);
+      hosts[i]->add_component(client, {});
+      clients.push_back(std::move(client));
+    }
+
+    dining::DiningInstanceConfig monitor_config;
+    monitor_config.port = kPort;
+    monitor_config.tag = kTag;
+    monitor_config.members = config.members;
+    monitor_config.graph = graph::make_clique(n);
+    monitor = std::make_unique<dining::DiningMonitor>(engine, monitor_config);
+    dining::DiningMonitor::attach(engine, *monitor);
+
+    engine.init();
+  }
+};
+
+TEST(OracleMutation, MonitorFlagsInjectedExclusionViolations) {
+  // Mutant: fork-based box with a never-exiting diner granted during the
+  // mistake prefix. Prefix grants hold no lock under kForkBased, so serial
+  // grants keep overlapping the squatter forever — ◊WX is genuinely broken,
+  // and the monitor must keep counting violations long after the prefix.
+  ScriptedRun mutant(2, /*exclusive_from=*/500, dining::BoxSemantics::kForkBased,
+                     /*never_exit_member=*/1);
+  mutant.engine.run(20000);
+  EXPECT_GT(mutant.monitor->violations_since(10000), 0u);
+  EXPECT_GT(mutant.monitor->last_violation(), 10000u);
+  EXPECT_FALSE(mutant.monitor->perpetual_exclusion());
+
+  // Control: same box without the squatter converges — the only mistakes
+  // are inside the prefix, none after a generous deadline.
+  ScriptedRun control(2, /*exclusive_from=*/500, dining::BoxSemantics::kForkBased,
+                      /*never_exit_member=*/-1);
+  control.engine.run(20000);
+  EXPECT_EQ(control.monitor->violations_since(5000), 0u);
+  EXPECT_GT(control.monitor->total_meals(), 0u);
+}
+
+TEST(OracleMutation, MonitorFlagsStarvedDiner) {
+  // Mutant: lockout box, converged from t=0, and member 1 never exits its
+  // first meal — member 0 goes hungry and stays hungry forever. The
+  // wait-freedom oracle must reject the run and name the starving diner.
+  ScriptedRun mutant(2, /*exclusive_from=*/0, dining::BoxSemantics::kLockout,
+                     /*never_exit_member=*/1);
+  mutant.engine.run(20000);
+  std::string detail;
+  EXPECT_FALSE(mutant.monitor->wait_free(mutant.engine.now(), 5000, &detail));
+  EXPECT_FALSE(detail.empty());
+
+  // Control: everyone exits; the same bound passes and meals accumulate.
+  ScriptedRun control(2, /*exclusive_from=*/0, dining::BoxSemantics::kLockout,
+                      /*never_exit_member=*/-1);
+  control.engine.run(20000);
+  detail.clear();
+  EXPECT_TRUE(control.monitor->wait_free(control.engine.now(), 5000, &detail))
+      << detail;
+  EXPECT_GT(control.monitor->total_meals(), 10u);
+}
+
+/// An OracleEventuallyPerfect pair graded by a DetectorHistory.
+struct DetectorRun {
+  sim::Engine engine;
+  std::vector<sim::ComponentHost*> hosts;
+  std::vector<std::shared_ptr<detect::OracleEventuallyPerfect>> oracles;
+  detect::DetectorHistory history{0xFD};
+
+  explicit DetectorRun(const std::vector<detect::MistakeWindow>& mistakes)
+      : engine(sim::EngineConfig{.seed = 1}) {
+    constexpr std::uint32_t kN = 2;
+    for (sim::ProcessId p = 0; p < kN; ++p) {
+      auto host = std::make_unique<sim::ComponentHost>();
+      hosts.push_back(host.get());
+      engine.add_process(std::move(host));
+    }
+    engine.set_delay_model(std::make_unique<sim::FixedDelay>(1));
+    engine.set_scheduler(std::make_unique<sim::RoundRobinScheduler>());
+    for (sim::ProcessId p = 0; p < kN; ++p) {
+      auto oracle = std::make_shared<detect::OracleEventuallyPerfect>(
+          engine, p, kN, /*detection_lag=*/10, mistakes, /*tag=*/0xFD);
+      oracles.push_back(oracle);
+      hosts[p]->add_component(oracle, {});
+    }
+    engine.trace().subscribe_kinds(
+        sim::kind_mask(sim::EventKind::kDetectorChange),
+        [this](const sim::Event& e) { history.on_event(e); });
+    engine.init();
+  }
+};
+
+TEST(OracleMutation, HistoryFlagsNeverConvergingDetector) {
+  // Mutant: a mistake window that outlasts the whole run — watcher 0 keeps
+  // wrongfully suspecting live subject 1 forever, so eventual strong
+  // accuracy must NOT hold on the observed run.
+  DetectorRun mutant({{/*watcher=*/0, /*subject=*/1, /*from=*/0,
+                       /*until=*/1000000}});
+  mutant.engine.run(20000);
+  const detect::Verdict accuracy =
+      mutant.history.eventual_strong_accuracy(mutant.engine);
+  EXPECT_FALSE(accuracy.holds);
+  EXPECT_FALSE(accuracy.detail.empty());
+  EXPECT_TRUE(mutant.history.currently_suspects(0, 1));
+
+  // Control: the same window closed at t=3000 converges; accuracy holds and
+  // the reported convergence point sits inside the window + lag.
+  DetectorRun control({{0, 1, 0, 3000}});
+  control.engine.run(20000);
+  const detect::Verdict converged =
+      control.history.eventual_strong_accuracy(control.engine);
+  EXPECT_TRUE(converged.holds) << converged.detail;
+  EXPECT_FALSE(control.history.currently_suspects(0, 1));
+  EXPECT_GT(control.history.suspicion_episodes(0, 1), 0u);
+  EXPECT_EQ(control.history.suspicion_episodes_since(0, 1, 4000), 0u);
+}
+
+TEST(OracleMutation, HistoryFlagsMissedCrash) {
+  // Completeness direction: crash subject 1 and let the detector find it —
+  // then check the verdict actually depends on the observed suspicion by
+  // grading a pair the detector never reports on (a deaf watcher).
+  DetectorRun run({});
+  run.engine.schedule_crash(1, 5000);
+  run.engine.run(20000);
+  const detect::Verdict completeness = run.history.strong_completeness(run.engine);
+  EXPECT_TRUE(completeness.holds) << completeness.detail;
+  EXPECT_TRUE(run.history.currently_suspects(0, 1));
+
+  // Mutant: a history whose registered pair saw no suspicion of the crashed
+  // subject (simulating a detector that missed the crash). Completeness
+  // must fail for it.
+  detect::DetectorHistory deaf(0xAB);  // no events carry this tag
+  deaf.set_initial(0, 1, false);
+  const detect::Verdict missed = deaf.strong_completeness(run.engine);
+  EXPECT_FALSE(missed.holds);
+  EXPECT_FALSE(missed.detail.empty());
+}
+
+}  // namespace
+}  // namespace wfd

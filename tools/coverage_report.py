@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Aggregate gcov line/branch coverage without gcovr/lcov.
+
+Walks a CMake build tree for .gcda note files, asks gcov for JSON
+intermediate output (--json-format --stdout), merges the per-TU reports
+(headers and template code appear in many TUs; a line counts as covered if
+any TU executed it), and prints per-directory and per-file line/branch
+rates for sources under --filter.
+
+Usage (from anywhere):
+  python3 tools/coverage_report.py --build-dir build-cov --source-root . \
+      --filter src/reduce --filter src/sim
+"""
+
+import argparse
+import gzip
+import json
+import os
+import subprocess
+import sys
+from collections import defaultdict
+
+
+def find_gcda(build_dir):
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcda"):
+                yield os.path.join(root, name)
+
+
+def run_gcov(gcda, build_dir):
+    """Return the parsed gcov JSON documents for one .gcda file."""
+    result = subprocess.run(
+        ["gcov", "--json-format", "--stdout", "--branch-probabilities", gcda],
+        cwd=build_dir,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        check=False,
+    )
+    blob = result.stdout
+    if not blob:
+        return []
+    if blob[:2] == b"\x1f\x8b":  # some gcov builds gzip even on stdout
+        blob = gzip.decompress(blob)
+    docs = []
+    # One JSON document per line (gcov emits one per translation unit).
+    for line in blob.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            docs.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return docs
+
+
+def normalize(path, source_root, cwd):
+    if not os.path.isabs(path):
+        path = os.path.join(cwd, path)
+    path = os.path.realpath(path)
+    root = os.path.realpath(source_root)
+    if path.startswith(root + os.sep):
+        return os.path.relpath(path, root)
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", required=True)
+    parser.add_argument("--source-root", required=True)
+    parser.add_argument(
+        "--filter",
+        action="append",
+        default=[],
+        help="repo-relative path prefix to report on (repeatable); "
+        "default src/",
+    )
+    parser.add_argument(
+        "--per-file", action="store_true", help="also list every file"
+    )
+    args = parser.parse_args()
+    filters = args.filter or ["src/"]
+
+    # line_hits[file][line] = max count; branch_hits[file][(line, idx)] = max.
+    line_hits = defaultdict(dict)
+    branch_hits = defaultdict(dict)
+
+    gcda_files = list(find_gcda(args.build_dir))
+    if not gcda_files:
+        print("coverage_report: no .gcda files under", args.build_dir)
+        print("(build with -DWFD_COVERAGE=ON and run the tests first)")
+        return 1
+
+    for gcda in gcda_files:
+        for doc in run_gcov(gcda, args.build_dir):
+            cwd = doc.get("current_working_directory", args.build_dir)
+            for entry in doc.get("files", []):
+                rel = normalize(entry.get("file", ""), args.source_root, cwd)
+                if rel is None or not any(rel.startswith(f) for f in filters):
+                    continue
+                lines = line_hits[rel]
+                branches = branch_hits[rel]
+                for line in entry.get("lines", []):
+                    number = line["line_number"]
+                    lines[number] = max(lines.get(number, 0), line["count"])
+                    for idx, branch in enumerate(line.get("branches", [])):
+                        key = (number, idx)
+                        branches[key] = max(
+                            branches.get(key, 0), branch["count"]
+                        )
+
+    if not line_hits:
+        print("coverage_report: no instrumented sources matched", filters)
+        return 1
+
+    def rates(files):
+        total_l = cov_l = total_b = cov_b = 0
+        for rel in files:
+            total_l += len(line_hits[rel])
+            cov_l += sum(1 for c in line_hits[rel].values() if c > 0)
+            total_b += len(branch_hits[rel])
+            cov_b += sum(1 for c in branch_hits[rel].values() if c > 0)
+        return total_l, cov_l, total_b, cov_b
+
+    def fmt(total_l, cov_l, total_b, cov_b):
+        line_pct = 100.0 * cov_l / total_l if total_l else 0.0
+        branch_pct = 100.0 * cov_b / total_b if total_b else 0.0
+        return (
+            f"lines {cov_l:5d}/{total_l:<5d} {line_pct:5.1f}%   "
+            f"branches {cov_b:5d}/{total_b:<5d} {branch_pct:5.1f}%"
+        )
+
+    by_dir = defaultdict(list)
+    for rel in sorted(line_hits):
+        parts = rel.split(os.sep)
+        by_dir[os.sep.join(parts[:2]) if len(parts) > 1 else parts[0]].append(rel)
+
+    print(f"coverage over {len(line_hits)} files ({len(gcda_files)} .gcda)")
+    for directory in sorted(by_dir):
+        print(f"  {directory:<24s} {fmt(*rates(by_dir[directory]))}")
+        if args.per_file:
+            for rel in by_dir[directory]:
+                print(f"    {rel:<38s} {fmt(*rates([rel]))}")
+    print(f"  {'TOTAL':<24s} {fmt(*rates(line_hits))}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
