@@ -18,6 +18,7 @@
 
 #include "bench_util.hpp"
 #include "mc/ablation_model.hpp"
+#include "obs/metrics.hpp"
 #include "mc/gkk_model.hpp"
 #include "mc/reduction_model.hpp"
 #include "sim/metrics.hpp"
@@ -64,9 +65,13 @@ int main(int argc, char** argv) {
     const mc::CheckResult seq = mc::check_reduction(
         options,
         {.threads = 1, .expected_states = config.expected_states});
+    // The parallel run carries a metrics registry; its snapshot lands in the
+    // JSON row and its counters cross-check the reported exploration.
+    obs::Registry registry;
     const mc::CheckResult par = mc::check_reduction(
         options,
-        {.threads = par_threads, .expected_states = config.expected_states});
+        {.threads = par_threads, .expected_states = config.expected_states,
+         .metrics = &registry});
     const double speedup = par.wall_ms > 0.0 ? seq.wall_ms / par.wall_ms : 1.0;
     const char* mode_name =
         config.mode == mc::BoxMode::kExclusive ? "exclusive" : "arbitrary";
@@ -79,6 +84,10 @@ int main(int argc, char** argv) {
                      par.transitions == seq.transitions &&
                      par.depth == seq.depth,
                  "parallel exploration must match sequential exactly");
+    const obs::Snapshot snap = registry.snapshot();
+    shape.expect(snap.counter_value("mc.states") == par.states &&
+                     snap.counter_value("mc.transitions") == par.transitions,
+                 "registry counters must equal the reported exploration");
     if (seq.states > largest_states) {
       largest_states = seq.states;
       largest_speedup = speedup;
@@ -92,7 +101,8 @@ int main(int argc, char** argv) {
         .field("speedup", speedup).field("ok", seq.ok())
         .field("verdict", mc::verdict_name(seq.verdict))
         .field("seen_bytes", par.seen_bytes)
-        .field("graph_bytes", par.graph_bytes);
+        .field("graph_bytes", par.graph_bytes)
+        .field_json("registry", snap.to_json());
   }
   std::cout << "\nParallel frontier exploration: " << par_threads
             << " threads, speedup " << largest_speedup

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 
 namespace {
@@ -113,8 +114,9 @@ std::unique_ptr<sim::Scheduler> make_scheduler(const std::string& name,
 
 RunResult run_config(const std::string& workload, std::uint32_t n,
                      const DelaySpec& delay, const std::string& scheduler,
-                     bool trace_on, std::uint64_t steps, std::uint64_t seed) {
-  sim::Engine engine({.seed = seed});
+                     bool trace_on, std::uint64_t steps, std::uint64_t seed,
+                     obs::Registry* metrics = nullptr) {
+  sim::Engine engine({.seed = seed, .metrics = metrics});
   const std::uint32_t fanout = n - 1 < 8u ? n - 1 : 8u;
   // Weighted scheduling skews relative speeds up to 7x, so its stable burst
   // period is longer (see GossipProcess).
@@ -240,6 +242,7 @@ int main(int argc, char** argv) {
                 .field("delay", delay.name)
                 .field("scheduler", scheduler)
                 .field("trace", trace_on)
+                .field("metrics", false)
                 .field("seed", seed)
                 .field("steps", r.steps)
                 .field("seconds", r.seconds)
@@ -265,6 +268,48 @@ int main(int argc, char** argv) {
   }
   check.expect(headline_gossip > 0 && headline_floor > 0,
                "both headline configurations were measured");
+
+  // E19: metrics-registry overhead on the headline configs. Same run with a
+  // live obs::Registry attached; the row carries the snapshot so the JSON
+  // output doubles as a registry-integration check (sim.steps must equal the
+  // executed step count).
+  std::printf("\nmetrics-on overhead (headline configs):\n");
+  for (const std::string workload : {"gossip", "floor"}) {
+    obs::Registry registry;
+    const RunResult r = run_config(workload, 16, {"uniform_1_8", 1, 8},
+                                   "random", /*trace_on=*/false, steps, seed,
+                                   &registry);
+    const double sps = static_cast<double>(r.steps) / r.seconds;
+    const double baseline =
+        workload == "floor" ? headline_floor : headline_gossip;
+    const double overhead_pct = baseline > 0 ? (baseline / sps - 1.0) * 100.0
+                                             : 0.0;
+    std::printf("  %8s: %14.0f steps/sec (baseline %14.0f, %+.2f%%)\n",
+                workload.c_str(), sps, baseline, overhead_pct);
+    const obs::Snapshot snap = registry.snapshot();
+    // The warmup phase streams into the registry too, so the counter covers
+    // warmup + timed steps.
+    check.expect(snap.counter_value("sim.steps") >= r.steps,
+                 "sim.steps counter covers the executed steps");
+    check.expect(workload == "floor" ||
+                     snap.counter_value("sim.delivered") >= r.delivered,
+                 "sim.delivered counter covers the delivered messages");
+    rows.begin_row();
+    rows.field("bench", "e16_sim_throughput")
+        .field("workload", workload)
+        .field("n", 16)
+        .field("delay", "uniform_1_8")
+        .field("scheduler", "random")
+        .field("trace", false)
+        .field("metrics", true)
+        .field("seed", seed)
+        .field("steps", r.steps)
+        .field("seconds", r.seconds)
+        .field("steps_per_sec", sps)
+        .field("metrics_overhead_pct", overhead_pct)
+        .field_json("registry", snap.to_json());
+  }
+
   if (!options.json_path.empty()) {
     check.expect(rows.write_file(options.json_path), "JSON written");
   }

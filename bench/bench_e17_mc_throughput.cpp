@@ -34,6 +34,7 @@
 
 #include "bench_util.hpp"
 #include "harness/campaign.hpp"
+#include "obs/metrics.hpp"
 #include "mc/ablation_model.hpp"
 #include "mc/gkk_model.hpp"
 #include "mc/reduction_model.hpp"
@@ -240,6 +241,52 @@ int main(int argc, char** argv) {
       std::cout << "(only " << std::thread::hardware_concurrency()
                 << " hardware thread(s) — parallel speedup check skipped)\n";
     }
+  }
+
+  // E19: metrics-registry overhead on the headline config (pairs=2 exclusive
+  // reduction at 4 threads). Instrumentation must not change the exploration,
+  // so the counters double as a cross-check against the uninstrumented rows.
+  {
+    obs::Registry registry;
+    mc::McOptions headline;
+    headline.mode = mc::BoxMode::kExclusive;
+    headline.check_accuracy = true;
+    headline.check_deadlock = true;
+    headline.pairs = 2;
+    const auto start = std::chrono::steady_clock::now();
+    const mc::CheckResult instrumented = mc::check_reduction(
+        headline, {.threads = 4, .expected_states = 516961,
+                   .metrics = &registry});
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const double rate = seconds > 0.0 ? instrumented.states / seconds : 0.0;
+    const double overhead_pct =
+        best_par > 0.0 && rate > 0.0 ? (best_par / rate - 1.0) * 100.0 : 0.0;
+    std::cout << "metrics-on headline: " << std::uint64_t(rate)
+              << " states/s at 4 threads (" << (overhead_pct >= 0 ? "+" : "")
+              << overhead_pct << "% vs uninstrumented)\n";
+    const obs::Snapshot snap = registry.snapshot();
+    shape_check.expect(snap.counter_value("mc.states") == instrumented.states,
+                       "mc.states counter equals the explored state count");
+    shape_check.expect(
+        snap.counter_value("mc.transitions") == instrumented.transitions,
+        "mc.transitions counter equals the explored transition count");
+    shape_check.expect(instrumented.verdict == mc::Verdict::kOk,
+                       "instrumented headline run still verifies");
+    json.begin_row();
+    json.field("experiment", "e17").field("model", "reduction")
+        .field("mode", "exclusive").field("crash", false)
+        .field("pairs", 2).field("threads", 4)
+        .field("metrics", true)
+        .field("states", instrumented.states)
+        .field("transitions", instrumented.transitions)
+        .field("depth", instrumented.depth)
+        .field("seconds", seconds)
+        .field("states_per_sec", static_cast<std::uint64_t>(rate))
+        .field("metrics_overhead_pct", overhead_pct)
+        .field("verdict", mc::verdict_name(instrumented.verdict))
+        .field_json("registry", snap.to_json());
   }
 
   if (!cli.json_path.empty()) {

@@ -147,6 +147,12 @@ class JsonRows {
     return raw(key, out.str());
   }
 
+  /// Splices pre-rendered JSON (an object or array) as the field value —
+  /// used to embed metrics-registry snapshots without re-encoding them.
+  JsonRows& field_json(const std::string& key, std::string rendered) {
+    return raw(key, std::move(rendered));
+  }
+
   /// Writes `[ {...}, ... ]`; returns success.
   bool write_file(const std::string& path) const {
     std::ofstream out(path);

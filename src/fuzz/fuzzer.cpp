@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <unordered_set>
@@ -314,6 +315,23 @@ CampaignResult run_fuzz_campaign(
   const std::vector<TargetKind> base_pool =
       opts.targets.empty() ? legal_targets() : opts.targets;
 
+  // Campaign-level metrics: updated only from this (single) thread, in the
+  // batch-accounting loop, so they never race and never perturb the runs.
+  obs::Registry::Id m_runs = 0, m_failing = 0, m_novel = 0, m_oracle = 0,
+                    m_shrink = 0;
+  std::unique_ptr<obs::Scope> mscope;
+  if (opts.metrics != nullptr) {
+    m_runs = opts.metrics->counter("fuzz.runs");
+    m_failing = opts.metrics->counter("fuzz.failing");
+    m_novel = opts.metrics->counter("fuzz.novel");
+    m_oracle = opts.metrics->counter("fuzz.oracle_firings");
+    m_shrink = opts.metrics->counter("fuzz.shrink_runs");
+    mscope = std::make_unique<obs::Scope>(*opts.metrics);
+  }
+  const auto report_progress = [&](std::uint64_t completed) {
+    if (opts.on_progress) opts.on_progress(completed, opts.runs, elapsed_ms());
+  };
+
   CampaignResult result;
   std::unordered_set<std::uint64_t> corpus;
   std::map<TargetKind, std::pair<std::uint64_t, std::uint64_t>> novelty_rate;
@@ -350,14 +368,20 @@ CampaignResult run_fuzz_campaign(
       result.stats.total_steps += run.stats.steps;
       result.stats.total_messages += run.stats.messages_sent;
       result.stats.total_meals += run.stats.total_meals;
+      if (mscope) mscope->add(m_runs);
       auto& [samples, novel] = novelty_rate[configs[i].target];
       ++samples;
       if (corpus.insert(run.signature).second) {
         ++result.stats.novel;
         ++novel;
+        if (mscope) mscope->add(m_novel);
       }
       if (!run.ok()) {
         ++result.stats.failing;
+        if (mscope) {
+          mscope->add(m_failing);
+          mscope->add(m_oracle, run.failures.size());
+        }
         const std::string& oracle = run.primary()->oracle;
         ++result.stats.oracle_failures[oracle];
         const std::pair<std::string, std::string> key{
@@ -374,6 +398,7 @@ CampaignResult run_fuzz_campaign(
       }
     }
     index += this_batch;
+    report_progress(index);
 
     // Budget-bound campaigns spend the remaining time where novel schedule
     // shapes still appear: the highest-novelty-rate target gets extra
@@ -403,6 +428,7 @@ CampaignResult run_fuzz_campaign(
     if (opts.shrink) {
       ShrinkOutcome outcome = shrink_case(config, opts.max_shrink_attempts);
       result.stats.shrink_runs += outcome.runs;
+      if (mscope) mscope->add(m_shrink, outcome.runs);
       if (narrate) {
         narrate("shrunk " + oracle + " case in " +
                 std::to_string(outcome.attempts) + " attempts (" +
@@ -413,6 +439,7 @@ CampaignResult run_fuzz_campaign(
       const FuzzConfig normalized = normalize(config);
       const RunResult rerun = run_config(normalized);
       ++result.stats.shrink_runs;
+      if (mscope) mscope->add(m_shrink);
       if (!rerun.ok()) {
         result.repros.push_back(ReproCase{normalized, rerun.primary()->oracle,
                                           rerun.primary()->at,
@@ -422,6 +449,7 @@ CampaignResult run_fuzz_campaign(
   }
 
   result.stats.elapsed_ms = elapsed_ms();
+  report_progress(result.stats.executed);
   return result;
 }
 

@@ -34,6 +34,18 @@ struct CampaignOptions {
   std::uint32_t max_shrink_attempts = 160;
   /// Shrink at most this many distinct failures per campaign.
   std::uint32_t max_repros = 4;
+  /// Optional metrics registry: the campaign counts fuzz.runs /
+  /// fuzz.failing / fuzz.novel / fuzz.oracle_firings / fuzz.shrink_runs as
+  /// it goes (updated in the single-threaded batch-accounting loop, so a
+  /// snapshot between batches is consistent). Never affects sampling or
+  /// grading.
+  obs::Registry* metrics = nullptr;
+  /// Optional progress callback, fired from the campaign thread after every
+  /// batch (and once at the end with completed == executed runs). `total`
+  /// is options.runs, or 0 for budget-bound campaigns.
+  std::function<void(std::uint64_t completed, std::uint64_t total,
+                     std::uint64_t elapsed_ms)>
+      on_progress;
 };
 
 struct CampaignStats {

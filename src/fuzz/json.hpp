@@ -47,16 +47,27 @@ struct Json {
   }
 
   /// Parse `text` into `out`. Returns false (with a message in `error`)
-  /// on malformed input or trailing garbage.
-  static bool parse(const std::string& text, Json* out, std::string* error);
+  /// on malformed input, trailing garbage, or nesting deeper than
+  /// json_detail::kMaxDepth (a hostile hand-edited .repro must produce an
+  /// error, never a stack overflow). Duplicate object keys are accepted
+  /// with last-wins semantics; pass `warnings` to be told about each one.
+  static bool parse(const std::string& text, Json* out, std::string* error,
+                    std::vector<std::string>* warnings = nullptr);
 };
 
 namespace json_detail {
+
+/// Maximum value-nesting depth. Every .repro the fuzzer writes is ~3 deep;
+/// 64 leaves generous headroom for hand-edited files while keeping the
+/// recursive parser's stack usage bounded on hostile input.
+inline constexpr int kMaxDepth = 64;
 
 struct Parser {
   const char* p;
   const char* end;
   std::string* error;
+  std::vector<std::string>* warnings = nullptr;
+  int depth = 0;
 
   bool fail(const std::string& what) {
     if (error != nullptr) *error = what;
@@ -118,6 +129,17 @@ struct Parser {
   }
 
   bool parse_value(Json* out) {
+    if (depth >= kMaxDepth) {
+      return fail("nesting deeper than " + std::to_string(kMaxDepth) +
+                  " levels");
+    }
+    ++depth;
+    const bool ok = parse_value_impl(out);
+    --depth;
+    return ok;
+  }
+
+  bool parse_value_impl(Json* out) {
     skip_ws();
     if (p >= end) return fail("unexpected end of input");
     switch (*p) {
@@ -138,7 +160,23 @@ struct Parser {
           ++p;
           Json value;
           if (!parse_value(&value)) return false;
-          out->members.emplace_back(std::move(key), std::move(value));
+          // Duplicate keys: last wins, overwriting in place so find() (which
+          // returns the first match) observes the winning value.
+          bool duplicate = false;
+          for (auto& [k, v] : out->members) {
+            if (k == key) {
+              v = std::move(value);
+              duplicate = true;
+              if (warnings != nullptr) {
+                warnings->push_back("duplicate key \"" + key +
+                                    "\": last value wins");
+              }
+              break;
+            }
+          }
+          if (!duplicate) {
+            out->members.emplace_back(std::move(key), std::move(value));
+          }
           skip_ws();
           if (p < end && *p == ',') {
             ++p;
@@ -212,8 +250,10 @@ struct Parser {
 
 }  // namespace json_detail
 
-inline bool Json::parse(const std::string& text, Json* out, std::string* error) {
-  json_detail::Parser parser{text.data(), text.data() + text.size(), error};
+inline bool Json::parse(const std::string& text, Json* out, std::string* error,
+                        std::vector<std::string>* warnings) {
+  json_detail::Parser parser{text.data(), text.data() + text.size(), error,
+                             warnings};
   if (!parser.parse_value(out)) return false;
   parser.skip_ws();
   if (parser.p != parser.end) {

@@ -251,13 +251,29 @@ FuzzConfig normalize(FuzzConfig config) {
   return config;
 }
 
+static RunResult run_config_impl(const FuzzConfig& raw, RunCapture* capture);
+
 RunResult run_config(const FuzzConfig& raw) {
+  return run_config_impl(raw, nullptr);
+}
+
+RunResult run_config(const FuzzConfig& raw, RunCapture& capture) {
+  return run_config_impl(raw, &capture);
+}
+
+static RunResult run_config_impl(const FuzzConfig& raw, RunCapture* capture) {
   const FuzzConfig config = normalize(raw);
   RunResult result;
   result.stats.deadline = convergence_deadline(config);
   result.stats.wait_bound = wait_free_bound(config);
 
-  sim::Engine engine(sim::EngineConfig{.seed = config.seed});
+  sim::EngineConfig engine_config{.seed = config.seed};
+  if (capture != nullptr) {
+    engine_config.trace_capacity = capture->trace_capacity;
+    engine_config.trace_retain_kinds = capture->retain_kinds;
+    engine_config.metrics = capture->metrics;
+  }
+  sim::Engine engine(engine_config);
   std::vector<sim::ComponentHost*> hosts;
   for (sim::ProcessId p = 0; p < config.n; ++p) {
     auto host = std::make_unique<sim::ComponentHost>();
@@ -436,6 +452,12 @@ RunResult run_config(const FuzzConfig& raw) {
 
   engine.init();
   engine.run(config.steps);
+
+  if (capture != nullptr) {
+    capture->events = engine.trace().events();
+    capture->truncated = engine.trace().truncated();
+    capture->end_time = engine.now();
+  }
 
   // --- stats ----------------------------------------------------------------
   const sim::Time deadline = result.stats.deadline;

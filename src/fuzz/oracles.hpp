@@ -25,11 +25,14 @@
 // delta-debugging shrinks trustworthy.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "fuzz/config.hpp"
+#include "obs/metrics.hpp"
+#include "sim/trace.hpp"
 #include "sim/types.hpp"
 
 namespace wfd::fuzz {
@@ -75,7 +78,26 @@ struct RunResult {
 /// their defect is expressible. Deterministic, idempotent.
 FuzzConfig normalize(FuzzConfig config);
 
+/// Observability hookup for a single graded run (wfd_trace export, metrics
+/// validation). Inputs configure the engine's trace retention and registry
+/// binding; outputs carry the retained events back out. Capturing never
+/// perturbs the run itself — the verdict, stats and signature stay bit-
+/// identical to an uncaptured run of the same config.
+struct RunCapture {
+  // --- inputs ---
+  std::size_t trace_capacity = 1 << 20;           ///< retained-event bound
+  std::uint64_t retain_kinds = sim::kAllEventKinds;  ///< retention kind mask
+  obs::Registry* metrics = nullptr;               ///< optional registry
+  // --- outputs ---
+  std::vector<sim::Event> events;  ///< retained trace, in emission order
+  std::uint64_t truncated = 0;     ///< retained-kind events past capacity
+  sim::Time end_time = 0;          ///< engine clock when the run finished
+};
+
 /// Build the target system described by `config`, run it, grade it.
 RunResult run_config(const FuzzConfig& config);
+
+/// Same, capturing the trace (and optionally metrics) along the way.
+RunResult run_config(const FuzzConfig& config, RunCapture& capture);
 
 }  // namespace wfd::fuzz

@@ -19,12 +19,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "fuzz/fuzzer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 
 namespace {
 
@@ -44,6 +47,8 @@ struct Cli {
   bool expect_failure = false;
   std::uint32_t max_shrink = 160;
   bool quiet = false;
+  std::string progress_json;
+  std::uint64_t heartbeat_ms = 0;
 };
 
 [[noreturn]] void usage(int code) {
@@ -63,7 +68,10 @@ struct Cli {
       "  --max-shrink N    shrink attempt budget per failure (default 160)\n"
       "  --expect-failure  exit 0 iff a failure was found and reproduced\n"
       "  --replay PATH     replay a .repro file or every *.repro in a dir\n"
-      "  --quiet           suppress per-run narration\n";
+      "  --quiet           suppress per-run narration\n"
+      "  --progress-json F stream NDJSON progress records (one per batch,\n"
+      "                    with a metrics-registry snapshot) to F\n"
+      "  --heartbeat-ms N  print a progress heartbeat to stderr every N ms\n";
   std::exit(code);
 }
 
@@ -110,6 +118,10 @@ Cli parse(int argc, char** argv) {
       cli.expect_failure = true;
     } else if (arg == "--quiet") {
       cli.quiet = true;
+    } else if (arg == "--progress-json") {
+      cli.progress_json = value();
+    } else if (arg == "--heartbeat-ms") {
+      cli.heartbeat_ms = std::strtoull(value().c_str(), nullptr, 10);
     } else if (arg == "--help" || arg == "-h") {
       usage(0);
     } else {
@@ -220,6 +232,18 @@ int main(int argc, char** argv) {
     std::filesystem::create_directories(cli.repro_dir, ec);
   }
 
+  std::ofstream progress_out;
+  if (!cli.progress_json.empty()) {
+    progress_out.open(cli.progress_json);
+    if (!progress_out) {
+      std::cout << "wfd_fuzz: cannot write " << cli.progress_json << "\n";
+      return 2;
+    }
+  }
+  obs::Registry registry;
+  const bool instrument = progress_out.is_open() || cli.heartbeat_ms > 0;
+  if (instrument) options.metrics = &registry;
+
   bench::JsonRows rows;
   std::uint64_t total_failing = 0;
   std::uint64_t repro_count = 0;
@@ -230,10 +254,48 @@ int main(int argc, char** argv) {
     const auto narrate = [&](const std::string& line) {
       if (!cli.quiet) std::cout << "  [seed " << seed << "] " << line << "\n";
     };
+    std::uint64_t last_beat = 0;
+    if (instrument) {
+      options.on_progress = [&](std::uint64_t completed, std::uint64_t total,
+                                std::uint64_t elapsed) {
+        if (cli.heartbeat_ms > 0 &&
+            (elapsed - last_beat >= cli.heartbeat_ms ||
+             (total > 0 && completed >= total))) {
+          last_beat = elapsed;
+          std::cerr << obs::heartbeat_line(
+                           "fuzz seed " + std::to_string(seed), completed,
+                           total, elapsed)
+                    << "\n";
+        }
+        if (progress_out.is_open()) {
+          obs::JsonObject record;
+          record.field("type", "progress")
+              .field("seed", seed)
+              .field("completed", completed)
+              .field("total", total)
+              .field("elapsed_ms", elapsed)
+              .raw("metrics", registry.snapshot().to_json());
+          record.write_line(progress_out);
+        }
+      };
+    }
     const fuzz::CampaignResult campaign =
         fuzz::run_fuzz_campaign(options, narrate);
     const fuzz::CampaignStats& stats = campaign.stats;
     total_failing += stats.failing;
+    if (progress_out.is_open()) {
+      obs::JsonObject record;
+      record.field("type", "campaign")
+          .field("seed", seed)
+          .field("executed", stats.executed)
+          .field("failing", stats.failing)
+          .field("corpus_size", stats.corpus_size)
+          .field("novel", stats.novel)
+          .field("shrink_runs", stats.shrink_runs)
+          .field("elapsed_ms", stats.elapsed_ms)
+          .raw("metrics", registry.snapshot().to_json());
+      record.write_line(progress_out);
+    }
 
     std::cout << "campaign seed=" << seed << ": " << stats.executed
               << " runs, " << stats.failing << " failing, corpus "

@@ -6,8 +6,12 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -33,24 +37,83 @@ struct JobMeta {
   std::uint64_t expected_states = 0;
 };
 
+/// Live campaign progress, handed to ProgressOptions::on_progress.
+struct CampaignProgress {
+  std::size_t completed = 0;  ///< jobs finished so far
+  std::size_t total = 0;      ///< jobs in the campaign
+  double elapsed_ms = 0.0;    ///< since the campaign started
+};
+
+/// Periodic progress reporting for a campaign. The callback fires from a
+/// dedicated monitor thread (never a worker), every `interval_ms` while
+/// jobs are outstanding, plus exactly once after the last job completes —
+/// so a consumer always observes completed == total. The callback must not
+/// throw; it may take as long as it likes (workers never wait on it).
+struct ProgressOptions {
+  std::function<void(const CampaignProgress&)> on_progress;
+  std::uint64_t interval_ms = 1000;
+};
+
 /// Run `fn(config)` for every configuration on up to `threads` workers.
 /// `fn` must be callable concurrently from distinct threads and its result
 /// default-constructible; results keep configuration order.
 template <class Config, class Fn>
-auto run_campaign(const std::vector<Config>& configs, Fn fn, int threads = 0)
+auto run_campaign(const std::vector<Config>& configs, Fn fn, int threads = 0,
+                  const ProgressOptions& progress = {})
     -> std::vector<std::invoke_result_t<Fn&, const Config&>> {
   using Result = std::invoke_result_t<Fn&, const Config&>;
+  using Clock = std::chrono::steady_clock;
   std::vector<Result> results(configs.size());
   const int pool_size = campaign_threads(threads, configs.size());
   std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> completed{0};
   auto worker = [&] {
     for (std::size_t i = cursor.fetch_add(1); i < configs.size();
          i = cursor.fetch_add(1)) {
       results[i] = fn(configs[i]);
+      completed.fetch_add(1, std::memory_order_release);
     }
   };
+
+  // Monitor thread: wakes on the interval (or when the campaign finishes,
+  // via the condvar) and reports. Started only when a callback is set so
+  // the plain path stays thread-free beyond the pool itself.
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  bool done = false;
+  std::thread monitor;
+  const Clock::time_point start = Clock::now();
+  if (progress.on_progress) {
+    monitor = std::thread([&] {
+      std::unique_lock<std::mutex> lock(done_mu);
+      for (;;) {
+        const bool finished = done_cv.wait_for(
+            lock, std::chrono::milliseconds(progress.interval_ms),
+            [&] { return done; });
+        CampaignProgress p;
+        p.completed = completed.load(std::memory_order_acquire);
+        p.total = configs.size();
+        p.elapsed_ms = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                                 start)
+                           .count();
+        progress.on_progress(p);
+        if (finished) return;
+      }
+    });
+  }
+  const auto finish = [&] {
+    if (!monitor.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(done_mu);
+      done = true;
+    }
+    done_cv.notify_all();
+    monitor.join();
+  };
+
   if (pool_size == 1) {
     worker();
+    finish();
     return results;
   }
   std::vector<std::thread> pool;
@@ -58,6 +121,7 @@ auto run_campaign(const std::vector<Config>& configs, Fn fn, int threads = 0)
   for (int t = 1; t < pool_size; ++t) pool.emplace_back(worker);
   worker();
   for (std::thread& t : pool) t.join();
+  finish();
   return results;
 }
 

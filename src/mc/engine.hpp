@@ -310,6 +310,40 @@ CheckResult run_check(const M& model, const CheckOptions& options = {}) {
   const int workers = result.threads;
 
   detail::SeenSet seen(options.expected_states);
+
+  // Instrumentation (all optional; never perturbs the exploration).
+  obs::Registry* const metrics = options.metrics;
+  std::unique_ptr<obs::Scope> mscope;
+  obs::Registry::Id m_states = 0, m_transitions = 0, m_levels = 0;
+  obs::Registry::Id m_level_rate = 0, m_barrier = 0, g_seen_load = 0;
+  if (metrics != nullptr) {
+    m_states = metrics->counter("mc.states");
+    m_transitions = metrics->counter("mc.transitions");
+    m_levels = metrics->counter("mc.levels");
+    m_level_rate = metrics->histogram("mc.level_states_per_sec");
+    m_barrier = metrics->histogram("mc.barrier_wait_us");
+    g_seen_load = metrics->gauge("mc.seen_load_pct");
+    mscope = std::make_unique<obs::Scope>(*metrics);
+  }
+
+  // The one exit epilogue: EVERY return path seals the result through this,
+  // so wall_ms / seen_bytes / graph_bytes are populated consistently no
+  // matter how the exploration ended (clean cover, violation, budget, or
+  // the reserved-sentinel early out).
+  const auto seal = [&](std::uint64_t graph_bytes) {
+    result.seen_bytes = seen.bytes();
+    result.graph_bytes = graph_bytes;
+    result.wall_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    if (metrics != nullptr) {
+      metrics->set_gauge(
+          g_seen_load,
+          100.0 * static_cast<double>(result.states) /
+              static_cast<double>(seen.capacity()));
+    }
+  };
+
   std::vector<S> level;
   for (const S& s : model.initial_states()) {
     const auto key = static_cast<std::uint64_t>(s.bits);
@@ -318,10 +352,7 @@ CheckResult run_check(const M& model, const CheckOptions& options = {}) {
       result.counterexample =
           "model error: initial state packs the reserved seen-set sentinel "
           "key ~0";
-      result.seen_bytes = seen.bytes();
-      result.wall_ms =
-          std::chrono::duration<double, std::milli>(Clock::now() - start)
-              .count();
+      seal(0);
       return result;
     }
     if (seen.insert(key)) level.push_back(s);
@@ -423,11 +454,27 @@ CheckResult run_check(const M& model, const CheckOptions& options = {}) {
   pool.reserve(static_cast<std::size_t>(workers) - 1);
   for (int w = 1; w < workers; ++w) {
     pool.emplace_back([&, w] {
+      // Per-worker metrics shard: barrier wait time (the parallel-efficiency
+      // signal — time a finished worker spends parked at the level-closing
+      // barrier while stragglers expand).
+      std::unique_ptr<obs::Scope> wscope;
+      if (metrics != nullptr) wscope = std::make_unique<obs::Scope>(*metrics);
       for (;;) {
         barrier.arrive_and_wait();  // level opens (or stop)
         if (stop) return;
         expand(outs[static_cast<std::size_t>(w)]);
-        barrier.arrive_and_wait();  // level closes
+        if (wscope != nullptr) {
+          const auto parked = Clock::now();
+          barrier.arrive_and_wait();  // level closes
+          wscope->observe(
+              m_barrier,
+              static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::microseconds>(
+                      Clock::now() - parked)
+                      .count()));
+        } else {
+          barrier.arrive_and_wait();  // level closes
+        }
       }
     });
   }
@@ -460,17 +507,30 @@ CheckResult run_check(const M& model, const CheckOptions& options = {}) {
     cursor.store(0, std::memory_order_relaxed);
     for (detail::Worker<S>& out : outs) out.next.clear();
 
+    const auto level_start = Clock::now();
     barrier.arrive_and_wait();  // open the level
     expand(outs[0]);
-    barrier.arrive_and_wait();  // close it: every worker is parked again
+    if (mscope != nullptr) {
+      const auto parked = Clock::now();
+      barrier.arrive_and_wait();  // close it: every worker is parked again
+      mscope->observe(m_barrier,
+                      static_cast<std::uint64_t>(
+                          std::chrono::duration_cast<std::chrono::microseconds>(
+                              Clock::now() - parked)
+                              .count()));
+    } else {
+      barrier.arrive_and_wait();  // close it: every worker is parked again
+    }
 
     result.states += level.size();
     std::size_t total = 0;
     for (const detail::Worker<S>& out : outs) total += out.next.size();
     next.clear();
     next.reserve(total);
+    std::uint64_t level_transitions = 0;
     const detail::Worker<S>* worst = nullptr;
     for (detail::Worker<S>& out : outs) {
+      level_transitions += out.transitions;
       result.transitions += out.transitions;
       out.transitions = 0;
       max_degree_seen = std::max(max_degree_seen, out.max_degree);
@@ -479,6 +539,26 @@ CheckResult run_check(const M& model, const CheckOptions& options = {}) {
           (worst == nullptr || out.violation_key < worst->violation_key)) {
         worst = &out;
       }
+    }
+    const double level_seconds =
+        std::chrono::duration<double>(Clock::now() - level_start).count();
+    if (mscope != nullptr) {
+      mscope->add(m_levels);
+      mscope->add(m_states, level.size());
+      mscope->add(m_transitions, level_transitions);
+      mscope->observe(
+          m_level_rate,
+          level_seconds > 0.0
+              ? static_cast<std::uint64_t>(
+                    static_cast<double>(level.size()) / level_seconds)
+              : 0);
+    }
+    if (options.spans != nullptr) {
+      options.spans->record(
+          "level " + std::to_string(result.depth), /*track=*/0,
+          std::chrono::duration<double, std::milli>(level_start - start)
+              .count(),
+          level_seconds * 1000.0, level.size());
     }
     if (worst != nullptr) {
       result.verdict = Verdict::kViolation;
@@ -494,21 +574,41 @@ CheckResult run_check(const M& model, const CheckOptions& options = {}) {
   barrier.arrive_and_wait();  // release parked workers into their exit
   for (std::thread& t : pool) t.join();
 
-  result.seen_bytes = seen.bytes();
-  if (!stopped) {
-    if constexpr (kCollectGraph) {
+  std::uint64_t graph_bytes = 0;
+  if constexpr (kCollectGraph) {
+    if (!stopped) {
+      const auto analyze_start = Clock::now();
       const ReachView<S> graph = detail::build_reach_view<S>(outs);
-      result.graph_bytes = graph.bytes();
+      graph_bytes = graph.bytes();
       std::string witness = model.analyze(graph);
       if (!witness.empty()) {
         result.verdict = Verdict::kViolation;
         result.counterexample = std::move(witness);
       }
+      if (options.spans != nullptr) {
+        options.spans->record(
+            "analyze", /*track=*/0,
+            std::chrono::duration<double, std::milli>(analyze_start - start)
+                .count(),
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      analyze_start)
+                .count(),
+            graph.node_count());
+      }
+    } else {
+      // Early stop (violation / budget): the CSR is never assembled, but
+      // the per-worker edge logs were collected up to the stopping level —
+      // report the footprint actually held rather than a misleading zero.
+      for (const detail::Worker<S>& w : outs) {
+        graph_bytes += w.log_key.capacity() * sizeof(std::uint64_t) +
+                       w.log_degree.capacity() * sizeof(std::uint32_t) +
+                       w.log_to.capacity() * sizeof(S) +
+                       w.log_label.capacity();
+      }
     }
   }
 
-  result.wall_ms =
-      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  seal(graph_bytes);
   return result;
 }
 

@@ -14,6 +14,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace wfd::mc {
 
 enum class Verdict : std::uint8_t {
@@ -41,6 +44,16 @@ struct CheckOptions {
   /// the table then starts small and grows at level barriers. Sweep runners
   /// forward this from campaign metadata so big runs never rehash.
   std::uint64_t expected_states = 0;
+  /// Optional metrics registry: the engine registers mc.states /
+  /// mc.transitions / mc.levels counters, an mc.level_states_per_sec and a
+  /// per-worker mc.barrier_wait_us histogram, and an mc.seen_load_pct gauge.
+  /// Instrumentation never changes the exploration (the verdict and counts
+  /// stay thread-count-independent and identical to an uninstrumented run).
+  obs::Registry* metrics = nullptr;
+  /// Optional span log: one span per BFS level (track 0, arg = states in
+  /// the level) plus a final "analyze" span, exportable to Perfetto via
+  /// obs::write_perfetto_spans.
+  obs::SpanLog* spans = nullptr;
 };
 
 /// The single result shape every checker returns.

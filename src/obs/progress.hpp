@@ -1,0 +1,115 @@
+// Campaign progress reporting: a tiny ordered-field JSON object builder for
+// NDJSON progress streams (one self-contained JSON object per line, written
+// as a whole line so concurrent readers never see a torn record) and the
+// stderr heartbeat line format shared by wfd_fuzz and the harness campaign
+// runner.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace wfd::obs {
+
+inline std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// One JSON object, fields kept in insertion order. `raw` splices an
+/// already-serialized JSON value (e.g. a Snapshot::to_json() object).
+class JsonObject {
+ public:
+  JsonObject& field(std::string_view name, std::string_view value) {
+    sep();
+    out_ << '"' << json_escape(name) << "\":\"" << json_escape(value) << '"';
+    return *this;
+  }
+  JsonObject& field(std::string_view name, const char* value) {
+    return field(name, std::string_view(value));
+  }
+  /// One overload per integral shape (templated so std::uint64_t and
+  /// std::size_t never collide on platforms where they are the same type).
+  template <class T>
+    requires std::is_integral_v<T>
+  JsonObject& field(std::string_view name, T value) {
+    sep();
+    out_ << '"' << json_escape(name) << "\":" << value;
+    return *this;
+  }
+  JsonObject& field(std::string_view name, double value) {
+    sep();
+    out_ << '"' << json_escape(name) << "\":" << value;
+    return *this;
+  }
+  JsonObject& field(std::string_view name, bool value) {
+    sep();
+    out_ << '"' << json_escape(name) << "\":" << (value ? "true" : "false");
+    return *this;
+  }
+  JsonObject& raw(std::string_view name, std::string_view json) {
+    sep();
+    out_ << '"' << json_escape(name) << "\":" << json;
+    return *this;
+  }
+
+  std::string str() const { return first_ ? "{}" : out_.str() + "}"; }
+
+  /// Write the object as one NDJSON line and flush (progress consumers tail
+  /// the stream while the producer is still running).
+  void write_line(std::ostream& out) const {
+    out << str() << '\n';
+    out.flush();
+  }
+
+ private:
+  void sep() {
+    if (first_) {
+      out_ << '{';
+      first_ = false;
+    } else {
+      out_ << ',';
+    }
+  }
+  std::ostringstream out_;
+  bool first_ = true;
+};
+
+/// The one heartbeat line shape every campaign prints, so output checks can
+/// pin it: "label: completed/total (pct%), Nms elapsed". A total of 0 means
+/// open-ended (budget-bound) work and omits the percentage.
+inline std::string heartbeat_line(std::string_view label,
+                                  std::uint64_t completed, std::uint64_t total,
+                                  std::uint64_t elapsed_ms) {
+  std::ostringstream out;
+  out << label << ": " << completed;
+  if (total > 0) {
+    out << '/' << total << " (" << (100 * completed / total) << "%)";
+  }
+  out << ", " << elapsed_ms << "ms elapsed";
+  return out.str();
+}
+
+}  // namespace wfd::obs

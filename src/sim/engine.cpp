@@ -6,7 +6,33 @@
 namespace wfd::sim {
 
 Engine::Engine(EngineConfig config)
-    : config_(config), rng_(config.seed), trace_(config.trace_capacity) {}
+    : config_(config),
+      rng_(config.seed),
+      trace_(config.trace_capacity, config.trace_retain_kinds) {
+  if (config.metrics != nullptr) {
+    m_steps_ = config.metrics->counter("sim.steps");
+    m_sent_ = config.metrics->counter("sim.sent");
+    m_delivered_ = config.metrics->counter("sim.delivered");
+    m_dropped_ = config.metrics->counter("sim.dropped");
+    m_crashes_ = config.metrics->counter("sim.crashes");
+    metrics_ = std::make_unique<obs::Scope>(*config.metrics);
+    trace_.bind_metrics(config.metrics);
+  }
+}
+
+Engine::~Engine() { flush_metrics(); }
+
+void Engine::flush_metrics() {
+  if (!metrics_) return;
+  metrics_->add(m_steps_, stats_.steps - flushed_.steps);
+  metrics_->add(m_sent_, stats_.messages_sent - flushed_.messages_sent);
+  metrics_->add(m_delivered_,
+                stats_.messages_delivered - flushed_.messages_delivered);
+  metrics_->add(m_dropped_,
+                stats_.messages_dropped - flushed_.messages_dropped);
+  metrics_->add(m_crashes_, stats_.crashes - flushed_.crashes);
+  flushed_ = stats_;
+}
 
 ProcessId Engine::add_process(std::unique_ptr<Process> process) {
   if (initialized_) throw std::logic_error("add_process after init");
@@ -136,6 +162,7 @@ bool Engine::step() {
 std::uint64_t Engine::run(std::uint64_t n) {
   std::uint64_t executed = 0;
   while (executed < n && step()) ++executed;
+  flush_metrics();
   return executed;
 }
 
@@ -143,12 +170,19 @@ bool Engine::run_until(const std::function<bool()>& pred,
                        std::uint64_t max_steps, std::uint64_t check_every) {
   if (check_every == 0) check_every = 1;
   for (std::uint64_t executed = 0; executed < max_steps;) {
-    if (pred()) return true;
+    if (pred()) {
+      flush_metrics();
+      return true;
+    }
     for (std::uint64_t i = 0; i < check_every && executed < max_steps; ++i) {
-      if (!step()) return pred();
+      if (!step()) {
+        flush_metrics();
+        return pred();
+      }
       ++executed;
     }
   }
+  flush_metrics();
   return pred();
 }
 

@@ -4,11 +4,40 @@
 
 namespace wfd::sim {
 
+void Trace::bind_metrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    metrics_.reset();
+    return;
+  }
+  for (std::size_t k = 0; k < kKnownKinds; ++k) {
+    kind_counter_ids_[k] = registry->counter(
+        std::string("sim.events.") + to_string(static_cast<EventKind>(k)));
+  }
+  kind_counter_ids_[kKnownKinds] = registry->counter("sim.events.other");
+  truncated_counter_id_ = registry->counter("sim.events.truncated");
+  metrics_ = std::make_unique<obs::Scope>(*registry);
+  // Deliberately does NOT widen enabled_: counting piggybacks on dispatch,
+  // so only events some retention mask or subscription already pays for are
+  // counted. Unobserved kinds stay on the zero-cost path — this is how
+  // metrics-on runs keep the E19 overhead near zero — and capture/export
+  // flows (which retain every kind) still get complete per-kind counts.
+}
+
 void Trace::dispatch(const Event& event) {
-  if (events_.size() < max_events_) events_.push_back(event);
-  const std::uint64_t bit = kind_mask(event.kind);
+  const auto raw = static_cast<unsigned>(event.kind);
+  if (metrics_) {
+    metrics_->add(kind_counter_ids_[raw < kKnownKinds ? raw : kKnownKinds]);
+  }
+  if (mask_matches(retain_mask_, event.kind)) {
+    if (events_.size() < max_events_) {
+      events_.push_back(event);
+    } else {
+      ++truncated_;
+      if (metrics_) metrics_->add(truncated_counter_id_);
+    }
+  }
   for (const Subscription& sub : observers_) {
-    if (sub.mask & bit) sub.fn(event);
+    if (mask_matches(sub.mask, event.kind)) sub.fn(event);
   }
 }
 

@@ -137,6 +137,67 @@ TEST(Trace, AllKindsHaveNames) {
   }
 }
 
+// Regression: constructing a Trace with a capacity used to enable EVERY
+// kind, dragging all events off the zero-cost path just to retain a few.
+// Retention is now scoped by its own kind mask.
+TEST(Trace, RetentionScopedByKindMask) {
+  Trace trace(/*max_events=*/8, kind_mask(EventKind::kDinerTransition));
+  EXPECT_FALSE(trace.wants(EventKind::kStep));
+  EXPECT_TRUE(trace.wants(EventKind::kDinerTransition));
+  trace.emit(Event{1, EventKind::kStep, 0, 0, 0, 0});
+  trace.emit(Event{2, EventKind::kDinerTransition, 0, 0, 0, 1});
+  trace.emit(Event{3, EventKind::kSend, 0, 1, 0, 0});
+  ASSERT_EQ(trace.events().size(), 1u);
+  EXPECT_EQ(trace.events()[0].kind, EventKind::kDinerTransition);
+}
+
+// Retention scoping composes with subscriptions: a subscription enables its
+// kinds for dispatch, but the retention buffer still only keeps its own.
+TEST(Trace, SubscriptionDoesNotWidenRetention) {
+  Trace trace(/*max_events=*/8, kind_mask(EventKind::kCrash));
+  int steps_seen = 0;
+  trace.subscribe_kinds(kind_mask(EventKind::kStep),
+                        [&](const Event&) { ++steps_seen; });
+  trace.emit(Event{1, EventKind::kStep, 0, 0, 0, 0});
+  trace.emit(Event{2, EventKind::kCrash, 1, 0, 0, 0});
+  EXPECT_EQ(steps_seen, 1);
+  ASSERT_EQ(trace.events().size(), 1u);
+  EXPECT_EQ(trace.events()[0].kind, EventKind::kCrash);
+}
+
+// Regression: raw record kinds >= 64 alias low mask bits on the cheap
+// `wants` pre-check; dispatch used to deliver them to typed observers that
+// never subscribed to them (kind 64 aliases kStep's bit). The exact-kind
+// re-check must keep them out of typed subscriptions (and out of aliased
+// retention) while full-mask observers still see everything.
+TEST(Trace, AliasedRawKindsNeverReachTypedObservers) {
+  Trace trace(/*max_events=*/4, kind_mask(EventKind::kStep));
+  int step_calls = 0;
+  int all_calls = 0;
+  trace.subscribe_kinds(kind_mask(EventKind::kStep),
+                        [&](const Event&) { ++step_calls; });
+  trace.subscribe([&](const Event&) { ++all_calls; });
+  const Event aliased{1, static_cast<EventKind>(64), 0, 0, 0, 0};
+  trace.emit(aliased);
+  EXPECT_EQ(step_calls, 0) << "raw kind 64 rode kStep's aliased mask bit";
+  EXPECT_EQ(all_calls, 1);
+  EXPECT_TRUE(trace.events().empty())
+      << "raw kind 64 must not be retained under kStep's retention bit";
+  trace.emit(Event{2, EventKind::kStep, 0, 0, 0, 0});
+  EXPECT_EQ(step_calls, 1);
+  EXPECT_EQ(all_calls, 2);
+  EXPECT_EQ(trace.events().size(), 1u);
+}
+
+TEST(Trace, TruncationIsCounted) {
+  Trace trace(/*max_events=*/2);
+  for (int i = 0; i < 5; ++i) {
+    trace.emit(Event{static_cast<Time>(i), EventKind::kStep, 0, 0, 0, 0});
+  }
+  EXPECT_EQ(trace.events().size(), 2u);
+  EXPECT_EQ(trace.truncated(), 3u);
+}
+
 TEST(Table, PrintsAlignedHeader) {
   Table table({"alpha", "beta"}, 8);
   ::testing::internal::CaptureStdout();

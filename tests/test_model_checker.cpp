@@ -366,6 +366,37 @@ TEST(GkkModel, StateSpacesAreTiny) {
   EXPECT_GT(fork_based.seen_bytes, 0u);
 }
 
+// Regression: the engine used to fill wall_ms / seen_bytes / graph_bytes
+// differently per exit path — in particular an early stop (violation or
+// budget) on an analyzable model reported graph_bytes = 0 even though the
+// per-worker edge logs were sitting in memory. Every verdict kind must now
+// come back with all three figures populated.
+TEST(ModelChecker, ResultMetadataPopulatedOnEveryVerdict) {
+  // kOk: clean cover of an analyzable model (lockout box has no lasso).
+  const CheckResult ok = check_gkk(GkkBoxSemantics::kLockout);
+  ASSERT_EQ(ok.verdict, Verdict::kOk) << ok.counterexample;
+  EXPECT_GT(ok.wall_ms, 0.0);
+  EXPECT_GT(ok.seen_bytes, 0u);
+  EXPECT_GT(ok.graph_bytes, 0u);
+
+  // kViolation: the fork-based lasso found by the analyze hook.
+  const CheckResult violation = check_gkk(GkkBoxSemantics::kForkBased);
+  ASSERT_EQ(violation.verdict, Verdict::kViolation);
+  EXPECT_GT(violation.wall_ms, 0.0);
+  EXPECT_GT(violation.seen_bytes, 0u);
+  EXPECT_GT(violation.graph_bytes, 0u);
+
+  // kBudgetExceeded: the stop fires after at least one level expanded, so
+  // edge logs were collected — their footprint must be reported, not a
+  // silent zero.
+  const CheckResult budget =
+      check_gkk(GkkBoxSemantics::kForkBased, {.max_states = 4});
+  ASSERT_EQ(budget.verdict, Verdict::kBudgetExceeded);
+  EXPECT_GT(budget.wall_ms, 0.0);
+  EXPECT_GT(budget.seen_bytes, 0u);
+  EXPECT_GT(budget.graph_bytes, 0u);
+}
+
 // --- the CSR reachable-graph view, directly --------------------------------
 
 TEST(ReachViewTest, CsrLookupAndIteration) {

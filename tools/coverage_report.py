@@ -10,6 +10,11 @@ rates for sources under --filter.
 Usage (from anywhere):
   python3 tools/coverage_report.py --build-dir build-cov --source-root . \
       --filter src/reduce --filter src/sim
+
+Header-only subsystems (src/obs, the mc engine headers) have no .gcda of
+their own; their lines surface through the TUs that include them. Pass
+--expect src/obs to fail the report when such a directory silently drops
+out of the aggregation (e.g. no instrumented test includes it anymore).
 """
 
 import argparse
@@ -79,6 +84,14 @@ def main():
     parser.add_argument(
         "--per-file", action="store_true", help="also list every file"
     )
+    parser.add_argument(
+        "--expect",
+        action="append",
+        default=[],
+        help="repo-relative prefix that must appear in the aggregation "
+        "(repeatable); exits nonzero if absent — guards header-only "
+        "directories like src/obs whose coverage rides on including TUs",
+    )
     args = parser.parse_args()
     filters = args.filter or ["src/"]
 
@@ -143,6 +156,17 @@ def main():
             for rel in by_dir[directory]:
                 print(f"    {rel:<38s} {fmt(*rates([rel]))}")
     print(f"  {'TOTAL':<24s} {fmt(*rates(line_hits))}")
+
+    missing = [
+        prefix
+        for prefix in args.expect
+        if not any(rel.startswith(prefix) for rel in line_hits)
+    ]
+    if missing:
+        print("coverage_report: expected prefixes missing from aggregation:")
+        for prefix in missing:
+            print(f"  {prefix}")
+        return 1
     return 0
 
 
