@@ -92,9 +92,35 @@ bool is_broken_target(TargetKind target) {
          target == TargetKind::kBrokenForkBased;
 }
 
+bool has_network_adversary(const FuzzConfig& config) {
+  return config.loss_rate > 0.0 || config.dup_rate > 0.0 ||
+         !config.partitions.empty();
+}
+
 const char* to_string(SchedulerKind kind) { return enum_name(kSchedulers, kind); }
 const char* to_string(DelayKind kind) { return enum_name(kDelays, kind); }
 const char* to_string(GraphKind kind) { return enum_name(kGraphs, kind); }
+
+bool scheduler_from_string(const std::string& name, SchedulerKind* out) {
+  std::uint8_t raw = 0;
+  if (!enum_from_name(kSchedulers, name, &raw)) return false;
+  *out = static_cast<SchedulerKind>(raw);
+  return true;
+}
+
+bool delay_from_string(const std::string& name, DelayKind* out) {
+  std::uint8_t raw = 0;
+  if (!enum_from_name(kDelays, name, &raw)) return false;
+  *out = static_cast<DelayKind>(raw);
+  return true;
+}
+
+bool graph_from_string(const std::string& name, GraphKind* out) {
+  std::uint8_t raw = 0;
+  if (!enum_from_name(kGraphs, name, &raw)) return false;
+  *out = static_cast<GraphKind>(raw);
+  return true;
+}
 
 sim::Time effective_delay_max(const FuzzConfig& config) {
   switch (config.delay) {
@@ -121,6 +147,13 @@ sim::Time convergence_deadline(const FuzzConfig& config) {
   for (const auto& pause : config.pauses) base = std::max(base, pause.until);
   if (config.delay == DelayKind::kPartialSynchrony) {
     base = std::max(base, config.gst);
+  }
+  // A healing partition is a disturbance that ends at `until`; a permanent
+  // one (kNever) has no convergence point, so it does not stretch the
+  // deadline — runs with one are expected to fail their eventual oracles,
+  // which is the point of shipping it.
+  for (const auto& window : config.partitions) {
+    if (window.until != sim::kNever) base = std::max(base, window.until);
   }
   // Margin: in-flight effects of pre-deadline disturbances (a prefix grant
   // issued one tick before exclusive_from still travels, is eaten, and is
@@ -225,14 +258,37 @@ std::string config_to_json(const FuzzConfig& config, int indent) {
                                : "fork_based"));
   field("member0_burst", num(config.member0_burst));
   field("grant_holdoff", num(config.grant_holdoff));
-  field("never_exit_member", num(config.never_exit_member), /*last=*/true);
+  field("never_exit_member", num(config.never_exit_member));
+  field("loss_rate", num(config.loss_rate));
+  field("dup_rate", num(config.dup_rate));
+  field("dup_spread", num(config.dup_spread));
+  {
+    // A permanent partition (until == kNever) serializes as "until": 0 —
+    // "never heals" — keeping the JSON free of 2^64-1 magic numbers.
+    std::ostringstream list;
+    list << "[";
+    for (std::size_t i = 0; i < config.partitions.size(); ++i) {
+      const sim::PartitionWindow& window = config.partitions[i];
+      list << (i > 0 ? ", " : "") << "{\"from\": " << window.from
+           << ", \"until\": "
+           << (window.until == sim::kNever ? 0 : window.until)
+           << ", \"side\": [";
+      for (std::size_t j = 0; j < window.side.size(); ++j) {
+        list << (j > 0 ? ", " : "") << window.side[j];
+      }
+      list << "]}";
+    }
+    list << "]";
+    field("partitions", list.str(), /*last=*/true);
+  }
   out << "}";
   return out.str();
 }
 
 namespace {
 
-bool apply_config_json(const Json& root, FuzzConfig* out, std::string* error) {
+bool apply_config_json(const Json& root, FuzzConfig* out, std::string* error,
+                       bool strict = false) {
   if (root.kind != Json::Kind::kObject) {
     if (error != nullptr) *error = "config is not a JSON object";
     return false;
@@ -327,8 +383,35 @@ bool apply_config_json(const Json& root, FuzzConfig* out, std::string* error) {
       out->grant_holdoff = value.as_u64(out->grant_holdoff);
     } else if (key == "never_exit_member") {
       out->never_exit_member = static_cast<std::int32_t>(value.as_double(-1));
+    } else if (key == "loss_rate") {
+      out->loss_rate = value.as_double(out->loss_rate);
+    } else if (key == "dup_rate") {
+      out->dup_rate = value.as_double(out->dup_rate);
+    } else if (key == "dup_spread") {
+      out->dup_spread = value.as_u64(out->dup_spread);
+    } else if (key == "partitions") {
+      out->partitions.clear();
+      for (const Json& item : value.items) {
+        sim::PartitionWindow window;
+        if (const Json* f = item.find("from")) window.from = f->as_u64();
+        if (const Json* f = item.find("until")) {
+          const sim::Time until = f->as_u64();
+          window.until = until == 0 ? sim::kNever : until;  // 0 = never heals
+        }
+        if (const Json* f = item.find("side")) {
+          for (const Json& pid : f->items) {
+            window.side.push_back(static_cast<sim::ProcessId>(pid.as_u64()));
+          }
+        }
+        out->partitions.push_back(window);
+      }
+    } else if (strict) {
+      // Strict mode (.repro / scenario surfaces): an unrecognized key is a
+      // hand-edit mistake or a file from a newer schema — fail loudly
+      // instead of silently dropping behavior.
+      return fail("unknown config key \"" + key + "\"");
     }
-    // Unknown keys are ignored: forward compatibility for hand edits.
+    // Lenient mode ignores unknown keys: forward compat for hand edits.
   }
   return true;
 }
@@ -345,7 +428,7 @@ bool config_from_json(const std::string& text, FuzzConfig* out,
 
 std::string repro_to_json(const ReproCase& repro) {
   std::ostringstream out;
-  out << "{\n  \"version\": 1,\n  \"expect\": {\"oracle\": "
+  out << "{\n  \"schema_version\": 1,\n  \"expect\": {\"oracle\": "
       << quote(repro.oracle) << ", \"at\": " << repro.at
       << ", \"detail\": " << quote(repro.detail) << "},\n  \"config\": ";
   // Re-indent the config object under the top-level object.
@@ -366,18 +449,48 @@ bool repro_from_json(const std::string& text, ReproCase* out,
     if (error != nullptr) *error = "repro is not a JSON object";
     return false;
   }
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  // Versioned schema, strict keys: a .repro pins an outcome bit-exactly, so
+  // silently ignoring a key (typo'd hand edit, future-schema field) would
+  // replay a DIFFERENT case and still claim success. Unknown keys and
+  // missing/foreign versions are hard errors; missing known fields still
+  // default (strict means no surprises, not no defaults).
+  const Json* version = root.find("schema_version");
+  if (version == nullptr) {
+    return fail("missing \"schema_version\" (expected 1; pre-versioning "
+                "files must be migrated)");
+  }
+  if (version->as_u64() != 1) {
+    return fail("unsupported schema_version " +
+                std::to_string(version->as_u64()) +
+                " (this build supports 1)");
+  }
   *out = ReproCase{};
+  for (const auto& [key, value] : root.members) {
+    if (key == "schema_version" || key == "expect" || key == "config") continue;
+    return fail("unknown repro key \"" + key + "\"");
+  }
   if (const Json* expect = root.find("expect")) {
-    if (const Json* f = expect->find("oracle")) out->oracle = f->as_string("none");
-    if (const Json* f = expect->find("at")) out->at = f->as_u64();
-    if (const Json* f = expect->find("detail")) out->detail = f->as_string("");
+    for (const auto& [key, value] : expect->members) {
+      if (key == "oracle") {
+        out->oracle = value.as_string("none");
+      } else if (key == "at") {
+        out->at = value.as_u64();
+      } else if (key == "detail") {
+        out->detail = value.as_string("");
+      } else {
+        return fail("unknown expect key \"" + key + "\"");
+      }
+    }
   }
   const Json* config = root.find("config");
   if (config == nullptr) {
-    if (error != nullptr) *error = "repro has no \"config\" member";
-    return false;
+    return fail("repro has no \"config\" member");
   }
-  return apply_config_json(*config, &out->config, error);
+  return apply_config_json(*config, &out->config, error, /*strict=*/true);
 }
 
 bool load_repro_file(const std::string& path, ReproCase* out,

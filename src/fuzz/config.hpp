@@ -22,6 +22,7 @@
 
 #include "detect/oracle.hpp"
 #include "dining/scripted_box.hpp"
+#include "sim/net.hpp"
 #include "sim/types.hpp"
 
 namespace wfd::fuzz {
@@ -47,6 +48,9 @@ enum class GraphKind : std::uint8_t { kPair, kRing, kClique, kStar, kPath };
 const char* to_string(SchedulerKind kind);
 const char* to_string(DelayKind kind);
 const char* to_string(GraphKind kind);
+bool scheduler_from_string(const std::string& name, SchedulerKind* out);
+bool delay_from_string(const std::string& name, DelayKind* out);
+bool graph_from_string(const std::string& name, GraphKind* out);
 
 struct CrashPlan {
   sim::ProcessId pid = sim::kNoProcess;
@@ -89,7 +93,20 @@ struct FuzzConfig {
   /// Member index whose workload client never exits its meals (-1 = none);
   /// the kBrokenForkBased ingredient, also usable for starvation tests.
   std::int32_t never_exit_member = -1;
+
+  // Network adversary (sim/net.hpp) — all off by default, so a default
+  // config keeps the paper's reliable-channel model and every pre-adversary
+  // run stays bit-identical. The adversary draws from its own generator
+  // (derived from `seed`), never the engine's.
+  double loss_rate = 0.0;
+  double dup_rate = 0.0;
+  sim::Time dup_spread = 8;
+  std::vector<sim::PartitionWindow> partitions;
 };
+
+/// True iff `config` enables any channel adversary (loss, duplication, or a
+/// partition) — i.e. leaves the paper's reliable-channel envelope.
+bool has_network_adversary(const FuzzConfig& config);
 
 /// Largest delay the configured model can draw (margin input for oracles).
 sim::Time effective_delay_max(const FuzzConfig& config);

@@ -1,266 +1,15 @@
-// Minimal JSON reader for .repro files. The fuzzer writes repro files
-// itself, so the grammar subset here (objects, arrays, strings with basic
-// escapes, integer/float numbers, booleans, null) is exactly what the
-// writer in config.cpp produces — but the parser is tolerant enough to
-// accept hand-edited files too. No external dependencies by design.
+// Compatibility shim: the JSON reader that used to live here was promoted
+// to src/util/json.hpp (namespace wfd::util) when the scenario DSL and the
+// observability layer started sharing it. Existing includes and the
+// wfd::fuzz::Json spelling keep working; new code should include
+// "util/json.hpp" directly.
 #pragma once
 
-#include <cctype>
-#include <cstdint>
-#include <cstdlib>
-#include <string>
-#include <utility>
-#include <vector>
+#include "util/json.hpp"
 
 namespace wfd::fuzz {
 
-struct Json {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  std::string number;  ///< raw numeric text; converted on demand
-  std::string str;
-  std::vector<Json> items;                             // kArray
-  std::vector<std::pair<std::string, Json>> members;   // kObject, in order
-
-  const Json* find(const std::string& key) const {
-    for (const auto& [k, v] : members) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-
-  std::uint64_t as_u64(std::uint64_t fallback = 0) const {
-    if (kind != Kind::kNumber) return fallback;
-    return std::strtoull(number.c_str(), nullptr, 10);
-  }
-  double as_double(double fallback = 0.0) const {
-    if (kind != Kind::kNumber) return fallback;
-    return std::strtod(number.c_str(), nullptr);
-  }
-  const std::string& as_string(const std::string& fallback) const {
-    return kind == Kind::kString ? str : fallback;
-  }
-  bool as_bool(bool fallback = false) const {
-    return kind == Kind::kBool ? boolean : fallback;
-  }
-
-  /// Parse `text` into `out`. Returns false (with a message in `error`)
-  /// on malformed input, trailing garbage, or nesting deeper than
-  /// json_detail::kMaxDepth (a hostile hand-edited .repro must produce an
-  /// error, never a stack overflow). Duplicate object keys are accepted
-  /// with last-wins semantics; pass `warnings` to be told about each one.
-  static bool parse(const std::string& text, Json* out, std::string* error,
-                    std::vector<std::string>* warnings = nullptr);
-};
-
-namespace json_detail {
-
-/// Maximum value-nesting depth. Every .repro the fuzzer writes is ~3 deep;
-/// 64 leaves generous headroom for hand-edited files while keeping the
-/// recursive parser's stack usage bounded on hostile input.
-inline constexpr int kMaxDepth = 64;
-
-struct Parser {
-  const char* p;
-  const char* end;
-  std::string* error;
-  std::vector<std::string>* warnings = nullptr;
-  int depth = 0;
-
-  bool fail(const std::string& what) {
-    if (error != nullptr) *error = what;
-    return false;
-  }
-
-  void skip_ws() {
-    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
-      ++p;
-    }
-  }
-
-  bool literal(const char* word, std::size_t len) {
-    if (static_cast<std::size_t>(end - p) < len) return false;
-    for (std::size_t i = 0; i < len; ++i) {
-      if (p[i] != word[i]) return false;
-    }
-    p += len;
-    return true;
-  }
-
-  bool parse_string(std::string* out) {
-    if (p >= end || *p != '"') return fail("expected string");
-    ++p;
-    out->clear();
-    while (p < end && *p != '"') {
-      if (*p == '\\') {
-        ++p;
-        if (p >= end) return fail("dangling escape");
-        switch (*p) {
-          case '"': out->push_back('"'); break;
-          case '\\': out->push_back('\\'); break;
-          case '/': out->push_back('/'); break;
-          case 'n': out->push_back('\n'); break;
-          case 't': out->push_back('\t'); break;
-          case 'r': out->push_back('\r'); break;
-          case 'b': out->push_back('\b'); break;
-          case 'f': out->push_back('\f'); break;
-          case 'u': {
-            if (end - p < 5) return fail("truncated \\u escape");
-            char buf[5] = {p[1], p[2], p[3], p[4], 0};
-            const long code = std::strtol(buf, nullptr, 16);
-            // Repro files are ASCII; fold anything else to '?'.
-            out->push_back(code < 0x80 ? static_cast<char>(code) : '?');
-            p += 4;
-            break;
-          }
-          default:
-            return fail("unknown escape");
-        }
-        ++p;
-      } else {
-        out->push_back(*p++);
-      }
-    }
-    if (p >= end) return fail("unterminated string");
-    ++p;  // closing quote
-    return true;
-  }
-
-  bool parse_value(Json* out) {
-    if (depth >= kMaxDepth) {
-      return fail("nesting deeper than " + std::to_string(kMaxDepth) +
-                  " levels");
-    }
-    ++depth;
-    const bool ok = parse_value_impl(out);
-    --depth;
-    return ok;
-  }
-
-  bool parse_value_impl(Json* out) {
-    skip_ws();
-    if (p >= end) return fail("unexpected end of input");
-    switch (*p) {
-      case '{': {
-        ++p;
-        out->kind = Json::Kind::kObject;
-        skip_ws();
-        if (p < end && *p == '}') {
-          ++p;
-          return true;
-        }
-        for (;;) {
-          skip_ws();
-          std::string key;
-          if (!parse_string(&key)) return false;
-          skip_ws();
-          if (p >= end || *p != ':') return fail("expected ':'");
-          ++p;
-          Json value;
-          if (!parse_value(&value)) return false;
-          // Duplicate keys: last wins, overwriting in place so find() (which
-          // returns the first match) observes the winning value.
-          bool duplicate = false;
-          for (auto& [k, v] : out->members) {
-            if (k == key) {
-              v = std::move(value);
-              duplicate = true;
-              if (warnings != nullptr) {
-                warnings->push_back("duplicate key \"" + key +
-                                    "\": last value wins");
-              }
-              break;
-            }
-          }
-          if (!duplicate) {
-            out->members.emplace_back(std::move(key), std::move(value));
-          }
-          skip_ws();
-          if (p < end && *p == ',') {
-            ++p;
-            continue;
-          }
-          if (p < end && *p == '}') {
-            ++p;
-            return true;
-          }
-          return fail("expected ',' or '}'");
-        }
-      }
-      case '[': {
-        ++p;
-        out->kind = Json::Kind::kArray;
-        skip_ws();
-        if (p < end && *p == ']') {
-          ++p;
-          return true;
-        }
-        for (;;) {
-          Json value;
-          if (!parse_value(&value)) return false;
-          out->items.push_back(std::move(value));
-          skip_ws();
-          if (p < end && *p == ',') {
-            ++p;
-            continue;
-          }
-          if (p < end && *p == ']') {
-            ++p;
-            return true;
-          }
-          return fail("expected ',' or ']'");
-        }
-      }
-      case '"':
-        out->kind = Json::Kind::kString;
-        return parse_string(&out->str);
-      case 't':
-        if (!literal("true", 4)) return fail("bad literal");
-        out->kind = Json::Kind::kBool;
-        out->boolean = true;
-        return true;
-      case 'f':
-        if (!literal("false", 5)) return fail("bad literal");
-        out->kind = Json::Kind::kBool;
-        out->boolean = false;
-        return true;
-      case 'n':
-        if (!literal("null", 4)) return fail("bad literal");
-        out->kind = Json::Kind::kNull;
-        return true;
-      default: {
-        if (*p != '-' && *p != '+' && !std::isdigit(static_cast<unsigned char>(*p))) {
-          return fail("unexpected character");
-        }
-        out->kind = Json::Kind::kNumber;
-        const char* start = p;
-        while (p < end && (std::isdigit(static_cast<unsigned char>(*p)) ||
-                           *p == '-' || *p == '+' || *p == '.' || *p == 'e' ||
-                           *p == 'E')) {
-          ++p;
-        }
-        out->number.assign(start, p);
-        return true;
-      }
-    }
-  }
-};
-
-}  // namespace json_detail
-
-inline bool Json::parse(const std::string& text, Json* out, std::string* error,
-                        std::vector<std::string>* warnings) {
-  json_detail::Parser parser{text.data(), text.data() + text.size(), error,
-                             warnings};
-  if (!parser.parse_value(out)) return false;
-  parser.skip_ws();
-  if (parser.p != parser.end) {
-    if (error != nullptr) *error = "trailing garbage after JSON value";
-    return false;
-  }
-  return true;
-}
+using Json = util::Json;
+namespace json_detail = util::json_detail;
 
 }  // namespace wfd::fuzz

@@ -117,6 +117,15 @@ std::uint64_t compute_signature(const FuzzConfig& config,
   fold(log2_bucket(result.stats.exclusion_violations));
   fold(log2_bucket(result.stats.detector_flips));
   fold(log2_bucket(result.stats.messages_sent));
+  // Net-adversary features fold in only when present, so every reliable-
+  // channel signature (the entire existing corpus) is unchanged.
+  if (has_network_adversary(config)) {
+    fold(static_cast<std::uint64_t>(config.loss_rate * 1000.0));
+    fold(static_cast<std::uint64_t>(config.dup_rate * 1000.0));
+    fold(config.partitions.size());
+    fold(log2_bucket(result.stats.messages_lost));
+    fold(log2_bucket(result.stats.messages_duplicated));
+  }
   if (const OracleFailure* failure = result.primary()) {
     fold(hash_string(failure->oracle));
   }
@@ -200,6 +209,37 @@ FuzzConfig normalize(FuzzConfig config) {
   }
   config.mistakes = std::move(mistakes);
   config.detector_lag = std::clamp<sim::Time>(config.detector_lag, 1, 200);
+
+  // Network adversary: rates strictly below 1 (rate 1 would sever every
+  // channel — unfalsifiable, like crashing the whole population), windows on
+  // real pids cutting a real bipartition. Healing windows end in the first
+  // half like every other disturbance; permanent ones (kNever) stay — a run
+  // under a permanent partition is EXPECTED to fail its eventual oracles,
+  // which is what the adversary vectors demonstrate.
+  config.loss_rate = std::clamp(config.loss_rate, 0.0, 0.9);
+  config.dup_rate = std::clamp(config.dup_rate, 0.0, 0.9);
+  config.dup_spread = std::clamp<sim::Time>(config.dup_spread, 1, 64);
+  std::vector<sim::PartitionWindow> partitions;
+  for (sim::PartitionWindow window : config.partitions) {
+    std::vector<sim::ProcessId> side;
+    for (const sim::ProcessId pid : window.side) {
+      if (pid < config.n &&
+          std::find(side.begin(), side.end(), pid) == side.end()) {
+        side.push_back(pid);
+      }
+    }
+    std::sort(side.begin(), side.end());
+    if (side.empty() || side.size() >= config.n) continue;  // cuts nothing
+    window.side = std::move(side);
+    window.from = std::clamp<sim::Time>(window.from, 1, half);
+    if (window.until != sim::kNever) {
+      window.until = std::min(window.until, half);
+      if (window.from >= window.until) continue;
+    }
+    partitions.push_back(std::move(window));
+    if (partitions.size() >= 4) break;
+  }
+  config.partitions = std::move(partitions);
 
   config.exclusive_from = std::min(config.exclusive_from, half);
   config.member0_burst = std::min<std::uint32_t>(config.member0_burst, 6);
@@ -335,6 +375,17 @@ static RunResult run_config_impl(const FuzzConfig& raw, RunCapture* capture) {
   for (const CrashPlan& crash : config.crashes) {
     engine.schedule_crash(crash.pid, crash.at);
   }
+  if (has_network_adversary(config)) {
+    sim::NetConfig net;
+    // The adversary's stream is derived from — but independent of — the
+    // engine seed, so enabling it never perturbs the engine's own draws.
+    net.seed = mc::detail::mix64(config.seed ^ 0x6e65742d61647621ULL);
+    net.loss_rate = config.loss_rate;
+    net.dup_rate = config.dup_rate;
+    net.dup_spread = config.dup_spread;
+    net.partitions = config.partitions;
+    engine.set_network(std::move(net));
+  }
 
   EngineInvariantObserver invariants;
   invariants.engine = &engine;
@@ -465,6 +516,8 @@ static RunResult run_config_impl(const FuzzConfig& raw, RunCapture* capture) {
   result.stats.messages_sent = engine.stats().messages_sent;
   result.stats.messages_delivered = engine.stats().messages_delivered;
   result.stats.messages_dropped = engine.stats().messages_dropped;
+  result.stats.messages_lost = engine.stats().messages_lost;
+  result.stats.messages_duplicated = engine.stats().messages_duplicated;
   result.stats.in_transit = engine.in_transit_count();
   result.stats.crashes = engine.stats().crashes;
   if (monitor != nullptr) {
@@ -537,15 +590,20 @@ static RunResult run_config_impl(const FuzzConfig& raw, RunCapture* capture) {
          fmt("process %a stepped at t=%b, at/after its crash time",
              invariants.dead_step_pid, invariants.dead_step_at)});
   }
+  // Conservation with the adversary on: each duplicate is an extra
+  // in-flight copy, each loss is already inside `dropped` (messages_lost is
+  // a subset tally), so the ledger reads sent + duplicated = out.
   const std::uint64_t accounted = result.stats.messages_delivered +
                                   result.stats.messages_dropped +
                                   result.stats.in_transit;
-  if (result.stats.messages_sent != accounted) {
+  if (result.stats.messages_sent + result.stats.messages_duplicated !=
+      accounted) {
     result.failures.push_back(
         {"engine", engine.now(),
-         fmt("message conservation broken: sent=%a != delivered+dropped+"
-             "in_transit=%b",
-             result.stats.messages_sent, accounted)});
+         fmt("message conservation broken: sent+duplicated=%a != delivered+"
+             "dropped+in_transit=%b",
+             result.stats.messages_sent + result.stats.messages_duplicated,
+             accounted)});
   }
 
   result.signature = compute_signature(config, result);

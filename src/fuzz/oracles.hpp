@@ -18,7 +18,8 @@
 //                   eventual_strong_accuracy — it catches oscillation);
 //  * engine       — simulator invariants: event time monotonicity, no step
 //                   by a crashed process, end-of-run message conservation
-//                   (sent == delivered + dropped + in transit).
+//                   (sent + duplicated == delivered + dropped + in transit;
+//                   the duplicated term is zero without a network adversary).
 //
 // run_config is a pure function of the (normalized) config: same config,
 // same failures, bit for bit — the property that makes .repro replay and
@@ -48,6 +49,8 @@ struct RunStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_lost = 0;        ///< adversary losses (subset of dropped)
+  std::uint64_t messages_duplicated = 0;  ///< adversary duplicate copies
   std::uint64_t in_transit = 0;
   std::uint64_t crashes = 0;
   std::uint64_t total_meals = 0;

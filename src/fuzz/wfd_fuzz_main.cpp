@@ -12,9 +12,15 @@
 //   wfd_fuzz --replay repros/            (every *.repro in the directory)
 //   wfd_fuzz --replay case.repro
 //
+// Scenario mode: load a declarative *.scenario.json vector, run every
+// engine it pins (sim / mc / fuzz) through the adapter layer and compare
+// against the expected verdicts:
+//   wfd_fuzz --scenario tests/vectors/v01_exclusive_clean.scenario.json
+//
 // Exit codes: plain run — 0 iff zero oracle failures; --expect-failure —
 // 0 iff a failure was found, shrunk and its replay reproduced the recorded
-// outcome; replay — 0 iff every case reproduced.
+// outcome; replay — 0 iff every case reproduced; scenario — 0 iff every
+// pinned engine agreed with its expected verdict.
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +34,8 @@
 #include "fuzz/fuzzer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
+#include "scenario/adapters.hpp"
+#include "scenario/scenario.hpp"
 
 namespace {
 
@@ -43,6 +51,7 @@ struct Cli {
   std::string json_path;
   std::string repro_dir;
   std::vector<std::string> replay_paths;
+  std::vector<std::string> scenario_paths;
   bool shrink = true;
   bool expect_failure = false;
   std::uint32_t max_shrink = 160;
@@ -68,6 +77,9 @@ struct Cli {
       "  --max-shrink N    shrink attempt budget per failure (default 160)\n"
       "  --expect-failure  exit 0 iff a failure was found and reproduced\n"
       "  --replay PATH     replay a .repro file or every *.repro in a dir\n"
+      "  --scenario PATH   run a *.scenario.json vector (or every one in a\n"
+      "                    dir) through each engine it pins and compare the\n"
+      "                    verdicts against its expect section\n"
       "  --quiet           suppress per-run narration\n"
       "  --progress-json F stream NDJSON progress records (one per batch,\n"
       "                    with a metrics-registry snapshot) to F\n"
@@ -109,6 +121,8 @@ Cli parse(int argc, char** argv) {
       cli.repro_dir = value();
     } else if (arg == "--replay") {
       cli.replay_paths.push_back(value());
+    } else if (arg == "--scenario") {
+      cli.scenario_paths.push_back(value());
     } else if (arg == "--no-shrink") {
       cli.shrink = false;
     } else if (arg == "--max-shrink") {
@@ -213,10 +227,65 @@ int replay_main(const Cli& cli) {
   return failed == 0 ? 0 : 1;
 }
 
+int scenario_main(const Cli& cli) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& path : cli.scenario_paths) {
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (const auto& entry : fs::directory_iterator(path, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.size() > 14 &&
+            name.compare(name.size() - 14, 14, ".scenario.json") == 0) {
+          files.push_back(entry.path().string());
+        }
+      }
+    } else {
+      files.push_back(path);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::cout << "wfd_fuzz: no scenario vectors to run\n";
+    return 1;
+  }
+  int failed = 0;
+  for (const std::string& file : files) {
+    scenario::Scenario scenario;
+    std::string error;
+    if (!scenario::load_scenario_file(file, &scenario, &error)) {
+      std::cout << "LOAD FAIL  " << file << ": " << error << "\n";
+      ++failed;
+      continue;
+    }
+    std::string engines;
+    if (scenario.supports_sim()) engines += "sim ";
+    if (scenario.supports_mc()) engines += "mc ";
+    if (scenario.supports_fuzz()) engines += "fuzz ";
+    if (!engines.empty()) engines.pop_back();
+    std::string why;
+    if (scenario::check_expectations(scenario, &why)) {
+      std::cout << "SCENARIO OK   " << scenario.name << " [" << engines
+                << "]\n";
+    } else {
+      std::cout << "SCENARIO FAIL " << scenario.name << ": " << why << "\n";
+      ++failed;
+    }
+  }
+  std::cout << files.size() - failed << "/" << files.size()
+            << " scenarios agreed with their expected verdicts\n";
+  return failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Cli cli = parse(argc, argv);
+  if (!cli.replay_paths.empty() && !cli.scenario_paths.empty()) {
+    std::cout << "wfd_fuzz: --replay and --scenario are separate modes\n";
+    return 2;
+  }
+  if (!cli.scenario_paths.empty()) return scenario_main(cli);
   if (!cli.replay_paths.empty()) return replay_main(cli);
 
   fuzz::CampaignOptions options;

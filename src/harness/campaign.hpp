@@ -10,6 +10,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -47,7 +48,9 @@ struct CampaignProgress {
 /// Periodic progress reporting for a campaign. The callback fires from a
 /// dedicated monitor thread (never a worker), every `interval_ms` while
 /// jobs are outstanding, plus exactly once after the last job completes —
-/// so a consumer always observes completed == total. The callback must not
+/// so a consumer of a campaign that runs to completion always observes
+/// completed == total (a campaign aborted by a throwing `fn` reports the
+/// completion count reached before the abort). The callback must not
 /// throw; it may take as long as it likes (workers never wait on it).
 struct ProgressOptions {
   std::function<void(const CampaignProgress&)> on_progress;
@@ -56,7 +59,11 @@ struct ProgressOptions {
 
 /// Run `fn(config)` for every configuration on up to `threads` workers.
 /// `fn` must be callable concurrently from distinct threads and its result
-/// default-constructible; results keep configuration order.
+/// default-constructible; results keep configuration order. If `fn` throws,
+/// the first exception is rethrown on the calling thread — but only after
+/// every worker and the monitor have been joined, because all of them
+/// reference this frame's locals (results, counters, the condvar); the
+/// remaining jobs are abandoned.
 template <class Config, class Fn>
 auto run_campaign(const std::vector<Config>& configs, Fn fn, int threads = 0,
                   const ProgressOptions& progress = {})
@@ -67,10 +74,25 @@ auto run_campaign(const std::vector<Config>& configs, Fn fn, int threads = 0,
   const int pool_size = campaign_threads(threads, configs.size());
   std::atomic<std::size_t> cursor{0};
   std::atomic<std::size_t> completed{0};
+  std::atomic<bool> abort{false};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
   auto worker = [&] {
     for (std::size_t i = cursor.fetch_add(1); i < configs.size();
          i = cursor.fetch_add(1)) {
-      results[i] = fn(configs[i]);
+      if (abort.load(std::memory_order_acquire)) return;
+      try {
+        results[i] = fn(configs[i]);
+      } catch (...) {
+        // First exception wins; the abort flag drains the other workers.
+        // Nothing may escape a pool thread (that would std::terminate).
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        abort.store(true, std::memory_order_release);
+        return;
+      }
       completed.fetch_add(1, std::memory_order_release);
     }
   };
@@ -81,7 +103,37 @@ auto run_campaign(const std::vector<Config>& configs, Fn fn, int threads = 0,
   std::mutex done_mu;
   std::condition_variable done_cv;
   bool done = false;
+  std::vector<std::thread> pool;
   std::thread monitor;
+
+  // Shutdown ordering is explicit and exception-safe: workers first, then
+  // the monitor (its final callback must see the last completion), both
+  // joined before anything above them in this frame — results included —
+  // can be destroyed. The guard makes that hold on every exit path; the
+  // normal path runs the same sequence eagerly so the final progress
+  // callback precedes the return.
+  struct Shutdown {
+    std::vector<std::thread>* pool;
+    std::thread* monitor;
+    std::mutex* done_mu;
+    std::condition_variable* done_cv;
+    bool* done;
+    void join_all() {
+      for (std::thread& t : *pool) {
+        if (t.joinable()) t.join();
+      }
+      if (monitor->joinable()) {
+        {
+          std::lock_guard<std::mutex> lock(*done_mu);
+          *done = true;
+        }
+        done_cv->notify_all();
+        monitor->join();
+      }
+    }
+    ~Shutdown() { join_all(); }
+  } shutdown{&pool, &monitor, &done_mu, &done_cv, &done};
+
   const Clock::time_point start = Clock::now();
   if (progress.on_progress) {
     monitor = std::thread([&] {
@@ -101,27 +153,14 @@ auto run_campaign(const std::vector<Config>& configs, Fn fn, int threads = 0,
       }
     });
   }
-  const auto finish = [&] {
-    if (!monitor.joinable()) return;
-    {
-      std::lock_guard<std::mutex> lock(done_mu);
-      done = true;
-    }
-    done_cv.notify_all();
-    monitor.join();
-  };
 
-  if (pool_size == 1) {
-    worker();
-    finish();
-    return results;
+  if (pool_size > 1) {
+    pool.reserve(static_cast<std::size_t>(pool_size) - 1);
+    for (int t = 1; t < pool_size; ++t) pool.emplace_back(worker);
   }
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(pool_size) - 1);
-  for (int t = 1; t < pool_size; ++t) pool.emplace_back(worker);
-  worker();
-  for (std::thread& t : pool) t.join();
-  finish();
+  worker();  // never throws: exceptions are trapped into first_error
+  shutdown.join_all();
+  if (first_error) std::rethrow_exception(first_error);
   return results;
 }
 

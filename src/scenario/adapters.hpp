@@ -1,0 +1,100 @@
+// Adapters: one Scenario, three engines. Each adapter derives the engine-
+// native configuration from the same declarative description, replacing the
+// ad-hoc per-engine construction paths that used to live in the
+// differential tests, the wfd_fuzz CLI and the harness campaign runner.
+//
+//  * to_fuzz_config — the identity view: a scenario routed through it is
+//    bit-identical (same seed -> same feature hash and verdict) to a
+//    hand-built FuzzConfig, which the adapter-equivalence tests pin;
+//  * to_sim_config  — engine-level setup (seed, delay model, scheduler,
+//    crash plan, network adversary) for tests that drive a raw sim::Engine;
+//  * to_mc_instance — the model-checker abstraction of the scenario's
+//    regime: target family (reduction vs E9 ablation), box mode from the
+//    mistake-prefix length, crash nondeterminism from the crash plan, pair
+//    composition from the population. Partial by design: dining targets and
+//    network adversaries have no abstraction, and the adapter says so
+//    instead of guessing.
+//
+// run_scenario_{sim,mc,fuzz} execute an adapted scenario and reduce the
+// result to one EngineOutcome; check_expectations runs every engine the
+// scenario pins and compares against expect.* — the conformance-vector
+// contract (tests/vectors/, wfd_fuzz --scenario).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/oracles.hpp"
+#include "mc/model.hpp"
+#include "mc/reduction_model.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/engine.hpp"
+
+namespace wfd::scenario {
+
+/// The fuzz view of a scenario. Deliberately the identity on the embedded
+/// config: the scenario schema is a (sectioned, validated) serialization of
+/// the FuzzConfig space, so nothing is lost or reinterpreted on this path.
+fuzz::FuzzConfig to_fuzz_config(const Scenario& scenario);
+
+enum class McFamily : std::uint8_t {
+  kReduction,  ///< Alg. 1/2 two-instance reduction (mc/reduction_model.hpp)
+  kAblation,   ///< E9 single-instance ablation (mc/ablation_model.hpp)
+};
+
+/// A ready-to-run model-checker instance derived from a scenario.
+struct McInstance {
+  McFamily family = McFamily::kReduction;
+  mc::McOptions options;   ///< reduction family only
+  mc::CheckOptions check;  ///< exploration budget/threads
+  mc::CheckResult run() const;
+};
+
+/// Derive the checker abstraction of `scenario`. Returns false (with the
+/// reason in `error`) for regimes outside the abstraction: dining-family
+/// targets, the fork-based broken box, and any network adversary.
+bool to_mc_instance(const Scenario& scenario, McInstance* out,
+                    std::string* error);
+
+/// Engine-level simulator setup derived from a scenario: pure data plus an
+/// `apply` that installs the delay model, scheduler, crash plan and network
+/// adversary on a freshly built engine. Target/process wiring stays with
+/// the caller (that is what the fuzz path's target switch does).
+struct SimSetup {
+  sim::EngineConfig engine;      ///< seed for the run
+  fuzz::FuzzConfig normalized;   ///< the full normalized description
+  sim::NetConfig network;        ///< enabled() == false on reliable channels
+
+  void apply(sim::Engine& target) const;
+};
+
+SimSetup to_sim_config(const Scenario& scenario);
+
+/// One engine's verdict on a scenario, reduced to the vocabulary of
+/// Expectation.
+struct EngineOutcome {
+  bool violation = false;
+  std::string oracle;  ///< primary failing oracle (sim/fuzz; empty for mc)
+  std::string detail;  ///< evidence / counterexample / per-seed summary
+};
+
+/// Single graded simulator run of the scenario's own seed.
+EngineOutcome run_scenario_sim(const Scenario& scenario);
+/// Exhaustive model check of the derived abstraction. The scenario must
+/// support mc (parse_scenario enforces the envelope).
+EngineOutcome run_scenario_mc(const Scenario& scenario,
+                              const mc::CheckOptions& check = {});
+/// Seed sweep (expect.fuzz.seeds, or seed..seed+2 when unset): violation
+/// iff any swept run fails — the campaign view of the scenario.
+EngineOutcome run_scenario_fuzz(const Scenario& scenario);
+
+/// The seeds run_scenario_fuzz sweeps.
+std::vector<std::uint64_t> sweep_seeds(const Scenario& scenario);
+
+/// Run every engine the scenario pins and compare outcomes against
+/// expect.*; on disagreement `why` names the engine and both verdicts.
+bool check_expectations(const Scenario& scenario, std::string* why,
+                        const mc::CheckOptions& mc_check = {});
+
+}  // namespace wfd::scenario

@@ -1,0 +1,108 @@
+// The scenario DSL: one declarative, versioned JSON surface describing a
+// complete experiment — topology, population, GST/Δ timing, scheduler,
+// delay model, crash/pause/mistake-window plans, scripted-box knobs, the
+// network adversary, and the EXPECTED verdict per engine — consumable by
+// all three verification stacks (simulator, model checker, fuzzer) through
+// the adapters in scenario/adapters.hpp. This is ROADMAP item 4: where the
+// mc differential tests, the wfd_fuzz CLI and the harness campaigns each
+// grew an ad-hoc config path, a *.scenario.json file now pins a regime once
+// and every engine that supports it must agree with the recorded verdict
+// (tests/vectors/, driven by test_scenario_vectors).
+//
+// Schema v1 (strict: unknown keys are errors at EVERY level; missing
+// optional keys default):
+//
+//   {
+//     "schema_version": 1,
+//     "name": "v01-exclusive-regime",
+//     "description": "...",                              // optional
+//     "seed": 1,
+//     "target": "scripted_extraction",
+//     "topology": {"graph": "ring", "n": 2},
+//     "steps": 60000,
+//     "scheduler": {"kind": "random",
+//                   "weights": [..], "pauses": [..]},    // both optional
+//     "timing": {"delay": "uniform", "min": 1, "max": 4,
+//                "geo_p": 0.2, "gst": 0},                // both optional
+//     "crashes": [{"pid": 2, "at": 9000}],               // optional
+//     "mistake_windows": [{"watcher": 0, "subject": 1,
+//                          "from": 10, "until": 500}],   // optional
+//     "detector_lag": 20,                                // optional
+//     "box": {"exclusive_from": 0, "semantics": "lockout",
+//             "member0_burst": 0, "grant_holdoff": 0,
+//             "never_exit_member": -1},                  // optional
+//     "network": {"loss_rate": 0.0, "dup_rate": 0.0,
+//                 "dup_spread": 8,
+//                 "partitions": [{"from": 1000, "until": 0,
+//                                 "side": [0]}]},        // optional
+//     "expect": {                                        // >= 1 engine
+//       "sim":  {"verdict": "clean"},
+//       "mc":   {"verdict": "clean"},
+//       "fuzz": {"verdict": "violation", "oracle": "wx_safety",
+//                "seeds": [1, 2, 3]}                     // seeds optional
+//     }
+//   }
+//
+// The engines a scenario supports are exactly the keys of "expect". A
+// partition window's "until": 0 means the cut never heals (sim::kNever);
+// network adversaries leave the paper's reliable-channel model, so "mc"
+// cannot be expected alongside one (the abstraction has no lossy channels
+// — that asymmetry is the point of the adversary vectors).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fuzz/config.hpp"
+
+namespace wfd::scenario {
+
+inline constexpr std::uint64_t kSchemaVersion = 1;
+
+/// Expected outcome on one engine. `expected == false` means the scenario
+/// does not claim this engine supports it (the key was absent).
+struct Expectation {
+  bool expected = false;
+  bool violation = false;
+  /// Failing oracle the verdict must name (sim/fuzz violations; empty =
+  /// any oracle).
+  std::string oracle;
+  /// Fuzz only: the seed sweep. Empty = seed, seed+1, seed+2.
+  std::vector<std::uint64_t> seeds;
+};
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  /// The full declarative run description. The scenario schema's sections
+  /// (topology/timing/scheduler/box/network) are views onto this one
+  /// struct, which is what makes to_fuzz_config the identity adapter — a
+  /// scenario routed through it is bit-identical to a hand-built config.
+  fuzz::FuzzConfig config;
+  Expectation expect_sim;
+  Expectation expect_mc;
+  Expectation expect_fuzz;
+
+  /// Engines the scenario pins a verdict for (== keys of "expect").
+  bool supports_sim() const { return expect_sim.expected; }
+  bool supports_mc() const { return expect_mc.expected; }
+  bool supports_fuzz() const { return expect_fuzz.expected; }
+};
+
+/// Strict parse of schema v1 (see file header). Unknown keys, missing
+/// required keys, bad enum names and foreign schema_versions are all hard
+/// errors with a path-qualified message.
+bool parse_scenario(const std::string& text, Scenario* out,
+                    std::string* error);
+
+/// Canonical serialization: parse(write(parse(text))) is structurally
+/// equal to parse(text) (util::structurally_equal), which the round-trip
+/// tests pin. Optional sections are written only when non-default, so a
+/// written scenario stays minimal.
+std::string scenario_to_json(const Scenario& scenario);
+
+bool load_scenario_file(const std::string& path, Scenario* out,
+                        std::string* error);
+bool save_scenario_file(const std::string& path, const Scenario& scenario);
+
+}  // namespace wfd::scenario

@@ -15,6 +15,8 @@ Engine::Engine(EngineConfig config)
     m_delivered_ = config.metrics->counter("sim.delivered");
     m_dropped_ = config.metrics->counter("sim.dropped");
     m_crashes_ = config.metrics->counter("sim.crashes");
+    m_lost_ = config.metrics->counter("sim.lost");
+    m_duplicated_ = config.metrics->counter("sim.duplicated");
     metrics_ = std::make_unique<obs::Scope>(*config.metrics);
     trace_.bind_metrics(config.metrics);
   }
@@ -31,6 +33,9 @@ void Engine::flush_metrics() {
   metrics_->add(m_dropped_,
                 stats_.messages_dropped - flushed_.messages_dropped);
   metrics_->add(m_crashes_, stats_.crashes - flushed_.crashes);
+  metrics_->add(m_lost_, stats_.messages_lost - flushed_.messages_lost);
+  metrics_->add(m_duplicated_,
+                stats_.messages_duplicated - flushed_.messages_duplicated);
   flushed_ = stats_;
 }
 
@@ -51,6 +56,27 @@ void Engine::set_delay_model(std::unique_ptr<DelayModel> model) {
 
 void Engine::set_scheduler(std::unique_ptr<Scheduler> scheduler) {
   scheduler_ = std::move(scheduler);
+}
+
+void Engine::set_network(NetConfig net) {
+  // A disabled config leaves net_ null: send_from stays on the adversary-
+  // free path and the run is bit-identical to an engine without this
+  // feature.
+  if (!net.enabled()) {
+    net_.reset();
+    return;
+  }
+  net_ = std::make_unique<NetState>(net, config_.seed);
+}
+
+bool Engine::net_drops(ProcessId src, ProcessId dst) {
+  // Partition cuts are deterministic (no draw): an active window severing
+  // src from dst eats the message regardless of rates.
+  for (const PartitionWindow& window : net_->config.partitions) {
+    if (window.cuts(src, dst, now_)) return true;
+  }
+  return net_->config.loss_rate > 0.0 &&
+         net_->rng.chance(net_->config.loss_rate);
 }
 
 void Engine::schedule_crash(ProcessId pid, Time at) {
@@ -206,6 +232,15 @@ void Engine::send_from(ProcessId src, ProcessId dst, Port port,
     trace_.emit(EventKind::kDrop, now_, dst, src, port, payload.kind);
     return;
   }
+  if (net_ && net_drops(src, dst)) {
+    // Adversary loss (random or partition cut): dropped at send time, like
+    // a crashed destination, but also counted in messages_lost so oracles
+    // and experiments can tell the two apart.
+    ++stats_.messages_dropped;
+    ++stats_.messages_lost;
+    trace_.emit(EventKind::kDrop, now_, dst, src, port, payload.kind);
+    return;
+  }
   Time deliver_at;
   if (delay_uniform_) {
     deliver_at = now_ + delay_min_ + rng_.below(delay_span_);  // min >= 1
@@ -220,6 +255,23 @@ void Engine::send_from(ProcessId src, ProcessId dst, Port port,
   slot.payload = payload;
   slot.sent_at = now_;
   slot.seq = next_seq_++;
+  if (net_ && net_->config.dup_rate > 0.0 &&
+      net_->rng.chance(net_->config.dup_rate)) {
+    // Duplicate: a second in-flight copy of the same logical message,
+    // landing 1..dup_spread ticks after the original (non-FIFO channels
+    // make no ordering promise anyway). It gets its own seq so transit
+    // ordering stays a strict total order.
+    const Time spread = net_->config.dup_spread < 1 ? 1 : net_->config.dup_spread;
+    const Time dup_at = deliver_at + 1 + net_->rng.below(spread);
+    Message& copy = inbound_[dst].push(dup_at);
+    copy.src = src;
+    copy.dst = dst;
+    copy.port = port;
+    copy.payload = payload;
+    copy.sent_at = now_;
+    copy.seq = next_seq_++;
+    ++stats_.messages_duplicated;
+  }
 }
 
 }  // namespace wfd::sim

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "sim/delay.hpp"
+#include "sim/net.hpp"
 #include "sim/process.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
@@ -40,8 +41,16 @@ struct EngineStats {
   std::uint64_t steps = 0;
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
-  std::uint64_t messages_dropped = 0;  ///< destination crashed
+  std::uint64_t messages_dropped = 0;     ///< dst crashed, adversary loss/cut
   std::uint64_t crashes = 0;
+  /// Network-adversary subsets of the totals above (sim/net.hpp). Losses
+  /// (random or partition) count in BOTH messages_lost and messages_dropped,
+  /// so `sent == delivered + dropped + in_transit` stays the conservation
+  /// law; duplicates add `messages_duplicated` extra in-flight copies, so
+  /// with the adversary on it reads
+  /// `sent + duplicated == delivered + dropped + in_transit`.
+  std::uint64_t messages_lost = 0;
+  std::uint64_t messages_duplicated = 0;
 };
 
 struct EngineConfig {
@@ -84,6 +93,13 @@ class Engine {
   /// May also be called mid-run for a future tick (or `at` = now, taking
   /// effect on the next step); rescheduling a pid replaces its crash time.
   void schedule_crash(ProcessId pid, Time at);
+  /// Install the network adversary (sim/net.hpp). A disabled config (the
+  /// default) is a no-op: send_from takes a single never-taken branch and
+  /// the engine's RNG draw sequence is untouched, so runs stay bit-identical
+  /// to an adversary-free engine. The adversary draws from its own private
+  /// generator seeded from `net.seed` (or derived from the engine seed when
+  /// 0).
+  void set_network(NetConfig net);
 
   /// Finish configuration; runs on_init for every process. Idempotent.
   void init();
@@ -127,6 +143,20 @@ class Engine {
   void apply_crashes_due();
   void deliver_phase(ProcessId pid, Context& ctx);
 
+  /// Adversary state, allocated only when an enabled NetConfig is installed
+  /// (send_from tests one pointer when off). The generator is private to the
+  /// adversary so its draws never perturb the engine's sequence.
+  struct NetState {
+    NetConfig config;
+    Rng rng;
+    explicit NetState(const NetConfig& net, std::uint64_t engine_seed)
+        : config(net),
+          rng(net.seed != 0 ? net.seed : engine_seed ^ 0x6e65742d61647621ULL) {}
+  };
+  /// True iff the adversary eats the (src, dst) send at now_ (partition cut
+  /// first — deterministic, no draw — then a loss draw).
+  bool net_drops(ProcessId src, ProcessId dst);
+
   struct PendingCrash {
     Time at = 0;
     ProcessId pid = kNoProcess;
@@ -163,6 +193,7 @@ class Engine {
   std::vector<std::size_t> live_pos_;      // pid -> index in live_
   std::unique_ptr<DelayModel> delay_;
   std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<NetState> net_;  ///< null unless the adversary is enabled
 
   /// Devirtualized uniform delay draw (see DelayModel::uniform_bounds):
   /// when the model opts in, send_from inlines `min + below(span)` — the
@@ -189,6 +220,8 @@ class Engine {
   obs::Registry::Id m_delivered_ = 0;
   obs::Registry::Id m_dropped_ = 0;
   obs::Registry::Id m_crashes_ = 0;
+  obs::Registry::Id m_lost_ = 0;
+  obs::Registry::Id m_duplicated_ = 0;
 };
 
 inline Time Context::now() const { return engine_.now(); }

@@ -1,0 +1,60 @@
+// Network adversary: a declarative, seed-driven extension of the transit
+// layer beyond the paper's reliable-channel model. The paper (Section 4)
+// assumes reliable non-FIFO channels; the scenario DSL can opt into message
+// loss, duplication, and partitions to probe which guarantees actually rest
+// on reliability. The adversary draws from its OWN generator (never the
+// engine Rng), so a run with the adversary disabled is bit-identical to a
+// run on an engine that predates it — the golden-trace determinism tests
+// pin exactly that.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace wfd::sim {
+
+/// One partition window: while active (`from <= now < until`; until ==
+/// kNever means the cut never heals), every message crossing the cut —
+/// in either direction — is dropped at send time. `side` lists one side of
+/// the cut; everyone else is on the other side. Messages already in transit
+/// when the window opens are NOT affected: the adversary controls the
+/// channel, not the ether.
+struct PartitionWindow {
+  Time from = 0;
+  Time until = kNever;
+  std::vector<ProcessId> side;
+
+  bool active_at(Time now) const { return from <= now && now < until; }
+  bool contains(ProcessId pid) const {
+    for (const ProcessId member : side) {
+      if (member == pid) return true;
+    }
+    return false;
+  }
+  /// True iff the (src, dst) channel crosses this cut at `now`.
+  bool cuts(ProcessId src, ProcessId dst, Time now) const {
+    return active_at(now) && contains(src) != contains(dst);
+  }
+};
+
+/// Adversary knobs. All off by default: a default NetConfig is the paper's
+/// reliable channel.
+struct NetConfig {
+  /// Seed for the adversary's private generator. 0 lets the engine derive
+  /// one from its own seed (still deterministic; just not independently
+  /// controllable).
+  std::uint64_t seed = 0;
+  double loss_rate = 0.0;  ///< per-message drop probability in [0, 1)
+  double dup_rate = 0.0;   ///< per-message duplication probability in [0, 1)
+  /// A duplicate is re-delivered 1..dup_spread ticks after the original.
+  Time dup_spread = 8;
+  std::vector<PartitionWindow> partitions;
+
+  bool enabled() const {
+    return loss_rate > 0.0 || dup_rate > 0.0 || !partitions.empty();
+  }
+};
+
+}  // namespace wfd::sim

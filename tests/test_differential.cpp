@@ -6,116 +6,105 @@
 // their verdicts must agree. Disagreement in either direction means the
 // abstraction and the implementation have drifted apart — exactly the bug
 // class a corrigendum paper teaches us to fear.
+//
+// The regimes themselves now live in tests/vectors/*.scenario.json (the
+// scenario DSL), shared with wfd_fuzz --scenario and test_scenario_vectors;
+// this suite loads those vectors, drives both stacks through the adapter
+// layer, and keeps the pointed per-regime assertions (episode counts, crash
+// counts, flip counts) that a bare verdict comparison would miss.
 #include <gtest/gtest.h>
 
 #include <string>
 
 #include "fuzz/config.hpp"
-#include "fuzz/fuzzer.hpp"
 #include "fuzz/oracles.hpp"
-#include "mc/ablation_model.hpp"
-#include "mc/reduction_model.hpp"
+#include "mc/model.hpp"
+#include "scenario/adapters.hpp"
+#include "scenario/scenario.hpp"
 
 namespace wfd {
 namespace {
 
-/// A concrete simulator run of the two-instance extraction against the
-/// scripted box, in the regime the model abstracts: finite mistake prefix
-/// (kArbitrary until exclusive_from, kExclusive after).
-fuzz::FuzzConfig scripted_extraction_config(std::uint64_t seed,
-                                            sim::Time exclusive_from) {
-  fuzz::FuzzConfig config;
-  config.seed = seed;
-  config.target = fuzz::TargetKind::kScriptedExtraction;
-  config.n = 2;
-  config.steps = 60000;
-  config.scheduler = fuzz::SchedulerKind::kRandom;
-  config.delay = fuzz::DelayKind::kUniform;
-  config.delay_min = 1;
-  config.delay_max = 4;
-  config.exclusive_from = exclusive_from;
-  return config;
+scenario::Scenario load_vector(const std::string& stem) {
+  scenario::Scenario s;
+  std::string error;
+  const std::string path =
+      std::string(WFD_VECTOR_DIR) + "/" + stem + ".scenario.json";
+  EXPECT_TRUE(scenario::load_scenario_file(path, &s, &error))
+      << path << ": " << error;
+  return s;
+}
+
+/// Both stacks on one vector, via the adapters: the mc abstraction of the
+/// scenario's regime must reach the same verdict as sampled concrete runs.
+void expect_stacks_agree(const scenario::Scenario& s) {
+  ASSERT_TRUE(s.supports_mc()) << s.name;
+  const scenario::EngineOutcome model = scenario::run_scenario_mc(s);
+  EXPECT_EQ(model.violation, s.expect_mc.violation)
+      << s.name << ": " << model.detail;
+  ASSERT_TRUE(s.supports_fuzz()) << s.name;
+  const scenario::EngineOutcome runs = scenario::run_scenario_fuzz(s);
+  EXPECT_EQ(runs.violation, s.expect_fuzz.violation)
+      << s.name << ": " << runs.oracle << " — " << runs.detail;
+  EXPECT_EQ(model.violation, runs.violation)
+      << s.name << ": the stacks disagree — " << model.detail << " vs "
+      << runs.detail;
 }
 
 TEST(Differential, ExclusiveRegimeBothStacksPass) {
-  // Model: exhaustive exploration of the converged (kExclusive) regime —
-  // every lemma plus the Theorem 2 accuracy step holds on all interleavings.
-  mc::McOptions options;
-  options.mode = mc::BoxMode::kExclusive;
-  options.check_accuracy = true;
-  const mc::CheckResult model = mc::check_reduction(options);
-  ASSERT_TRUE(model.ok()) << model.counterexample;
-
-  // Simulator: sampled runs of the real extraction in the same regime
-  // (converged from the start) must show zero oracle failures.
-  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
-    const fuzz::RunResult run =
-        fuzz::run_config(scripted_extraction_config(seed, 0));
-    EXPECT_TRUE(run.ok()) << "seed " << seed << ": "
-                          << run.primary()->oracle << " — "
-                          << run.primary()->detail;
-  }
+  // Converged (kExclusive) regime: every lemma plus the Theorem 2 accuracy
+  // step holds on all interleavings, and sampled runs show zero failures.
+  const scenario::Scenario s = load_vector("v01_exclusive_clean");
+  scenario::McInstance instance;
+  std::string error;
+  ASSERT_TRUE(scenario::to_mc_instance(s, &instance, &error)) << error;
+  EXPECT_EQ(instance.options.mode, mc::BoxMode::kExclusive);
+  EXPECT_TRUE(instance.options.check_accuracy);
+  expect_stacks_agree(s);
 }
 
 TEST(Differential, MistakePrefixRegimeBothStacksPass) {
-  // Model: during the mistake prefix (kArbitrary) the safety lemmas hold on
-  // every interleaving; accuracy is a suffix property, so it is off.
-  mc::McOptions options;
-  options.mode = mc::BoxMode::kArbitrary;
-  options.check_accuracy = false;
-  const mc::CheckResult model = mc::check_reduction(options);
-  ASSERT_TRUE(model.ok()) << model.counterexample;
-
-  // Simulator: a run whose box has a long mistake prefix must still
-  // converge — no post-deadline wrongful suspicion, completeness intact.
-  for (std::uint64_t seed : {4ull, 5ull}) {
-    const fuzz::RunResult run =
-        fuzz::run_config(scripted_extraction_config(seed, 4000));
-    EXPECT_TRUE(run.ok()) << "seed " << seed << ": "
-                          << run.primary()->oracle << " — "
-                          << run.primary()->detail;
-  }
+  // During the mistake prefix (kArbitrary) the safety lemmas hold on every
+  // interleaving; accuracy is a suffix property, so the adapter drops it.
+  const scenario::Scenario s = load_vector("v02_mistake_prefix");
+  scenario::McInstance instance;
+  std::string error;
+  ASSERT_TRUE(scenario::to_mc_instance(s, &instance, &error)) << error;
+  EXPECT_EQ(instance.options.mode, mc::BoxMode::kArbitrary);
+  EXPECT_FALSE(instance.options.check_accuracy);
+  expect_stacks_agree(s);
 }
 
 TEST(Differential, CrashRegimeBothStacksPass) {
-  // Model: with a nondeterministic subject crash, Theorem 1 (suspicion of a
-  // drained crashed subject is permanent) holds on every interleaving.
-  mc::McOptions options;
-  options.mode = mc::BoxMode::kExclusive;
-  options.allow_crash = true;
-  const mc::CheckResult model = mc::check_reduction(options);
-  ASSERT_TRUE(model.ok()) << model.counterexample;
+  // With a nondeterministic subject crash, Theorem 1 (suspicion of a
+  // drained crashed subject is permanent) holds on every interleaving; the
+  // concrete run must actually crash exactly the planned process.
+  const scenario::Scenario s = load_vector("v03_crash_regime");
+  scenario::McInstance instance;
+  std::string error;
+  ASSERT_TRUE(scenario::to_mc_instance(s, &instance, &error)) << error;
+  EXPECT_TRUE(instance.options.allow_crash);
+  EXPECT_FALSE(instance.options.check_deadlock);
+  expect_stacks_agree(s);
 
-  // Simulator: crash one process mid-run; the extracted detector must stay
-  // accurate for the survivors and complete against the crashed one (the
-  // detector_completeness oracle grades exactly Theorem 1's conclusion).
-  fuzz::FuzzConfig config = scripted_extraction_config(6, 0);
-  config.n = 3;
-  config.crashes.push_back({2, 9000});
-  const fuzz::RunResult run = fuzz::run_config(config);
-  EXPECT_TRUE(run.ok()) << run.primary()->oracle << " — "
-                        << run.primary()->detail;
+  const fuzz::RunResult run = fuzz::run_config(scenario::to_fuzz_config(s));
+  EXPECT_TRUE(run.ok());
   EXPECT_EQ(run.stats.crashes, 1u);
 }
 
 TEST(Differential, SingleInstanceAblationBothStacksFail) {
-  // Model: the E9 ablation (one instance, no hand-off) has a lasso — a
-  // legal wait-free exclusive run in which the witness wrongfully suspects
-  // the correct subject infinitely often. Verdict: violation.
-  const mc::CheckResult model = mc::check_ablation();
-  ASSERT_EQ(model.verdict, mc::Verdict::kViolation);
-  EXPECT_FALSE(model.counterexample.empty());
+  // The E9 ablation (one instance, no hand-off) has a lasso — a legal
+  // wait-free exclusive run in which the witness wrongfully suspects the
+  // correct subject infinitely often. The model's infinitely-often cycle
+  // shows up as a recurring (not one-shot) episode count on the finite run.
+  const scenario::Scenario s = load_vector("v04_broken_single_instance");
+  expect_stacks_agree(s);
 
-  // Simulator: the concrete single-instance extraction against the unfair
-  // lockout box realizes that lasso — recurring post-deadline suspicion
-  // episodes of a correct subject, i.e. the detector_accuracy oracle fires.
-  // The model's infinitely-often cycle shows up as an unbounded episode
-  // count on the finite run.
-  fuzz::FuzzConfig config;
-  config.seed = 1;
-  config.target = fuzz::TargetKind::kBrokenSingleInstance;
-  config.steps = 50000;
-  const fuzz::RunResult run = fuzz::run_config(config);
+  const scenario::EngineOutcome model = scenario::run_scenario_mc(s);
+  EXPECT_TRUE(model.violation);
+  EXPECT_FALSE(model.detail.empty()) << "expected a counterexample";
+
+  const fuzz::RunResult run = fuzz::run_config(scenario::to_fuzz_config(s));
   ASSERT_FALSE(run.ok());
   EXPECT_EQ(run.primary()->oracle, "detector_accuracy");
   EXPECT_GT(run.stats.late_suspicion_episodes, 1u)
@@ -124,27 +113,18 @@ TEST(Differential, SingleInstanceAblationBothStacksFail) {
 }
 
 TEST(Differential, ComposedPairsMatchSimulatedFullExtraction) {
-  // Model: two independent ordered pairs composed in one state — the lemma
-  // lattice survives composition (the full extraction runs N(N-1) pairs).
-  mc::McOptions options;
-  options.mode = mc::BoxMode::kExclusive;
-  options.pairs = 2;
-  const mc::CheckResult model = mc::check_reduction(options);
-  ASSERT_TRUE(model.ok()) << model.counterexample;
+  // Two independent ordered pairs composed in one mc state — the lemma
+  // lattice survives composition (the full extraction runs N(N-1) pairs);
+  // the real N=3 extraction must grade clean with a live detector.
+  const scenario::Scenario s = load_vector("v06_composed_pairs");
+  scenario::McInstance instance;
+  std::string error;
+  ASSERT_TRUE(scenario::to_mc_instance(s, &instance, &error)) << error;
+  EXPECT_EQ(instance.options.pairs, 2u);
+  expect_stacks_agree(s);
 
-  // Simulator: the real N=3 full extraction (6 ordered pairs over the real
-  // wait-free algorithm) must grade clean on the same oracles.
-  fuzz::FuzzConfig config;
-  config.seed = 8;
-  config.target = fuzz::TargetKind::kExtraction;
-  config.n = 3;
-  config.steps = 60000;
-  config.delay = fuzz::DelayKind::kUniform;
-  config.delay_min = 1;
-  config.delay_max = 3;
-  const fuzz::RunResult run = fuzz::run_config(config);
-  EXPECT_TRUE(run.ok()) << run.primary()->oracle << " — "
-                        << run.primary()->detail;
+  const fuzz::RunResult run = fuzz::run_config(scenario::to_fuzz_config(s));
+  EXPECT_TRUE(run.ok());
   EXPECT_GT(run.stats.detector_flips, 0u);
 }
 

@@ -1,0 +1,93 @@
+// Conformance-vector runner: every tests/vectors/*.scenario.json pins one
+// regime and the verdict each engine must reach on it. This test loads the
+// whole corpus and runs each vector through every engine its "expect"
+// section names (sim / mc / fuzz), via the adapter layer — the executable
+// form of the claim that the three verification stacks agree wherever their
+// envelopes overlap, and disagree exactly where the scenario says they
+// must (the network-adversary vectors the reliable-channel model cannot
+// express).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fuzz/config.hpp"
+#include "scenario/adapters.hpp"
+#include "scenario/scenario.hpp"
+
+namespace wfd {
+namespace {
+
+std::vector<std::string> vector_files() {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(WFD_VECTOR_DIR)) {
+    const std::string name = entry.path().filename().string();
+    if (name.find(".scenario.json") != std::string::npos) {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(ScenarioVectors, CorpusIsPresentAndWellFormed) {
+  const std::vector<std::string> files = vector_files();
+  EXPECT_GE(files.size(), 12u) << "conformance corpus shrank";
+  for (const std::string& file : files) {
+    scenario::Scenario s;
+    std::string error;
+    EXPECT_TRUE(scenario::load_scenario_file(file, &s, &error))
+        << file << ": " << error;
+    EXPECT_FALSE(s.name.empty()) << file;
+    EXPECT_FALSE(s.description.empty())
+        << file << ": vectors document their regime";
+  }
+}
+
+TEST(ScenarioVectors, CorpusCoversTheAdversaryEnvelope) {
+  // The corpus must keep exercising what the schema was built to express:
+  // all three engines, seeded defects, and each network adversary — with at
+  // least one adversary vector whose verdict flips against the clean
+  // reliable-channel regime.
+  bool any_mc = false, any_loss = false, any_dup = false;
+  bool any_partition = false, any_adversary_violation = false;
+  for (const std::string& file : vector_files()) {
+    scenario::Scenario s;
+    std::string error;
+    ASSERT_TRUE(scenario::load_scenario_file(file, &s, &error)) << error;
+    any_mc = any_mc || s.supports_mc();
+    any_loss = any_loss || s.config.loss_rate > 0.0;
+    any_dup = any_dup || s.config.dup_rate > 0.0;
+    any_partition = any_partition || !s.config.partitions.empty();
+    any_adversary_violation =
+        any_adversary_violation ||
+        (fuzz::has_network_adversary(s.config) && s.expect_sim.expected &&
+         s.expect_sim.violation);
+  }
+  EXPECT_TRUE(any_mc);
+  EXPECT_TRUE(any_loss);
+  EXPECT_TRUE(any_dup);
+  EXPECT_TRUE(any_partition);
+  EXPECT_TRUE(any_adversary_violation)
+      << "need a verdict flip the reliable-channel model cannot produce";
+}
+
+/// One gtest per vector would need dynamic registration; one test walking
+/// the corpus with SCOPED_TRACE keeps failures attributable per file while
+/// staying inside plain TEST().
+TEST(ScenarioVectors, EveryEngineAgreesWithItsPinnedVerdict) {
+  for (const std::string& file : vector_files()) {
+    scenario::Scenario s;
+    std::string error;
+    ASSERT_TRUE(scenario::load_scenario_file(file, &s, &error)) << error;
+    SCOPED_TRACE(s.name + " (" + file + ")");
+    std::string why;
+    EXPECT_TRUE(scenario::check_expectations(s, &why)) << why;
+  }
+}
+
+}  // namespace
+}  // namespace wfd

@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Schema-check the scenario conformance corpus (tests/vectors/).
+
+A pure-stdlib mirror of the C++ schema-v1 validator in
+src/scenario/scenario.cpp, run as a tier-1 ctest so a hand-edited vector
+fails CI before any engine ever parses it. Checks, per file:
+
+  * top-level shape: required keys present, no unknown keys, schema_version 1;
+  * every section only uses its whitelisted keys (strictness mirrors the
+    C++ parser: unknown keys are errors at EVERY level);
+  * enum fields hold known values;
+  * "expect" names at least one engine and every named engine pins a
+    verdict ("clean" | "violation"); "seeds" only appears under fuzz;
+  * the mc envelope: no "mc" expectation alongside a network adversary or a
+    non-extraction target.
+
+Exit 0 iff every vector validates. Usage:
+
+  tools/validate_vectors.py [vector-dir]      (default: tests/vectors)
+"""
+import json
+import pathlib
+import sys
+
+SCHEMA_VERSION = 1
+
+TARGETS = {
+    "dining", "scripted_dining", "extraction", "scripted_extraction",
+    "broken_single_instance", "broken_fork_based",
+}
+MC_TARGETS = {"extraction", "scripted_extraction", "broken_single_instance"}
+GRAPHS = {"pair", "ring", "clique", "star", "path"}
+SCHEDULERS = {"round_robin", "random", "weighted", "pausing"}
+DELAYS = {"fixed", "uniform", "geometric", "partial_synchrony"}
+SEMANTICS = {"lockout", "fork_based"}
+VERDICTS = {"clean", "violation"}
+
+TOP_KEYS = {
+    "schema_version", "name", "description", "seed", "target", "topology",
+    "steps", "scheduler", "timing", "crashes", "mistake_windows",
+    "detector_lag", "box", "network", "expect",
+}
+SECTION_KEYS = {
+    "topology": {"graph", "n"},
+    "scheduler": {"kind", "weights", "pauses"},
+    "timing": {"delay", "min", "max", "geo_p", "gst"},
+    "box": {"exclusive_from", "semantics", "member0_burst", "grant_holdoff",
+            "never_exit_member"},
+    "network": {"loss_rate", "dup_rate", "dup_spread", "partitions"},
+    "crashes[]": {"pid", "at"},
+    "mistake_windows[]": {"watcher", "subject", "from", "until"},
+    "scheduler.pauses[]": {"pid", "from", "until"},
+    "network.partitions[]": {"from", "until", "side"},
+    "expect": {"sim", "mc", "fuzz"},
+    "expect.engine": {"verdict", "oracle"},
+    "expect.fuzz": {"verdict", "oracle", "seeds"},
+}
+
+
+class Invalid(Exception):
+    pass
+
+
+def fail(path, what):
+    raise Invalid(f"{path}: {what}" if path else what)
+
+
+def check_keys(node, path, allowed):
+    if not isinstance(node, dict):
+        fail(path, "expected a JSON object")
+    for key in node:
+        if key not in allowed:
+            fail(path, f'unknown key "{key}"')
+
+
+def check_enum(value, path, allowed):
+    if value not in allowed:
+        fail(path, f'"{value}" not one of {sorted(allowed)}')
+
+
+def check_items(node, path, allowed):
+    for item in node:
+        check_keys(item, path, allowed)
+
+
+def check_expectation(node, path, allow_seeds):
+    allowed = SECTION_KEYS["expect.fuzz" if allow_seeds else "expect.engine"]
+    check_keys(node, path, allowed)
+    if "verdict" not in node:
+        fail(path, 'requires "verdict"')
+    check_enum(node["verdict"], f"{path}.verdict", VERDICTS)
+
+
+def has_network_adversary(doc):
+    net = doc.get("network", {})
+    return (net.get("loss_rate", 0) > 0 or net.get("dup_rate", 0) > 0
+            or bool(net.get("partitions")))
+
+
+def validate(doc):
+    check_keys(doc, "", TOP_KEYS)
+    for key in ("schema_version", "name", "seed", "target", "topology",
+                "steps", "expect"):
+        if key not in doc:
+            fail("", f'requires "{key}"')
+    if doc["schema_version"] != SCHEMA_VERSION:
+        fail("", f'unsupported schema_version {doc["schema_version"]} '
+                 f"(this tool supports {SCHEMA_VERSION})")
+    if not isinstance(doc["name"], str) or not doc["name"]:
+        fail("name", "must be a non-empty string")
+    check_enum(doc["target"], "target", TARGETS)
+
+    check_keys(doc["topology"], "topology", SECTION_KEYS["topology"])
+    for key in ("graph", "n"):
+        if key not in doc["topology"]:
+            fail("topology", f'requires "{key}"')
+    check_enum(doc["topology"]["graph"], "topology.graph", GRAPHS)
+    if not isinstance(doc["topology"]["n"], int) or doc["topology"]["n"] < 2:
+        fail("topology.n", "needs at least 2")
+
+    if "scheduler" in doc:
+        check_keys(doc["scheduler"], "scheduler", SECTION_KEYS["scheduler"])
+        if "kind" not in doc["scheduler"]:
+            fail("scheduler", 'requires "kind"')
+        check_enum(doc["scheduler"]["kind"], "scheduler.kind", SCHEDULERS)
+        check_items(doc["scheduler"].get("pauses", []), "scheduler.pauses[]",
+                    SECTION_KEYS["scheduler.pauses[]"])
+    if "timing" in doc:
+        check_keys(doc["timing"], "timing", SECTION_KEYS["timing"])
+        if "delay" not in doc["timing"]:
+            fail("timing", 'requires "delay"')
+        check_enum(doc["timing"]["delay"], "timing.delay", DELAYS)
+    check_items(doc.get("crashes", []), "crashes[]", SECTION_KEYS["crashes[]"])
+    check_items(doc.get("mistake_windows", []), "mistake_windows[]",
+                SECTION_KEYS["mistake_windows[]"])
+    if "box" in doc:
+        check_keys(doc["box"], "box", SECTION_KEYS["box"])
+        if "semantics" in doc["box"]:
+            check_enum(doc["box"]["semantics"], "box.semantics", SEMANTICS)
+    if "network" in doc:
+        check_keys(doc["network"], "network", SECTION_KEYS["network"])
+        check_items(doc["network"].get("partitions", []),
+                    "network.partitions[]",
+                    SECTION_KEYS["network.partitions[]"])
+
+    expect = doc["expect"]
+    check_keys(expect, "expect", SECTION_KEYS["expect"])
+    if not expect:
+        fail("expect", "must name at least one engine")
+    for engine in ("sim", "mc"):
+        if engine in expect:
+            check_expectation(expect[engine], f"expect.{engine}",
+                              allow_seeds=False)
+    if "fuzz" in expect:
+        check_expectation(expect["fuzz"], "expect.fuzz", allow_seeds=True)
+
+    if "mc" in expect:
+        if has_network_adversary(doc):
+            fail("expect.mc", "the model checker has no lossy-channel "
+                              'abstraction; drop "mc" or the "network" '
+                              "section")
+        if doc["target"] not in MC_TARGETS:
+            fail("expect.mc", f'target "{doc["target"]}" has no model-checker '
+                              "abstraction (extraction targets only)")
+
+
+def main(argv):
+    root = pathlib.Path(argv[1] if len(argv) > 1 else "tests/vectors")
+    files = sorted(root.glob("*.scenario.json"))
+    if len(files) < 12:
+        print(f"FAIL {root}: expected >= 12 vectors, found {len(files)}")
+        return 1
+    failures = 0
+    for file in files:
+        try:
+            with open(file, encoding="utf-8") as handle:
+                doc = json.load(handle)
+            validate(doc)
+            print(f"ok   {file.name}")
+        except (Invalid, json.JSONDecodeError, OSError) as error:
+            print(f"FAIL {file.name}: {error}")
+            failures += 1
+    print(f"{len(files) - failures}/{len(files)} vectors validate")
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
