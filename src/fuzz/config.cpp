@@ -262,6 +262,8 @@ std::string config_to_json(const FuzzConfig& config, int indent) {
   field("loss_rate", num(config.loss_rate));
   field("dup_rate", num(config.dup_rate));
   field("dup_spread", num(config.dup_spread));
+  field("retransmit_every", num(config.retransmit_every));
+  field("retransmit_max", num(config.retransmit_max));
   {
     // A permanent partition (until == kNever) serializes as "until": 0 —
     // "never heals" — keeping the JSON free of 2^64-1 magic numbers.
@@ -389,6 +391,11 @@ bool apply_config_json(const Json& root, FuzzConfig* out, std::string* error,
       out->dup_rate = value.as_double(out->dup_rate);
     } else if (key == "dup_spread") {
       out->dup_spread = value.as_u64(out->dup_spread);
+    } else if (key == "retransmit_every") {
+      out->retransmit_every = value.as_u64(out->retransmit_every);
+    } else if (key == "retransmit_max") {
+      out->retransmit_max =
+          static_cast<std::uint32_t>(value.as_u64(out->retransmit_max));
     } else if (key == "partitions") {
       out->partitions.clear();
       for (const Json& item : value.items) {

@@ -102,6 +102,12 @@ struct FuzzConfig {
   double dup_rate = 0.0;
   sim::Time dup_spread = 8;
   std::vector<sim::PartitionWindow> partitions;
+  /// Retransmitting channel wrapper (sim::NetConfig::retransmit_every): 0 =
+  /// one-shot channels (the v13 regime); > 0 re-offers adversary-eaten
+  /// sends every this many ticks, up to retransmit_max attempts. Only
+  /// meaningful alongside an adversary (loss or partitions).
+  sim::Time retransmit_every = 0;
+  std::uint32_t retransmit_max = 16;
 };
 
 /// True iff `config` enables any channel adversary (loss, duplication, or a

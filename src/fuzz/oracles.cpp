@@ -125,6 +125,13 @@ std::uint64_t compute_signature(const FuzzConfig& config,
     fold(config.partitions.size());
     fold(log2_bucket(result.stats.messages_lost));
     fold(log2_bucket(result.stats.messages_duplicated));
+    // The retransmit wrapper folds only when on, so every one-shot-channel
+    // signature (all pre-existing adversary vectors) is unchanged.
+    if (config.retransmit_every > 0) {
+      fold(config.retransmit_every);
+      fold(config.retransmit_max);
+      fold(log2_bucket(result.stats.messages_retransmitted));
+    }
   }
   if (const OracleFailure* failure = result.primary()) {
     fold(hash_string(failure->oracle));
@@ -219,6 +226,11 @@ FuzzConfig normalize(FuzzConfig config) {
   config.loss_rate = std::clamp(config.loss_rate, 0.0, 0.9);
   config.dup_rate = std::clamp(config.dup_rate, 0.0, 0.9);
   config.dup_spread = std::clamp<sim::Time>(config.dup_spread, 1, 64);
+  // Retransmit: bound the retry schedule, and collapse a zero-attempt
+  // wrapper to "off" so the two off-spellings normalize identically.
+  config.retransmit_every = std::min<sim::Time>(config.retransmit_every, 4096);
+  config.retransmit_max = std::min<std::uint32_t>(config.retransmit_max, 64);
+  if (config.retransmit_max == 0) config.retransmit_every = 0;
   std::vector<sim::PartitionWindow> partitions;
   for (sim::PartitionWindow window : config.partitions) {
     std::vector<sim::ProcessId> side;
@@ -312,6 +324,7 @@ static RunResult run_config_impl(const FuzzConfig& raw, RunCapture* capture) {
     engine_config.trace_capacity = capture->trace_capacity;
     engine_config.trace_retain_kinds = capture->retain_kinds;
     engine_config.metrics = capture->metrics;
+    engine_config.transit = capture->transit;
   }
   sim::Engine engine(engine_config);
   std::vector<sim::ComponentHost*> hosts;
@@ -384,6 +397,8 @@ static RunResult run_config_impl(const FuzzConfig& raw, RunCapture* capture) {
     net.dup_rate = config.dup_rate;
     net.dup_spread = config.dup_spread;
     net.partitions = config.partitions;
+    net.retransmit_every = config.retransmit_every;
+    net.retransmit_max = config.retransmit_max;
     engine.set_network(std::move(net));
   }
 
@@ -518,6 +533,7 @@ static RunResult run_config_impl(const FuzzConfig& raw, RunCapture* capture) {
   result.stats.messages_dropped = engine.stats().messages_dropped;
   result.stats.messages_lost = engine.stats().messages_lost;
   result.stats.messages_duplicated = engine.stats().messages_duplicated;
+  result.stats.messages_retransmitted = engine.stats().messages_retransmitted;
   result.stats.in_transit = engine.in_transit_count();
   result.stats.crashes = engine.stats().crashes;
   if (monitor != nullptr) {

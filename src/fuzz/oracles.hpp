@@ -33,6 +33,7 @@
 
 #include "fuzz/config.hpp"
 #include "obs/metrics.hpp"
+#include "sim/engine.hpp"  // TransitKind
 #include "sim/trace.hpp"
 #include "sim/types.hpp"
 
@@ -51,6 +52,7 @@ struct RunStats {
   std::uint64_t messages_dropped = 0;
   std::uint64_t messages_lost = 0;        ///< adversary losses (subset of dropped)
   std::uint64_t messages_duplicated = 0;  ///< adversary duplicate copies
+  std::uint64_t messages_retransmitted = 0;  ///< channel retransmit attempts
   std::uint64_t in_transit = 0;
   std::uint64_t crashes = 0;
   std::uint64_t total_meals = 0;
@@ -91,6 +93,10 @@ struct RunCapture {
   std::size_t trace_capacity = 1 << 20;           ///< retained-event bound
   std::uint64_t retain_kinds = sim::kAllEventKinds;  ///< retention kind mask
   obs::Registry* metrics = nullptr;               ///< optional registry
+  /// Engine transit storage. Both modes are bit-identical by contract
+  /// (tests/test_soa_engine.cpp runs the whole conformance corpus under
+  /// both and compares traces), so this, too, never perturbs the run.
+  sim::TransitKind transit = sim::TransitKind::kCalendar;
   // --- outputs ---
   std::vector<sim::Event> events;  ///< retained trace, in emission order
   std::uint64_t truncated = 0;     ///< retained-kind events past capacity

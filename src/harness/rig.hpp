@@ -24,6 +24,7 @@ struct RigOptions {
   std::size_t trace_capacity = 0;
   sim::Time delay_min = 1;
   sim::Time delay_max = 8;
+  sim::TransitKind transit = sim::TransitKind::kCalendar;
 };
 
 /// Engine + hosts + per-host <>P oracle modules.
@@ -31,7 +32,8 @@ class Rig {
  public:
   explicit Rig(const RigOptions& options)
       : engine(sim::EngineConfig{.seed = options.seed,
-                                 .trace_capacity = options.trace_capacity}) {
+                                 .trace_capacity = options.trace_capacity,
+                                 .transit = options.transit}) {
     for (sim::ProcessId p = 0; p < options.n; ++p) {
       auto host = std::make_unique<sim::ComponentHost>();
       hosts.push_back(host.get());

@@ -86,6 +86,8 @@ SimSetup to_sim_config(const Scenario& scenario) {
     setup.network.dup_rate = setup.normalized.dup_rate;
     setup.network.dup_spread = setup.normalized.dup_spread;
     setup.network.partitions = setup.normalized.partitions;
+    setup.network.retransmit_every = setup.normalized.retransmit_every;
+    setup.network.retransmit_max = setup.normalized.retransmit_max;
   }
   return setup;
 }

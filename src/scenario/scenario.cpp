@@ -149,7 +149,8 @@ bool parse_box(Ctx& ctx, const Json& node, fuzz::FuzzConfig* config) {
 bool parse_network(Ctx& ctx, const Json& node, fuzz::FuzzConfig* config) {
   if (!require_object(ctx, node, "network")) return false;
   if (!check_keys(ctx, node, "network",
-                  {"loss_rate", "dup_rate", "dup_spread", "partitions"})) {
+                  {"loss_rate", "dup_rate", "dup_spread", "partitions",
+                   "retransmit"})) {
     return false;
   }
   if (const Json* f = node.find("loss_rate")) {
@@ -180,6 +181,19 @@ bool parse_network(Ctx& ctx, const Json& node, fuzz::FuzzConfig* config) {
         }
       }
       config->partitions.push_back(std::move(window));
+    }
+  }
+  if (const Json* retransmit = node.find("retransmit")) {
+    if (!require_object(ctx, *retransmit, "network.retransmit")) return false;
+    if (!check_keys(ctx, *retransmit, "network.retransmit",
+                    {"every", "max_attempts"})) {
+      return false;
+    }
+    if (const Json* f = retransmit->find("every")) {
+      config->retransmit_every = f->as_u64(0);
+    }
+    if (const Json* f = retransmit->find("max_attempts")) {
+      config->retransmit_max = static_cast<std::uint32_t>(f->as_u64(16));
     }
   }
   return true;
@@ -491,6 +505,12 @@ std::string scenario_to_json(const Scenario& scenario) {
         partitions.push(std::move(node));
       }
       network.set("partitions", std::move(partitions));
+    }
+    if (config.retransmit_every > 0) {
+      Json retransmit = Json::object();
+      retransmit.set("every", Json::of_u64(config.retransmit_every));
+      retransmit.set("max_attempts", Json::of_u64(config.retransmit_max));
+      network.set("retransmit", std::move(retransmit));
     }
     root.set("network", std::move(network));
   }

@@ -17,6 +17,7 @@ Engine::Engine(EngineConfig config)
     m_crashes_ = config.metrics->counter("sim.crashes");
     m_lost_ = config.metrics->counter("sim.lost");
     m_duplicated_ = config.metrics->counter("sim.duplicated");
+    m_retransmitted_ = config.metrics->counter("sim.retransmitted");
     metrics_ = std::make_unique<obs::Scope>(*config.metrics);
     trace_.bind_metrics(config.metrics);
   }
@@ -36,6 +37,8 @@ void Engine::flush_metrics() {
   metrics_->add(m_lost_, stats_.messages_lost - flushed_.messages_lost);
   metrics_->add(m_duplicated_,
                 stats_.messages_duplicated - flushed_.messages_duplicated);
+  metrics_->add(m_retransmitted_, stats_.messages_retransmitted -
+                                      flushed_.messages_retransmitted);
   flushed_ = stats_;
 }
 
@@ -44,7 +47,9 @@ ProcessId Engine::add_process(std::unique_ptr<Process> process) {
   const ProcessId pid = static_cast<ProcessId>(processes_.size());
   process->id_ = pid;
   processes_.push_back(std::move(process));
-  inbound_.emplace_back();
+  // SoA mode shares one transit store; materializing a CalendarQueue per
+  // destination here would reintroduce the per-process footprint it avoids.
+  if (config_.transit == TransitKind::kCalendar) inbound_.emplace_back();
   crashed_.push_back(false);
   crash_at_.push_back(kNever);
   return pid;
@@ -69,14 +74,51 @@ void Engine::set_network(NetConfig net) {
   net_ = std::make_unique<NetState>(net, config_.seed);
 }
 
+bool Engine::net_cut(ProcessId src, ProcessId dst, Time at) const {
+  for (const PartitionWindow& window : net_->config.partitions) {
+    if (window.cuts(src, dst, at)) return true;
+  }
+  return false;
+}
+
 bool Engine::net_drops(ProcessId src, ProcessId dst) {
   // Partition cuts are deterministic (no draw): an active window severing
   // src from dst eats the message regardless of rates.
-  for (const PartitionWindow& window : net_->config.partitions) {
-    if (window.cuts(src, dst, now_)) return true;
-  }
+  if (net_cut(src, dst, now_)) return true;
   return net_->config.loss_rate > 0.0 &&
          net_->rng.chance(net_->config.loss_rate);
+}
+
+bool Engine::try_retransmit(ProcessId src, ProcessId dst, Port port,
+                            const Payload& payload) {
+  // Send-time resolution: the whole retry schedule is decided now, from the
+  // adversary's own generator, so the engine's draw sequence and the
+  // retransmit-off behavior stay untouched. Attempt k re-offers the message
+  // to the channel at now + k*retransmit_every; the first attempt the
+  // adversary does not eat goes into transit with a fresh delay draw from
+  // that instant. Recovered messages are not re-duplicated.
+  const NetConfig& net = net_->config;
+  Time attempt = now_;
+  for (std::uint32_t k = 0; k < net.retransmit_max; ++k) {
+    attempt += net.retransmit_every;
+    ++stats_.messages_retransmitted;
+    if (net_cut(src, dst, attempt)) continue;
+    if (net.loss_rate > 0.0 && net_->rng.chance(net.loss_rate)) continue;
+    const Time transit = delay_uniform_
+                             ? delay_min_ + net_->rng.below(delay_span_)
+                             : delay_->delay(src, dst, attempt, net_->rng);
+    const Time deliver_at = attempt + (transit < 1 ? Time{1} : transit);
+    Message& slot =
+        soa_ ? soa_->push(deliver_at, dst) : inbound_[dst].push(deliver_at);
+    slot.src = src;
+    slot.dst = dst;
+    slot.port = port;
+    slot.payload = payload;
+    slot.sent_at = now_;
+    slot.seq = next_seq_++;
+    return true;
+  }
+  return false;
 }
 
 void Engine::schedule_crash(ProcessId pid, Time at) {
@@ -107,6 +149,9 @@ void Engine::init() {
   }
   sender_epoch_.assign(processes_.size(), 0);
   recv_epoch_ = 0;
+  if (config_.transit == TransitKind::kSoa && !soa_) {
+    soa_ = std::make_unique<SoaTransit>(processes_.size());
+  }
   initialized_ = true;
   for (ProcessId pid = 0; pid < processes_.size(); ++pid) {
     Context ctx(*this, pid);
@@ -127,8 +172,12 @@ void Engine::apply_crashes_due() {
     ++stats_.crashes;
     // A crashed process never takes another step; pending inbound traffic
     // can never be observed, so discard it now.
-    stats_.messages_dropped += inbound_[pid].size();
-    inbound_[pid].clear();
+    if (soa_) {
+      stats_.messages_dropped += soa_->clear_dst(pid);
+    } else {
+      stats_.messages_dropped += inbound_[pid].size();
+      inbound_[pid].clear();
+    }
     trace_.emit(EventKind::kCrash, now_, pid);
     const std::size_t pos = live_pos_[pid];
     live_.erase(live_.begin() + static_cast<std::ptrdiff_t>(pos));
@@ -136,7 +185,35 @@ void Engine::apply_crashes_due() {
   }
 }
 
+void Engine::deliver_phase_soa(ProcessId pid, Context& ctx) {
+  // Same step semantics as deliver_phase below, over the shared SoA store:
+  // advance() already scattered everything due onto pid's ready list, in
+  // exact (deliver_at, seq) order, so the walk here is a pure list drain —
+  // no per-destination calendar probe.
+  if (!soa_->has_ready(pid)) return;
+  const std::uint64_t epoch = ++recv_epoch_;
+  std::uint64_t* const stamps = sender_epoch_.data();
+  Process* const proc = processes_[pid].get();
+  const Time now = now_;
+  std::uint64_t delivered = 0;
+  soa_->drain_ready(pid, [&](const InTransit& item) {
+    const ProcessId src = item.msg.src;
+    if (stamps[src] == epoch) return false;  // defer the duplicate
+    stamps[src] = epoch;
+    ++delivered;
+    trace_.emit(EventKind::kDeliver, now, pid, src, item.msg.port,
+                item.msg.payload.kind);
+    proc->on_message(ctx, item.msg);
+    return true;
+  });
+  stats_.messages_delivered += delivered;
+}
+
 void Engine::deliver_phase(ProcessId pid, Context& ctx) {
+  if (soa_) {
+    deliver_phase_soa(pid, ctx);
+    return;
+  }
   // Receive at most one deliverable message per sender (Section 4's step
   // semantics). Later-deadline duplicates from the same sender stay in the
   // queue's deferred band for subsequent steps; reliability is preserved
@@ -171,6 +248,11 @@ bool Engine::step() {
   if (!pending_crashes_.empty() && pending_crashes_.back().at <= now_) {
     apply_crashes_due();
   }
+  // Batched delivery: one advance scatters everything due this tick onto
+  // the destinations' ready lists (crashes above settle first, so traffic
+  // for a just-crashed pid frees instead of scattering). Runs even when no
+  // live process remains so the wheel clock stays tick-contiguous.
+  if (soa_) soa_->advance(now_);
   if (live_.empty()) return false;
 
   const ProcessId pid = scheduler_->next(live_, now_, rng_);
@@ -213,6 +295,7 @@ bool Engine::run_until(const std::function<bool()>& pred,
 }
 
 std::size_t Engine::in_transit_count() const {
+  if (soa_) return soa_->size();
   std::size_t total = 0;
   for (const CalendarQueue& queue : inbound_) total += queue.size();
   return total;
@@ -233,6 +316,12 @@ void Engine::send_from(ProcessId src, ProcessId dst, Port port,
     return;
   }
   if (net_ && net_drops(src, dst)) {
+    // Opt-in retransmitting channel: a recovered message is in transit (no
+    // drop, no loss); only exhausting every attempt drops it for real.
+    if (net_->config.retransmit_every > 0 &&
+        try_retransmit(src, dst, port, payload)) {
+      return;
+    }
     // Adversary loss (random or partition cut): dropped at send time, like
     // a crashed destination, but also counted in messages_lost so oracles
     // and experiments can tell the two apart.
@@ -248,7 +337,8 @@ void Engine::send_from(ProcessId src, ProcessId dst, Port port,
     const Time transit = delay_->delay(src, dst, now_, rng_);
     deliver_at = now_ + (transit < 1 ? 1 : transit);
   }
-  Message& slot = inbound_[dst].push(deliver_at);
+  Message& slot =
+      soa_ ? soa_->push(deliver_at, dst) : inbound_[dst].push(deliver_at);
   slot.src = src;
   slot.dst = dst;
   slot.port = port;
@@ -263,7 +353,8 @@ void Engine::send_from(ProcessId src, ProcessId dst, Port port,
     // ordering stays a strict total order.
     const Time spread = net_->config.dup_spread < 1 ? 1 : net_->config.dup_spread;
     const Time dup_at = deliver_at + 1 + net_->rng.below(spread);
-    Message& copy = inbound_[dst].push(dup_at);
+    Message& copy =
+        soa_ ? soa_->push(dup_at, dst) : inbound_[dst].push(dup_at);
     copy.src = src;
     copy.dst = dst;
     copy.port = port;

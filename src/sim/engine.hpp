@@ -29,6 +29,7 @@
 #include "sim/process.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/soa_transit.hpp"
 #include "sim/trace.hpp"
 #include "sim/transit_queue.hpp"
 #include "sim/types.hpp"
@@ -51,6 +52,25 @@ struct EngineStats {
   /// `sent + duplicated == delivered + dropped + in_transit`.
   std::uint64_t messages_lost = 0;
   std::uint64_t messages_duplicated = 0;
+  /// Channel retransmission attempts (sim/net.hpp retransmit_every). Purely
+  /// informational: a message recovered by a retransmit counts once in
+  /// `messages_sent` and once in `messages_delivered`, so the conservation
+  /// law above is untouched.
+  std::uint64_t messages_retransmitted = 0;
+};
+
+/// Transit-layer storage strategy. Both modes deliver in exact
+/// (deliver_at, seq) order with identical RNG draw sequences, so a run is
+/// bit-identical under either (pinned by tests/test_soa_engine.cpp); they
+/// differ only in memory layout and throughput at large n.
+enum class TransitKind : std::uint8_t {
+  /// Per-destination CalendarQueue objects (sim/transit_queue.hpp): ~6 KiB
+  /// of bucket headers per process. Fine to n~1e3; the default.
+  kCalendar,
+  /// One shared slot pool + two-level hierarchical wheel + per-destination
+  /// ready lists (sim/soa_transit.hpp): O(1) per-process footprint, cache-
+  /// dense to n=1e6.
+  kSoa,
 };
 
 struct EngineConfig {
@@ -74,6 +94,8 @@ struct EngineConfig {
   /// (destination, step) times the number of registered layers — checked
   /// loosely via this knob; 0 disables the check).
   std::uint32_t max_sends_per_step = 0;
+  /// Transit storage (see TransitKind). Behavior-neutral by contract.
+  TransitKind transit = TransitKind::kCalendar;
 };
 
 /// Discrete-event engine for the paper's asynchronous model.
@@ -142,6 +164,13 @@ class Engine {
   void send_from(ProcessId src, ProcessId dst, Port port, const Payload& payload);
   void apply_crashes_due();
   void deliver_phase(ProcessId pid, Context& ctx);
+  void deliver_phase_soa(ProcessId pid, Context& ctx);
+  /// Retransmitting channel wrapper (net.retransmit_every > 0): after the
+  /// adversary eats a send, re-offer it every retransmit_every ticks until
+  /// one attempt survives (true; the message is in transit) or attempts run
+  /// out (false; caller records the final drop).
+  bool try_retransmit(ProcessId src, ProcessId dst, Port port,
+                      const Payload& payload);
 
   /// Adversary state, allocated only when an enabled NetConfig is installed
   /// (send_from tests one pointer when off). The generator is private to the
@@ -156,6 +185,9 @@ class Engine {
   /// True iff the adversary eats the (src, dst) send at now_ (partition cut
   /// first — deterministic, no draw — then a loss draw).
   bool net_drops(ProcessId src, ProcessId dst);
+  /// Deterministic partition-cut test at an arbitrary instant (retransmit
+  /// attempts probe future ticks).
+  bool net_cut(ProcessId src, ProcessId dst, Time at) const;
 
   struct PendingCrash {
     Time at = 0;
@@ -176,7 +208,11 @@ class Engine {
   bool initialized_ = false;
 
   std::vector<std::unique_ptr<Process>> processes_;
-  std::vector<CalendarQueue> inbound_;     // per destination
+  std::vector<CalendarQueue> inbound_;     // per destination (kCalendar mode)
+  /// Shared SoA transit store; null in kCalendar mode. When set, inbound_
+  /// stays empty (its per-destination headers are the very footprint SoA
+  /// mode exists to avoid).
+  std::unique_ptr<SoaTransit> soa_;
   /// Byte per pid (not vector<bool>): tested on every send and step.
   std::vector<std::uint8_t> crashed_;
   std::vector<Time> crash_at_;             // kNever if correct
@@ -222,6 +258,7 @@ class Engine {
   obs::Registry::Id m_crashes_ = 0;
   obs::Registry::Id m_lost_ = 0;
   obs::Registry::Id m_duplicated_ = 0;
+  obs::Registry::Id m_retransmitted_ = 0;
 };
 
 inline Time Context::now() const { return engine_.now(); }

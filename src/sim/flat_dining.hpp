@@ -1,0 +1,483 @@
+// Flat struct-of-arrays dining workload: the hygienic ring protocol
+// (forks + request tokens + dirty bits, Chandy–Misra style) with a
+// timeout-based suspicion override (the <>P-style "eat past a crashed
+// neighbor" rule from the wait-free transformation), stored as parallel
+// per-field arrays instead of one object per diner.
+//
+// This is the million-diner core: a diner is ~50 bytes spread across
+// per-field vectors, every tick touches the fields in the same order for
+// every diner, and all nondeterminism is COUNTER-BASED — a draw is a pure
+// hash of (run seed, pid, per-diner counter) and a message delay is a pure
+// hash of (run seed, src, per-source send seq). Nothing depends on global
+// draw interleaving, so the evolution of a diner is a function of the
+// messages it receives and its own counters — the property the sharded
+// runner (sharded.hpp) exploits to be bit-identical at any shard count.
+//
+// Protocol, per live diner per tick (strict program order):
+//   1. deliver this tick's messages in canonical (src, seq) order;
+//   2. heartbeat both neighbors when tick % hb_every == pid % hb_every;
+//   3. act by phase:
+//        thinking: flip hungry with probability hunger_pct% (one draw);
+//        hungry:   request missing forks (token travels with the request);
+//                  eat when every side has (fork || suspected neighbor),
+//                  dirtying held forks;
+//        eating:   countdown; on exit honor deferred requests (send the
+//                  fork, cleaned, where a request token arrived mid-meal).
+//   Receiving a request while holding a DIRTY fork outside eating yields
+//   the fork immediately (hygiene); a clean fork is never surrendered.
+// Forks start dirty at the lower endpoint of each ring edge (diner 0 holds
+// both its forks, diner n-1 none), the classic acyclic initial orientation.
+//
+// Suspicion is a pure timeout: side s is suspected at tick T iff
+// T - last_heard[s] > suspect_after (0 disables). With
+// suspect_after > hb_every + delay_max a live neighbor is never suspected
+// after its first heartbeat lands, so the override only ever fires on
+// crashed neighbors — eventual strong accuracy in the sense the paper's
+// transformation needs.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::sim {
+
+enum class FlatPhase : std::uint8_t {
+  kThinking = 0,
+  kHungry = 1,
+  kEating = 2,
+  kCrashed = 3,
+};
+
+/// Side index: 0 = left edge ((pid+n-1)%n), 1 = right edge (pid).
+/// The right edge of p is the left edge of (p+1)%n, so a message sent on
+/// side s arrives on side s^1.
+enum : std::uint32_t {
+  kFlatMsgReq = 1,   ///< fork request (carries the request token)
+  kFlatMsgFork = 2,  ///< the fork, cleaned
+  kFlatMsgHb = 3,    ///< heartbeat
+};
+
+/// Per-side state bits (one byte per side per diner).
+enum : std::uint8_t {
+  kFlatFork = 1,      ///< holding the fork for this edge
+  kFlatDirty = 2,     ///< the held fork is dirty
+  kFlatToken = 4,     ///< holding the request token for this edge
+  kFlatReqSent = 8,   ///< our request is in flight (token traveling)
+};
+
+/// Wire format of the flat engines: POD, sortable by the canonical
+/// delivery key (dst, src, seq).
+struct FlatMsg {
+  ProcessId dst = 0;
+  ProcessId src = 0;
+  std::uint32_t kind = 0;
+  std::uint8_t side = 0;  ///< side AT THE RECEIVER
+  std::uint64_t seq = 0;  ///< per-source send sequence number
+  Time deliver_at = 0;
+};
+
+struct FlatConfig {
+  std::uint64_t seed = 1;
+  std::uint32_t n = 16;      ///< ring size (>= 2)
+  Time steps = 1000;         ///< ticks to run
+  std::uint32_t shards = 1;  ///< worker threads (clamped to [1, n])
+  Time delay_min = 1;
+  Time delay_max = 4;
+  std::uint32_t hunger_pct = 25;  ///< P(thinking -> hungry) per tick, percent
+  Time eat_ticks = 3;
+  Time hb_every = 16;        ///< heartbeat period (0 = no heartbeats)
+  Time suspect_after = 0;    ///< silence before suspicion (0 = detector off)
+  std::vector<std::pair<ProcessId, Time>> crashes;  ///< (pid, tick)
+  obs::Registry* metrics = nullptr;  ///< optional flat.* counter mirror
+  bool record_events = false;  ///< keep per-diner events for trace merge
+};
+
+/// Run totals; every field is a sum over diners/shards (commutative, so
+/// shard layout cannot perturb it).
+struct FlatStats {
+  std::uint64_t steps = 0;               ///< live diner-ticks executed
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;    ///< destination crashed
+  std::uint64_t meals = 0;               ///< hungry -> eating transitions
+  std::uint64_t crashes = 0;
+
+  friend bool operator==(const FlatStats&, const FlatStats&) = default;
+};
+
+/// Counter-based draw: pure function of (seed, pid, counter). splitmix64
+/// over a mixed lane keeps distinct pids/counters decorrelated.
+inline std::uint64_t flat_draw(std::uint64_t seed, ProcessId pid,
+                               std::uint64_t counter) {
+  std::uint64_t lane = seed ^ (0x9e3779b97f4a7c15ULL * (pid + 1)) ^
+                       (counter * 0xbf58476d1ce4e5b9ULL);
+  return splitmix64(lane);
+}
+
+/// Message delay as a pure function of (seed, src, seq) in
+/// [max(1, delay_min), max(1, delay_max)].
+inline Time flat_delay(const FlatConfig& config, ProcessId src,
+                       std::uint64_t seq) {
+  const Time lo = config.delay_min < 1 ? 1 : config.delay_min;
+  const Time hi = config.delay_max < lo ? lo : config.delay_max;
+  std::uint64_t lane = config.seed ^ 0x64656c61792d666cULL ^
+                       (0xff51afd7ed558ccdULL * (src + 1)) ^ seq;
+  return lo + static_cast<Time>(splitmix64(lane) % (hi - lo + 1));
+}
+
+/// One shard's slice of the flat diner table: parallel arrays over the
+/// diners it owns (pid % shards == shard, local index pid / shards), plus
+/// that shard's contribution to stats and (optionally) events. All methods
+/// are called by exactly one thread; cross-shard traffic goes through the
+/// outboxes the caller passes to tick().
+class FlatShard {
+ public:
+  /// Minimal shard-local event record; merged and widened to sim::Event by
+  /// the runner. Per diner these are appended in tick order.
+  struct Rec {
+    Time time = 0;
+    ProcessId pid = 0;
+    std::uint8_t kind = 0;  ///< 0 = phase transition (a=from, b=to), 1 = crash
+    std::uint8_t a = 0;
+    std::uint8_t b = 0;
+  };
+
+  FlatShard(const FlatConfig& config, std::uint32_t shard,
+            std::uint32_t shards)
+      : config_(config), shard_(shard), shards_(shards) {
+    const std::uint32_t n = config.n;
+    for (ProcessId p = shard; p < n; p += shards) owned_.push_back(p);
+    const std::size_t count = owned_.size();
+    phase_.assign(count, FlatPhase::kThinking);
+    side_[0].assign(count, 0);
+    side_[1].assign(count, 0);
+    eat_left_.assign(count, 0);
+    meals_.assign(count, 0);
+    rng_ctr_.assign(count, 0);
+    send_seq_.assign(count, 0);
+    last_heard_[0].assign(count, 0);
+    last_heard_[1].assign(count, 0);
+    crash_at_.assign(count, kNever);
+    for (const auto& [pid, at] : config.crashes) {
+      if (pid % shards == shard && pid < n) {
+        std::size_t i = pid / shards;
+        if (at < crash_at_[i]) crash_at_[i] = at;
+      }
+    }
+    // Initial orientation: edge e (between e and (e+1)%n) starts with a
+    // dirty fork at its lower endpoint and the request token opposite.
+    for (std::size_t i = 0; i < count; ++i) {
+      const ProcessId p = owned_[i];
+      side_[1][i] = (p != n - 1) ? (kFlatFork | kFlatDirty) : kFlatToken;
+      side_[0][i] = (p == 0) ? (kFlatFork | kFlatDirty) : kFlatToken;
+    }
+    // Delivery wheel: delays are bounded by delay_max, so a power-of-two
+    // ring of buckets indexed by deliver_at covers every in-flight message.
+    Time span = config.delay_max + 2;
+    wheel_mask_ = 1;
+    while (wheel_mask_ < span) wheel_mask_ <<= 1;
+    wheel_.assign(static_cast<std::size_t>(wheel_mask_), {});
+    --wheel_mask_;
+    // Hot-loop hoists (pure precomputation, bit-identical results): the
+    // heartbeat residue per diner and the delay band of flat_delay() —
+    // `% hb_every` / `% span` on runtime values are real divisions, and
+    // act() runs per diner per tick.
+    delay_lo_ = config.delay_min < 1 ? 1 : config.delay_min;
+    delay_span_ = (config.delay_max < delay_lo_ ? delay_lo_
+                                                : config.delay_max) -
+                  delay_lo_ + 1;
+    delay_pow2_ = (delay_span_ & (delay_span_ - 1)) == 0;
+    if (config.hb_every > 0) {
+      hb_slot_.resize(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        hb_slot_[i] = owned_[i] % config.hb_every;
+      }
+    }
+    chain_head_.assign(count, kNoMsg);
+    chain_tail_.assign(count, kNoMsg);
+  }
+
+  /// Queue an inbound message (from any shard's outbox) for future
+  /// delivery. Bucket order is irrelevant: delivery sorts canonically.
+  void accept(const FlatMsg& msg) {
+    wheel_[msg.deliver_at & wheel_mask_].push_back(msg);
+  }
+
+  /// Execute tick `now` for every owned diner: apply due crashes, deliver
+  /// this tick's messages in (dst, src, seq) order, then act. Outbound
+  /// messages are appended to outboxes[shard_of(dst)].
+  ///
+  /// Canonical delivery order without a global sort: the due bucket is
+  /// threaded into per-destination chains in append order, and append
+  /// order within a bucket is already seq-monotone per source (a sender
+  /// emits in seq order and the runner drains outboxes in a fixed order
+  /// every tick), so each destination only needs a tiny stable insertion
+  /// sort over its handful of messages to interleave its (at most two
+  /// ring-neighbor) sources into (src, seq) order — the same order the
+  /// old O(m log m) sort of the whole bucket produced.
+  void tick(Time now, std::vector<std::vector<FlatMsg>>& outboxes) {
+    std::vector<FlatMsg>& due = wheel_[now & wheel_mask_];
+    chain_next_.assign(due.size(), kNoMsg);
+    for (std::uint32_t idx = 0; idx < due.size(); ++idx) {
+      const std::size_t local = due[idx].dst / shards_;
+      if (chain_head_[local] == kNoMsg) {
+        chain_head_[local] = idx;
+      } else {
+        chain_next_[chain_tail_[local]] = idx;
+      }
+      chain_tail_[local] = idx;
+    }
+    const Time hb_now =
+        config_.hb_every > 0 ? now % config_.hb_every : 0;
+    for (std::size_t i = 0; i < owned_.size(); ++i) {
+      const ProcessId pid = owned_[i];
+      if (crash_at_[i] == now) {
+        phase_[i] = FlatPhase::kCrashed;
+        ++stats_.crashes;
+        ++dead_count_;
+        if (config_.record_events) {
+          events_.push_back({now, pid, 1, 0, 0});
+        }
+      }
+      const bool dead = phase_[i] == FlatPhase::kCrashed;
+      // Deliver (or drop) this diner's messages in (src, seq) order.
+      const std::uint32_t head = chain_head_[i];
+      if (head != kNoMsg) {
+        chain_head_[i] = kNoMsg;
+        if (chain_next_[head] == kNoMsg) {  // the common single-message case
+          if (dead) {
+            ++stats_.messages_dropped;
+          } else {
+            deliver(i, now, due[head], outboxes);
+          }
+        } else {
+          scratch_.clear();
+          for (std::uint32_t idx = head; idx != kNoMsg;
+               idx = chain_next_[idx]) {
+            scratch_.push_back(idx);
+          }
+          for (std::size_t a = 1; a < scratch_.size(); ++a) {
+            const std::uint32_t idx = scratch_[a];
+            std::size_t b = a;
+            while (b > 0 && (due[scratch_[b - 1]].src > due[idx].src ||
+                             (due[scratch_[b - 1]].src == due[idx].src &&
+                              due[scratch_[b - 1]].seq > due[idx].seq))) {
+              scratch_[b] = scratch_[b - 1];
+              --b;
+            }
+            scratch_[b] = idx;
+          }
+          if (dead) {
+            stats_.messages_dropped += scratch_.size();
+          } else {
+            for (const std::uint32_t idx : scratch_) {
+              deliver(i, now, due[idx], outboxes);
+            }
+          }
+        }
+      }
+      if (!dead) act(i, now, hb_now, outboxes);
+    }
+    stats_.steps += owned_.size() - dead_count_;
+    due.clear();
+  }
+
+  /// Commutative per-shard signature contribution: each diner hashes its
+  /// full final state into one word; contributions sum, so any partition
+  /// of diners onto shards yields the same total.
+  std::uint64_t state_fold() const {
+    std::uint64_t fold = 0;
+    for (std::size_t i = 0; i < owned_.size(); ++i) {
+      std::uint64_t lane = 0x666c61742d736967ULL ^ config_.seed ^
+                           (0x9e3779b97f4a7c15ULL * (owned_[i] + 1));
+      lane ^= static_cast<std::uint64_t>(phase_[i]) |
+              (static_cast<std::uint64_t>(side_[0][i]) << 8) |
+              (static_cast<std::uint64_t>(side_[1][i]) << 16) |
+              (static_cast<std::uint64_t>(meals_[i]) << 24);
+      lane ^= splitmix64(lane) ^ (rng_ctr_[i] << 1) ^ (send_seq_[i] << 32) ^
+              eat_left_[i];
+      fold += splitmix64(lane);
+    }
+    return fold;
+  }
+
+  const FlatStats& stats() const { return stats_; }
+  const std::vector<Rec>& events() const { return events_; }
+  std::uint64_t in_flight() const {
+    std::uint64_t total = 0;
+    for (const auto& bucket : wheel_) total += bucket.size();
+    return total;
+  }
+
+ private:
+  ProcessId neighbor(ProcessId pid, std::uint8_t side) const {
+    return side == 1 ? (pid + 1) % config_.n
+                     : (pid + config_.n - 1) % config_.n;
+  }
+
+  void send(std::size_t i, Time now, std::uint8_t side, std::uint32_t kind,
+            std::vector<std::vector<FlatMsg>>& outboxes) {
+    const ProcessId src = owned_[i];
+    const ProcessId dst = neighbor(src, side);
+    FlatMsg msg;
+    msg.dst = dst;
+    msg.src = src;
+    msg.kind = kind;
+    msg.side = side ^ 1;  // my right edge is my right neighbor's left edge
+    msg.seq = send_seq_[i]++;
+    // Inline of flat_delay() with the band hoisted to ctor-time members —
+    // identical lane, identical value.
+    std::uint64_t lane = config_.seed ^ 0x64656c61792d666cULL ^
+                         (0xff51afd7ed558ccdULL * (src + 1)) ^ msg.seq;
+    const std::uint64_t draw = splitmix64(lane);
+    msg.deliver_at =
+        now + delay_lo_ +
+        static_cast<Time>(delay_pow2_ ? draw & (delay_span_ - 1)
+                                      : draw % delay_span_);
+    ++stats_.messages_sent;
+    // Single-shard fast path: the outbox round-trip is a pure copy (the
+    // runner would drain it straight into accept()), and deliver_at is
+    // always in (now, now + delay_max], so the target bucket is never the
+    // one tick() is currently draining. Append order is unchanged.
+    if (shards_ == 1) {
+      wheel_[msg.deliver_at & wheel_mask_].push_back(msg);
+    } else {
+      outboxes[dst % shards_].push_back(msg);
+    }
+  }
+
+  void deliver(std::size_t i, Time now, const FlatMsg& msg,
+               std::vector<std::vector<FlatMsg>>& outboxes) {
+    ++stats_.messages_delivered;
+    const std::uint8_t side = msg.side;
+    last_heard_[side][i] = now;
+    std::uint8_t& bits = side_[side][i];
+    switch (msg.kind) {
+      case kFlatMsgReq:
+        bits |= kFlatToken;
+        // Hygiene: a dirty fork held outside a meal yields immediately.
+        if ((bits & kFlatFork) && (bits & kFlatDirty) &&
+            phase_[i] != FlatPhase::kEating) {
+          bits &= static_cast<std::uint8_t>(~(kFlatFork | kFlatDirty));
+          send(i, now, side, kFlatMsgFork, outboxes);
+        }
+        break;
+      case kFlatMsgFork:
+        bits |= kFlatFork;
+        bits &= static_cast<std::uint8_t>(~(kFlatDirty | kFlatReqSent));
+        break;
+      case kFlatMsgHb:
+      default:
+        break;
+    }
+  }
+
+  bool suspects(std::size_t i, Time now, std::uint8_t side) const {
+    return config_.suspect_after > 0 &&
+           now - last_heard_[side][i] > config_.suspect_after;
+  }
+
+  void transition(std::size_t i, Time now, FlatPhase to) {
+    if (config_.record_events) {
+      events_.push_back({now, owned_[i], 0,
+                         static_cast<std::uint8_t>(phase_[i]),
+                         static_cast<std::uint8_t>(to)});
+    }
+    phase_[i] = to;
+  }
+
+  void act(std::size_t i, Time now, Time hb_now,
+           std::vector<std::vector<FlatMsg>>& out) {
+    if (config_.hb_every > 0 && hb_now == hb_slot_[i]) {
+      send(i, now, 0, kFlatMsgHb, out);
+      send(i, now, 1, kFlatMsgHb, out);
+    }
+    switch (phase_[i]) {
+      case FlatPhase::kThinking:
+        if (flat_draw(config_.seed, owned_[i], rng_ctr_[i]++) % 100 <
+            config_.hunger_pct) {
+          transition(i, now, FlatPhase::kHungry);
+        }
+        break;
+      case FlatPhase::kHungry: {
+        bool ready = true;
+        for (std::uint8_t side = 0; side < 2; ++side) {
+          std::uint8_t& bits = side_[side][i];
+          if (bits & kFlatFork) continue;
+          if (suspects(i, now, side)) continue;  // <>P override
+          ready = false;
+          if ((bits & kFlatToken) && !(bits & kFlatReqSent)) {
+            bits &= static_cast<std::uint8_t>(~kFlatToken);
+            bits |= kFlatReqSent;
+            send(i, now, side, kFlatMsgReq, out);
+          }
+        }
+        if (ready) {
+          for (std::uint8_t side = 0; side < 2; ++side) {
+            if (side_[side][i] & kFlatFork) side_[side][i] |= kFlatDirty;
+          }
+          eat_left_[i] = config_.eat_ticks < 1 ? 1 : config_.eat_ticks;
+          ++meals_[i];
+          ++stats_.meals;
+          transition(i, now, FlatPhase::kEating);
+        }
+        break;
+      }
+      case FlatPhase::kEating:
+        if (--eat_left_[i] == 0) {
+          // Honor requests deferred during the meal: token + dirty fork.
+          for (std::uint8_t side = 0; side < 2; ++side) {
+            std::uint8_t& bits = side_[side][i];
+            if ((bits & kFlatToken) && (bits & kFlatFork)) {
+              bits &= static_cast<std::uint8_t>(~(kFlatFork | kFlatDirty));
+              send(i, now, side, kFlatMsgFork, out);
+            }
+          }
+          transition(i, now, FlatPhase::kThinking);
+        }
+        break;
+      case FlatPhase::kCrashed:
+        break;
+    }
+  }
+
+  const FlatConfig& config_;
+  std::uint32_t shard_ = 0;
+  std::uint32_t shards_ = 1;
+  std::vector<ProcessId> owned_;
+
+  // --- diner table (struct of arrays, indexed by local id) ----------------
+  std::vector<FlatPhase> phase_;
+  std::vector<std::uint8_t> side_[2];  ///< fork/dirty/token/req bits per side
+  std::vector<Time> eat_left_;
+  std::vector<std::uint32_t> meals_;
+  std::vector<std::uint64_t> rng_ctr_;
+  std::vector<std::uint64_t> send_seq_;
+  std::vector<Time> last_heard_[2];
+  std::vector<Time> crash_at_;
+
+  // --- delivery wheel -----------------------------------------------------
+  static constexpr std::uint32_t kNoMsg = 0xffffffffu;
+  std::vector<std::vector<FlatMsg>> wheel_;
+  Time wheel_mask_ = 0;
+  Time delay_lo_ = 1;
+  Time delay_span_ = 1;
+  bool delay_pow2_ = true;
+  std::vector<Time> hb_slot_;            ///< owned_[i] % hb_every
+  std::vector<std::uint32_t> chain_head_;  ///< per-diner due chain (tick-local)
+  std::vector<std::uint32_t> chain_tail_;
+  std::vector<std::uint32_t> chain_next_;
+  std::vector<std::uint32_t> scratch_;
+  std::uint64_t dead_count_ = 0;  ///< crashed owned diners (steps batching)
+
+  FlatStats stats_;
+  std::vector<Rec> events_;
+};
+
+}  // namespace wfd::sim

@@ -51,8 +51,22 @@ struct NetConfig {
   /// A duplicate is re-delivered 1..dup_spread ticks after the original.
   Time dup_spread = 8;
   std::vector<PartitionWindow> partitions;
+  /// Opt-in retransmitting channel wrapper (the repo's first protocol
+  /// change motivated by an adversary vector — the v13 finding that a
+  /// healed transient partition still starves permanently, because fork
+  /// transfers are sent once and never again). When > 0, a send the
+  /// adversary eats is re-offered to the channel every `retransmit_every`
+  /// ticks, up to `retransmit_max` attempts; each attempt re-tests the
+  /// partition windows at ITS instant (deterministic) and re-draws loss
+  /// from the adversary's own generator, so a retransmit across a healed
+  /// window goes through. Exhausting every attempt drops the message for
+  /// real (counted in messages_lost). 0 = off: the one-shot channel above.
+  Time retransmit_every = 0;
+  std::uint32_t retransmit_max = 16;
 
   bool enabled() const {
+    // Retransmission alone (no loss, no partitions) never fires, so it does
+    // not by itself enable the adversary path.
     return loss_rate > 0.0 || dup_rate > 0.0 || !partitions.empty();
   }
 };

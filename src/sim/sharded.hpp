@@ -1,0 +1,201 @@
+// Sharded deterministic execution of the flat dining core (flat_dining.hpp).
+//
+// Diners are hash-partitioned onto shards (shard_of(pid) = pid % shards) and
+// the run proceeds in TICK LOCKSTEP with two barriers per tick:
+//
+//     tick T           ┌─────────────┐     ┌─────────────┐
+//   shard 0  compute → │             │ →  exchange  →   │             │
+//   shard 1  compute → │  barrier A  │ →  exchange  →   │  barrier B  │ → T+1
+//   shard k  compute → │             │ →  exchange  →   │             │
+//                      └─────────────┘     └─────────────┘
+//
+//   compute   apply due crashes, deliver tick-T messages in canonical
+//             (dst, src, seq) order, act every owned diner; sends for ANY
+//             destination are appended to outbox[me][shard_of(dst)] with
+//             their delivery tick fixed at send time.
+//   barrier A every shard's sends for tick T exist; nobody reads yet.
+//   exchange  shard s drains outbox[*][s] into its delivery wheel.
+//   barrier B all outboxes are empty; tick T+1 may begin.
+//
+// Why this is bit-reproducible at ANY shard count (the pinned contract,
+// tests/test_soa_engine.cpp): a diner's evolution is a pure function of the
+// multiset of messages delivered to it per tick and its own counters.
+// Draws are counter-based per diner, delays are a pure hash of
+// (seed, src, per-source seq), and per-tick inboxes are sorted by the total
+// order (dst, src, seq) before delivery — so neither draw interleaving nor
+// outbox arrival order (the only things a shard layout can change) is
+// observable. The run signature folds shard-commutative sums and per-diner
+// state hashes only; merged event streams are sorted by (tick, pid), a
+// total order per (diner, program point) since each diner emits in program
+// order on exactly one shard.
+#pragma once
+
+#include <algorithm>
+#include <barrier>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/flat_dining.hpp"
+#include "sim/trace.hpp"
+#include "sim/types.hpp"
+
+namespace wfd::sim {
+
+struct FlatResult {
+  FlatStats stats;
+  std::uint64_t signature = 0;  ///< shard-count-invariant run fingerprint
+  std::uint64_t in_flight = 0;  ///< messages still queued at the end
+  std::vector<Event> events;    ///< merged (tick, pid) stream, if recorded
+};
+
+namespace detail_flat {
+
+inline std::uint64_t fold64(std::uint64_t acc, std::uint64_t value) {
+  std::uint64_t lane = acc ^ (value + 0x9e3779b97f4a7c15ULL);
+  return splitmix64(lane);
+}
+
+}  // namespace detail_flat
+
+/// Run the flat dining workload to completion. Bit-identical results for
+/// any `config.shards` (including oversubscribed counts beyond the core
+/// count): same FlatStats, same signature, same merged event stream.
+inline FlatResult run_flat(const FlatConfig& config) {
+  FlatConfig cfg = config;
+  if (cfg.n < 2) cfg.n = 2;
+  std::uint32_t shards = cfg.shards;
+  if (shards < 1) shards = 1;
+  if (shards > cfg.n) shards = cfg.n;
+
+  std::vector<std::unique_ptr<FlatShard>> table;
+  table.reserve(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    table.push_back(std::make_unique<FlatShard>(cfg, s, shards));
+  }
+  // outbox[from][to]: written by shard `from` during compute, drained by
+  // shard `to` during exchange. The two barriers separate the phases, so
+  // no slot is ever touched by two threads at once.
+  std::vector<std::vector<std::vector<FlatMsg>>> outbox(shards);
+  for (auto& row : outbox) row.resize(shards);
+
+  std::barrier sync(static_cast<std::ptrdiff_t>(shards));
+  const auto worker = [&](std::uint32_t s) {
+    for (Time now = 0; now < cfg.steps; ++now) {
+      table[s]->tick(now, outbox[s]);
+      sync.arrive_and_wait();  // A: all sends for this tick are staged
+      for (std::uint32_t from = 0; from < shards; ++from) {
+        std::vector<FlatMsg>& box = outbox[from][s];
+        for (const FlatMsg& msg : box) table[s]->accept(msg);
+        box.clear();
+      }
+      sync.arrive_and_wait();  // B: all outboxes drained
+    }
+  };
+  if (shards == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(shards - 1);
+    for (std::uint32_t s = 1; s < shards; ++s) {
+      pool.emplace_back(worker, s);
+    }
+    worker(0);
+    for (std::thread& t : pool) t.join();
+  }
+
+  FlatResult result;
+  std::uint64_t state_fold = 0;
+  for (const auto& shard : table) {
+    const FlatStats& s = shard->stats();
+    result.stats.steps += s.steps;
+    result.stats.messages_sent += s.messages_sent;
+    result.stats.messages_delivered += s.messages_delivered;
+    result.stats.messages_dropped += s.messages_dropped;
+    result.stats.meals += s.meals;
+    result.stats.crashes += s.crashes;
+    result.in_flight += shard->in_flight();
+    state_fold += shard->state_fold();  // commutative across shards
+  }
+
+  if (cfg.record_events) {
+    std::vector<FlatShard::Rec> merged;
+    for (const auto& shard : table) {
+      merged.insert(merged.end(), shard->events().begin(),
+                    shard->events().end());
+    }
+    // Each diner lives on one shard and emits in tick order, so a stable
+    // sort by (tick, pid) yields one canonical stream per run.
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const FlatShard::Rec& a, const FlatShard::Rec& b) {
+                       if (a.time != b.time) return a.time < b.time;
+                       return a.pid < b.pid;
+                     });
+    result.events.reserve(merged.size());
+    for (const FlatShard::Rec& rec : merged) {
+      Event event;
+      event.time = rec.time;
+      event.pid = rec.pid;
+      if (rec.kind == 1) {
+        event.kind = EventKind::kCrash;
+      } else {
+        event.kind = EventKind::kDinerTransition;
+        event.a = 0;  // instance id (single flat instance)
+        event.b = rec.a;
+        event.c = rec.b;
+      }
+      result.events.push_back(event);
+    }
+  }
+
+  // Signature: stats (order-fixed) + commutative state fold + event stream.
+  using detail_flat::fold64;
+  std::uint64_t sig = 0x736861726465642dULL ^ cfg.seed;
+  sig = fold64(sig, result.stats.steps);
+  sig = fold64(sig, result.stats.messages_sent);
+  sig = fold64(sig, result.stats.messages_delivered);
+  sig = fold64(sig, result.stats.messages_dropped);
+  sig = fold64(sig, result.stats.meals);
+  sig = fold64(sig, result.stats.crashes);
+  sig = fold64(sig, result.in_flight);
+  sig = fold64(sig, state_fold);
+  for (const Event& event : result.events) {
+    sig = fold64(sig, event.time);
+    sig = fold64(sig, (static_cast<std::uint64_t>(event.pid) << 8) |
+                          static_cast<std::uint64_t>(event.kind));
+    sig = fold64(sig, event.b ^ (event.c << 32));
+  }
+  result.signature = sig;
+
+  // Observability mirror: flat.* counters, plus the merged event stream
+  // replayed through a registry-bound Trace so sim.events.* counters and a
+  // Perfetto export agree exactly (pinned by the obs parity test).
+  if (cfg.metrics != nullptr) {
+    obs::Registry& registry = *cfg.metrics;
+    const auto steps_id = registry.counter("flat.steps");
+    const auto sent_id = registry.counter("flat.sent");
+    const auto delivered_id = registry.counter("flat.delivered");
+    const auto dropped_id = registry.counter("flat.dropped");
+    const auto meals_id = registry.counter("flat.meals");
+    const auto crashes_id = registry.counter("flat.crashes");
+    const auto shards_id = registry.gauge("flat.shards");
+    obs::Scope scope(registry);
+    scope.add(steps_id, result.stats.steps);
+    scope.add(sent_id, result.stats.messages_sent);
+    scope.add(delivered_id, result.stats.messages_delivered);
+    scope.add(dropped_id, result.stats.messages_dropped);
+    scope.add(meals_id, result.stats.meals);
+    scope.add(crashes_id, result.stats.crashes);
+    registry.set_gauge(shards_id, static_cast<double>(shards));
+    if (!result.events.empty()) {
+      Trace mirror(result.events.size());
+      mirror.bind_metrics(&registry);
+      for (const Event& event : result.events) mirror.emit(event);
+    }
+  }
+  return result;
+}
+
+}  // namespace wfd::sim

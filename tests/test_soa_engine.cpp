@@ -1,0 +1,486 @@
+// The SoA transit store and the sharded flat engine carry a single
+// contract: STORAGE AND PARTITIONING ARE NEVER OBSERVABLE.
+//
+//   * Engine with TransitKind::kSoa is bit-identical to the legacy
+//     per-destination calendar queues — same event trace, same stats, same
+//     fuzz signature — over the whole conformance-vector corpus, every
+//     scheduler, crashes, and the golden fingerprints pinned against the
+//     original heap engine two overhauls ago.
+//   * run_flat() is bit-identical at any shard count — 1, 2, 8, and
+//     oversubscribed past the core count — same stats, same signature,
+//     same merged (tick, pid) event stream.
+//   * The obs registry mirror agrees exactly with the run: flat.* counters
+//     equal FlatStats, and a Perfetto export of the merged events validates
+//     against the registry's sim.events.* counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dining/client.hpp"
+#include "fuzz/config.hpp"
+#include "fuzz/oracles.hpp"
+#include "graph/conflict_graph.hpp"
+#include "harness/rig.hpp"
+#include "obs/metrics.hpp"
+#include "obs/perfetto.hpp"
+#include "reduce/extraction.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/flat_dining.hpp"
+#include "sim/sharded.hpp"
+#include "sim/soa_transit.hpp"
+
+namespace wfd::sim {
+namespace {
+
+bool same_event(const Event& a, const Event& b) {
+  return a.time == b.time && a.kind == b.kind && a.pid == b.pid &&
+         a.a == b.a && a.b == b.b && a.c == b.c;
+}
+
+// --- SoaTransit in isolation ------------------------------------------------
+
+/// Fill a message slot with an identifiable body.
+void stamp(Message& slot, ProcessId dst, std::uint64_t seq) {
+  slot.src = 0;
+  slot.dst = dst;
+  slot.port = 7;
+  slot.seq = seq;
+  slot.payload = Payload{1, seq, 0, 0};
+}
+
+TEST(SoaTransit, DrainsInDeliverAtThenSeqOrderAcrossAllBands) {
+  SoaTransit transit(2);
+  std::uint64_t seq = 0;
+  // Interleave pushes landing in the near wheel, the far wheel, and the
+  // outer band (past ~1M ticks), all for destination 0, plus noise for 1.
+  const Time far_start = 2 * SoaTransit::kFarWidth;  // initial horizon
+  const Time outer_start =
+      far_start + SoaTransit::kFarWidth * SoaTransit::kFarCount;
+  const std::vector<Time> dues = {
+      5,      outer_start + 9000, 700,  outer_start + 17,
+      40000,  outer_start + 17,   5,    far_start + 12345,
+      260000, 3,                  5000, outer_start + 9000,
+  };
+  for (const Time due : dues) {
+    stamp(transit.push(due, 0), 0, seq++);
+    stamp(transit.push(due + 1, 1), 1, seq++);
+  }
+  EXPECT_EQ(transit.size(), 2 * dues.size());
+
+  // Expected order for dst 0: sort the pushes by (due, push index).
+  std::vector<std::pair<Time, std::uint64_t>> expected;
+  for (std::size_t i = 0; i < dues.size(); ++i) {
+    expected.push_back({dues[i], 2 * i});  // seq of the dst-0 push
+  }
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::vector<std::pair<Time, std::uint64_t>> got;
+  const Time last = outer_start + 9001;
+  for (Time now = 1; now <= last; ++now) {
+    transit.advance(now);
+    transit.drain_ready(0, [&](const InTransit& item) {
+      got.push_back({item.deliver_at, item.msg.seq});
+      EXPECT_EQ(item.deliver_at, now);
+      return true;
+    });
+  }
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], expected[i]) << "position " << i;
+  }
+  EXPECT_EQ(transit.pending(0), 0u);
+  EXPECT_EQ(transit.size(), dues.size());  // dst 1 still queued
+}
+
+TEST(SoaTransit, DeferredItemsStayInOrderAndClearSettlesCounts) {
+  SoaTransit transit(3);
+  for (std::uint64_t i = 0; i < 6; ++i) stamp(transit.push(4, 2), 2, i);
+  stamp(transit.push(9000, 2), 2, 6);
+  for (Time now = 1; now <= 4; ++now) transit.advance(now);
+
+  // Defer everything once (one-per-sender step semantics does this), then
+  // drain: order must be unchanged.
+  transit.drain_ready(2, [](const InTransit&) { return false; });
+  std::uint64_t want = 0;
+  transit.drain_ready(2, [&](const InTransit& item) {
+    EXPECT_EQ(item.msg.seq, want++);
+    return want <= 3;  // consume 3, defer the rest again
+  });
+  EXPECT_EQ(transit.pending(2), 4u);  // 3 deferred + 1 in the far wheel
+
+  // Crash the destination: counters settle instantly, wheel slots lazily.
+  EXPECT_EQ(transit.clear_dst(2), 4u);
+  EXPECT_EQ(transit.pending(2), 0u);
+  EXPECT_EQ(transit.size(), 0u);
+  for (Time now = 5; now <= 9000; ++now) transit.advance(now);  // no crash
+  EXPECT_FALSE(transit.has_ready(2));
+}
+
+// --- Engine bit-identity: SoA vs legacy calendar queues ---------------------
+
+std::vector<std::string> vector_files() {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(WFD_VECTOR_DIR)) {
+    const std::string name = entry.path().filename().string();
+    if (name.find(".scenario.json") != std::string::npos) {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+fuzz::RunResult run_mode(const fuzz::FuzzConfig& config, TransitKind transit,
+                         fuzz::RunCapture& capture) {
+  capture = fuzz::RunCapture{};
+  capture.transit = transit;
+  return fuzz::run_config(config, capture);
+}
+
+void expect_bit_identical(const fuzz::FuzzConfig& config,
+                          const std::string& label) {
+  fuzz::RunCapture legacy_capture, soa_capture;
+  const fuzz::RunResult legacy =
+      run_mode(config, TransitKind::kCalendar, legacy_capture);
+  const fuzz::RunResult soa = run_mode(config, TransitKind::kSoa, soa_capture);
+
+  EXPECT_EQ(legacy.signature, soa.signature) << label;
+  EXPECT_EQ(legacy.failures.size(), soa.failures.size()) << label;
+  for (std::size_t i = 0;
+       i < std::min(legacy.failures.size(), soa.failures.size()); ++i) {
+    EXPECT_EQ(legacy.failures[i].oracle, soa.failures[i].oracle) << label;
+    EXPECT_EQ(legacy.failures[i].at, soa.failures[i].at) << label;
+  }
+  const fuzz::RunStats& a = legacy.stats;
+  const fuzz::RunStats& b = soa.stats;
+  EXPECT_EQ(a.steps, b.steps) << label;
+  EXPECT_EQ(a.messages_sent, b.messages_sent) << label;
+  EXPECT_EQ(a.messages_delivered, b.messages_delivered) << label;
+  EXPECT_EQ(a.messages_dropped, b.messages_dropped) << label;
+  EXPECT_EQ(a.messages_lost, b.messages_lost) << label;
+  EXPECT_EQ(a.messages_duplicated, b.messages_duplicated) << label;
+  EXPECT_EQ(a.messages_retransmitted, b.messages_retransmitted) << label;
+  EXPECT_EQ(a.in_transit, b.in_transit) << label;
+  EXPECT_EQ(a.total_meals, b.total_meals) << label;
+  EXPECT_EQ(legacy_capture.end_time, soa_capture.end_time) << label;
+  ASSERT_EQ(legacy_capture.events.size(), soa_capture.events.size()) << label;
+  for (std::size_t i = 0; i < legacy_capture.events.size(); ++i) {
+    ASSERT_TRUE(same_event(legacy_capture.events[i], soa_capture.events[i]))
+        << label << ": first divergence at event " << i << ": "
+        << to_string(legacy_capture.events[i]) << " vs "
+        << to_string(soa_capture.events[i]);
+  }
+}
+
+TEST(SoaEngineDifferential, WholeVectorCorpusIsBitIdentical) {
+  const std::vector<std::string> files = vector_files();
+  ASSERT_GE(files.size(), 12u);
+  for (const std::string& file : files) {
+    scenario::Scenario scenario;
+    std::string error;
+    ASSERT_TRUE(scenario::load_scenario_file(file, &scenario, &error))
+        << file << ": " << error;
+    expect_bit_identical(scenario.config,
+                         std::filesystem::path(file).filename().string());
+  }
+}
+
+TEST(SoaEngineDifferential, AdversaryRegimesWithRetransmitAreBitIdentical) {
+  // Regimes past the corpus: loss + duplication + partitions + retransmit
+  // all at once, both dining and extraction targets.
+  for (const bool extraction : {false, true}) {
+    fuzz::FuzzConfig config;
+    config.seed = 99;
+    config.n = 5;
+    config.steps = 30000;
+    config.target =
+        extraction ? fuzz::TargetKind::kExtraction : fuzz::TargetKind::kDining;
+    config.scheduler = fuzz::SchedulerKind::kRandom;
+    config.loss_rate = 0.08;
+    config.dup_rate = 0.05;
+    config.dup_spread = 16;
+    config.partitions.push_back({300, 900, {0, 1}});
+    config.retransmit_every = 32;
+    config.retransmit_max = 8;
+    config.crashes.push_back({4, 4000});
+    expect_bit_identical(fuzz::normalize(config),
+                         extraction ? "extraction+adversary" : "dining+adversary");
+  }
+}
+
+// --- golden fingerprints under SoA (mirrors test_determinism.cpp) -----------
+
+struct TraceHasher {
+  std::uint64_t hash = 1469598103934665603ull;
+  std::uint64_t events = 0;
+
+  void mix(std::uint64_t word) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (word >> (8 * byte)) & 0xff;
+      hash *= 1099511628211ull;
+    }
+  }
+  void on_event(const Event& e) {
+    mix(e.time);
+    mix(static_cast<std::uint64_t>(e.kind));
+    mix(e.pid);
+    mix(e.a);
+    mix(e.b);
+    mix(e.c);
+    ++events;
+  }
+};
+
+struct Fingerprint {
+  std::uint64_t trace_hash = 0;
+  std::uint64_t events = 0;
+  std::uint64_t stats_hash = 0;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+};
+
+std::uint64_t hash_stats(const Engine& engine) {
+  TraceHasher h;
+  const EngineStats& s = engine.stats();
+  h.mix(s.steps);
+  h.mix(s.messages_sent);
+  h.mix(s.messages_delivered);
+  h.mix(s.messages_dropped);
+  h.mix(s.crashes);
+  h.mix(engine.now());
+  return h.hash;
+}
+
+Fingerprint run_reduction_soa(std::uint64_t seed) {
+  harness::Rig rig(harness::RigOptions{
+      .seed = seed, .n = 3, .detector_lag = 25, .transit = TransitKind::kSoa});
+  reduce::WaitFreeBoxFactory factory(
+      [&rig](ProcessId p) { return rig.detectors[p].get(); });
+  auto extraction = reduce::build_full_extraction(rig.hosts, factory,
+                                                  reduce::ExtractionOptions{});
+  TraceHasher hasher;
+  rig.engine.trace().subscribe(
+      [&hasher](const Event& e) { hasher.on_event(e); });
+  rig.engine.schedule_crash(2, 5000);
+  rig.engine.init();
+  rig.engine.run(20000);
+  return {hasher.hash, hasher.events, hash_stats(rig.engine)};
+}
+
+Fingerprint run_hygienic_soa(std::uint64_t seed) {
+  harness::Rig rig(harness::RigOptions{
+      .seed = seed, .n = 5, .transit = TransitKind::kSoa});
+  auto instance = rig.add_hygienic_dining(10, 1, graph::make_ring(5));
+  auto clients = rig.add_clients(instance, dining::ClientConfig{});
+  TraceHasher hasher;
+  rig.engine.trace().subscribe(
+      [&hasher](const Event& e) { hasher.on_event(e); });
+  rig.engine.init();
+  rig.engine.run(20000);
+  return {hasher.hash, hasher.events, hash_stats(rig.engine)};
+}
+
+// The same constants test_determinism.cpp pins for the legacy storage —
+// captured from the ORIGINAL heap-based engine, two transit overhauls ago.
+constexpr Fingerprint kGoldenReduction{3659772812120896702ull, 28985,
+                                       13410170420198056445ull};
+constexpr Fingerprint kGoldenHygienic{2405967122402567080ull, 25494,
+                                      6419710400179810867ull};
+
+TEST(SoaEngineGolden, ReductionFingerprintSurvivesAThirdTransitOverhaul) {
+  EXPECT_EQ(run_reduction_soa(22), kGoldenReduction);
+}
+
+TEST(SoaEngineGolden, HygienicFingerprintSurvivesAThirdTransitOverhaul) {
+  EXPECT_EQ(run_hygienic_soa(3), kGoldenHygienic);
+}
+
+// --- scheduler sweep --------------------------------------------------------
+
+class RingGossip final : public Process {
+ public:
+  explicit RingGossip(std::uint32_t n) : n_(n) {}
+  void on_step(Context& ctx) override {
+    ++ticks_;
+    ctx.send((ctx.self() + 1) % n_, 1, Payload{1, ticks_, 0, 0});
+  }
+
+ private:
+  std::uint32_t n_;
+  std::uint64_t ticks_ = 0;
+};
+
+Fingerprint run_gossip(TransitKind transit, int scheduler, std::uint64_t seed,
+                       bool with_crashes) {
+  constexpr std::uint32_t n = 6;
+  Engine engine({.seed = seed, .transit = transit});
+  for (std::uint32_t p = 0; p < n; ++p) {
+    engine.add_process(std::make_unique<RingGossip>(n));
+  }
+  switch (scheduler) {
+    case 0:
+      engine.set_scheduler(std::make_unique<RoundRobinScheduler>());
+      break;
+    case 1:
+      engine.set_scheduler(std::make_unique<RandomScheduler>());
+      break;
+    case 2:
+      engine.set_scheduler(std::make_unique<WeightedScheduler>(
+          std::vector<std::uint64_t>{1, 3, 1, 7, 2, 5}));
+      break;
+    default:
+      engine.set_scheduler(std::make_unique<PausingScheduler>(
+          std::vector<PausingScheduler::Pause>{{0, 100, 900},
+                                               {3, 2000, 2500}}));
+      break;
+  }
+  if (with_crashes) {
+    engine.schedule_crash(1, 500);
+    engine.schedule_crash(4, 500);
+    engine.schedule_crash(2, 2000);
+  }
+  TraceHasher hasher;
+  engine.trace().subscribe([&hasher](const Event& e) { hasher.on_event(e); });
+  engine.init();
+  engine.run(10000);
+  return {hasher.hash, hasher.events, hash_stats(engine)};
+}
+
+TEST(SoaEngineDifferential, EverySchedulerMatchesLegacyWithAndWithoutCrashes) {
+  for (int scheduler = 0; scheduler < 4; ++scheduler) {
+    for (const bool crashes : {false, true}) {
+      EXPECT_EQ(run_gossip(TransitKind::kCalendar, scheduler, 11, crashes),
+                run_gossip(TransitKind::kSoa, scheduler, 11, crashes))
+          << "scheduler " << scheduler << " crashes " << crashes;
+    }
+  }
+}
+
+// --- sharded flat engine ----------------------------------------------------
+
+FlatConfig shard_config(std::uint32_t shards) {
+  FlatConfig config;
+  config.seed = 77;
+  config.n = 96;
+  config.steps = 4000;
+  config.shards = shards;
+  config.delay_min = 1;
+  config.delay_max = 4;
+  config.hunger_pct = 30;
+  config.eat_ticks = 3;
+  config.hb_every = 16;
+  config.suspect_after = 64;  // > hb_every + delay_max: no false suspicion
+  config.crashes = {{5, 100}, {17, 700}};
+  config.record_events = true;
+  return config;
+}
+
+TEST(ShardedFlat, BitIdenticalAtEveryShardCountIncludingOversubscribed) {
+  const FlatResult base = run_flat(shard_config(1));
+  EXPECT_GT(base.stats.meals, 0u);
+  EXPECT_EQ(base.stats.crashes, 2u);
+  EXPECT_EQ(base.stats.messages_sent,
+            base.stats.messages_delivered + base.stats.messages_dropped +
+                base.in_flight);
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  for (const std::uint32_t shards :
+       {2u, 8u, 2 * hw}) {  // oversubscribed: 2x the machine's cores
+    const FlatResult got = run_flat(shard_config(shards));
+    EXPECT_EQ(got.signature, base.signature) << shards << " shards";
+    EXPECT_EQ(got.stats, base.stats) << shards << " shards";
+    EXPECT_EQ(got.in_flight, base.in_flight) << shards << " shards";
+    ASSERT_EQ(got.events.size(), base.events.size()) << shards << " shards";
+    for (std::size_t i = 0; i < got.events.size(); ++i) {
+      ASSERT_TRUE(same_event(got.events[i], base.events[i]))
+          << shards << " shards: first divergence at event " << i;
+    }
+  }
+}
+
+TEST(ShardedFlat, RunsArePureFunctionsOfSeed) {
+  FlatConfig config = shard_config(2);
+  const FlatResult a = run_flat(config);
+  const FlatResult b = run_flat(config);
+  EXPECT_EQ(a.signature, b.signature);
+  config.seed = 78;
+  EXPECT_NE(run_flat(config).signature, a.signature);
+}
+
+/// Did `pid` ever start eating in `result`?
+bool ever_ate(const FlatResult& result, ProcessId pid) {
+  for (const Event& event : result.events) {
+    if (event.kind == EventKind::kDinerTransition && event.pid == pid &&
+        event.c == static_cast<std::uint64_t>(FlatPhase::kEating)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(ShardedFlat, SuspicionOverrideKeepsTheCrashedForkHoldersNeighborEating) {
+  // Diner 5 dies at tick 0 holding the edge-5 fork (the initial dirty-fork
+  // orientation puts edge e's fork at its lower endpoint). Diner 6's left
+  // fork is gone forever: only the timeout override can let 6 eat.
+  FlatConfig config = shard_config(4);
+  config.crashes = {{5, 0}};
+  const FlatResult with_detector = run_flat(config);
+  EXPECT_TRUE(ever_ate(with_detector, 6))
+      << "suspicion override never fired for the dead fork holder";
+
+  // The control: detector off, same crash — diner 6 blocks forever on the
+  // lost fork (the flat-engine reproduction of the v13 starvation finding,
+  // and of why the wait-free transformation needs the detector at all).
+  config.suspect_after = 0;
+  const FlatResult without_detector = run_flat(config);
+  EXPECT_FALSE(ever_ate(without_detector, 6))
+      << "diner ate using a fork its dead neighbor took to the grave";
+  EXPECT_TRUE(ever_ate(without_detector, 2))
+      << "a diner with two live neighbors must keep eating either way";
+}
+
+// --- observability parity ---------------------------------------------------
+
+TEST(ShardedFlat, RegistryMirrorsStatsAndPerfettoExportMatchesCounters) {
+  obs::Registry registry;
+  FlatConfig config = shard_config(3);
+  config.n = 24;
+  config.steps = 1500;
+  config.crashes = {{5, 100}};
+  config.metrics = &registry;
+  const FlatResult result = run_flat(config);
+
+  const obs::Snapshot snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter_value("flat.steps"), result.stats.steps);
+  EXPECT_EQ(snapshot.counter_value("flat.sent"), result.stats.messages_sent);
+  EXPECT_EQ(snapshot.counter_value("flat.delivered"),
+            result.stats.messages_delivered);
+  EXPECT_EQ(snapshot.counter_value("flat.dropped"),
+            result.stats.messages_dropped);
+  EXPECT_EQ(snapshot.counter_value("flat.meals"), result.stats.meals);
+  EXPECT_EQ(snapshot.counter_value("flat.crashes"), result.stats.crashes);
+  ASSERT_NE(snapshot.find_gauge("flat.shards"), nullptr);
+  EXPECT_EQ(snapshot.find_gauge("flat.shards")->value, 3.0);
+
+  // The merged event stream was replayed through a registry-bound Trace;
+  // a Perfetto export of the same stream must agree with those counters
+  // exactly, kind by kind.
+  std::ostringstream out;
+  obs::write_perfetto(result.events, out);
+  const std::map<std::string, std::uint64_t> expected =
+      obs::expected_counts_from(snapshot);
+  ASSERT_FALSE(expected.empty());
+  std::string why;
+  EXPECT_TRUE(obs::validate_trace_json(out.str(), &expected, &why)) << why;
+}
+
+}  // namespace
+}  // namespace wfd::sim

@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Compare two bench JSON row files and emit a machine-readable verdict.
+
+The bench binaries (bench/bench_e*.cpp, via bench_util.hpp's JsonRows)
+write flat arrays of row objects: identity fields (strings/bools/small
+config ints) plus measured metrics. This tool joins BASELINE and CURRENT on
+the identity fields and checks, per row, that each watched metric did not
+regress below a threshold fraction of the baseline:
+
+  tools/bench_compare.py BASELINE CURRENT \\
+      --metric messages_per_sec:0.5 --metric steps_per_sec:0.5 \\
+      [--json verdict.json]
+
+A row may carry its own per-row floor in the BASELINE file: a numeric field
+"min_<metric>" pins an absolute lower bound for <metric> in the matching
+CURRENT row (useful for acceptance rows like "flat dining >= 5x scalar",
+where the ratio was already baked into the recorded numbers), and
+"threshold_<metric>" overrides the global ratio for just that row.
+
+Exit codes: 0 verdict pass, 1 verdict fail, 2 usage/shape error. The
+--json document has the shape
+
+  {"verdict": "pass"|"fail", "checked": N, "regressions": [...],
+   "unmatched_baseline": N, "rows": [{"key": {...}, "metric": ...,
+   "baseline": B, "current": C, "ratio": R, "floor": F, "ok": bool}]}
+
+--selftest runs the embedded unit checks (synthetic rows; no files) — wired
+as a tier-1 ctest so comparator bugs fail CI before any perf run trusts it.
+"""
+import argparse
+import json
+import sys
+
+#: Fields that are measurements, never identity. Everything else (strings,
+#: bools, and config-sized ints like n/seed/steps/ticks/shards) keys the
+#: join between baseline and current rows.
+METRIC_HINTS = ("_per_sec", "_acts", "seconds")
+ROW_OVERRIDE_PREFIXES = ("min_", "threshold_")
+
+
+def is_metric_field(name):
+    if name.startswith(ROW_OVERRIDE_PREFIXES):
+        return True
+    return any(hint in name for hint in METRIC_HINTS)
+
+
+def row_key(row):
+    return tuple(sorted(
+        (k, v) for k, v in row.items() if not is_metric_field(k)))
+
+
+def compare(baseline_rows, current_rows, metrics, why=None):
+    """Join rows and grade metrics. Returns the verdict document."""
+    current_by_key = {}
+    for row in current_rows:
+        current_by_key.setdefault(row_key(row), []).append(row)
+
+    results = []
+    regressions = []
+    unmatched = 0
+    for base in baseline_rows:
+        key = row_key(base)
+        matches = current_by_key.get(key)
+        if not matches:
+            unmatched += 1
+            continue
+        cur = matches[0]
+        for metric, ratio in metrics.items():
+            if metric not in base or metric not in cur:
+                continue
+            b, c = float(base[metric]), float(cur[metric])
+            floor = float(base.get("threshold_" + metric, ratio)) * b
+            abs_floor = base.get("min_" + metric)
+            if abs_floor is not None:
+                floor = max(floor, float(abs_floor))
+            ok = c >= floor
+            entry = {
+                "key": dict(key),
+                "metric": metric,
+                "baseline": b,
+                "current": c,
+                "ratio": c / b if b > 0 else None,
+                "floor": floor,
+                "ok": ok,
+            }
+            results.append(entry)
+            if not ok:
+                regressions.append(entry)
+    return {
+        "verdict": "pass" if not regressions and results else "fail",
+        "checked": len(results),
+        "regressions": regressions,
+        "unmatched_baseline": unmatched,
+        "rows": results,
+    }
+
+
+def parse_metrics(specs):
+    metrics = {}
+    for spec in specs:
+        name, _, ratio = spec.partition(":")
+        if not name:
+            raise ValueError(f"bad --metric {spec!r}")
+        metrics[name] = float(ratio) if ratio else 1.0
+    return metrics
+
+
+def selftest():
+    base = [
+        {"bench": "x", "section": "s", "n": 10, "messages_per_sec": 100},
+        {"bench": "x", "section": "t", "n": 10, "messages_per_sec": 200,
+         "threshold_messages_per_sec": 0.9},
+        {"bench": "x", "section": "u", "n": 10, "messages_per_sec": 50,
+         "min_messages_per_sec": 400},
+    ]
+    checks = []
+
+    # Identical files pass and every metric row is checked.
+    doc = compare(base[:1], base[:1], {"messages_per_sec": 0.5})
+    checks.append(("self-compare passes", doc["verdict"] == "pass"))
+    checks.append(("self-compare checked a row", doc["checked"] == 1))
+
+    # A regression below the global ratio fails; above it passes.
+    cur = [dict(base[0], messages_per_sec=40)]
+    doc = compare(base[:1], cur, {"messages_per_sec": 0.5})
+    checks.append(("40% of baseline fails at ratio 0.5",
+                   doc["verdict"] == "fail" and len(doc["regressions"]) == 1))
+    cur = [dict(base[0], messages_per_sec=60)]
+    doc = compare(base[:1], cur, {"messages_per_sec": 0.5})
+    checks.append(("60% of baseline passes at ratio 0.5",
+                   doc["verdict"] == "pass"))
+
+    # Per-row threshold override beats the global ratio.
+    cur = [dict(base[1], messages_per_sec=150)]
+    doc = compare(base[1:2], cur, {"messages_per_sec": 0.5})
+    checks.append(("row threshold 0.9 rejects 75% of baseline",
+                   doc["verdict"] == "fail"))
+
+    # Absolute per-row floor applies even when the ratio would pass.
+    cur = [dict(base[2], messages_per_sec=300)]
+    doc = compare(base[2:3], cur, {"messages_per_sec": 0.5})
+    checks.append(("min_ floor 400 rejects 300", doc["verdict"] == "fail"))
+    cur = [dict(base[2], messages_per_sec=450)]
+    doc = compare(base[2:3], cur, {"messages_per_sec": 0.5})
+    checks.append(("min_ floor 400 accepts 450", doc["verdict"] == "pass"))
+
+    # Identity fields must match exactly for rows to join.
+    cur = [dict(base[0], n=20)]
+    doc = compare(base[:1], cur, {"messages_per_sec": 0.5})
+    checks.append(("different identity never joins",
+                   doc["checked"] == 0 and doc["unmatched_baseline"] == 1))
+    checks.append(("no joined rows is a fail, not a silent pass",
+                   doc["verdict"] == "fail"))
+
+    failures = [name for name, ok in checks if not ok]
+    for name, ok in checks:
+        print(f"{'ok  ' if ok else 'FAIL'} {name}")
+    print(f"{len(checks) - len(failures)}/{len(checks)} selftest checks pass")
+    return 0 if not failures else 1
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="grade bench JSON rows against a baseline")
+    parser.add_argument("baseline", nargs="?", help="baseline rows (JSON)")
+    parser.add_argument("current", nargs="?", help="current rows (JSON)")
+    parser.add_argument("--metric", action="append", default=[],
+                        metavar="NAME[:RATIO]",
+                        help="metric to watch; RATIO is the allowed "
+                             "current/baseline floor (default 1.0)")
+    parser.add_argument("--json", metavar="FILE",
+                        help="write the verdict document to FILE")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run embedded unit checks and exit")
+    args = parser.parse_args(argv[1:])
+
+    if args.selftest:
+        return selftest()
+    if not args.baseline or not args.current or not args.metric:
+        parser.error("BASELINE, CURRENT and at least one --metric required")
+
+    try:
+        with open(args.baseline, encoding="utf-8") as handle:
+            baseline_rows = json.load(handle)
+        with open(args.current, encoding="utf-8") as handle:
+            current_rows = json.load(handle)
+        metrics = parse_metrics(args.metric)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"bench_compare: {error}", file=sys.stderr)
+        return 2
+    if not isinstance(baseline_rows, list) or not isinstance(current_rows, list):
+        print("bench_compare: inputs must be JSON arrays of rows",
+              file=sys.stderr)
+        return 2
+
+    doc = compare(baseline_rows, current_rows, metrics)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=1)
+            handle.write("\n")
+    for entry in doc["regressions"]:
+        key = ", ".join(f"{k}={v}" for k, v in sorted(entry["key"].items()))
+        print(f"REGRESSION {entry['metric']}: {entry['current']:.0f} < "
+              f"floor {entry['floor']:.0f} (baseline {entry['baseline']:.0f}) "
+              f"[{key}]")
+    print(f"bench_compare: {doc['verdict']} "
+          f"({doc['checked']} metric rows checked, "
+          f"{len(doc['regressions'])} regressions, "
+          f"{doc['unmatched_baseline']} baseline rows unmatched)")
+    return 0 if doc["verdict"] == "pass" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

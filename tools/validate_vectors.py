@@ -46,7 +46,9 @@ SECTION_KEYS = {
     "timing": {"delay", "min", "max", "geo_p", "gst"},
     "box": {"exclusive_from", "semantics", "member0_burst", "grant_holdoff",
             "never_exit_member"},
-    "network": {"loss_rate", "dup_rate", "dup_spread", "partitions"},
+    "network": {"loss_rate", "dup_rate", "dup_spread", "partitions",
+                "retransmit"},
+    "network.retransmit": {"every", "max_attempts"},
     "crashes[]": {"pid", "at"},
     "mistake_windows[]": {"watcher", "subject", "from", "until"},
     "scheduler.pauses[]": {"pid", "from", "until"},
@@ -142,6 +144,12 @@ def validate(doc):
         check_items(doc["network"].get("partitions", []),
                     "network.partitions[]",
                     SECTION_KEYS["network.partitions[]"])
+        if "retransmit" in doc["network"]:
+            retransmit = doc["network"]["retransmit"]
+            if not isinstance(retransmit, dict):
+                fail("network.retransmit", "must be an object")
+            check_keys(retransmit, "network.retransmit",
+                       SECTION_KEYS["network.retransmit"])
 
     expect = doc["expect"]
     check_keys(expect, "expect", SECTION_KEYS["expect"])
