@@ -1,6 +1,6 @@
 // E17 — model-checker engine throughput. Measures exhaustive-exploration
 // speed (reachable states/sec) across every checker model, thread count,
-// and crash configuration:
+// crash configuration and state-space reduction level:
 //
 //   reduction  the Alg. 1/2 abstraction, one- and two-pair composition —
 //              the two-pair spaces (~0.5M / ~8.3M states) are the real
@@ -8,22 +8,24 @@
 //   gkk        the Section 3 counterexample (graph-collecting, tiny);
 //   ablation   the E9 single-instance extraction (graph-collecting, tiny).
 //
+// The reduced rows sweep Reduction::{kSymmetry, kPor, kSymmetryPor} on the
+// two-pair spaces and report the orbit-reduction factor (full-space states
+// per stored state) and bytes/state alongside the throughput; the verdict
+// and — for POR — the reachable state set must be identical to the
+// unreduced rows, which the shape checks enforce. A spill row reruns the
+// headline space with a frontier budget below its working set and must
+// reproduce the exact same exploration out of temp files.
+//
 // This is the perf-trajectory anchor for the model-checker engine: run it
 // before and after any engine change and diff the JSON rows (see
-// BENCH_e17.json at the repo root for the recorded lock-free-overhaul
-// baseline). The headline rows are the pairs=2 reductions at 4 threads.
-//
-// Every configuration is explored at each thread count and the results are
-// shape-checked for the engine's determinism guarantee: identical states,
-// transitions, depth and verdict at every thread count.
+// BENCH_e17.json at the repo root for the recorded baselines). The
+// headline rows are the pairs=2 reductions at 4 threads.
 //
 // Sweep scheduling goes through harness::run_campaign with one JobMeta per
-// configuration, which forwards the exact per-config reachable-state count
-// into CheckOptions::expected_states — each job's seen-set is pre-sized to
-// its own space, never rehashes, and never oversizes (an oversized table
-// measurably hurts cache locality on the small spaces). The campaign pool
-// is one job at a time: each job is internally parallel, and overlapping
-// jobs would corrupt each other's timings.
+// configuration; JobMeta::expected_for(symmetry) forwards the reduced
+// state count for symmetry rows (a full-space hint would pre-size the
+// seen-set several times past its fill — and on the 52-bit two-pair codes
+// the compact table only beats the classic one when the hint is honest).
 //
 // Usage: bench_e17_mc_throughput [--quick] [--threads N] [--json out.json]
 #include <chrono>
@@ -51,10 +53,13 @@ struct Config {
   bool accuracy = false;
   int pairs = 1;
   int threads = 1;
+  mc::Reduction reduction = mc::Reduction::kNone;
+  std::uint64_t frontier_budget = 0;  // 0 = unlimited (never spill)
 };
 
 struct Row {
   Config config;
+  harness::JobMeta meta;
   mc::CheckResult result;
   double seconds = 0.0;
 };
@@ -97,13 +102,17 @@ int main(int argc, char** argv) {
 
   bench::banner("E17: model-checker throughput",
                 "Exhaustive-exploration speed of every checker model across "
-                "thread counts and crash configurations.");
+                "thread counts, crash configurations and reduction levels.");
 
   // The exact reachable-state counts (machine-checked in tests and E11)
-  // become per-job seen-set pre-sizing hints.
+  // become per-job seen-set pre-sizing hints: `expected_states` is the full
+  // space, `expected_stored` the states actually stored at the row's
+  // reduction level (equal for kNone and kPor — POR preserves the state
+  // set; smaller for the symmetry quotients).
   struct Shape {
     Config config;
     std::uint64_t expected_states;
+    std::uint64_t expected_stored;
   };
   std::vector<Shape> shapes;
   const std::vector<int> thread_grid =
@@ -112,8 +121,18 @@ int main(int argc, char** argv) {
                                  int pairs, std::uint64_t states) {
     for (const int threads : thread_grid) {
       shapes.push_back({{"reduction", mode, crash, accuracy, pairs, threads},
-                        states});
+                        states, states});
     }
+  };
+  // One reduced row per level; `stored` is that level's exact stored-state
+  // count (pinned by tests/test_model_checker.cpp's closed forms).
+  const auto add_reduced = [&](mc::BoxMode mode, bool crash, bool accuracy,
+                               int pairs, int threads, mc::Reduction level,
+                               std::uint64_t full, std::uint64_t stored,
+                               std::uint64_t budget = 0) {
+    Config config{"reduction", mode, crash, accuracy, pairs, threads, level,
+                  budget};
+    shapes.push_back({config, full, stored});
   };
   if (!quick) {
     add_reduction(mc::BoxMode::kExclusive, false, true, 1, 719);
@@ -122,18 +141,43 @@ int main(int argc, char** argv) {
     add_reduction(mc::BoxMode::kArbitrary, true, false, 1, 2888);
   }
   add_reduction(mc::BoxMode::kExclusive, false, true, 2, 516961);
+  // The reduction-level sweep on the headline space (~0.5M states).
+  for (const int threads : {1, 4}) {
+    add_reduced(mc::BoxMode::kExclusive, false, true, 2, threads,
+                mc::Reduction::kSymmetry, 516961, 83436);
+    add_reduced(mc::BoxMode::kExclusive, false, true, 2, threads,
+                mc::Reduction::kPor, 516961, 516961);
+    add_reduced(mc::BoxMode::kExclusive, false, true, 2, threads,
+                mc::Reduction::kSymmetryPor, 516961, 166464);
+  }
+  // Spill demonstration: a frontier budget far below the headline space's
+  // working set; the exploration must come back identical, out of files.
+  add_reduced(mc::BoxMode::kExclusive, false, true, 2, 4,
+              mc::Reduction::kNone, 516961, 516961, /*budget=*/128 * 1024);
   if (!quick) {
     add_reduction(mc::BoxMode::kArbitrary, true, false, 2, 8340544);
-    shapes.push_back({{"gkk-fork", {}, false, false, 1, 1}, 64});
-    shapes.push_back({{"gkk-lockout", {}, false, false, 1, 1}, 64});
-    shapes.push_back({{"ablation", {}, false, false, 1, 1}, 64});
+    // The big (~8.3M-state) space, reduced, at the headline thread count.
+    add_reduced(mc::BoxMode::kArbitrary, true, false, 2, 4,
+                mc::Reduction::kSymmetry, 8340544, 1521640);
+    add_reduced(mc::BoxMode::kArbitrary, true, false, 2, 4,
+                mc::Reduction::kPor, 8340544, 8340544);
+    add_reduced(mc::BoxMode::kArbitrary, true, false, 2, 4,
+                mc::Reduction::kSymmetryPor, 8340544, 3041536);
+    shapes.push_back({{"gkk-fork", {}, false, false, 1, 1}, 64, 64});
+    shapes.push_back({{"gkk-lockout", {}, false, false, 1, 1}, 64, 64});
+    shapes.push_back({{"ablation", {}, false, false, 1, 1}, 64, 64});
   }
 
   std::vector<Config> configs;
   std::vector<harness::JobMeta> metas;
   for (const Shape& shape : shapes) {
     configs.push_back(shape.config);
-    metas.push_back({shape.expected_states});
+    harness::JobMeta meta;
+    meta.expected_states = shape.expected_states;
+    if (mc::reduction_has_symmetry(shape.config.reduction)) {
+      meta.expected_states_symmetry = shape.expected_stored;
+    }
+    metas.push_back(meta);
   }
 
   // One campaign job at a time (each job is internally parallel).
@@ -142,10 +186,15 @@ int main(int argc, char** argv) {
       [](const Config& config, const harness::JobMeta& meta) {
         const auto start = std::chrono::steady_clock::now();
         const mc::CheckResult result = run_config(
-            config, {.threads = config.threads,
-                     .expected_states = meta.expected_states});
+            config,
+            {.threads = config.threads,
+             .expected_states = meta.expected_for(
+                 mc::reduction_has_symmetry(config.reduction)),
+             .reduction = config.reduction,
+             .frontier_budget_bytes = config.frontier_budget});
         Row row;
         row.config = config;
+        row.meta = meta;
         row.result = result;
         row.seconds =
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -155,8 +204,9 @@ int main(int argc, char** argv) {
       },
       /*threads=*/1);
 
-  sim::Table table({"model", "mode", "crash", "pairs", "threads", "states",
-                    "states_per_sec", "seen_mb", "verdict"}, 12);
+  sim::Table table({"model", "mode", "crash", "pairs", "reduction", "threads",
+                    "states", "states_per_sec", "b_per_state", "verdict"},
+                   12);
   table.print_header();
   bench::ShapeCheck shape_check;
   bench::JsonRows json;
@@ -164,29 +214,51 @@ int main(int argc, char** argv) {
     const Config& c = row.config;
     const mc::CheckResult& r = row.result;
     const double rate = row.seconds > 0.0 ? r.states / row.seconds : 0.0;
+    const double bytes_per_state =
+        r.states > 0 ? static_cast<double>(r.seen_bytes) / r.states : 0.0;
     const char* mode_name = c.model == "reduction"
                                 ? (c.mode == mc::BoxMode::kExclusive
                                        ? "exclusive"
                                        : "arbitrary")
                                 : "-";
     table.print_row(c.model, mode_name, bench::yesno(c.crash), c.pairs,
-                    c.threads, r.states, static_cast<std::uint64_t>(rate),
-                    r.seen_bytes / (1024.0 * 1024.0),
+                    mc::reduction_name(r.reduction), c.threads, r.states,
+                    static_cast<std::uint64_t>(rate), bytes_per_state,
                     mc::verdict_name(r.verdict));
     json.begin_row();
     json.field("experiment", "e17").field("model", c.model)
         .field("mode", mode_name).field("crash", c.crash)
         .field("pairs", c.pairs).field("threads", c.threads)
+        .field("reduction", mc::reduction_name(r.reduction))
+        .field("spill", c.frontier_budget != 0)
         .field("states", r.states).field("transitions", r.transitions)
         .field("depth", r.depth).field("seconds", row.seconds)
         .field("states_per_sec", static_cast<std::uint64_t>(rate))
         .field("seen_bytes", r.seen_bytes)
+        .field("bytes_per_state", bytes_per_state)
         .field("graph_bytes", r.graph_bytes)
+        .field("frontier_peak_bytes", r.frontier_peak_bytes)
+        .field("spilled_bytes", r.spilled_bytes)
         .field("verdict", mc::verdict_name(r.verdict));
+    if (c.model == "reduction" && r.states > 0) {
+      const double factor =
+          static_cast<double>(row.meta.expected_states) / r.states;
+      json.field("orbit_reduction_factor", factor);
+      if (r.reduction == mc::Reduction::kSymmetry) {
+        // Acceptance floor baked into the recorded rows: the comparator
+        // (tools/bench_compare.py) hard-fails if a future engine stores
+        // less than 3x fewer states than the full space on these rows.
+        // (kSymmetry only: kSymmetryPor restricts the group to the
+        // per-pair flips, whose factor is ~2-4x depending on the space.)
+        json.field("min_orbit_reduction_factor", 3.0);
+      }
+    }
   }
 
   // Determinism: within one configuration, every thread count must report
-  // the identical exploration.
+  // the identical exploration. Reduced rows are further pinned against the
+  // unreduced row of the same space: identical verdict always; identical
+  // state set for POR (which prunes only interleavings).
   for (std::size_t i = 0; i < rows.size(); ++i) {
     for (std::size_t j = i + 1; j < rows.size(); ++j) {
       const Config& a = rows[i].config;
@@ -197,15 +269,28 @@ int main(int argc, char** argv) {
       }
       const mc::CheckResult& ra = rows[i].result;
       const mc::CheckResult& rb = rows[j].result;
-      shape_check.expect(ra.states == rb.states &&
-                             ra.transitions == rb.transitions &&
-                             ra.depth == rb.depth &&
-                             ra.verdict == rb.verdict,
-                         "thread-count-independent exploration for " +
-                             a.model + " pairs=" + std::to_string(a.pairs));
+      shape_check.expect(ra.verdict == rb.verdict,
+                         "reduction-independent verdict for " + a.model +
+                             " pairs=" + std::to_string(a.pairs));
+      if (a.reduction == b.reduction && a.frontier_budget == b.frontier_budget) {
+        shape_check.expect(ra.states == rb.states &&
+                               ra.transitions == rb.transitions &&
+                               ra.depth == rb.depth,
+                           "thread-count-independent exploration for " +
+                               a.model + " pairs=" + std::to_string(a.pairs) +
+                               " " + mc::reduction_name(ra.reduction));
+      }
+      const bool a_keeps_states = !mc::reduction_has_symmetry(ra.reduction);
+      const bool b_keeps_states = !mc::reduction_has_symmetry(rb.reduction);
+      if (a_keeps_states && b_keeps_states) {
+        shape_check.expect(ra.states == rb.states,
+                           "POR/spill preserve the reachable state set for " +
+                               a.model + " pairs=" + std::to_string(a.pairs));
+      }
     }
   }
-  // The expected verdicts (the throughput run is still a real check).
+  // The expected verdicts (the throughput run is still a real check), the
+  // reduction factors and the spill row's behaviour.
   for (const Row& row : rows) {
     const bool lasso_expected =
         row.config.model == "gkk-fork" || row.config.model == "ablation";
@@ -214,6 +299,25 @@ int main(int argc, char** argv) {
                                                   : mc::Verdict::kOk),
                        row.config.model + ": unexpected verdict " +
                            mc::verdict_name(row.result.verdict));
+    if (row.config.model == "reduction") {
+      shape_check.expect(row.result.reduction == row.config.reduction,
+                         "requested reduction level actually ran");
+      shape_check.expect(row.result.states == row.meta.expected_for(
+                             mc::reduction_has_symmetry(row.config.reduction)),
+                         "stored states match the recorded closed form for " +
+                             std::string(mc::reduction_name(
+                                 row.config.reduction)));
+    }
+    if (row.config.reduction == mc::Reduction::kSymmetry &&
+        row.config.pairs == 2) {
+      shape_check.expect(
+          row.meta.expected_states >= 3 * row.result.states,
+          "symmetry alone stores >= 3x fewer states (acceptance floor)");
+    }
+    if (row.config.frontier_budget != 0) {
+      shape_check.expect(row.result.spilled_bytes > 0,
+                         "the budgeted row actually spilled");
+    }
   }
 
   // Headline: the pairs=2 reduction at 4 threads should beat 1 thread on
@@ -223,7 +327,9 @@ int main(int argc, char** argv) {
   double base_seq = 0.0;
   for (const Row& row : rows) {
     if (row.config.model != "reduction" || row.config.pairs != 2 ||
-        row.config.mode != mc::BoxMode::kExclusive || row.seconds <= 0.0) {
+        row.config.mode != mc::BoxMode::kExclusive || row.seconds <= 0.0 ||
+        row.config.reduction != mc::Reduction::kNone ||
+        row.config.frontier_budget != 0) {
       continue;
     }
     const double rate = row.result.states / row.seconds;
@@ -297,10 +403,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::cout << "\nEngine shape: lock-free seen-set (one CAS per new state), "
-               "persistent worker pool\n(std::barrier per BFS level), CSR "
-               "reachable graph for analyze hooks; identical\nverdict and "
-               "state count at every thread count (see also BENCH_e17.json "
-               "for the\nrecorded pre/post overhaul comparison).\n";
+  std::cout << "\nEngine shape: bit-packed frontier segments (disk-spillable "
+               "past a budget),\ncompact or classic lock-free seen-set (chosen "
+               "per code width), symmetry/POR\nreduction levels with identical "
+               "verdicts, persistent worker pool\n(std::barrier per BFS "
+               "level), CSR reachable graph for analyze hooks; identical\n"
+               "verdict and state count at every thread count (see "
+               "BENCH_e17.json for the\nrecorded pre/post comparisons).\n";
   return shape_check.finish("E17");
 }

@@ -35,7 +35,22 @@ inline int campaign_threads(int requested, std::size_t jobs) {
 /// its own space (an accurate per-config hint; one global estimate would
 /// oversize small jobs, which measurably hurts cache locality).
 struct JobMeta {
+  /// Reachable states of the FULL (unreduced) space.
   std::uint64_t expected_states = 0;
+  /// Stored (canonical) states when the checker runs a symmetry-reducing
+  /// exploration; 0 = unknown. A symmetry-reduced job that pre-sizes from
+  /// the full-space count allocates a seen-set several times larger than
+  /// its fill ever reaches — forward expected_for() instead.
+  std::uint64_t expected_states_symmetry = 0;
+
+  /// The pre-size hint appropriate for a run: the symmetry-reduced count
+  /// when the run canonicalizes orbits (and the count is known), the full
+  /// count otherwise.
+  std::uint64_t expected_for(bool symmetry_reduced) const {
+    return symmetry_reduced && expected_states_symmetry != 0
+               ? expected_states_symmetry
+               : expected_states;
+  }
 };
 
 /// Live campaign progress, handed to ProgressOptions::on_progress.

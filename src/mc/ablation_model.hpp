@@ -38,6 +38,12 @@ class AblationModel {
   std::string describe(const State& state) const;
   /// Lasso search over the reached graph (see file header).
   std::string analyze(const ReachView<State>& graph) const;
+
+  /// CompactModel: 2+2 thread-state bits plus four flags.
+  int code_bits() const { return 8; }
+  /// SymmetricModel, trivially: witness and subject play distinct roles in
+  /// the single-instance extraction, so the renaming group is the identity.
+  State canonical(const State& state, Reduction) const { return state; }
 };
 
 CheckResult check_ablation(const CheckOptions& check = {});

@@ -1,0 +1,197 @@
+// Compact state codec for the model-checking engine.
+//
+// Every engine-visible state is a packed integral key ("code"). Models that
+// declare how many of the low bits are actually significant (the CompactModel
+// hook `code_bits()`) let the engine store frontiers bit-packed at that exact
+// width and switch the seen-set to a 32-bit-entry compact table — bytes/state
+// drops several-fold on the big composed spaces. Models without the hook get
+// the full 8*sizeof(bits) width and behave exactly as before.
+//
+// Two storage primitives live here:
+//  * PackedCodeVector — an append-only vector of fixed-width codes packed
+//    back-to-back into 64-bit words (codes may straddle a word boundary).
+//    This is the frontier-segment representation, and the unit that the
+//    spillable frontier writes to / reads back from temp files.
+//  * DeltaEdgeLog — the per-worker edge log feeding the CSR build for
+//    AnalyzableModel types. Instead of 8B+1B per edge it stores, per
+//    expanded node, a varint out-degree followed by one varint XOR-delta
+//    (to-code XOR from-code; successors share most bits with their source
+//    in these packed encodings) plus a label byte per edge.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace wfd::mc {
+
+/// Models may declare the number of significant low bits of their packed
+/// state key. Must be in [1, 64] and every reachable state's code must fit:
+/// the engine reports a code with higher bits set as a model error.
+template <class M>
+concept CompactModel = requires(const M model) {
+  { model.code_bits() } -> std::convertible_to<int>;
+};
+
+template <class M>
+int model_code_bits(const M& model) {
+  if constexpr (CompactModel<M>) {
+    const int bits = model.code_bits();
+    assert(bits >= 1 && bits <= 64);
+    return bits;
+  } else {
+    return static_cast<int>(
+        8 * sizeof(std::declval<typename M::State>().bits));
+  }
+}
+
+/// All-ones mask of the low `bits` bits (bits in [1, 64]).
+inline constexpr std::uint64_t code_mask(int bits) {
+  return bits >= 64 ? ~0ull : ((1ull << bits) - 1);
+}
+
+/// Append-only fixed-width bit-packed code store. Codes are written LSB-first
+/// back-to-back; a code may straddle two words. Random-access reads only —
+/// no mutation after append — so the word array can be spilled to disk and
+/// re-materialized verbatim.
+class PackedCodeVector {
+ public:
+  PackedCodeVector() = default;
+  explicit PackedCodeVector(int width) : width_(width) {
+    assert(width >= 1 && width <= 64);
+  }
+
+  void push_back(std::uint64_t code) {
+    assert(width_ == 64 || (code >> width_) == 0);
+    const std::size_t bit = size_ * static_cast<std::size_t>(width_);
+    const std::size_t word = bit >> 6;
+    const int shift = static_cast<int>(bit & 63);
+    if (word >= words_.size()) words_.push_back(0);
+    words_[word] |= code << shift;
+    const int spill = shift + width_ - 64;  // bits overflowing into word+1
+    if (spill > 0) {
+      words_.push_back(code >> (width_ - spill));
+    }
+    ++size_;
+  }
+
+  std::uint64_t operator[](std::size_t i) const {
+    return read(words_.data(), width_, i);
+  }
+
+  /// Decode code `i` out of a raw word array packed at `width` bits.
+  /// (Static so spilled segments can be decoded from a scratch buffer.)
+  static std::uint64_t read(const std::uint64_t* words, int width,
+                            std::size_t i) {
+    const std::size_t bit = i * static_cast<std::size_t>(width);
+    const std::size_t word = bit >> 6;
+    const int shift = static_cast<int>(bit & 63);
+    std::uint64_t code = words[word] >> shift;
+    const int spill = shift + width - 64;
+    if (spill > 0) {
+      code |= words[word + 1] << (width - spill);
+    }
+    return code & code_mask(width);
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int width() const { return width_; }
+  const std::uint64_t* words() const { return words_.data(); }
+  std::size_t word_count() const { return words_.size(); }
+  std::uint64_t bytes() const {
+    return words_.capacity() * sizeof(std::uint64_t);
+  }
+
+  /// Words needed to hold `count` codes of `width` bits.
+  static std::size_t words_for(std::size_t count, int width) {
+    return (count * static_cast<std::size_t>(width) + 63) >> 6;
+  }
+
+  void clear() {
+    words_.clear();
+    size_ = 0;
+  }
+
+ private:
+  int width_ = 64;
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+};
+
+/// LEB128 varint append.
+inline void varint_put(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// LEB128 varint read; advances `pos`.
+inline std::uint64_t varint_get(const std::uint8_t* bytes, std::size_t& pos) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const std::uint8_t b = bytes[pos++];
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+/// Per-worker delta-compressed edge log. One record per expanded node:
+/// the node's code goes into `keys` (needed uncompressed for the CSR sort),
+/// its record offset into `offsets`, and the byte stream holds
+/// varint(degree) then per edge varint(to_code XOR from_code) + label byte.
+struct DeltaEdgeLog {
+  std::vector<std::uint64_t> keys;
+  std::vector<std::uint64_t> offsets;  // byte offset of each node's record
+  std::vector<std::uint8_t> stream;
+  std::uint64_t edges = 0;
+
+  template <class EdgeRange>
+  void append(std::uint64_t from_code, const EdgeRange& to_codes) {
+    keys.push_back(from_code);
+    offsets.push_back(stream.size());
+    varint_put(stream, to_codes.size());
+    for (const auto& [to_code, label] : to_codes) {
+      varint_put(stream, to_code ^ from_code);
+      stream.push_back(label);
+    }
+    edges += to_codes.size();
+  }
+
+  /// Decode node `n`'s record, invoking fn(to_code, label) per edge.
+  template <class Fn>
+  void decode(std::size_t n, Fn&& fn) const {
+    std::size_t pos = offsets[n];
+    const std::uint64_t from = keys[n];
+    const std::uint64_t degree = varint_get(stream.data(), pos);
+    for (std::uint64_t e = 0; e < degree; ++e) {
+      const std::uint64_t delta = varint_get(stream.data(), pos);
+      const std::uint8_t label = stream[pos++];
+      fn(from ^ delta, label);
+    }
+  }
+
+  std::uint32_t degree(std::size_t n) const {
+    std::size_t pos = offsets[n];
+    return static_cast<std::uint32_t>(varint_get(stream.data(), pos));
+  }
+
+  std::uint64_t bytes() const {
+    return keys.capacity() * sizeof(std::uint64_t) +
+           offsets.capacity() * sizeof(std::uint64_t) + stream.capacity();
+  }
+
+  void clear() {
+    keys.clear();
+    offsets.clear();
+    stream.clear();
+    edges = 0;
+  }
+};
+
+}  // namespace wfd::mc

@@ -2,28 +2,50 @@
 //
 // Layer-synchronous BFS: all states at distance d are expanded (in parallel
 // chunks, by a persistent pool of worker threads synchronized with a
-// std::barrier) before any state at distance d+1. Deduplication goes
-// through a lock-free open-addressing seen-set keyed by the model's 64-bit
-// packed state: one CAS per new state, one relaxed load per duplicate, no
-// locks anywhere on the hot path. The table is pre-sized from
-// CheckOptions::expected_states and otherwise grown stop-the-world at the
-// level barrier — the only quiescent point, which is also what makes the
-// resize safe without hazard pointers (no worker holds a slot reference
-// across a barrier).
+// std::barrier) before any state at distance d+1. Deduplication goes through
+// a lock-free seen-set keyed by the model's packed state code — either the
+// classic 64-bit open-addressing table or, for models that declare
+// `code_bits()`, the bucketized 32-bit compact table (seen.hpp). Tables are
+// pre-sized from CheckOptions::expected_states and otherwise grown
+// stop-the-world at the level barrier — the only quiescent point, which is
+// also what makes the resize safe without hazard pointers (no worker holds
+// a slot reference across a barrier).
 //
-// For AnalyzableModel types each worker appends its expansions to a flat
-// edge log; after exploration the logs are merged once into a CSR
-// (compressed sparse row) ReachView sorted by packed key, so `analyze`
-// hooks see a deterministic graph regardless of worker count.
+// The frontier itself is a hash-partitioned store of bit-packed code
+// segments (frontier.hpp) that can spill to temp files past
+// CheckOptions::frontier_budget_bytes and stream back level-by-level, so
+// max_states stops being bound by RAM.
+//
+// State-space reductions (CheckOptions::reduction; see model.hpp for the
+// soundness contracts):
+//  * symmetry — every successor is canonicalized to the least orbit
+//    representative (the model's SymmetricModel::canonical hook) before the
+//    seen-set probe, so one state per orbit is stored and expanded;
+//  * partial-order — successors come from the model's PorModel component
+//    hooks: component k's moves are generated only while all components
+//    j < k sit at their local initial states, which prunes commuting
+//    interleavings while preserving the reachable state set exactly. A
+//    state whose reduced expansion is empty is re-expanded in full (the
+//    deadlock proviso), and the engine refuses POR for models that collect
+//    a reachable graph (lasso searches see transitions) or whose
+//    por_stutter_invariant() gate returns false.
+//
+// For AnalyzableModel types each worker appends its expansions to a
+// delta-compressed edge log (codec.hpp); after exploration the logs are
+// merged once into a CSR ReachView sorted by packed key, so `analyze` hooks
+// see a deterministic graph regardless of worker count.
 //
 // Determinism guarantee: the verdict, reachable-state count, transition
 // count, max depth, and the selected counterexample are identical for every
-// thread count. This holds because (a) the set of states at each BFS level
-// is a pure function of the level before it, regardless of which worker
-// wins an insertion race; (b) a level is always expanded to completion
-// before violations are reported; and (c) among the violations found in the
-// first offending level, the one with the smallest packed state key is
-// selected — an order-free criterion.
+// thread count AT A GIVEN REDUCTION LEVEL. This holds because (a) the set
+// of states at each BFS level is a pure function of the level before it,
+// regardless of which worker wins an insertion race (canonicalization and
+// the POR rule are both pure per-state functions, and frontier sharding /
+// spilling only changes where a level's codes sit, never which codes they
+// are); (b) a level is always expanded to completion before violations are
+// reported; and (c) among the violations found in the first offending
+// level, the one with the smallest packed state key is selected — an
+// order-free criterion.
 #pragma once
 
 #include <algorithm>
@@ -40,158 +62,13 @@
 #include <utility>
 #include <vector>
 
-#if defined(__linux__)
-#include <sys/mman.h>
-#endif
-
+#include "mc/codec.hpp"
+#include "mc/frontier.hpp"
 #include "mc/model.hpp"
+#include "mc/seen.hpp"
 
 namespace wfd::mc {
 namespace detail {
-
-/// splitmix64 finalizer — packed states are highly structured; hash before
-/// choosing probe positions.
-inline std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
-/// The one packed key no model may use: it marks an empty seen-set slot.
-/// The engine reports a model that packs it as a violation (it would
-/// otherwise be silently conflated with "not seen yet").
-inline constexpr std::uint64_t kReservedKey = ~0ull;
-
-/// Lock-free open-addressing hash set of 64-bit packed states. Insertion is
-/// a single CAS on an atomic slot (linear probing, splitmix64-mixed start);
-/// duplicates cost one relaxed load. There is no deletion and no concurrent
-/// growth: `reserve_level` may only be called while no worker is probing
-/// (the engine calls it between BFS levels) and rebuilds the table
-/// single-threaded.
-class SeenSet {
- public:
-  explicit SeenSet(std::uint64_t expected_states) {
-    std::uint64_t capacity = kMinSlots;
-    // Size for a <=50% steady-state load factor on the hinted state count.
-    while (capacity < expected_states * 2) capacity <<= 1;
-    rebuild(capacity);
-  }
-
-  /// True iff `key` was not present. Safe to call from any worker thread.
-  /// The set does not count its own fill (that would be a shared atomic
-  /// increment per new state); the engine derives it from its level
-  /// accounting and passes it back into reserve_level.
-  bool insert(std::uint64_t key) { return insert_hashed(mix64(key), key); }
-
-  /// Insert with a precomputed mix64 hash (pairs with `prefetch`).
-  bool insert_hashed(std::uint64_t hash, std::uint64_t key) {
-    assert(key != kReservedKey && "packed state collides with the sentinel");
-    std::size_t i = static_cast<std::size_t>(hash) & mask_;
-    for (;;) {
-      std::atomic_ref<std::uint64_t> slot(slots_[i]);
-      std::uint64_t cur = slot.load(std::memory_order_relaxed);
-      if (cur == key) return false;
-      if (cur == kReservedKey) {
-        if (slot.compare_exchange_strong(cur, key,
-                                         std::memory_order_relaxed)) {
-          return true;
-        }
-        if (cur == key) return false;  // lost the race to the same key
-      }
-      i = (i + 1) & mask_;
-    }
-  }
-
-  /// Warm the cache line of `hash`'s home slot; batching prefetches before
-  /// a run of inserts hides the DRAM latency of the (random-access) table.
-  void prefetch(std::uint64_t hash) const {
-    __builtin_prefetch(&slots_[static_cast<std::size_t>(hash) & mask_], 1, 3);
-  }
-
-  /// Grow so that `projected_inserts` more keys on top of the `fill` keys
-  /// already present keep the load factor at or below 50%. MUST only be
-  /// called while no worker thread is probing (the engine's level barrier);
-  /// the rebuild is stop-the-world.
-  void reserve_level(std::uint64_t fill, std::uint64_t projected_inserts) {
-    const std::uint64_t want = (fill + projected_inserts) * 2;
-    if (want <= capacity()) return;
-    std::uint64_t next = capacity();
-    while (next < want) next <<= 1;
-    Slab old = std::move(storage_);
-    const std::size_t old_capacity = mask_ + 1;
-    rebuild(next);
-    for (std::size_t i = 0; i < old_capacity; ++i) {
-      const std::uint64_t key = old.data[i];  // quiescent: plain loads fine
-      if (key == kReservedKey) continue;
-      std::size_t j = static_cast<std::size_t>(mix64(key)) & mask_;
-      while (slots_[j] != kReservedKey) {
-        j = (j + 1) & mask_;
-      }
-      slots_[j] = key;
-    }
-  }
-
-  std::uint64_t capacity() const { return mask_ + 1; }
-  std::uint64_t bytes() const { return capacity() * sizeof(std::uint64_t); }
-
- private:
-  static constexpr std::uint64_t kMinSlots = 1ull << 16;
-  /// Tables larger than a few MB are random-access DRAM; backing them with
-  /// transparent huge pages keeps the TLB from becoming the bottleneck
-  /// (a 2^25-slot table spans 65k 4K pages but only 128 huge ones).
-  static constexpr std::size_t kHugePage = 2 * 1024 * 1024;
-
-  /// 2MB-aligned allocation of plain uint64_t slots, advised towards huge
-  /// pages. Plain storage + std::atomic_ref on the probe path keeps
-  /// initialization a single memset (the sentinel is all-ones).
-  struct Slab {
-    std::uint64_t* data = nullptr;
-    std::size_t count = 0;
-
-    Slab() = default;
-    explicit Slab(std::size_t n) : count(n) {
-      const std::size_t size = n * sizeof(std::uint64_t);
-      data = static_cast<std::uint64_t*>(
-          ::operator new(size, std::align_val_t{kHugePage}));
-#if defined(__linux__)
-      if (size >= kHugePage) madvise(data, size, MADV_HUGEPAGE);
-#endif
-    }
-    Slab(Slab&& other) noexcept
-        : data(std::exchange(other.data, nullptr)),
-          count(std::exchange(other.count, 0)) {}
-    Slab& operator=(Slab&& other) noexcept {
-      if (this != &other) {
-        release();
-        data = std::exchange(other.data, nullptr);
-        count = std::exchange(other.count, 0);
-      }
-      return *this;
-    }
-    ~Slab() { release(); }
-
-   private:
-    void release() {
-      if (data != nullptr) {
-        ::operator delete(data, count * sizeof(std::uint64_t),
-                          std::align_val_t{kHugePage});
-      }
-    }
-  };
-
-  void rebuild(std::uint64_t capacity) {
-    storage_ = Slab(static_cast<std::size_t>(capacity));
-    slots_ = storage_.data;
-    mask_ = static_cast<std::size_t>(capacity) - 1;
-    std::memset(slots_, 0xFF, static_cast<std::size_t>(capacity) *
-                                  sizeof(std::uint64_t));  // all kReservedKey
-  }
-
-  Slab storage_;
-  std::uint64_t* slots_ = nullptr;
-  std::size_t mask_ = 0;
-};
 
 inline int resolve_threads(int requested) {
   if (requested > 0) return requested;
@@ -199,19 +76,27 @@ inline int resolve_threads(int requested) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+/// Rebuild a state from its packed code. States are single-field aggregates
+/// over their packed key (the Model concept requires constructibility from
+/// it), so this is a cast, not a decompression.
+template <class S>
+S decode_state(std::uint64_t code) {
+  return S{static_cast<decltype(std::declval<S>().bits)>(code)};
+}
+
 /// Per-worker state, allocated once and reused across every BFS level (the
 /// scratch vectors keep their capacity, so steady-state expansion does not
 /// allocate).
 template <class S>
 struct Worker {
-  /// One prefetched-but-not-yet-inserted edge (see the pipeline note in
-  /// run_check's expand loop).
+  /// One prefetched-but-not-yet-inserted successor code (see the pipeline
+  /// note in run_check's expand loop).
   struct PendingEdge {
-    std::uint64_t hash;
-    S to;
+    std::uint64_t hash;  // mix64(code)
+    std::uint64_t code;
   };
 
-  /// Direct-mapped duplicate filter: caches keys this worker has proven
+  /// Direct-mapped duplicate filter: caches codes this worker has proven
   /// present in the shared seen-set, so repeat successors (BFS frontiers
   /// revisit neighbours constantly) skip the DRAM-sized table entirely.
   /// Only ever an optimization — a hit means "certainly already seen", a
@@ -220,10 +105,11 @@ struct Worker {
   static constexpr std::size_t kFilterBits = 15;
   static constexpr std::size_t kFilterMask = (std::size_t{1} << kFilterBits) - 1;
 
-  std::vector<S> next;                      // newly discovered states
   std::vector<Transition<S>> edges;         // successor scratch
   std::vector<PendingEdge> batch;           // current state's hashed edges
   std::vector<PendingEdge> pending;         // previous state's insert lag
+  std::vector<std::uint64_t> scratch;       // spilled-segment read buffer
+  std::vector<std::pair<std::uint64_t, std::uint8_t>> edge_codes;
   std::vector<std::uint64_t> filter =
       std::vector<std::uint64_t>(kFilterMask + 1, kReservedKey);
   std::uint64_t transitions = 0;
@@ -231,12 +117,8 @@ struct Worker {
   bool has_violation = false;
   std::uint64_t violation_key = 0;
   std::string violation;
-  // Flat edge log for CSR assembly (collect-graph models only): one
-  // (key, degree) pair per expanded state, edges appended in order.
-  std::vector<std::uint64_t> log_key;
-  std::vector<std::uint32_t> log_degree;
-  std::vector<S> log_to;
-  std::vector<std::uint8_t> log_label;
+  // Delta-compressed edge log for CSR assembly (collect-graph models only).
+  DeltaEdgeLog log;
 };
 
 /// Merge the per-worker edge logs into a CSR ReachView sorted by packed key
@@ -247,23 +129,19 @@ ReachView<S> build_reach_view(std::vector<Worker<S>>& workers) {
   struct NodeRef {
     std::uint64_t key;
     std::uint32_t worker;
-    std::uint32_t degree;
-    std::uint64_t offset;  // into the owning worker's log_to/log_label
+    std::uint32_t node;  // index into the owning worker's log
   };
   std::size_t nodes = 0;
   std::size_t edges = 0;
   for (const Worker<S>& w : workers) {
-    nodes += w.log_key.size();
-    edges += w.log_to.size();
+    nodes += w.log.keys.size();
+    edges += static_cast<std::size_t>(w.log.edges);
   }
   std::vector<NodeRef> refs;
   refs.reserve(nodes);
   for (std::uint32_t w = 0; w < workers.size(); ++w) {
-    std::uint64_t offset = 0;
-    for (std::size_t n = 0; n < workers[w].log_key.size(); ++n) {
-      const std::uint32_t degree = workers[w].log_degree[n];
-      refs.push_back({workers[w].log_key[n], w, degree, offset});
-      offset += degree;
+    for (std::size_t n = 0; n < workers[w].log.keys.size(); ++n) {
+      refs.push_back({workers[w].log.keys[n], w, static_cast<std::uint32_t>(n)});
     }
   }
   std::sort(refs.begin(), refs.end(),
@@ -279,12 +157,12 @@ ReachView<S> build_reach_view(std::vector<Worker<S>>& workers) {
   labels.reserve(edges);
   offsets.push_back(0);
   for (const NodeRef& ref : refs) {
-    const Worker<S>& w = workers[ref.worker];
     keys.push_back(ref.key);
-    for (std::uint32_t e = 0; e < ref.degree; ++e) {
-      to.push_back(w.log_to[ref.offset + e]);
-      labels.push_back(w.log_label[ref.offset + e]);
-    }
+    workers[ref.worker].log.decode(
+        ref.node, [&](std::uint64_t to_code, std::uint8_t label) {
+          to.push_back(decode_state<S>(to_code));
+          labels.push_back(label);
+        });
     offsets.push_back(static_cast<std::uint64_t>(to.size()));
   }
   return ReachView<S>(std::move(keys), std::move(offsets), std::move(to),
@@ -309,13 +187,54 @@ CheckResult run_check(const M& model, const CheckOptions& options = {}) {
   result.threads = detail::resolve_threads(options.threads);
   const int workers = result.threads;
 
-  detail::SeenSet seen(options.expected_states);
+  const Reduction reduction = applied_reduction(model, options.reduction);
+  result.reduction = reduction;
+  const bool symmetry = reduction_has_symmetry(reduction);
+  const bool por = reduction_has_por(reduction);
+  const auto canon = [&](const S& s) -> S {
+    if constexpr (SymmetricModel<M>) {
+      if (symmetry) return model.canonical(s, reduction);
+    }
+    return s;
+  };
+  // Reduced successor generation: component k's moves only while every
+  // component j < k is quiescent; a state with no reduced move falls back
+  // to the full expansion (deadlock proviso — a pure function of the state,
+  // so determinism is unaffected).
+  const auto gen_edges = [&](const S& st, std::vector<Transition<S>>& out) {
+    out.clear();
+    if constexpr (PorModel<M>) {
+      if (por) {
+        const int components = model.por_components();
+        bool prefix_quiescent = true;
+        for (int k = 0; k < components; ++k) {
+          if (k > 0 && !prefix_quiescent) break;
+          model.component_successors(st, k, out);
+          prefix_quiescent =
+              prefix_quiescent && model.component_quiescent(st, k);
+        }
+        if (out.empty()) model.successors(st, out);
+        return;
+      }
+    }
+    model.successors(st, out);
+  };
+
+  const int width = model_code_bits(model);
+  const std::uint64_t width_mask = code_mask(width);
+
+  detail::SeenIndex seen(width, options.expected_states);
+  detail::SpillableFrontier frontier(width, options.frontier_budget_bytes);
+  std::vector<detail::SpillableFrontier::Producer> producers;
+  producers.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) producers.emplace_back(&frontier);
 
   // Instrumentation (all optional; never perturbs the exploration).
   obs::Registry* const metrics = options.metrics;
   std::unique_ptr<obs::Scope> mscope;
   obs::Registry::Id m_states = 0, m_transitions = 0, m_levels = 0;
   obs::Registry::Id m_level_rate = 0, m_barrier = 0, g_seen_load = 0;
+  obs::Registry::Id g_frontier_peak = 0, g_spilled = 0;
   if (metrics != nullptr) {
     m_states = metrics->counter("mc.states");
     m_transitions = metrics->counter("mc.transitions");
@@ -323,16 +242,20 @@ CheckResult run_check(const M& model, const CheckOptions& options = {}) {
     m_level_rate = metrics->histogram("mc.level_states_per_sec");
     m_barrier = metrics->histogram("mc.barrier_wait_us");
     g_seen_load = metrics->gauge("mc.seen_load_pct");
+    g_frontier_peak = metrics->gauge("mc.frontier_peak_bytes");
+    g_spilled = metrics->gauge("mc.spilled_bytes");
     mscope = std::make_unique<obs::Scope>(*metrics);
   }
 
   // The one exit epilogue: EVERY return path seals the result through this,
-  // so wall_ms / seen_bytes / graph_bytes are populated consistently no
-  // matter how the exploration ended (clean cover, violation, budget, or
-  // the reserved-sentinel early out).
+  // so wall_ms / seen_bytes / graph_bytes / frontier stats are populated
+  // consistently no matter how the exploration ended (clean cover,
+  // violation, budget, or a model-error early out).
   const auto seal = [&](std::uint64_t graph_bytes) {
     result.seen_bytes = seen.bytes();
     result.graph_bytes = graph_bytes;
+    result.frontier_peak_bytes = frontier.peak_bytes();
+    result.spilled_bytes = frontier.spilled_bytes();
     result.wall_ms =
         std::chrono::duration<double, std::milli>(Clock::now() - start)
             .count();
@@ -341,35 +264,51 @@ CheckResult run_check(const M& model, const CheckOptions& options = {}) {
           g_seen_load,
           100.0 * static_cast<double>(result.states) /
               static_cast<double>(seen.capacity()));
+      metrics->set_gauge(g_frontier_peak,
+                         static_cast<double>(result.frontier_peak_bytes));
+      metrics->set_gauge(g_spilled,
+                         static_cast<double>(result.spilled_bytes));
     }
   };
 
-  std::vector<S> level;
+  // A code is invalid if it sets bits above the model's declared width —
+  // which for full-width models is exactly the classic table's reserved
+  // all-ones sentinel.
+  const auto code_invalid = [&](std::uint64_t code) {
+    return width < 64 ? (code & ~width_mask) != 0
+                      : code == detail::kReservedKey;
+  };
+
   for (const S& s : model.initial_states()) {
-    const auto key = static_cast<std::uint64_t>(s.bits);
-    if (key == detail::kReservedKey) {
+    const S c = canon(s);
+    const auto code = static_cast<std::uint64_t>(c.bits);
+    if (code_invalid(code)) {
       result.verdict = Verdict::kViolation;
       result.counterexample =
-          "model error: initial state packs the reserved seen-set sentinel "
-          "key ~0";
+          width < 64
+              ? "model error: initial state code exceeds the declared "
+                "code_bits width"
+              : "model error: initial state packs the reserved seen-set "
+                "sentinel key ~0";
       seal(0);
       return result;
     }
-    if (seen.insert(key)) level.push_back(s);
+    if (seen.insert(code)) producers[0].push(code);
   }
+  producers[0].flush();
 
   constexpr bool kCollectGraph = AnalyzableModel<M>;
 
   std::vector<detail::Worker<S>> outs(static_cast<std::size_t>(workers));
   std::atomic<std::size_t> cursor{0};
-  std::size_t chunk = 1;
   bool stop = false;  // written by the main thread at barriers only
 
   // Small levels still fan out (chunks of kMinChunk) so the parallel path
   // is exercised — and TSan-checkable — even on tiny models.
   constexpr std::size_t kMinChunk = 16;
 
-  auto expand = [&](detail::Worker<S>& out) {
+  auto expand = [&](detail::Worker<S>& out,
+                    detail::SpillableFrontier::Producer& produce) {
     // Inserts run one state behind their prefetches: a state's edges are
     // hashed and prefetched while the PREVIOUS state's batch (whose cache
     // lines have had a whole state's worth of successor generation to
@@ -377,23 +316,22 @@ CheckResult run_check(const M& model, const CheckOptions& options = {}) {
     // the level's reached set is what matters — so the lag is free.
     const auto flush = [&] {
       for (const auto& p : out.pending) {
-        const auto to_key = static_cast<std::uint64_t>(p.to.bits);
-        if (seen.insert_hashed(p.hash, to_key)) {
-          out.next.push_back(p.to);
-        }
-        // Either way the key is now certainly in the table.
-        out.filter[p.hash >> (64 - detail::Worker<S>::kFilterBits)] = to_key;
+        if (seen.insert(p.code, p.hash)) produce.push(p.code);
+        // Either way the code is now certainly in the table.
+        out.filter[p.hash >> (64 - detail::Worker<S>::kFilterBits)] = p.code;
       }
       out.pending.clear();
     };
     out.batch.clear();
     out.pending.clear();
-    for (std::size_t base = cursor.fetch_add(chunk); base < level.size();
-         base = cursor.fetch_add(chunk)) {
-      const std::size_t end = std::min(base + chunk, level.size());
-      for (std::size_t i = base; i < end; ++i) {
-        const S st = level[i];
-        const auto key = static_cast<std::uint64_t>(st.bits);
+    for (std::size_t ci = cursor.fetch_add(1); ci < frontier.chunk_count();
+         ci = cursor.fetch_add(1)) {
+      const detail::SpillableFrontier::View view =
+          frontier.resolve(ci, out.scratch);
+      for (std::size_t i = view.begin; i < view.end; ++i) {
+        const std::uint64_t key =
+            PackedCodeVector::read(view.words, width, i);
+        const S st = detail::decode_state<S>(key);
         const auto note = [&](std::string message) {
           if (message.empty()) return false;
           if (!out.has_violation || key < out.violation_key) {
@@ -404,51 +342,51 @@ CheckResult run_check(const M& model, const CheckOptions& options = {}) {
           return true;
         };
         if (note(model.check_state(st))) continue;
-        out.edges.clear();
-        model.successors(st, out.edges);
+        gen_edges(st, out.edges);
         if (note(model.check_expansion(st, out.edges))) continue;
         out.transitions += out.edges.size();
         out.max_degree = std::max(out.max_degree, out.edges.size());
-        bool reserved = false;
+        bool invalid = false;
+        if constexpr (kCollectGraph) out.edge_codes.clear();
         for (const Transition<S>& t : out.edges) {
-          const auto to_key = static_cast<std::uint64_t>(t.to.bits);
-          reserved = reserved || to_key == detail::kReservedKey;
-          const std::uint64_t hash = detail::mix64(to_key);
-          if (out.filter[hash >> (64 - detail::Worker<S>::kFilterBits)] ==
-              to_key) {
-            continue;  // duplicate of a key already in the table
+          const S to = canon(t.to);
+          const auto to_code = static_cast<std::uint64_t>(to.bits);
+          invalid = invalid || code_invalid(to_code);
+          if constexpr (kCollectGraph) {
+            out.edge_codes.push_back({to_code, t.label});
           }
-          out.batch.push_back({hash, t.to});
-          seen.prefetch(hash);
+          const std::uint64_t hash = detail::mix64(to_code);
+          if (out.filter[hash >> (64 - detail::Worker<S>::kFilterBits)] ==
+              to_code) {
+            continue;  // duplicate of a code already in the table
+          }
+          out.batch.push_back({hash, to_code});
+          seen.prefetch(to_code, hash);
         }
-        if (reserved) {
+        if (invalid) {
           out.batch.clear();
-          note(
-              "model error: successor packs the reserved seen-set sentinel "
-              "key ~0 | from " +
-              model.describe(st));
+          note(width < 64
+                   ? "model error: successor code exceeds the declared "
+                     "code_bits width | from " +
+                         model.describe(st)
+                   : "model error: successor packs the reserved seen-set "
+                     "sentinel key ~0 | from " +
+                         model.describe(st));
           continue;
         }
         flush();  // previous state's batch, prefetched a full state ago
         std::swap(out.batch, out.pending);
-        if constexpr (kCollectGraph) {
-          out.log_key.push_back(key);
-          out.log_degree.push_back(
-              static_cast<std::uint32_t>(out.edges.size()));
-          for (const Transition<S>& t : out.edges) {
-            out.log_to.push_back(t.to);
-            out.log_label.push_back(t.label);
-          }
-        }
+        if constexpr (kCollectGraph) out.log.append(key, out.edge_codes);
       }
     }
-    flush();  // drain the last state's lagged batch before the barrier
+    flush();  // drain the last state's lagged batch...
+    produce.flush();  // ...and seal this worker's partial frontier segments
   };
 
   // Persistent worker pool: one std::barrier phase releases the workers
   // into a level, the next phase closes it; between the closing phase and
   // the next opening one every worker is parked, so the main thread may
-  // freely resize the seen-set and rebuild the level vector.
+  // freely resize the seen-set and rebuild the frontier's chunk list.
   std::barrier barrier(workers);
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(workers) - 1);
@@ -462,7 +400,8 @@ CheckResult run_check(const M& model, const CheckOptions& options = {}) {
       for (;;) {
         barrier.arrive_and_wait();  // level opens (or stop)
         if (stop) return;
-        expand(outs[static_cast<std::size_t>(w)]);
+        expand(outs[static_cast<std::size_t>(w)],
+               producers[static_cast<std::size_t>(w)]);
         if (wscope != nullptr) {
           const auto parked = Clock::now();
           barrier.arrive_and_wait();  // level closes
@@ -481,9 +420,10 @@ CheckResult run_check(const M& model, const CheckOptions& options = {}) {
 
   bool stopped = false;
   std::size_t max_degree_seen = 8;  // conservative floor for projections
-  std::vector<S> next;
-  while (!level.empty()) {
-    if (result.states + level.size() > options.max_states) {
+  for (;;) {
+    const std::size_t level_size = frontier.sealed_codes();
+    if (level_size == 0) break;
+    if (result.states + level_size > options.max_states) {
       result.verdict = Verdict::kBudgetExceeded;
       result.counterexample = "state budget exceeded after " +
                               std::to_string(result.states) + " states";
@@ -494,22 +434,21 @@ CheckResult run_check(const M& model, const CheckOptions& options = {}) {
     // Guarantee headroom for the whole level before any worker probes: a
     // level inserts at most level * max-out-degree new keys (projected from
     // the largest degree observed so far — models whose degree explodes
-    // faster than 2x headroom between adjacent levels would need a
+    // faster than the tables' headroom between adjacent levels would need a
     // mid-level resize, which the design deliberately excludes), so
     // growing here (the quiescent point) keeps the mid-level table fixed.
     // The fill is exact at the barrier: every state ever inserted is either
     // already expanded (result.states) or in the current frontier.
-    seen.reserve_level(result.states + level.size(),
-                       level.size() * max_degree_seen);
-    chunk = std::clamp<std::size_t>(
-        level.size() / (static_cast<std::size_t>(workers) * 8), kMinChunk,
-        2048);
+    seen.reserve_level(result.states + level_size,
+                       level_size * max_degree_seen);
+    frontier.begin_level(std::clamp<std::size_t>(
+        level_size / (static_cast<std::size_t>(workers) * 8), kMinChunk,
+        2048));
     cursor.store(0, std::memory_order_relaxed);
-    for (detail::Worker<S>& out : outs) out.next.clear();
 
     const auto level_start = Clock::now();
     barrier.arrive_and_wait();  // open the level
-    expand(outs[0]);
+    expand(outs[0], producers[0]);
     if (mscope != nullptr) {
       const auto parked = Clock::now();
       barrier.arrive_and_wait();  // close it: every worker is parked again
@@ -522,11 +461,7 @@ CheckResult run_check(const M& model, const CheckOptions& options = {}) {
       barrier.arrive_and_wait();  // close it: every worker is parked again
     }
 
-    result.states += level.size();
-    std::size_t total = 0;
-    for (const detail::Worker<S>& out : outs) total += out.next.size();
-    next.clear();
-    next.reserve(total);
+    result.states += level_size;
     std::uint64_t level_transitions = 0;
     const detail::Worker<S>* worst = nullptr;
     for (detail::Worker<S>& out : outs) {
@@ -534,7 +469,6 @@ CheckResult run_check(const M& model, const CheckOptions& options = {}) {
       result.transitions += out.transitions;
       out.transitions = 0;
       max_degree_seen = std::max(max_degree_seen, out.max_degree);
-      next.insert(next.end(), out.next.begin(), out.next.end());
       if (out.has_violation &&
           (worst == nullptr || out.violation_key < worst->violation_key)) {
         worst = &out;
@@ -544,13 +478,13 @@ CheckResult run_check(const M& model, const CheckOptions& options = {}) {
         std::chrono::duration<double>(Clock::now() - level_start).count();
     if (mscope != nullptr) {
       mscope->add(m_levels);
-      mscope->add(m_states, level.size());
+      mscope->add(m_states, level_size);
       mscope->add(m_transitions, level_transitions);
       mscope->observe(
           m_level_rate,
           level_seconds > 0.0
               ? static_cast<std::uint64_t>(
-                    static_cast<double>(level.size()) / level_seconds)
+                    static_cast<double>(level_size) / level_seconds)
               : 0);
     }
     if (options.spans != nullptr) {
@@ -558,7 +492,7 @@ CheckResult run_check(const M& model, const CheckOptions& options = {}) {
           "level " + std::to_string(result.depth), /*track=*/0,
           std::chrono::duration<double, std::milli>(level_start - start)
               .count(),
-          level_seconds * 1000.0, level.size());
+          level_seconds * 1000.0, level_size);
     }
     if (worst != nullptr) {
       result.verdict = Verdict::kViolation;
@@ -566,8 +500,7 @@ CheckResult run_check(const M& model, const CheckOptions& options = {}) {
       stopped = true;
       break;
     }
-    if (!next.empty()) ++result.depth;
-    level.swap(next);
+    if (frontier.sealed_codes() != 0) ++result.depth;
   }
 
   stop = true;
@@ -600,10 +533,7 @@ CheckResult run_check(const M& model, const CheckOptions& options = {}) {
       // the per-worker edge logs were collected up to the stopping level —
       // report the footprint actually held rather than a misleading zero.
       for (const detail::Worker<S>& w : outs) {
-        graph_bytes += w.log_key.capacity() * sizeof(std::uint64_t) +
-                       w.log_degree.capacity() * sizeof(std::uint32_t) +
-                       w.log_to.capacity() * sizeof(S) +
-                       w.log_label.capacity();
+        graph_bytes += w.log.bytes();
       }
     }
   }

@@ -1,0 +1,279 @@
+// Disk-spillable sharded BFS frontier.
+//
+// The engine's frontier used to be one std::vector<S> per level; past a few
+// hundred million states the frontier itself (not the seen-set) becomes the
+// binding memory budget. This container stores the frontier as fixed-size
+// bit-packed code segments spread across a small set of partitions.
+// Each worker appends next-level codes to one open buffer; full buffers are
+// sealed into the partitions round-robin. While the resident
+// sealed bytes stay under CheckOptions::frontier_budget_bytes the segment
+// stays in memory; past the budget it is appended to the partition's temp
+// spill file (created lazily with std::tmpfile, read back with pread, so
+// concurrent worker reads need no locking). Each partition ping-pongs two
+// spill files: one being read (current level) and one being written (next
+// level), swapped at the level barrier, so file space is bounded by the two
+// largest spilled levels rather than the whole run.
+//
+// Determinism: a BFS level is a SET of codes; which segment a code lands in,
+// whether that segment spills, and which worker streams it back are all
+// irrelevant to the reached set, so the engine's thread-count-independent
+// verdict guarantee survives spilling untouched.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define WFD_MC_FRONTIER_CAN_SPILL 1
+#else
+#define WFD_MC_FRONTIER_CAN_SPILL 0
+#endif
+
+#include "mc/codec.hpp"
+#include "mc/seen.hpp"
+
+namespace wfd::mc {
+namespace detail {
+
+class SpillableFrontier {
+ public:
+  static constexpr int kPartitions = 8;
+  static constexpr std::size_t kSegmentCodes = 4096;
+
+  /// `budget_bytes` == 0 means unlimited (never spill).
+  SpillableFrontier(int width, std::uint64_t budget_bytes)
+      : width_(width), budget_bytes_(budget_bytes) {}
+
+  ~SpillableFrontier() {
+    for (Partition& p : partitions_) {
+      for (std::FILE*& f : p.file) {
+        if (f != nullptr) std::fclose(f);
+      }
+    }
+  }
+
+  SpillableFrontier(const SpillableFrontier&) = delete;
+  SpillableFrontier& operator=(const SpillableFrontier&) = delete;
+
+  /// Per-worker append handle: one open buffer, dealt to the partitions
+  /// round-robin a full segment at a time. Which partition holds a code is
+  /// irrelevant to the level's reached set (partitions only spread the seal
+  /// mutexes and spill files), so a single hot buffer on the push path
+  /// beats hash-scattering every push across eight cold ones — the
+  /// per-push partition hash cost ~30% of kNone exploration throughput.
+  class Producer {
+   public:
+    explicit Producer(SpillableFrontier* frontier)
+        : frontier_(frontier), buf_(frontier->width_) {}
+
+    void push(std::uint64_t code) {
+      buf_.push_back(code);
+      if (buf_.size() >= kSegmentCodes) seal();
+    }
+
+    /// Seal the open buffer if non-empty; call before the level barrier.
+    void flush() {
+      if (!buf_.empty()) seal();
+    }
+
+   private:
+    void seal() {
+      frontier_->seal(next_partition_, buf_);
+      next_partition_ = (next_partition_ + 1) % kPartitions;
+    }
+
+    SpillableFrontier* frontier_;
+    PackedCodeVector buf_;
+    int next_partition_ = 0;
+  };
+
+  /// Barrier-time, single-threaded: drop the consumed level, promote the
+  /// sealed next-level segments, and carve them into chunks of (at most)
+  /// `chunk_codes` codes (disk segments stream back whole). Also swaps the
+  /// spill-file roles and rewinds the new write side.
+  void begin_level(std::size_t chunk_codes) {
+    for (Segment& seg : level_) {
+      if (!seg.on_disk) {
+        in_memory_bytes_.fetch_sub(seg.words.size() * sizeof(std::uint64_t),
+                                   std::memory_order_relaxed);
+      }
+    }
+    level_.clear();
+    chunks_.clear();
+    level_codes_ = 0;
+    parity_ ^= 1;
+    for (Partition& p : partitions_) {
+      for (Segment& seg : p.sealed) level_.push_back(std::move(seg));
+      p.sealed.clear();
+      p.write_offset[parity_ ^ 1] = 0;  // the write side for the next level
+    }
+    for (std::size_t s = 0; s < level_.size(); ++s) {
+      const Segment& seg = level_[s];
+      level_codes_ += seg.count;
+      if (seg.on_disk) {
+        chunks_.push_back({s, 0, seg.count});
+      } else {
+        for (std::size_t b = 0; b < seg.count; b += chunk_codes) {
+          chunks_.push_back(
+              {s, b, b + chunk_codes < seg.count ? b + chunk_codes
+                                                 : seg.count});
+        }
+      }
+    }
+  }
+
+  std::size_t level_size() const { return level_codes_; }
+  std::size_t chunk_count() const { return chunks_.size(); }
+
+  /// Codes sealed for the NEXT level (i.e. its size before begin_level
+  /// promotes it). Only valid at the level barrier — every producer must
+  /// have flushed and no worker may be pushing.
+  std::size_t sealed_codes() const {
+    std::size_t n = 0;
+    for (const Partition& p : partitions_) {
+      for (const Segment& seg : p.sealed) n += seg.count;
+    }
+    return n;
+  }
+
+  struct View {
+    const std::uint64_t* words;  // packed at the frontier's width
+    std::size_t begin, end;      // code indices into `words`
+  };
+
+  /// Resolve chunk `i` for reading. Disk segments are streamed into the
+  /// caller's scratch buffer (pread — safe from any worker concurrently).
+  View resolve(std::size_t i, std::vector<std::uint64_t>& scratch) const {
+    const Chunk& c = chunks_[i];
+    const Segment& seg = level_[c.segment];
+    if (!seg.on_disk) {
+      return {seg.words.data(), c.begin, c.end};
+    }
+#if WFD_MC_FRONTIER_CAN_SPILL
+    scratch.resize(seg.word_count);
+    const Partition& p = partitions_[static_cast<std::size_t>(seg.partition)];
+    std::size_t done = 0;
+    const std::size_t total = seg.word_count * sizeof(std::uint64_t);
+    while (done < total) {
+      const ssize_t n = ::pread(::fileno(p.file[seg.file_parity]),
+                                reinterpret_cast<char*>(scratch.data()) + done,
+                                total - done,
+                                static_cast<off_t>(seg.file_offset + done));
+      assert(n > 0 && "frontier spill read failed");
+      if (n <= 0) break;
+      done += static_cast<std::size_t>(n);
+    }
+#endif
+    return {scratch.data(), c.begin, c.end};
+  }
+
+  int width() const { return width_; }
+  std::uint64_t peak_bytes() const {
+    return peak_bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t spilled_bytes() const {
+    return spilled_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Segment {
+    std::vector<std::uint64_t> words;  // empty once spilled
+    std::size_t count = 0;
+    std::size_t word_count = 0;
+    int partition = 0;
+    int file_parity = 0;
+    std::uint64_t file_offset = 0;  // bytes into the partition spill file
+    bool on_disk = false;
+  };
+
+  struct Chunk {
+    std::size_t segment;
+    std::size_t begin, end;
+  };
+
+  struct Partition {
+    std::mutex mutex;
+    std::vector<Segment> sealed;
+    std::FILE* file[2] = {nullptr, nullptr};
+    std::uint64_t write_offset[2] = {0, 0};
+  };
+
+  /// Move `buf` into partition `p`'s sealed list, spilling to its write-side
+  /// temp file if the resident sealed bytes would exceed the budget.
+  void seal(int p, PackedCodeVector& buf) {
+    Segment seg;
+    seg.count = buf.size();
+    seg.word_count = buf.word_count();
+    seg.partition = p;
+    const std::uint64_t seg_bytes = seg.word_count * sizeof(std::uint64_t);
+    Partition& part = partitions_[static_cast<std::size_t>(p)];
+    std::lock_guard<std::mutex> lock(part.mutex);
+    const bool over_budget =
+        budget_bytes_ != 0 &&
+        in_memory_bytes_.load(std::memory_order_relaxed) + seg_bytes >
+            budget_bytes_;
+    if (WFD_MC_FRONTIER_CAN_SPILL && over_budget && spill(part, buf, seg)) {
+      spilled_bytes_.fetch_add(seg_bytes, std::memory_order_relaxed);
+    } else {
+      seg.words.assign(buf.words(), buf.words() + buf.word_count());
+      const std::uint64_t now =
+          in_memory_bytes_.fetch_add(seg_bytes, std::memory_order_relaxed) +
+          seg_bytes;
+      std::uint64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+      while (now > peak && !peak_bytes_.compare_exchange_weak(
+                               peak, now, std::memory_order_relaxed)) {
+      }
+    }
+    part.sealed.push_back(std::move(seg));
+    buf.clear();
+  }
+
+  bool spill(Partition& part, const PackedCodeVector& buf, Segment& seg) {
+#if WFD_MC_FRONTIER_CAN_SPILL
+    const int parity = parity_ ^ 1;  // the write side for the NEXT level
+    if (part.file[parity] == nullptr) {
+      part.file[parity] = std::tmpfile();
+      if (part.file[parity] == nullptr) return false;  // keep in memory
+    }
+    const std::size_t total = buf.word_count() * sizeof(std::uint64_t);
+    std::size_t done = 0;
+    while (done < total) {
+      const ssize_t n = ::pwrite(
+          ::fileno(part.file[parity]),
+          reinterpret_cast<const char*>(buf.words()) + done, total - done,
+          static_cast<off_t>(part.write_offset[parity] + done));
+      if (n <= 0) return false;
+      done += static_cast<std::size_t>(n);
+    }
+    seg.on_disk = true;
+    seg.file_parity = parity;
+    seg.file_offset = part.write_offset[parity];
+    part.write_offset[parity] += total;
+    return true;
+#else
+    (void)part;
+    (void)buf;
+    (void)seg;
+    return false;
+#endif
+  }
+
+  int width_;
+  std::uint64_t budget_bytes_;
+  int parity_ = 0;  // read-side file index for the current level
+  Partition partitions_[kPartitions];
+  std::vector<Segment> level_;
+  std::vector<Chunk> chunks_;
+  std::size_t level_codes_ = 0;
+  std::atomic<std::uint64_t> in_memory_bytes_{0};
+  std::atomic<std::uint64_t> peak_bytes_{0};
+  std::atomic<std::uint64_t> spilled_bytes_{0};
+};
+
+}  // namespace detail
+}  // namespace wfd::mc

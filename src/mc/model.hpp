@@ -34,6 +34,52 @@ inline const char* verdict_name(Verdict verdict) {
   return "?";
 }
 
+/// State-space reduction level. Verdicts are identical at every level for
+/// models whose checked properties satisfy the levels' soundness gates (the
+/// engine silently downgrades to what the model's hooks support — see
+/// CheckResult::reduction for what actually ran):
+///  * kSymmetry — canonicalize every successor to the lexicographically
+///    least representative of its orbit under the model's process-renaming
+///    group before the seen-set probe. Sound for orbit-invariant properties;
+///    stored states shrink by up to the group order.
+///  * kPor — partial-order reduction over the model's independent
+///    components: component k's moves are explored only while every
+///    component j < k sits at its local initial state (plus a deadlock
+///    proviso: a state whose reduced expansion is empty is re-expanded in
+///    full). This particular ample-set rule preserves the REACHABLE STATE
+///    SET exactly — only commuting interleavings (transitions) are pruned —
+///    so state-local invariants and expansion checks are sound verbatim;
+///    the model must still declare its properties stutter-invariant
+///    (por_stutter_invariant) because transition-sensitive properties could
+///    observe the pruned interleavings. BFS depths may differ from kNone.
+///  * kSymmetryPor — both; symmetry restricted to the per-component
+///    subgroup (component-permuting renamings would strand the POR
+///    component ordering, so the engine asks the model's canonical() hook
+///    for the POR-compatible canonicalization).
+enum class Reduction : std::uint8_t {
+  kNone = 0,
+  kSymmetry = 1,
+  kPor = 2,
+  kSymmetryPor = 3,
+};
+
+inline const char* reduction_name(Reduction r) {
+  switch (r) {
+    case Reduction::kNone: return "none";
+    case Reduction::kSymmetry: return "symmetry";
+    case Reduction::kPor: return "por";
+    case Reduction::kSymmetryPor: return "symmetry_por";
+  }
+  return "?";
+}
+
+inline bool reduction_has_symmetry(Reduction r) {
+  return r == Reduction::kSymmetry || r == Reduction::kSymmetryPor;
+}
+inline bool reduction_has_por(Reduction r) {
+  return r == Reduction::kPor || r == Reduction::kSymmetryPor;
+}
+
 /// Engine knobs, shared by every model.
 struct CheckOptions {
   /// Worker threads for the frontier exploration; 0 = hardware concurrency.
@@ -54,6 +100,13 @@ struct CheckOptions {
   /// the level) plus a final "analyze" span, exportable to Perfetto via
   /// obs::write_perfetto_spans.
   obs::SpanLog* spans = nullptr;
+  /// Requested state-space reduction. The engine applies at most what the
+  /// model's hooks (SymmetricModel / PorModel) and soundness gates support
+  /// and reports the level that actually ran in CheckResult::reduction.
+  Reduction reduction = Reduction::kNone;
+  /// Soft cap on resident frontier bytes; sealed frontier segments past it
+  /// spill to temp files and stream back level-by-level. 0 = unlimited.
+  std::uint64_t frontier_budget_bytes = 0;
 };
 
 /// The single result shape every checker returns.
@@ -68,6 +121,11 @@ struct CheckResult {
   std::uint64_t seen_bytes = 0;   ///< peak seen-set footprint
   std::uint64_t graph_bytes = 0;  ///< CSR reachable-graph footprint (0 if
                                   ///< the model has no analyze hook)
+  Reduction reduction = Reduction::kNone;  ///< reduction level actually run
+  std::uint64_t frontier_peak_bytes = 0;   ///< peak resident frontier bytes
+  std::uint64_t spilled_bytes = 0;  ///< frontier bytes written to temp files
+                                    ///< (timing-dependent; 0 unless a
+                                    ///< frontier_budget_bytes was binding)
 
   bool ok() const { return verdict == Verdict::kOk; }
 };
@@ -154,8 +212,11 @@ class ReachView {
 /// What the engine requires of a model:
 ///  * `State` — trivially copyable, with a packed integral `bits` key that
 ///    uniquely identifies the state (at most 64 bits; the all-ones key
-///    ~0ull is reserved as the seen-set's empty sentinel and packing it is
-///    reported as a violation);
+///    ~0ull is reserved as the classic seen-set's empty sentinel and
+///    packing it is reported as a violation). The engine stores only the
+///    packed key (frontiers are bit-packed code vectors) and rebuilds
+///    states by aggregate-initializing from it, so `State{bits}` must
+///    reproduce the state;
 ///  * `initial_states()` — the exploration roots;
 ///  * `successors(s, out)` — append every enabled transition from `s`;
 ///  * `check_state(s)` — state-local invariant; non-empty string = violation;
@@ -168,6 +229,7 @@ concept Model =
     requires(const M model, const typename M::State state,
              std::vector<Transition<typename M::State>>& out) {
       { static_cast<std::uint64_t>(state.bits) };
+      { typename M::State{state.bits} } -> std::same_as<typename M::State>;
       { model.initial_states() } -> std::same_as<std::vector<typename M::State>>;
       { model.successors(state, out) } -> std::same_as<void>;
       { model.check_state(state) } -> std::same_as<std::string>;
@@ -184,5 +246,63 @@ concept AnalyzableModel =
     requires(const M model, const ReachView<typename M::State>& graph) {
       { model.analyze(graph) } -> std::same_as<std::string>;
     };
+
+/// Opt-in symmetry-reduction hook: `canonical(s, level)` returns the
+/// lexicographically least representative (by packed key) of s's orbit
+/// under the renaming group the model supports at `level`. Requirements the
+/// engine relies on: the map must be idempotent, every group element must
+/// be an automorphism of the transition relation, and every property the
+/// model checks (check_state / check_expansion / analyze labels) must be
+/// orbit-invariant. For kSymmetryPor the model must restrict the group to
+/// renamings that fix the POR component ordering.
+template <class M>
+concept SymmetricModel =
+    Model<M> && requires(const M model, const typename M::State state) {
+      {
+        model.canonical(state, Reduction::kSymmetry)
+      } -> std::same_as<typename M::State>;
+    };
+
+/// Opt-in partial-order-reduction hook: the model decomposes its transition
+/// relation into `por_components()` independent components (component k's
+/// transitions read and write only component-k state). The engine explores
+/// component k's moves only from states where all components j < k are
+/// quiescent (component_quiescent — "at the local initial state"), which
+/// preserves the reachable state set exactly while pruning commuting
+/// interleavings. `por_stutter_invariant()` is the soundness gate: it must
+/// return true only if every checked property is insensitive to the pruned
+/// interleavings (component-local state/expansion invariants qualify); the
+/// engine refuses to apply POR when it returns false, and also when the
+/// model collects a reachable graph for `analyze` (lasso searches see
+/// transitions, which POR prunes).
+template <class M>
+concept PorModel =
+    Model<M> &&
+    requires(const M model, const typename M::State state,
+             std::vector<Transition<typename M::State>>& out) {
+      { model.por_components() } -> std::convertible_to<int>;
+      { model.component_successors(state, 0, out) } -> std::same_as<void>;
+      { model.component_quiescent(state, 0) } -> std::convertible_to<bool>;
+      { model.por_stutter_invariant() } -> std::convertible_to<bool>;
+    };
+
+/// The reduction level the engine will actually run for `model` when
+/// `requested` is asked for (hooks present + soundness gates). Exposed so
+/// callers (benches, campaign sizing) can predict the effective level.
+template <class M>
+Reduction applied_reduction(const M& model, Reduction requested) {
+  bool symmetry = reduction_has_symmetry(requested) && SymmetricModel<M>;
+  bool por = reduction_has_por(requested);
+  if constexpr (PorModel<M>) {
+    por = por && model.por_components() > 1 && model.por_stutter_invariant() &&
+          !AnalyzableModel<M>;
+  } else {
+    por = false;
+  }
+  if (symmetry && por) return Reduction::kSymmetryPor;
+  if (symmetry) return Reduction::kSymmetry;
+  if (por) return Reduction::kPor;
+  return Reduction::kNone;
+}
 
 }  // namespace wfd::mc

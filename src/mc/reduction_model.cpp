@@ -241,7 +241,31 @@ void pair_successors(const McOptions& options, const Pair& st, Emit&& emit) {
   }
 }
 
+/// The pair block every pair starts from: all threads thinking, switch and
+/// trigger 0, both ping flags set.
+constexpr std::uint64_t kInitialPairBits =
+    (1ull << Pair::kPingFlag) | (1ull << (Pair::kPingFlag + 1));
+
+/// Exchange two bit fields of width `w` at shifts `a` and `b`.
+constexpr std::uint64_t swap_bits(std::uint64_t x, int a, int b, int w) {
+  const std::uint64_t mask = (1ull << w) - 1;
+  const std::uint64_t diff = ((x >> a) ^ (x >> b)) & mask;
+  return x ^ ((diff << a) | (diff << b));
+}
+
 }  // namespace
+
+std::uint64_t flip_pair_bits(std::uint64_t p) {
+  p = swap_bits(p, Pair::kW0, Pair::kW1, 2);
+  p = swap_bits(p, Pair::kS0, Pair::kS1, 2);
+  p = swap_bits(p, Pair::kHavePing, Pair::kHavePing + 1, 1);
+  p = swap_bits(p, Pair::kPingFlag, Pair::kPingFlag + 1, 1);
+  p = swap_bits(p, Pair::kPingChan, Pair::kPingChan + 2, 2);
+  p = swap_bits(p, Pair::kAckChan, Pair::kAckChan + 2, 2);
+  p = swap_bits(p, Pair::kWarmed, Pair::kWarmed + 1, 1);
+  // The flip renames instance 0 <-> 1, so the "whose turn" bits invert.
+  return p ^ ((1ull << Pair::kSwitch) | (1ull << Pair::kTrigger));
+}
 
 ReductionModel::ReductionModel(const McOptions& options) : options_(options) {
   if (options_.pairs < 1) options_.pairs = 1;
@@ -321,6 +345,41 @@ std::string ReductionModel::check_expansion(
   return {};
 }
 
+int ReductionModel::code_bits() const { return kPairBits * options_.pairs; }
+
+ReductionModel::State ReductionModel::canonical(const State& state,
+                                                Reduction level) const {
+  if (!reduction_has_symmetry(level)) return state;
+  std::uint64_t canon[2] = {0, 0};
+  for (int k = 0; k < options_.pairs; ++k) {
+    const std::uint64_t p = (state.bits >> (k * kPairBits)) & kPairMask;
+    canon[k] = std::min(p, flip_pair_bits(p));
+  }
+  if (options_.pairs == 1) return {canon[0]};
+  if (level == Reduction::kSymmetry) {
+    // Full group: flips x pair swap. Flips act per slot, so the least
+    // packed word is the least arrangement of the per-pair flip minima.
+    return {std::min(canon[0] | (canon[1] << kPairBits),
+                     canon[1] | (canon[0] << kPairBits))};
+  }
+  return {canon[0] | (canon[1] << kPairBits)};  // kSymmetryPor: flips only
+}
+
+int ReductionModel::por_components() const { return options_.pairs; }
+
+void ReductionModel::component_successors(
+    const State& state, int k, std::vector<Transition<State>>& out) const {
+  pair_successors(options_, pair_of(state, k), [&](const Pair& next) {
+    out.push_back({with_pair(state, k, next), kLabelNone});
+  });
+}
+
+bool ReductionModel::component_quiescent(const State& state, int k) const {
+  return pair_of(state, k).bits == kInitialPairBits;
+}
+
+bool ReductionModel::por_stutter_invariant() const { return true; }
+
 std::string ReductionModel::describe(const State& state) const {
   if (options_.pairs == 1) return describe_pair(pair_of(state, 0));
   std::string out;
@@ -333,6 +392,9 @@ std::string ReductionModel::describe(const State& state) const {
 }
 
 static_assert(Model<ReductionModel>);
+static_assert(CompactModel<ReductionModel>);
+static_assert(SymmetricModel<ReductionModel>);
+static_assert(PorModel<ReductionModel>);
 
 std::string describe_state(std::uint64_t packed) {
   return describe_pair(Pair{packed & kPairMask});

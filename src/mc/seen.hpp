@@ -1,0 +1,381 @@
+// Seen-set implementations for the model-checking engine.
+//
+// Two lock-free membership tables share the same discipline (CAS inserts on
+// the hot path, stop-the-world growth only at the engine's level barrier):
+//
+//  * SeenSet — the classic open-addressing table of raw 64-bit packed keys
+//    (8 bytes/slot, <=50% load). Works for any model; the all-ones key is
+//    reserved as the empty sentinel.
+//  * CompactSeenSet — a bucketized table of 32-bit entries for models that
+//    declare `code_bits()` <= 63. Codes are hashed with an odd-multiplier
+//    bijection over [0, 2^code_bits); the top bits of the hash pick a
+//    bucket (8 entries = one cache line) and the low bits are stored as the
+//    entry's remainder, so membership is EXACT and every stored code can be
+//    reconstructed (multiply by the modular inverse) when the table grows.
+//    4 bytes/slot at a <=75% sizing target — on the 8.3M-state two-pair
+//    space this is 64MB where the classic table needs 268MB. The rare
+//    bucket-overflow falls back to a small mutex-guarded stash (set
+//    semantics keep the exploration deterministic either way).
+//
+// SeenIndex picks whichever representation is smaller for the model's
+// declared code width and the caller's expected-states hint.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <unordered_set>
+#include <utility>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+#include "mc/codec.hpp"
+
+namespace wfd::mc {
+namespace detail {
+
+/// splitmix64 finalizer — packed states are highly structured; hash before
+/// choosing probe positions.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// The one packed key no model may use: it marks an empty seen-set slot.
+/// The engine reports a model that packs it as a violation (it would
+/// otherwise be silently conflated with "not seen yet").
+inline constexpr std::uint64_t kReservedKey = ~0ull;
+
+/// Tables larger than a few MB are random-access DRAM; backing them with
+/// transparent huge pages keeps the TLB from becoming the bottleneck
+/// (a 2^25-slot table spans 65k 4K pages but only 128 huge ones).
+inline constexpr std::size_t kHugePage = 2 * 1024 * 1024;
+
+/// 2MB-aligned allocation of plain slots, advised towards huge pages. Plain
+/// storage + std::atomic_ref on the probe path keeps initialization a single
+/// memset.
+template <class T>
+struct Slab {
+  T* data = nullptr;
+  std::size_t count = 0;
+
+  Slab() = default;
+  explicit Slab(std::size_t n) : count(n) {
+    const std::size_t size = n * sizeof(T);
+    data = static_cast<T*>(::operator new(size, std::align_val_t{kHugePage}));
+#if defined(__linux__)
+    if (size >= kHugePage) madvise(data, size, MADV_HUGEPAGE);
+#endif
+  }
+  Slab(Slab&& other) noexcept
+      : data(std::exchange(other.data, nullptr)),
+        count(std::exchange(other.count, 0)) {}
+  Slab& operator=(Slab&& other) noexcept {
+    if (this != &other) {
+      release();
+      data = std::exchange(other.data, nullptr);
+      count = std::exchange(other.count, 0);
+    }
+    return *this;
+  }
+  ~Slab() { release(); }
+
+ private:
+  void release() {
+    if (data != nullptr) {
+      ::operator delete(data, count * sizeof(T), std::align_val_t{kHugePage});
+    }
+  }
+};
+
+/// Lock-free open-addressing hash set of 64-bit packed states. Insertion is
+/// a single CAS on an atomic slot (linear probing, splitmix64-mixed start);
+/// duplicates cost one relaxed load. There is no deletion and no concurrent
+/// growth: `reserve_level` may only be called while no worker is probing
+/// (the engine calls it between BFS levels) and rebuilds the table
+/// single-threaded.
+class SeenSet {
+ public:
+  explicit SeenSet(std::uint64_t expected_states) {
+    std::uint64_t capacity = kMinSlots;
+    // Size for a <=50% steady-state load factor on the hinted state count.
+    while (capacity < expected_states * 2) capacity <<= 1;
+    rebuild(capacity);
+  }
+
+  /// True iff `key` was not present. Safe to call from any worker thread.
+  /// The set does not count its own fill (that would be a shared atomic
+  /// increment per new state); the engine derives it from its level
+  /// accounting and passes it back into reserve_level.
+  bool insert(std::uint64_t key) { return insert_hashed(mix64(key), key); }
+
+  /// Insert with a precomputed mix64 hash (pairs with `prefetch`).
+  bool insert_hashed(std::uint64_t hash, std::uint64_t key) {
+    assert(key != kReservedKey && "packed state collides with the sentinel");
+    std::size_t i = static_cast<std::size_t>(hash) & mask_;
+    for (;;) {
+      std::atomic_ref<std::uint64_t> slot(slots_[i]);
+      std::uint64_t cur = slot.load(std::memory_order_relaxed);
+      if (cur == key) return false;
+      if (cur == kReservedKey) {
+        if (slot.compare_exchange_strong(cur, key,
+                                         std::memory_order_relaxed)) {
+          return true;
+        }
+        if (cur == key) return false;  // lost the race to the same key
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Warm the cache line of `hash`'s home slot; batching prefetches before
+  /// a run of inserts hides the DRAM latency of the (random-access) table.
+  void prefetch(std::uint64_t hash) const {
+    __builtin_prefetch(&slots_[static_cast<std::size_t>(hash) & mask_], 1, 3);
+  }
+
+  /// Grow so that `projected_inserts` more keys on top of the `fill` keys
+  /// already present keep the load factor at or below 50%. MUST only be
+  /// called while no worker thread is probing (the engine's level barrier);
+  /// the rebuild is stop-the-world.
+  void reserve_level(std::uint64_t fill, std::uint64_t projected_inserts) {
+    const std::uint64_t want = (fill + projected_inserts) * 2;
+    if (want <= capacity()) return;
+    std::uint64_t next = capacity();
+    while (next < want) next <<= 1;
+    Slab<std::uint64_t> old = std::move(storage_);
+    const std::size_t old_capacity = mask_ + 1;
+    rebuild(next);
+    for (std::size_t i = 0; i < old_capacity; ++i) {
+      const std::uint64_t key = old.data[i];  // quiescent: plain loads fine
+      if (key == kReservedKey) continue;
+      std::size_t j = static_cast<std::size_t>(mix64(key)) & mask_;
+      while (slots_[j] != kReservedKey) {
+        j = (j + 1) & mask_;
+      }
+      slots_[j] = key;
+    }
+  }
+
+  std::uint64_t capacity() const { return mask_ + 1; }
+  std::uint64_t bytes() const { return capacity() * sizeof(std::uint64_t); }
+
+ private:
+  static constexpr std::uint64_t kMinSlots = 1ull << 16;
+
+  void rebuild(std::uint64_t capacity) {
+    storage_ = Slab<std::uint64_t>(static_cast<std::size_t>(capacity));
+    slots_ = storage_.data;
+    mask_ = static_cast<std::size_t>(capacity) - 1;
+    std::memset(slots_, 0xFF, static_cast<std::size_t>(capacity) *
+                                  sizeof(std::uint64_t));  // all kReservedKey
+  }
+
+  Slab<std::uint64_t> storage_;
+  std::uint64_t* slots_ = nullptr;
+  std::size_t mask_ = 0;
+};
+
+/// Modular inverse of an odd 64-bit constant (Newton iteration); lets the
+/// compact table reconstruct codes from stored hashes when it grows.
+inline constexpr std::uint64_t odd_inverse(std::uint64_t a) {
+  std::uint64_t x = a;  // correct to 3 bits; each step doubles the precision
+  for (int i = 0; i < 5; ++i) x *= 2 - a * x;
+  return x;
+}
+
+/// Bucketized compact membership table for codes < 2^code_bits (code_bits
+/// <= 63). See the file comment for the layout. Eligibility: the remainder
+/// (code_bits - bucket_bits hash bits) must fit an entry's 31 payload bits,
+/// i.e. slot count >= 2^(code_bits - 28).
+class CompactSeenSet {
+ public:
+  static constexpr std::uint64_t kMul = 0x9e3779b97f4a7c15ull | 1ull;
+  static constexpr std::uint64_t kMulInv = odd_inverse(kMul);
+  static constexpr std::uint32_t kOccupied = 1u << 31;
+  static constexpr int kBucketSlots = 8;  // 8 x 4B = one cache line
+
+  /// Smallest power-of-two slot count that can represent `code_bits`-wide
+  /// codes at or below a 75% sizing target for `expected` states.
+  static std::uint64_t slots_for(int code_bits, std::uint64_t expected) {
+    std::uint64_t slots = kMinSlots;
+    while (slots * 3 < expected * 4) slots <<= 1;
+    while (code_bits - bucket_bits_for(slots) > 31) slots <<= 1;
+    return slots;
+  }
+
+  CompactSeenSet(int code_bits, std::uint64_t expected)
+      : code_bits_(code_bits) {
+    assert(code_bits >= 1 && code_bits <= 63);
+    rebuild(slots_for(code_bits, expected));
+  }
+
+  /// True iff `code` was not present. Lock-free except for the rare
+  /// bucket-overflow stash.
+  bool insert(std::uint64_t code) {
+    assert((code >> code_bits_) == 0);
+    const std::uint64_t h = (code * kMul) & code_mask(code_bits_);
+    const std::size_t bucket = static_cast<std::size_t>(h >> rem_bits_);
+    const std::uint32_t entry =
+        kOccupied | static_cast<std::uint32_t>(h & rem_mask_);
+    std::uint32_t* base = slots_ + bucket * kBucketSlots;
+    for (int i = 0; i < kBucketSlots; ++i) {
+      std::atomic_ref<std::uint32_t> slot(base[i]);
+      std::uint32_t cur = slot.load(std::memory_order_relaxed);
+      if (cur == entry) return false;
+      if (cur == 0) {
+        if (slot.compare_exchange_strong(cur, entry,
+                                         std::memory_order_relaxed)) {
+          return true;
+        }
+        if (cur == entry) return false;  // lost the race to the same code
+      }
+    }
+    // Bucket full: fall back to the stash. Overflow is a low-percent event
+    // at the table's sizing target, so a mutex here never shows up in
+    // profiles — and set semantics keep the level's reached set exact.
+    std::lock_guard<std::mutex> lock(stash_mutex_);
+    return stash_.insert(code).second;
+  }
+
+  void prefetch(std::uint64_t code) const {
+    const std::uint64_t h = (code * kMul) & code_mask(code_bits_);
+    __builtin_prefetch(
+        slots_ + static_cast<std::size_t>(h >> rem_bits_) * kBucketSlots, 1, 3);
+  }
+
+  /// Grow so the sizing target holds for `fill + projected_inserts` codes.
+  /// MUST only be called at the engine's level barrier (stop-the-world
+  /// rebuild; stored hashes are inverted back into codes and re-inserted,
+  /// stash included — growth can only drain the stash, never feed it).
+  void reserve_level(std::uint64_t fill, std::uint64_t projected_inserts) {
+    std::uint64_t want = capacity();
+    while (want * 3 < (fill + projected_inserts) * 4) want <<= 1;
+    if (want == capacity()) return;
+    Slab<std::uint32_t> old = std::move(storage_);
+    const std::size_t old_slots = slot_count_;
+    const int old_rem_bits = rem_bits_;
+    std::unordered_set<std::uint64_t> old_stash = std::move(stash_);
+    stash_.clear();
+    rebuild(want);
+    for (std::size_t i = 0; i < old_slots; ++i) {
+      const std::uint32_t e = old.data[i];
+      if (e == 0) continue;
+      const std::uint64_t bucket = i / kBucketSlots;
+      const std::uint64_t h =
+          (bucket << old_rem_bits) | (e & ~kOccupied);
+      insert((h * kMulInv) & code_mask(code_bits_));
+    }
+    for (const std::uint64_t code : old_stash) insert(code);
+  }
+
+  std::uint64_t capacity() const { return slot_count_; }
+  std::uint64_t bytes() const {
+    // Stash estimate: node + hash-bucket overhead per element.
+    return slot_count_ * sizeof(std::uint32_t) +
+           stash_.size() * 2 * sizeof(std::uint64_t) +
+           stash_.bucket_count() * sizeof(void*);
+  }
+  std::uint64_t stash_size() const { return stash_.size(); }
+
+ private:
+  static constexpr std::uint64_t kMinSlots = 1ull << 16;
+
+  static int bucket_bits_for(std::uint64_t slots) {
+    int bits = 0;
+    while ((std::uint64_t{kBucketSlots} << bits) < slots) ++bits;
+    return bits;
+  }
+
+  void rebuild(std::uint64_t slots) {
+    const int bucket_bits = bucket_bits_for(slots);
+    rem_bits_ = code_bits_ > bucket_bits ? code_bits_ - bucket_bits : 0;
+    assert(rem_bits_ <= 31);
+    rem_mask_ = rem_bits_ == 0 ? 0u
+                               : static_cast<std::uint32_t>(
+                                     code_mask(rem_bits_));
+    storage_ = Slab<std::uint32_t>(static_cast<std::size_t>(slots));
+    slots_ = storage_.data;
+    slot_count_ = slots;
+    std::memset(slots_, 0, static_cast<std::size_t>(slots) *
+                               sizeof(std::uint32_t));  // all empty
+  }
+
+  int code_bits_;
+  int rem_bits_ = 0;
+  std::uint32_t rem_mask_ = 0;
+  Slab<std::uint32_t> storage_;
+  std::uint32_t* slots_ = nullptr;
+  std::uint64_t slot_count_ = 0;
+  std::mutex stash_mutex_;
+  std::unordered_set<std::uint64_t> stash_;
+};
+
+/// Facade over the two tables: picks whichever representation is smaller
+/// for the model's declared code width and the expected-states hint, and
+/// forwards the engine's probe/growth calls.
+class SeenIndex {
+ public:
+  SeenIndex(int code_bits, std::uint64_t expected_states) {
+    std::uint64_t classic_slots = 1ull << 16;
+    while (classic_slots < expected_states * 2) classic_slots <<= 1;
+    if (code_bits <= 63 &&
+        CompactSeenSet::slots_for(code_bits, expected_states) *
+                sizeof(std::uint32_t) <=
+            classic_slots * sizeof(std::uint64_t)) {
+      compact_ =
+          std::make_unique<CompactSeenSet>(code_bits, expected_states);
+    } else {
+      classic_ = std::make_unique<SeenSet>(expected_states);
+    }
+  }
+
+  /// `mix_hash` must be mix64(code); the classic table probes with it (the
+  /// compact table derives its own multiplicative hash — one imul).
+  bool insert(std::uint64_t code, std::uint64_t mix_hash) {
+    return compact_ ? compact_->insert(code)
+                    : classic_->insert_hashed(mix_hash, code);
+  }
+  bool insert(std::uint64_t code) {
+    return compact_ ? compact_->insert(code) : classic_->insert(code);
+  }
+
+  void prefetch(std::uint64_t code, std::uint64_t mix_hash) const {
+    if (compact_) {
+      compact_->prefetch(code);
+    } else {
+      classic_->prefetch(mix_hash);
+    }
+  }
+
+  void reserve_level(std::uint64_t fill, std::uint64_t projected_inserts) {
+    if (compact_) {
+      compact_->reserve_level(fill, projected_inserts);
+    } else {
+      classic_->reserve_level(fill, projected_inserts);
+    }
+  }
+
+  std::uint64_t capacity() const {
+    return compact_ ? compact_->capacity() : classic_->capacity();
+  }
+  std::uint64_t bytes() const {
+    return compact_ ? compact_->bytes() : classic_->bytes();
+  }
+  bool compact() const { return compact_ != nullptr; }
+
+ private:
+  std::unique_ptr<SeenSet> classic_;
+  std::unique_ptr<CompactSeenSet> compact_;
+};
+
+}  // namespace detail
+}  // namespace wfd::mc

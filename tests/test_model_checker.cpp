@@ -6,12 +6,17 @@
 // and verdict at every thread count).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "harness/campaign.hpp"
 #include "mc/ablation_model.hpp"
 #include "mc/engine.hpp"
 #include "mc/gkk_model.hpp"
@@ -418,6 +423,390 @@ TEST(ReachViewTest, CsrLookupAndIteration) {
   EXPECT_EQ(view.edge_label(0, 1), kLabelWrongfulSuspicion);
   EXPECT_EQ(view.out_degree(2), 0u);
   EXPECT_GT(view.bytes(), 0u);
+}
+
+// --- state-space reductions ------------------------------------------------
+
+// The soundness of the symmetry quotient rests on the per-pair instance
+// flip being an automorphism of the pair transition relation. Check it
+// mechanically: for every reachable one-pair state s, in every regime,
+// flip(successors(s)) == successors(flip(s)) as labelled edge sets.
+TEST(ReductionLevels, FlipIsAutomorphismOfPairSuccessors) {
+  for (const BoxMode mode : {BoxMode::kExclusive, BoxMode::kArbitrary}) {
+    for (const bool crash : {false, true}) {
+      McOptions options;
+      options.mode = mode;
+      options.allow_crash = crash;
+      options.check_accuracy = mode == BoxMode::kExclusive;
+      const ReductionModel model(options);
+      // Plain BFS over the model API (independent of the engine under test).
+      std::set<std::uint64_t> reached;
+      std::vector<ReductionModel::State> frontier = model.initial_states();
+      for (const auto& s : frontier) reached.insert(s.bits);
+      std::vector<Transition<ReductionModel::State>> edges;
+      while (!frontier.empty()) {
+        std::vector<ReductionModel::State> next;
+        for (const auto& s : frontier) {
+          edges.clear();
+          model.successors(s, edges);
+          for (const auto& e : edges) {
+            if (reached.insert(e.to.bits).second) next.push_back(e.to);
+          }
+        }
+        frontier = std::move(next);
+      }
+      auto edge_set = [&](std::uint64_t bits) {
+        std::set<std::pair<std::uint64_t, std::uint8_t>> out;
+        edges.clear();
+        model.successors(ReductionModel::State{bits}, edges);
+        for (const auto& e : edges) out.emplace(e.to.bits, e.label);
+        return out;
+      };
+      for (const std::uint64_t bits : reached) {
+        std::set<std::pair<std::uint64_t, std::uint8_t>> mapped;
+        for (const auto& [to, label] : edge_set(bits)) {
+          mapped.emplace(flip_pair_bits(to), label);
+        }
+        EXPECT_EQ(mapped, edge_set(flip_pair_bits(bits)))
+            << "mode=" << static_cast<int>(mode) << " crash=" << crash
+            << " state=" << describe_state(bits);
+      }
+    }
+  }
+}
+
+// The engine only applies the reduction levels a model's hooks and
+// soundness gates support; everything else downgrades predictably.
+TEST(ReductionLevels, UnsupportedLevelsDowngrade) {
+  // Lasso searches read transitions, which POR prunes: analyzable models
+  // never get POR (and GKK/ablation's renaming group is the identity, so
+  // their symmetry quotient is a no-op but still "runs").
+  const GkkModel gkk(GkkBoxSemantics::kLockout);
+  EXPECT_EQ(applied_reduction(gkk, Reduction::kPor), Reduction::kNone);
+  EXPECT_EQ(applied_reduction(gkk, Reduction::kSymmetryPor),
+            Reduction::kSymmetry);
+  // One pair = one POR component: nothing to reduce.
+  const ReductionModel one_pair{McOptions{}};
+  EXPECT_EQ(applied_reduction(one_pair, Reduction::kPor), Reduction::kNone);
+  EXPECT_EQ(applied_reduction(one_pair, Reduction::kSymmetryPor),
+            Reduction::kSymmetry);
+  McOptions two;
+  two.pairs = 2;
+  const ReductionModel two_pair(two);
+  EXPECT_EQ(applied_reduction(two_pair, Reduction::kSymmetryPor),
+            Reduction::kSymmetryPor);
+  // The result reports what actually ran.
+  const CheckResult r = check_reduction({}, {.reduction = Reduction::kPor});
+  EXPECT_EQ(r.reduction, Reduction::kNone);
+}
+
+// Every reduction level must return the identical verdict, and the counts
+// obey closed forms against the unreduced one-pair space:
+//  * kSymmetry stores only orbit representatives (>= 3x fewer states on the
+//    composed space — the ISSUE acceptance floor; measured ~6x);
+//  * kPor preserves the reachable STATE SET exactly and prunes commuting
+//    interleavings: transitions drop from 2*c*t to (c+1)*t;
+//  * kSymmetryPor composes flips with the component ordering: exactly the
+//    square of the one-pair symmetry count.
+TEST(ReductionLevels, TwoPairClosedFormsAtEveryLevel) {
+  McOptions one;  // exclusive suffix, no crash
+  const CheckResult single = check_reduction(one, {.threads = 2});
+  ASSERT_TRUE(single.ok()) << single.counterexample;
+  const CheckResult single_sym =
+      check_reduction(one, {.threads = 2, .reduction = Reduction::kSymmetry});
+  ASSERT_TRUE(single_sym.ok()) << single_sym.counterexample;
+  EXPECT_EQ(single_sym.reduction, Reduction::kSymmetry);
+  EXPECT_LT(single_sym.states, single.states);
+
+  McOptions two = one;
+  two.pairs = 2;
+  const CheckResult none = check_reduction(two, {.threads = 4});
+  ASSERT_TRUE(none.ok()) << none.counterexample;
+  EXPECT_EQ(none.states, single.states * single.states);
+
+  const CheckResult sym =
+      check_reduction(two, {.threads = 4, .reduction = Reduction::kSymmetry});
+  EXPECT_TRUE(sym.ok()) << sym.counterexample;
+  EXPECT_EQ(sym.reduction, Reduction::kSymmetry);
+  EXPECT_GE(none.states, 3 * sym.states) << "acceptance floor: >= 3x";
+
+  const CheckResult por =
+      check_reduction(two, {.threads = 4, .reduction = Reduction::kPor});
+  EXPECT_TRUE(por.ok()) << por.counterexample;
+  EXPECT_EQ(por.reduction, Reduction::kPor);
+  EXPECT_EQ(por.states, none.states) << "POR must preserve the state set";
+  EXPECT_EQ(por.transitions, (single.states + 1) * single.transitions);
+
+  const CheckResult sym_por = check_reduction(
+      two, {.threads = 4, .reduction = Reduction::kSymmetryPor});
+  EXPECT_TRUE(sym_por.ok()) << sym_por.counterexample;
+  EXPECT_EQ(sym_por.reduction, Reduction::kSymmetryPor);
+  EXPECT_EQ(sym_por.states, single_sym.states * single_sym.states);
+}
+
+// The determinism guarantee holds at every reduction level: identical
+// states, transitions, depth and verdict at every thread count.
+TEST(ReductionLevels, DeterministicAcrossThreadCountsAtEveryLevel) {
+  McOptions two;
+  two.pairs = 2;
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int oversubscribed = 2 * static_cast<int>(hw == 0 ? 2u : hw);
+  for (const Reduction level :
+       {Reduction::kNone, Reduction::kSymmetry, Reduction::kPor,
+        Reduction::kSymmetryPor}) {
+    const CheckResult base =
+        check_reduction(two, {.threads = 1, .reduction = level});
+    ASSERT_TRUE(base.ok()) << base.counterexample;
+    for (const int threads : {2, 8, oversubscribed}) {
+      const CheckResult result =
+          check_reduction(two, {.threads = threads, .reduction = level});
+      EXPECT_EQ(result.states, base.states)
+          << reduction_name(level) << " threads=" << threads;
+      EXPECT_EQ(result.transitions, base.transitions);
+      EXPECT_EQ(result.depth, base.depth);
+      EXPECT_EQ(result.verdict, base.verdict);
+      EXPECT_EQ(result.counterexample, base.counterexample);
+      EXPECT_EQ(result.reduction, base.reduction);
+    }
+  }
+}
+
+// A model small enough to count orbits by hand: three identical counters
+// 0..2, any counter below 2 may increment. Full space 3^3 = 27 states; the
+// canonicalization sorts the digits (the S3 renaming group), so the
+// quotient is the multisets of size 3 over {0,1,2}:
+//   {000,100,110,111,200,210,211,220,221,222} — 10 orbits.
+// Reduced transitions = sum of full out-degrees over the 10 representatives
+// (number of digits < 2): 3+3+3+3+2+2+2+1+1+0 = 20; unreduced = 54 (each of
+// the 27 states contributes its count of digits < 2, and the digits are
+// i.i.d. uniform: 27 * 3 * 2/3). Depth 6 either way (six increments to 222).
+struct CounterTripleModel {
+  struct State {
+    std::uint64_t bits = 0;  // three 2-bit digits
+  };
+
+  static std::uint64_t digit(std::uint64_t bits, int i) {
+    return (bits >> (2 * i)) & 3;
+  }
+
+  std::vector<State> initial_states() const { return {State{0}}; }
+  void successors(const State& st, std::vector<Transition<State>>& out) const {
+    for (int i = 0; i < 3; ++i) {
+      if (digit(st.bits, i) < 2) {
+        out.push_back({State{st.bits + (1ull << (2 * i))}, kLabelNone});
+      }
+    }
+  }
+  std::string check_state(const State&) const { return {}; }
+  std::string check_expansion(const State&,
+                              const std::vector<Transition<State>>&) const {
+    return {};
+  }
+  std::string describe(const State& st) const {
+    return std::to_string(digit(st.bits, 2)) + std::to_string(digit(st.bits, 1)) +
+           std::to_string(digit(st.bits, 0));
+  }
+  int code_bits() const { return 6; }
+  State canonical(const State& st, Reduction) const {
+    // Least packed key in the orbit: descending digits toward bit 0.
+    std::uint64_t d[3] = {digit(st.bits, 0), digit(st.bits, 1),
+                          digit(st.bits, 2)};
+    std::sort(d, d + 3, std::greater<>());
+    return State{d[0] | (d[1] << 2) | (d[2] << 4)};
+  }
+};
+
+static_assert(Model<CounterTripleModel>);
+static_assert(SymmetricModel<CounterTripleModel>);
+
+TEST(ReductionLevels, HandCountedOrbitsOnTinyModel) {
+  const CounterTripleModel model;
+  const CheckResult full = run_check(model, {.threads = 1});
+  EXPECT_TRUE(full.ok());
+  EXPECT_EQ(full.states, 27u);
+  EXPECT_EQ(full.transitions, 54u);
+  EXPECT_EQ(full.depth, 6u);
+  for (const int threads : {1, 4}) {
+    const CheckResult reduced = run_check(
+        model, {.threads = threads, .reduction = Reduction::kSymmetry});
+    EXPECT_TRUE(reduced.ok());
+    EXPECT_EQ(reduced.reduction, Reduction::kSymmetry);
+    EXPECT_EQ(reduced.states, 10u) << "threads=" << threads;
+    EXPECT_EQ(reduced.transitions, 20u);
+    EXPECT_EQ(reduced.depth, 6u);
+  }
+}
+
+// --- the spillable frontier ------------------------------------------------
+
+// A 1-byte budget forces every sealed frontier segment to disk; the
+// exploration must come back byte-identical to the unlimited run. Named
+// under ParallelEngine so the TSan-instrumented binary picks these up.
+TEST(ParallelEngine, SpillPreservesCountsAndVerdict) {
+  const GridModel model{.side = 64};
+  const CheckResult base = run_check(model, {.threads = 1});
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(base.spilled_bytes, 0u);
+  EXPECT_GT(base.frontier_peak_bytes, 0u);
+  for (const int threads : {1, 4}) {
+    const CheckResult spilled =
+        run_check(model, {.threads = threads, .frontier_budget_bytes = 1});
+    EXPECT_EQ(spilled.states, base.states) << "threads=" << threads;
+    EXPECT_EQ(spilled.transitions, base.transitions);
+    EXPECT_EQ(spilled.depth, base.depth);
+    EXPECT_EQ(spilled.verdict, base.verdict);
+    EXPECT_GT(spilled.spilled_bytes, 0u)
+        << "a 1-byte budget must actually spill";
+  }
+}
+
+TEST(ParallelEngine, SpillComposesWithReductions) {
+  McOptions options;  // exclusive one-pair: small but real
+  const CheckResult base =
+      check_reduction(options, {.threads = 2,
+                                .reduction = Reduction::kSymmetry});
+  ASSERT_TRUE(base.ok()) << base.counterexample;
+  const CheckResult spilled =
+      check_reduction(options, {.threads = 2,
+                                .reduction = Reduction::kSymmetry,
+                                .frontier_budget_bytes = 1});
+  EXPECT_EQ(spilled.states, base.states);
+  EXPECT_EQ(spilled.transitions, base.transitions);
+  EXPECT_EQ(spilled.depth, base.depth);
+  EXPECT_EQ(spilled.verdict, base.verdict);
+  EXPECT_GT(spilled.spilled_bytes, 0u);
+}
+
+// --- the compact codec and seen-set, directly -------------------------------
+
+TEST(Codec, PackedCodeVectorRoundTripsAcrossWordBoundaries) {
+  for (const int width : {1, 7, 26, 52, 63, 64}) {
+    PackedCodeVector vec(width);
+    std::vector<std::uint64_t> expect;
+    std::uint64_t x = 0x243f6a8885a308d3ull;  // arbitrary nonzero seed
+    for (int i = 0; i < 1000; ++i) {
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+      const std::uint64_t code = x & code_mask(width);
+      expect.push_back(code);
+      vec.push_back(code);
+    }
+    ASSERT_EQ(vec.size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_EQ(vec[i], expect[i]) << "width=" << width << " i=" << i;
+      // The static reader is what spilled segments are decoded with.
+      EXPECT_EQ(PackedCodeVector::read(vec.words(), width, i), expect[i]);
+    }
+    EXPECT_EQ(vec.word_count(), PackedCodeVector::words_for(1000, width));
+  }
+}
+
+TEST(Codec, DeltaEdgeLogRoundTripsEdges) {
+  DeltaEdgeLog log;
+  using Edge = std::pair<std::uint64_t, std::uint8_t>;
+  const std::vector<std::vector<Edge>> records = {
+      {{0x123456789abull, kLabelNone}, {0x123456789acull, kLabelSubjectMeal}},
+      {},
+      {{42, kLabelWrongfulSuspicion}},
+  };
+  const std::vector<std::uint64_t> froms = {0x123456789aaull, 7, 40};
+  for (std::size_t n = 0; n < records.size(); ++n) {
+    log.append(froms[n], records[n]);
+  }
+  EXPECT_EQ(log.edges, 3u);
+  for (std::size_t n = 0; n < records.size(); ++n) {
+    EXPECT_EQ(log.degree(n), records[n].size());
+    std::vector<Edge> got;
+    log.decode(n, [&](std::uint64_t to, std::uint8_t label) {
+      got.emplace_back(to, label);
+    });
+    EXPECT_EQ(got, records[n]) << "record " << n;
+  }
+}
+
+// The compact table's insert is a CAS race like the classic table's; same
+// contract: exactly one success per distinct code. (ParallelEngine name =
+// TSan coverage.)
+TEST(ParallelEngine, CompactSeenSetConcurrentInsert) {
+  constexpr std::uint64_t kKeys = 200000;
+  constexpr int kThreads = 8;
+  detail::CompactSeenSet seen(/*code_bits=*/24, kKeys);
+  std::atomic<std::uint64_t> inserted{0};
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&seen, &inserted, t] {
+      std::uint64_t mine = 0;
+      for (std::uint64_t i = 0; i < kKeys; ++i) {
+        const std::uint64_t code =
+            (i + static_cast<std::uint64_t>(t) * (kKeys / kThreads)) % kKeys;
+        if (seen.insert(code)) ++mine;
+      }
+      inserted.fetch_add(mine);
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(inserted.load(), kKeys);
+  for (std::uint64_t code = 0; code < kKeys; code += 997) {
+    EXPECT_FALSE(seen.insert(code)) << code;
+  }
+}
+
+TEST(ParallelEngine, CompactSeenSetGrowthPreservesMembership) {
+  // Start at the minimum table and grow through several rebuilds; growth
+  // inverts the stored hashes back into codes, so membership must survive.
+  detail::CompactSeenSet seen(/*code_bits=*/26, /*expected=*/0);
+  constexpr std::uint64_t kKeys = 150000;
+  for (std::uint64_t code = 0; code < kKeys; ++code) {
+    EXPECT_TRUE(seen.insert(code * 37 % (1u << 26) | 1));
+    if (code % 40000 == 39999) seen.reserve_level(code + 1, 50000);
+  }
+  seen.reserve_level(kKeys, kKeys);
+  for (std::uint64_t code = 0; code < kKeys; code += 13) {
+    EXPECT_FALSE(seen.insert(code * 37 % (1u << 26) | 1)) << code;
+  }
+}
+
+TEST(ParallelEngine, SeenIndexPicksTheSmallerTable) {
+  // 26-bit codes with an honest hint: the 4-byte-entry table wins.
+  EXPECT_TRUE(detail::SeenIndex(26, 516961).compact());
+  // 52-bit codes need >= 2^24 compact slots (remainder must fit 31 bits);
+  // without a size hint the classic table is smaller, with the real 8.3M
+  // hint the compact one is (64MB vs 268MB).
+  EXPECT_FALSE(detail::SeenIndex(52, 0).compact());
+  EXPECT_TRUE(detail::SeenIndex(52, 8340544).compact());
+  // Full-width keys can only use the classic table.
+  EXPECT_FALSE(detail::SeenIndex(64, 1000).compact());
+}
+
+// --- campaign pre-sizing under reductions ----------------------------------
+
+// Regression: sweeps used to forward the full-space state count into
+// CheckOptions::expected_states even for symmetry-reduced runs, pre-sizing
+// the seen-set several times larger than its fill ever reaches. JobMeta now
+// carries both counts and expected_for() picks per reduction level.
+TEST(ModelChecker, ExpectedStatesHintHonorsReductionLevel) {
+  harness::JobMeta meta;
+  meta.expected_states = 516961;
+  meta.expected_states_symmetry = 83436;
+  EXPECT_EQ(meta.expected_for(false), 516961u);
+  EXPECT_EQ(meta.expected_for(true), 83436u);
+  EXPECT_EQ(harness::JobMeta{.expected_states = 719}.expected_for(true), 719u)
+      << "unknown reduced count falls back to the full count";
+
+  McOptions two;
+  two.pairs = 2;
+  const CheckResult oversized = check_reduction(
+      two, {.threads = 2, .expected_states = meta.expected_for(false),
+            .reduction = Reduction::kSymmetry});
+  const CheckResult sized = check_reduction(
+      two, {.threads = 2, .expected_states = meta.expected_for(true),
+            .reduction = Reduction::kSymmetry});
+  ASSERT_TRUE(sized.ok()) << sized.counterexample;
+  EXPECT_EQ(sized.states, oversized.states);
+  EXPECT_EQ(sized.transitions, oversized.transitions);
+  EXPECT_EQ(sized.verdict, oversized.verdict);
+  EXPECT_LT(sized.seen_bytes, oversized.seen_bytes)
+      << "the reduced hint must shrink the table";
 }
 
 }  // namespace

@@ -346,6 +346,40 @@ TEST(McObs, CountersMatchResultAndSpansCoverEveryLevel) {
   EXPECT_TRUE(obs::validate_trace_json(out.str(), nullptr, &why)) << why;
 }
 
+// The frontier gauges mirror CheckResult::frontier_peak_bytes /
+// spilled_bytes exactly; a 1-byte budget forces the spill path so both are
+// nonzero.
+TEST(McObs, FrontierGaugesMatchResult) {
+  const auto check_gauges = [](std::uint64_t budget) {
+    obs::Registry registry;
+    mc::CheckOptions options;
+    options.threads = 2;
+    options.metrics = &registry;
+    options.frontier_budget_bytes = budget;
+    const mc::CheckResult result =
+        mc::check_gkk(mc::GkkBoxSemantics::kLockout, options);
+    ASSERT_TRUE(result.ok()) << result.counterexample;
+    const obs::Snapshot snap = registry.snapshot();
+    const obs::Snapshot::Gauge* peak =
+        snap.find_gauge("mc.frontier_peak_bytes");
+    ASSERT_NE(peak, nullptr);
+    EXPECT_EQ(peak->value, static_cast<double>(result.frontier_peak_bytes));
+    const obs::Snapshot::Gauge* spilled = snap.find_gauge("mc.spilled_bytes");
+    ASSERT_NE(spilled, nullptr);
+    EXPECT_EQ(spilled->value, static_cast<double>(result.spilled_bytes));
+    if (budget == 0) {
+      // Unlimited: everything stays resident, nothing spills.
+      EXPECT_GT(result.frontier_peak_bytes, 0u);
+      EXPECT_EQ(result.spilled_bytes, 0u);
+    } else {
+      // A 1-byte budget spills every sealed segment (resident peak 0).
+      EXPECT_GT(result.spilled_bytes, 0u);
+    }
+  };
+  check_gauges(/*budget=*/0);
+  check_gauges(/*budget=*/1);
+}
+
 TEST(McObs, InstrumentationNeverChangesTheExploration) {
   const mc::CheckResult plain = mc::check_gkk(mc::GkkBoxSemantics::kForkBased);
   obs::Registry registry;

@@ -33,8 +33,11 @@ import sys
 
 #: Fields that are measurements, never identity. Everything else (strings,
 #: bools, and config-sized ints like n/seed/steps/ticks/shards) keys the
-#: join between baseline and current rows.
-METRIC_HINTS = ("_per_sec", "_acts", "seconds")
+#: join between baseline and current rows. The _bytes / _per_state /
+#: _factor hints cover the model-checker memory metrics (seen_bytes,
+#: bytes_per_state, orbit_reduction_factor, frontier_peak_bytes, ...).
+METRIC_HINTS = ("_per_sec", "_acts", "seconds", "_bytes", "_per_state",
+                "_factor", "_per_mb")
 ROW_OVERRIDE_PREFIXES = ("min_", "threshold_")
 
 
@@ -45,8 +48,12 @@ def is_metric_field(name):
 
 
 def row_key(row):
+    # Nested documents (e.g. an embedded metrics-registry snapshot) are
+    # payload, not identity: only scalars key the join.
     return tuple(sorted(
-        (k, v) for k, v in row.items() if not is_metric_field(k)))
+        (k, v) for k, v in row.items()
+        if not is_metric_field(k)
+        and (v is None or isinstance(v, (str, int, float, bool)))))
 
 
 def compare(baseline_rows, current_rows, metrics, why=None):
@@ -151,6 +158,32 @@ def selftest():
                    doc["checked"] == 0 and doc["unmatched_baseline"] == 1))
     checks.append(("no joined rows is a fail, not a silent pass",
                    doc["verdict"] == "fail"))
+
+    # Memory metrics are measurements, not identity: rows whose seen_bytes /
+    # bytes_per_state / orbit_reduction_factor differ still join, and a
+    # watched factor metric is graded like any other.
+    mem_base = [{"bench": "mc", "reduction": "symmetry", "states_per_sec": 10,
+                 "seen_bytes": 1000, "bytes_per_state": 8.0,
+                 "orbit_reduction_factor": 6.0,
+                 "min_orbit_reduction_factor": 3.0}]
+    mem_cur = [dict(mem_base[0], seen_bytes=500, bytes_per_state=4.0,
+                    orbit_reduction_factor=5.5)]
+    doc = compare(mem_base, mem_cur, {"orbit_reduction_factor": 0.5})
+    checks.append(("bytes/factor fields do not break the join",
+                   doc["checked"] == 1 and doc["verdict"] == "pass"))
+    mem_cur = [dict(mem_base[0], orbit_reduction_factor=2.0)]
+    doc = compare(mem_base, mem_cur, {"orbit_reduction_factor": 0.1})
+    checks.append(("min_ floor rejects a collapsed reduction factor",
+                   doc["verdict"] == "fail"))
+
+    # Nested documents (embedded registry snapshots) are payload, not
+    # identity — rows carrying them must still join and be hashable.
+    nested = [{"bench": "x", "states_per_sec": 10,
+               "registry": {"counters": [1, 2]}}]
+    doc = compare(nested, [dict(nested[0], states_per_sec=12)],
+                  {"states_per_sec": 0.5})
+    checks.append(("nested payload fields do not break the join",
+                   doc["checked"] == 1 and doc["verdict"] == "pass"))
 
     failures = [name for name, ok in checks if not ok]
     for name, ok in checks:

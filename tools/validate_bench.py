@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Schema-check recorded model-checker bench rows (BENCH_e17.json).
+
+A pure-stdlib mirror of the row shape bench_e17_mc_throughput emits (and
+the hand-curated pre/post baseline rows recorded at the repo root), run as
+a tier-1 ctest so a hand-edited row fails CI before any perf comparison
+trusts it. Checks, per row:
+
+  * shape: a flat JSON object of scalars (nested objects allowed only for
+    the embedded metrics-registry snapshot under "registry");
+  * enum fields hold known values (verdict, reduction, model, mode);
+  * counts are non-negative integers and rates/sizes non-negative numbers;
+  * reduction-level consistency within a configuration group (same model /
+    mode / crash / pairs / engine): "por" and spill rows store exactly the
+    unreduced state count (POR prunes interleavings, never states; a spill
+    changes where the frontier lives, never what it holds), symmetry rows
+    store at least 3x fewer (the recorded acceptance floor), and
+    orbit_reduction_factor matches full_states / stored_states;
+  * spill rows actually spilled (spilled_bytes > 0);
+  * every verdict in the file is "ok" — these are recorded green runs.
+
+Exit 0 iff every row validates. Usage:
+
+  tools/validate_bench.py [BENCH_e17.json ...]   (default: repo BENCH_e17.json)
+"""
+import json
+import pathlib
+import sys
+
+VERDICTS = {"ok", "violation", "budget_exceeded"}
+REDUCTIONS = {"none", "symmetry", "por", "symmetry_por"}
+MODELS = {"reduction", "gkk-fork", "gkk-lockout", "ablation"}
+MODES = {"exclusive", "arbitrary", "-"}
+
+#: Non-negative integer count fields.
+COUNT_FIELDS = ("states", "transitions", "depth", "threads", "pairs",
+                "seen_bytes", "graph_bytes", "frontier_peak_bytes",
+                "spilled_bytes", "runs")
+#: Non-negative numeric measurement fields.
+RATE_FIELDS = ("states_per_sec", "best_states_per_sec", "seconds",
+               "bytes_per_state", "orbit_reduction_factor",
+               "min_orbit_reduction_factor")
+SYMMETRY_FLOOR = 3.0
+
+
+def fail(errors, path, i, why):
+    errors.append(f"{path}: row {i}: {why}")
+
+
+def check_row(errors, path, i, row):
+    if not isinstance(row, dict):
+        fail(errors, path, i, "row is not an object")
+        return
+    for key, value in row.items():
+        if isinstance(value, (dict, list)) and key != "registry":
+            fail(errors, path, i, f"nested value in scalar field {key!r}")
+    for field in COUNT_FIELDS:
+        if field in row and not (isinstance(row[field], int)
+                                 and not isinstance(row[field], bool)
+                                 and row[field] >= 0):
+            fail(errors, path, i, f"{field} must be a non-negative integer, "
+                                  f"got {row[field]!r}")
+    for field in RATE_FIELDS:
+        if field in row and not (isinstance(row[field], (int, float))
+                                 and not isinstance(row[field], bool)
+                                 and row[field] >= 0):
+            fail(errors, path, i, f"{field} must be a non-negative number, "
+                                  f"got {row[field]!r}")
+    if "verdict" in row and row["verdict"] not in VERDICTS:
+        fail(errors, path, i, f"unknown verdict {row['verdict']!r}")
+    if "verdict" in row and row["verdict"] != "ok":
+        fail(errors, path, i, "recorded baseline rows must be green runs")
+    if "reduction" in row and row["reduction"] not in REDUCTIONS:
+        fail(errors, path, i, f"unknown reduction {row['reduction']!r}")
+    if "model" in row and row["model"] not in MODELS:
+        fail(errors, path, i, f"unknown model {row['model']!r}")
+    if "mode" in row and row["mode"] not in MODES:
+        fail(errors, path, i, f"unknown mode {row['mode']!r}")
+    if row.get("spill") and row.get("spilled_bytes", 0) <= 0:
+        fail(errors, path, i, "a spill row must report spilled_bytes > 0")
+    if row.get("reduction") in ("symmetry", "symmetry_por"):
+        factor = row.get("orbit_reduction_factor")
+        if factor is None:
+            fail(errors, path, i, "symmetry rows must record "
+                                  "orbit_reduction_factor")
+        # The >= 3x acceptance floor binds for symmetry ALONE;
+        # symmetry_por restricts the group to the per-pair flips.
+        elif (row["reduction"] == "symmetry" and row.get("pairs", 0) >= 2
+              and factor < SYMMETRY_FLOOR):
+            fail(errors, path, i, f"orbit_reduction_factor {factor} below "
+                                  f"the {SYMMETRY_FLOOR}x acceptance floor")
+
+
+def group_key(row):
+    return (row.get("model"), row.get("mode"), row.get("crash"),
+            row.get("pairs"), row.get("engine"), row.get("threads"))
+
+
+def check_groups(errors, path, rows):
+    """Cross-row consistency inside one configuration group."""
+    groups = {}
+    for i, row in enumerate(rows):
+        if isinstance(row, dict) and "reduction" in row and "states" in row:
+            groups.setdefault(group_key(row), []).append((i, row))
+    for key, members in groups.items():
+        full = [(i, r) for i, r in members
+                if r["reduction"] == "none" and not r.get("spill")]
+        if not full:
+            continue
+        full_states = full[0][1]["states"]
+        for i, row in members:
+            states = row["states"]
+            if row["reduction"] in ("none", "por") and states != full_states:
+                fail(errors, path, i,
+                     f"{row['reduction']}/spill row stores {states} states, "
+                     f"expected the unreduced {full_states}")
+            if row["reduction"] in ("symmetry", "symmetry_por"):
+                if (row["reduction"] == "symmetry"
+                        and states * SYMMETRY_FLOOR > full_states):
+                    fail(errors, path, i,
+                         f"symmetry stores {states} of {full_states} states "
+                         f"(< {SYMMETRY_FLOOR}x)")
+                factor = row.get("orbit_reduction_factor")
+                if factor is not None and states > 0:
+                    want = full_states / states
+                    if abs(factor - want) > 0.01 * want:
+                        fail(errors, path, i,
+                             f"orbit_reduction_factor {factor} != "
+                             f"{full_states}/{states}")
+
+
+def validate_file(errors, path):
+    try:
+        rows = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as error:
+        errors.append(f"{path}: unreadable: {error}")
+        return
+    if not isinstance(rows, list) or not rows:
+        errors.append(f"{path}: must be a non-empty JSON array of rows")
+        return
+    for i, row in enumerate(rows):
+        check_row(errors, path, i, row)
+    check_groups(errors, path, rows)
+
+
+def main(argv):
+    repo = pathlib.Path(__file__).resolve().parent.parent
+    paths = ([pathlib.Path(a) for a in argv[1:]]
+             or [repo / "BENCH_e17.json"])
+    errors = []
+    for path in paths:
+        validate_file(errors, path)
+    for error in errors:
+        print(f"FAIL {error}")
+    checked = ", ".join(str(p) for p in paths)
+    print(f"validate_bench: {len(errors)} error(s) in {checked}")
+    return 0 if not errors else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
