@@ -1,0 +1,165 @@
+#include "fuzz/corpus.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace wfd::fuzz {
+
+namespace fs = std::filesystem;
+using util::Json;
+
+std::string corpus_entry_file_name(std::uint64_t signature) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx.json",
+                static_cast<unsigned long long>(signature));
+  return buf;
+}
+
+std::string corpus_entry_to_json(const CorpusEntry& entry) {
+  // The signature is a 16-hex STRING, not a JSON number: a u64 rendered as
+  // a number would round through double in sloppier readers and corrupt the
+  // content address.
+  char sig[20];
+  std::snprintf(sig, sizeof sig, "%016llx",
+                static_cast<unsigned long long>(entry.signature));
+  Json root = Json::object();
+  root.set("schema_version", Json::of_u64(1));
+  root.set("signature", Json::of_string(sig));
+  Json buckets = Json::array();
+  for (const std::uint32_t bucket : entry.buckets) {
+    buckets.push(Json::of_u64(bucket));
+  }
+  root.set("buckets", std::move(buckets));
+  Json config;
+  std::string error;
+  if (!Json::parse(config_to_json(entry.config), &config, &error)) {
+    // config_to_json output always parses; keep the entry loadable anyway.
+    config = Json::object();
+  }
+  root.set("config", std::move(config));
+  return root.dump(2) + "\n";
+}
+
+bool corpus_entry_from_json(const std::string& text, CorpusEntry* out,
+                            std::string* error) {
+  Json root;
+  if (!Json::parse(text, &root, error)) return false;
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  if (root.kind != Json::Kind::kObject) {
+    return fail("corpus entry is not a JSON object");
+  }
+  const Json* version = root.find("schema_version");
+  if (version == nullptr || version->as_u64() != 1) {
+    return fail("corpus entry missing/unsupported schema_version");
+  }
+  *out = CorpusEntry{};
+  const Json* signature = root.find("signature");
+  if (signature == nullptr || signature->kind != Json::Kind::kString) {
+    return fail("corpus entry has no string \"signature\"");
+  }
+  out->signature = std::strtoull(signature->str.c_str(), nullptr, 16);
+  if (const Json* buckets = root.find("buckets")) {
+    for (const Json& item : buckets->items) {
+      out->buckets.push_back(static_cast<std::uint32_t>(item.as_u64()));
+    }
+    canonicalize_buckets(&out->buckets);
+  }
+  const Json* config = root.find("config");
+  if (config == nullptr) return fail("corpus entry has no \"config\"");
+  return config_from_json(config->dump(), &out->config, error);
+}
+
+bool Corpus::contains(std::uint64_t signature) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const CorpusEntry& e) {
+                       return e.signature == signature;
+                     });
+}
+
+bool Corpus::admit(CorpusEntry entry, CoverageMap& map) {
+  if (contains(entry.signature)) return false;
+  const std::uint64_t novel = map.add(entry.buckets);
+  if (novel == 0) return false;
+  entry.novel_bits = novel;
+  entries_.push_back(std::move(entry));
+  return true;
+}
+
+const CorpusEntry* Corpus::pick(sim::Rng& rng) const {
+  if (entries_.empty()) return nullptr;
+  std::uint64_t total = 0;
+  for (const CorpusEntry& entry : entries_) total += entry.novel_bits;
+  if (total == 0) return &entries_[rng.below(entries_.size())];
+  std::uint64_t ticket = rng.below(total);
+  for (const CorpusEntry& entry : entries_) {
+    if (ticket < entry.novel_bits) return &entry;
+    ticket -= entry.novel_bits;
+  }
+  return &entries_.back();
+}
+
+bool Corpus::save(const std::string& dir, std::string* error) const {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    if (error != nullptr) *error = "cannot create " + dir + ": " + ec.message();
+    return false;
+  }
+  for (const CorpusEntry& entry : entries_) {
+    const fs::path path = fs::path(dir) / corpus_entry_file_name(entry.signature);
+    if (fs::exists(path, ec)) continue;  // content-addressed: already saved
+    std::ofstream out(path);
+    if (!out) {
+      if (error != nullptr) *error = "cannot write " + path.string();
+      return false;
+    }
+    out << corpus_entry_to_json(entry);
+    if (!out) {
+      if (error != nullptr) *error = "short write to " + path.string();
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t Corpus::load(const std::string& dir, CoverageMap& map,
+                           std::string* error) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return 0;
+  std::vector<std::string> names;
+  for (const fs::directory_entry& item : fs::directory_iterator(dir, ec)) {
+    if (item.path().extension() == ".json") {
+      names.push_back(item.path().filename().string());
+    }
+  }
+  // Sorted-name processing makes the load (and hence admission order and
+  // novelty weights) a pure function of the file SET, not of directory
+  // enumeration order or of who wrote which file first.
+  std::sort(names.begin(), names.end());
+  std::uint64_t admitted = 0;
+  for (const std::string& name : names) {
+    std::ifstream in(fs::path(dir) / name);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    CorpusEntry entry;
+    std::string parse_error;
+    if (!in || !corpus_entry_from_json(buffer.str(), &entry, &parse_error)) {
+      if (error != nullptr && error->empty()) {
+        *error = name + ": " + (parse_error.empty() ? "unreadable" : parse_error);
+      }
+      continue;  // a half-written shard file must not sink the campaign
+    }
+    if (admit(std::move(entry), map)) ++admitted;
+  }
+  return admitted;
+}
+
+}  // namespace wfd::fuzz

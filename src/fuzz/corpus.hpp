@@ -1,0 +1,76 @@
+// Evolutionary corpus: the set of "interesting" configs — runs that set at
+// least one previously-clear bit in the campaign coverage map when they
+// were graded. Each entry keeps its config, its run signature and its
+// canonical coverage-bucket list; the bits it NEWLY contributed at
+// admission time become its selection weight (a run that opened 12 fresh
+// buckets is a more promising mutation parent than one that opened 1).
+//
+// Admission and selection are deterministic: admission happens in the
+// single-threaded campaign accounting loop in slot order, selection draws
+// from a seeded Rng over the entries in admission order. On disk the corpus
+// is one JSON file per entry named by the entry's 16-hex-digit signature;
+// loading always processes files in sorted-name order and merging two
+// corpus directories is a plain file union — both independent of the order
+// (or job count) that produced the files, which is what makes campaign
+// results reproducible at any --jobs width.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/config.hpp"
+#include "fuzz/coverage.hpp"
+#include "sim/rng.hpp"
+
+namespace wfd::fuzz {
+
+struct CorpusEntry {
+  FuzzConfig config;
+  std::uint64_t signature = 0;
+  /// Canonical (sorted, deduplicated) coverage buckets of the entry's run.
+  std::vector<std::uint32_t> buckets;
+  /// Bits this entry newly contributed when admitted (selection weight).
+  std::uint64_t novel_bits = 0;
+};
+
+/// Entry JSON: {schema_version, signature (16-hex string), buckets, config}.
+std::string corpus_entry_to_json(const CorpusEntry& entry);
+bool corpus_entry_from_json(const std::string& text, CorpusEntry* out,
+                            std::string* error);
+/// "<16-hex signature>.json" — content-addressed, so two shards that found
+/// the same run shape write the same file and a merge is a plain union.
+std::string corpus_entry_file_name(std::uint64_t signature);
+
+class Corpus {
+ public:
+  /// Admit `entry` iff its buckets set >= 1 new bit in `map` (the map is
+  /// updated with ALL its buckets on admission). Returns true if admitted;
+  /// entry.novel_bits is filled with the contribution.
+  bool admit(CorpusEntry entry, CoverageMap& map);
+
+  const std::vector<CorpusEntry>& entries() const { return entries_; }
+  bool contains(std::uint64_t signature) const;
+
+  /// Novelty-weighted parent selection: entry i is drawn with probability
+  /// novel_bits[i] / sum(novel_bits). Pure function of the rng stream and
+  /// the admission order. Returns nullptr on an empty corpus.
+  const CorpusEntry* pick(sim::Rng& rng) const;
+
+  /// Write every entry not yet present in `dir` (content-addressed names,
+  /// so re-saving is idempotent and shards never clobber each other with
+  /// different content). Creates `dir` if missing.
+  bool save(const std::string& dir, std::string* error) const;
+
+  /// Load every *.json entry in `dir` (sorted-name order) through the
+  /// normal admission rule. Returns the number of entries admitted;
+  /// malformed files are reported via `error` (first one) but don't stop
+  /// the load — a corpus survives a half-written shard file.
+  std::uint64_t load(const std::string& dir, CoverageMap& map,
+                     std::string* error);
+
+ private:
+  std::vector<CorpusEntry> entries_;
+};
+
+}  // namespace wfd::fuzz

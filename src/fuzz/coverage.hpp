@@ -1,0 +1,110 @@
+// Coverage map for the evolutionary fuzzer: a fixed-size bitmap over
+// hashed run-shape features. A run's coverage buckets come from three
+// deterministic sources —
+//
+//  * each (axis, value) feature from oracles' run_features, hashed alone
+//    (which value did axis k take?) and paired with its predecessor (which
+//    COMBINATION did axes k-1,k take? — the cheap 2-gram that separates
+//    "saw scheduler X and delay Y somewhere" from "saw X with Y");
+//  * the full run signature modulo the map (one bucket per distinct run
+//    shape, so even a run whose per-axis features are all known still
+//    registers if the combination is new);
+//  * the per-run obs counter export (Snapshot::sorted_counters), each
+//    counter hashed with the log-2 bucket of its value — the run's
+//    behavioral footprint (messages retransmitted, trace kinds seen,
+//    detector flips) as the engine itself counted it.
+//
+// Everything is a pure function of (normalized config, result, snapshot):
+// same run, same buckets, bit for bit, on any thread count or job split —
+// the property the corpus-merge determinism tests pin.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "fuzz/config.hpp"
+#include "fuzz/oracles.hpp"
+#include "obs/metrics.hpp"
+
+namespace wfd::fuzz {
+
+/// Fixed 2^16-bit coverage bitmap (8 KiB). Buckets are hash residues, so
+/// collisions merely under-count novelty — they never create false novelty.
+class CoverageMap {
+ public:
+  static constexpr std::uint32_t kBuckets = 1u << 16;
+
+  /// Set one bucket; true iff it was previously clear.
+  bool set(std::uint32_t bucket) {
+    bucket &= kBuckets - 1;
+    const std::uint64_t mask = std::uint64_t{1} << (bucket & 63);
+    std::uint64_t& word = words_[bucket >> 6];
+    const bool fresh = (word & mask) == 0;
+    word |= mask;
+    if (fresh) ++bits_;
+    return fresh;
+  }
+
+  bool test(std::uint32_t bucket) const {
+    bucket &= kBuckets - 1;
+    return (words_[bucket >> 6] >> (bucket & 63)) & 1;
+  }
+
+  /// Set every bucket in `buckets`; returns how many were new.
+  std::uint64_t add(const std::vector<std::uint32_t>& buckets) {
+    std::uint64_t fresh = 0;
+    for (const std::uint32_t bucket : buckets) fresh += set(bucket) ? 1 : 0;
+    return fresh;
+  }
+
+  /// Number of NEW bits `buckets` would contribute, without setting them.
+  std::uint64_t novelty(const std::vector<std::uint32_t>& buckets) const {
+    std::uint64_t fresh = 0;
+    for (std::uint32_t bucket : buckets) fresh += test(bucket) ? 0 : 1;
+    return fresh;
+  }
+
+  /// OR another map in; returns how many bits were new here.
+  std::uint64_t merge(const CoverageMap& other) {
+    std::uint64_t fresh = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      const std::uint64_t incoming = other.words_[i] & ~words_[i];
+      fresh += static_cast<std::uint64_t>(__builtin_popcountll(incoming));
+      words_[i] |= other.words_[i];
+    }
+    bits_ += fresh;
+    return fresh;
+  }
+
+  std::uint64_t bits() const { return bits_; }
+
+ private:
+  std::array<std::uint64_t, kBuckets / 64> words_{};
+  std::uint64_t bits_ = 0;
+};
+
+/// The bucket a single (axis, value) feature maps to. Exposed so coverage-
+/// guided mutators can ask "is scheduler kWeighted still unseen?" against
+/// the exact bucket a future run with that feature would set.
+std::uint32_t feature_bucket(std::uint32_t axis, std::uint64_t value);
+
+/// The coverage buckets of one graded run: feature singles + adjacent-pair
+/// 2-grams + the signature bucket. Sorted and deduplicated (the set is what
+/// matters; the canonical order is what ships over fork pipes and into
+/// corpus entry files).
+std::vector<std::uint32_t> coverage_buckets(const FuzzConfig& config,
+                                            const RunResult& result);
+
+/// Append the obs-counter buckets of a per-run metrics snapshot:
+/// mix64(hash(name) ^ log2_bucket(value)) per counter, skipping zeros (an
+/// unexercised counter is absence of behavior, not behavior). Call on a
+/// registry that served exactly one run — or one snapshot prefix of a
+/// run, which by engine determinism equals the cold run to the same tick.
+void append_counter_buckets(const obs::Snapshot& snapshot,
+                            std::vector<std::uint32_t>* out);
+
+/// Canonicalize a bucket list in place: sort + dedup.
+void canonicalize_buckets(std::vector<std::uint32_t>* buckets);
+
+}  // namespace wfd::fuzz

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <memory>
 #include <set>
 #include <sstream>
@@ -110,7 +111,10 @@ ShrinkOutcome shrink_case(const FuzzConfig& failing,
   RunResult base = run_config(current);
   ++out.runs;
   if (base.ok()) {
+    // The "failing" case does not fail: shrinking it would delta-debug
+    // noise into a bogus reproducer. Fail loudly instead of emitting one.
     out.repro = ReproCase{current, "none", 0, ""};
+    out.reproduced = false;
     return out;
   }
   const std::string oracle = base.primary()->oracle;
@@ -298,6 +302,41 @@ bool replay_case(const ReproCase& repro, std::string* why) {
   return true;
 }
 
+ReplayReport replay_path(const std::string& path) {
+  namespace fs = std::filesystem;
+  ReplayReport report;
+  std::vector<std::string> files;
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    // Recursive scan: corpus directories grow subdirectories (per-campaign
+    // shards, per-oracle bins) and every stored case must be exercised.
+    for (auto it = fs::recursive_directory_iterator(path, ec);
+         !ec && it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_regular_file() && it->path().extension() == ".repro") {
+        files.push_back(it->path().string());
+      }
+    }
+    std::sort(files.begin(), files.end());
+  } else {
+    files.push_back(path);
+  }
+  for (const std::string& file : files) {
+    ReplayReport::Item item;
+    item.path = file;
+    ReproCase repro;
+    std::string error;
+    if (!load_repro_file(file, &repro, &error)) {
+      item.ok = false;
+      item.why = "load failed: " + error;
+    } else {
+      item.ok = replay_case(repro, &item.why);
+    }
+    if (item.ok) ++report.passed; else ++report.failed;
+    report.items.push_back(std::move(item));
+  }
+  return report;
+}
+
 CampaignResult run_fuzz_campaign(
     const CampaignOptions& options,
     const std::function<void(const std::string&)>& narrate) {
@@ -429,6 +468,15 @@ CampaignResult run_fuzz_campaign(
       ShrinkOutcome outcome = shrink_case(config, opts.max_shrink_attempts);
       result.stats.shrink_runs += outcome.runs;
       if (mscope) mscope->add(m_shrink, outcome.runs);
+      if (!outcome.reproduced) {
+        // A recorded failure that no longer fails is itself a determinism
+        // bug; surface it instead of shipping a "none" repro as a finding.
+        if (narrate) {
+          narrate("shrink of " + oracle +
+                  " case did not reproduce the failure; dropping it");
+        }
+        continue;
+      }
       if (narrate) {
         narrate("shrunk " + oracle + " case in " +
                 std::to_string(outcome.attempts) + " attempts (" +

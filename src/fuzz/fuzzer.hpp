@@ -83,6 +83,11 @@ struct ShrinkOutcome {
   std::uint32_t attempts = 0;
   std::uint32_t accepted = 0;  ///< candidates that kept the failure
   std::uint32_t runs = 0;      ///< run_config invocations spent
+  /// False iff the input case did not fail at all when re-run — the caller
+  /// asked to shrink a non-failure. The repro then carries oracle "none"
+  /// and MUST NOT be written out as a failure reproducer; campaigns skip
+  /// it, and wfd_fuzz --shrink reports the divergence and exits non-zero.
+  bool reproduced = true;
 };
 
 /// Delta-debug `failing` down: drop crash/mistake/pause plans (ddmin),
@@ -96,6 +101,26 @@ ShrinkOutcome shrink_case(const FuzzConfig& failing,
 /// bit-identically (oracle name, violation time, detail; a "none" case must
 /// run clean). On mismatch `why` explains the divergence.
 bool replay_case(const ReproCase& repro, std::string* why);
+
+/// Per-file outcome of replaying a .repro file or a directory of them.
+struct ReplayReport {
+  struct Item {
+    std::string path;
+    bool ok = false;
+    std::string why;  ///< load error or divergence description
+  };
+  std::vector<Item> items;  ///< sorted-path order, one per .repro found
+  std::uint64_t passed = 0;
+  std::uint64_t failed = 0;
+
+  bool all_ok() const { return failed == 0 && !items.empty(); }
+};
+
+/// Replay `path` — a single .repro file, or a directory scanned RECURSIVELY
+/// for *.repro files (sorted-path order, so reports are deterministic).
+/// Every file is replayed and reported individually; one divergence never
+/// hides another. An empty directory yields an empty (failing) report.
+ReplayReport replay_path(const std::string& path);
 
 /// Run a fuzzing campaign. `narrate`, if set, receives progress lines.
 CampaignResult run_fuzz_campaign(

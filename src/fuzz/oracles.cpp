@@ -98,48 +98,71 @@ std::uint64_t hash_string(const std::string& text) {
 
 std::uint64_t compute_signature(const FuzzConfig& config,
                                 const RunResult& result) {
+  // The signature is BY CONSTRUCTION the mix64-fold of run_features in
+  // order (first feature seeds the hash), so the per-axis view the coverage
+  // map consumes and the corpus signature can never drift apart — and the
+  // fold below reproduces the original hand-rolled fold bit for bit.
   using mc::detail::mix64;
-  std::uint64_t h = mix64(static_cast<std::uint64_t>(config.target));
-  const auto fold = [&h](std::uint64_t v) { h = mix64(h ^ v); };
-  fold(config.n);
-  fold(static_cast<std::uint64_t>(config.scheduler));
-  fold(static_cast<std::uint64_t>(config.delay));
-  fold(static_cast<std::uint64_t>(config.graph));
-  fold(static_cast<std::uint64_t>(config.semantics));
-  fold(config.crashes.size());
-  fold(config.mistakes.size());
-  fold(config.pauses.size());
-  fold(config.member0_burst > 0 ? 1 : 0);
-  fold(config.grant_holdoff > 0 ? 1 : 0);
-  fold(config.never_exit_member >= 0 ? 1 : 0);
-  fold(log2_bucket(effective_delay_max(config)));
-  fold(log2_bucket(result.stats.total_meals));
-  fold(log2_bucket(result.stats.exclusion_violations));
-  fold(log2_bucket(result.stats.detector_flips));
-  fold(log2_bucket(result.stats.messages_sent));
-  // Net-adversary features fold in only when present, so every reliable-
-  // channel signature (the entire existing corpus) is unchanged.
-  if (has_network_adversary(config)) {
-    fold(static_cast<std::uint64_t>(config.loss_rate * 1000.0));
-    fold(static_cast<std::uint64_t>(config.dup_rate * 1000.0));
-    fold(config.partitions.size());
-    fold(log2_bucket(result.stats.messages_lost));
-    fold(log2_bucket(result.stats.messages_duplicated));
-    // The retransmit wrapper folds only when on, so every one-shot-channel
-    // signature (all pre-existing adversary vectors) is unchanged.
-    if (config.retransmit_every > 0) {
-      fold(config.retransmit_every);
-      fold(config.retransmit_max);
-      fold(log2_bucket(result.stats.messages_retransmitted));
-    }
-  }
-  if (const OracleFailure* failure = result.primary()) {
-    fold(hash_string(failure->oracle));
+  const std::vector<RunFeature> features = run_features(config, result);
+  std::uint64_t h = mix64(features.front().value);
+  for (std::size_t i = 1; i < features.size(); ++i) {
+    h = mix64(h ^ features[i].value);
   }
   return h;
 }
 
 }  // namespace
+
+std::vector<RunFeature> run_features(const FuzzConfig& config,
+                                     const RunResult& result) {
+  std::vector<RunFeature> features;
+  features.reserve(26);
+  std::uint32_t axis = 0;
+  const auto emit = [&](std::uint64_t value) {
+    features.push_back(RunFeature{axis++, value});
+  };
+  emit(static_cast<std::uint64_t>(config.target));
+  emit(config.n);
+  emit(static_cast<std::uint64_t>(config.scheduler));
+  emit(static_cast<std::uint64_t>(config.delay));
+  emit(static_cast<std::uint64_t>(config.graph));
+  emit(static_cast<std::uint64_t>(config.semantics));
+  emit(config.crashes.size());
+  emit(config.mistakes.size());
+  emit(config.pauses.size());
+  emit(config.member0_burst > 0 ? 1 : 0);
+  emit(config.grant_holdoff > 0 ? 1 : 0);
+  emit(config.never_exit_member >= 0 ? 1 : 0);
+  emit(log2_bucket(effective_delay_max(config)));
+  emit(log2_bucket(result.stats.total_meals));
+  emit(log2_bucket(result.stats.exclusion_violations));
+  emit(log2_bucket(result.stats.detector_flips));
+  emit(log2_bucket(result.stats.messages_sent));
+  // Net-adversary features fold in only when present, so every reliable-
+  // channel signature (the entire existing corpus) is unchanged. The axis
+  // counter still advances over skipped axes: an axis id names the same
+  // quantity in every run, adversarial or not.
+  axis = 17;
+  if (has_network_adversary(config)) {
+    emit(static_cast<std::uint64_t>(config.loss_rate * 1000.0));
+    emit(static_cast<std::uint64_t>(config.dup_rate * 1000.0));
+    emit(config.partitions.size());
+    emit(log2_bucket(result.stats.messages_lost));
+    emit(log2_bucket(result.stats.messages_duplicated));
+    // The retransmit wrapper folds only when on, so every one-shot-channel
+    // signature (all pre-existing adversary vectors) is unchanged.
+    if (config.retransmit_every > 0) {
+      emit(config.retransmit_every);
+      emit(config.retransmit_max);
+      emit(log2_bucket(result.stats.messages_retransmitted));
+    }
+  }
+  axis = 25;
+  if (const OracleFailure* failure = result.primary()) {
+    emit(hash_string(failure->oracle));
+  }
+  return features;
+}
 
 FuzzConfig normalize(FuzzConfig config) {
   const bool extraction = is_extraction_target(config.target);
@@ -303,115 +326,18 @@ FuzzConfig normalize(FuzzConfig config) {
   return config;
 }
 
-static RunResult run_config_impl(const FuzzConfig& raw, RunCapture* capture);
+// --- ConfigRun: build once, advance incrementally, grade read-only --------
 
-RunResult run_config(const FuzzConfig& raw) {
-  return run_config_impl(raw, nullptr);
-}
-
-RunResult run_config(const FuzzConfig& raw, RunCapture& capture) {
-  return run_config_impl(raw, &capture);
-}
-
-static RunResult run_config_impl(const FuzzConfig& raw, RunCapture* capture) {
-  const FuzzConfig config = normalize(raw);
-  RunResult result;
-  result.stats.deadline = convergence_deadline(config);
-  result.stats.wait_bound = wait_free_bound(config);
-
-  sim::EngineConfig engine_config{.seed = config.seed};
-  if (capture != nullptr) {
-    engine_config.trace_capacity = capture->trace_capacity;
-    engine_config.trace_retain_kinds = capture->retain_kinds;
-    engine_config.metrics = capture->metrics;
-    engine_config.transit = capture->transit;
-  }
-  sim::Engine engine(engine_config);
+struct ConfigRun::Impl {
+  FuzzConfig config;  ///< the (normalized) stem the system was built from
+  RunCapture* capture = nullptr;
+  sim::Engine engine;
   std::vector<sim::ComponentHost*> hosts;
-  for (sim::ProcessId p = 0; p < config.n; ++p) {
-    auto host = std::make_unique<sim::ComponentHost>();
-    hosts.push_back(host.get());
-    engine.add_process(std::move(host));
-  }
-
-  // Internal <>P modules (the box's own oracle): used by the real wait-free
-  // algorithm targets; inert (but ticking) elsewhere, keeping the builds
-  // uniform. Scripted mistake windows land here — they are *internal*
-  // detector mistakes the legal targets must absorb.
   std::vector<std::shared_ptr<detect::OracleEventuallyPerfect>> detectors;
-  for (sim::ProcessId p = 0; p < config.n; ++p) {
-    auto oracle = std::make_shared<detect::OracleEventuallyPerfect>(
-        engine, p, config.n, config.detector_lag, config.mistakes,
-        /*tag=*/0xFD);
-    detectors.push_back(oracle);
-    hosts[p]->add_component(oracle, {});
-  }
-
-  switch (config.delay) {
-    case DelayKind::kFixed:
-      engine.set_delay_model(std::make_unique<sim::FixedDelay>(config.delay_max));
-      break;
-    case DelayKind::kUniform:
-      engine.set_delay_model(std::make_unique<sim::UniformDelay>(
-          config.delay_min, config.delay_max));
-      break;
-    case DelayKind::kGeometric:
-      engine.set_delay_model(std::make_unique<sim::GeometricDelay>(
-          config.geo_p, config.delay_max));
-      break;
-    case DelayKind::kPartialSynchrony:
-      engine.set_delay_model(std::make_unique<sim::PartialSynchronyDelay>(
-          config.gst, config.delay_min, config.delay_max));
-      break;
-  }
-  switch (config.scheduler) {
-    case SchedulerKind::kRoundRobin:
-      engine.set_scheduler(std::make_unique<sim::RoundRobinScheduler>());
-      break;
-    case SchedulerKind::kRandom:
-      engine.set_scheduler(std::make_unique<sim::RandomScheduler>());
-      break;
-    case SchedulerKind::kWeighted:
-      engine.set_scheduler(
-          std::make_unique<sim::WeightedScheduler>(config.weights));
-      break;
-    case SchedulerKind::kPausing: {
-      std::vector<sim::PausingScheduler::Pause> pauses;
-      for (const PausePlan& plan : config.pauses) {
-        pauses.push_back({plan.pid, plan.from, plan.until});
-      }
-      engine.set_scheduler(
-          std::make_unique<sim::PausingScheduler>(std::move(pauses)));
-      break;
-    }
-  }
-  for (const CrashPlan& crash : config.crashes) {
-    engine.schedule_crash(crash.pid, crash.at);
-  }
-  if (has_network_adversary(config)) {
-    sim::NetConfig net;
-    // The adversary's stream is derived from — but independent of — the
-    // engine seed, so enabling it never perturbs the engine's own draws.
-    net.seed = mc::detail::mix64(config.seed ^ 0x6e65742d61647621ULL);
-    net.loss_rate = config.loss_rate;
-    net.dup_rate = config.dup_rate;
-    net.dup_spread = config.dup_spread;
-    net.partitions = config.partitions;
-    net.retransmit_every = config.retransmit_every;
-    net.retransmit_max = config.retransmit_max;
-    engine.set_network(std::move(net));
-  }
-
   EngineInvariantObserver invariants;
-  invariants.engine = &engine;
-  engine.trace().subscribe_kinds(
-      sim::kind_mask(sim::EventKind::kStep, sim::EventKind::kCrash),
-      [&invariants](const sim::Event& e) { invariants.on_event(e); });
-
-  // --- target wiring --------------------------------------------------------
-  const bool dining_target = !is_extraction_target(config.target);
+  bool dining_target = false;
   std::unique_ptr<dining::DiningMonitor> monitor;
-  detect::DetectorHistory history(kExtractTag);
+  detect::DetectorHistory history;
   std::vector<std::pair<sim::ProcessId, sim::ProcessId>> graded_pairs;
 
   // Keep the built components alive for the duration of the run.
@@ -422,110 +348,234 @@ static RunResult run_config_impl(const FuzzConfig& raw, RunCapture* capture) {
   reduce::SingleInstancePair single_pair;
   std::unique_ptr<reduce::BoxFactory> factory;
 
-  const auto add_clients_for = [&](dining::DiningService& service,
-                                   std::uint32_t member) {
-    dining::ClientConfig client_config;
-    client_config.never_exit =
-        config.never_exit_member == static_cast<std::int32_t>(member);
-    auto client = std::make_shared<dining::DinerClient>(service, client_config);
-    hosts[member]->add_component(client, {});
-    clients.push_back(std::move(client));
-  };
+  static sim::EngineConfig make_engine_config(const FuzzConfig& config,
+                                              RunCapture* capture) {
+    sim::EngineConfig engine_config{.seed = config.seed};
+    if (capture != nullptr) {
+      engine_config.trace_capacity = capture->trace_capacity;
+      engine_config.trace_retain_kinds = capture->retain_kinds;
+      engine_config.metrics = capture->metrics;
+      engine_config.transit = capture->transit;
+    }
+    return engine_config;
+  }
 
-  switch (config.target) {
-    case TargetKind::kDining: {
-      dining::DiningInstanceConfig instance_config;
-      instance_config.port = kDiningPort;
-      instance_config.tag = kDiningTag;
-      for (sim::ProcessId p = 0; p < config.n; ++p) {
-        instance_config.members.push_back(p);
-      }
-      instance_config.graph = make_graph(config.graph, config.n);
-      std::vector<const detect::FailureDetector*> fds;
-      for (const auto& d : detectors) fds.push_back(d.get());
-      dining_instance =
-          dining::build_dining_instance(hosts, instance_config, fds);
-      for (std::uint32_t i = 0; i < config.n; ++i) {
-        add_clients_for(*dining_instance.diners[i], i);
-      }
-      monitor = std::make_unique<dining::DiningMonitor>(engine, instance_config);
-      dining::DiningMonitor::attach(engine, *monitor);
-      break;
+  Impl(const FuzzConfig& cfg, RunCapture* cap)
+      : config(cfg),
+        capture(cap),
+        engine(make_engine_config(cfg, cap)),
+        history(kExtractTag) {
+    for (sim::ProcessId p = 0; p < config.n; ++p) {
+      auto host = std::make_unique<sim::ComponentHost>();
+      hosts.push_back(host.get());
+      engine.add_process(std::move(host));
     }
-    case TargetKind::kScriptedDining:
-    case TargetKind::kBrokenForkBased: {
-      dining::ScriptedBoxConfig box_config;
-      box_config.port = kDiningPort;
-      box_config.tag = kDiningTag;
-      for (sim::ProcessId p = 0; p < config.n; ++p) {
-        box_config.members.push_back(p);
-      }
-      box_config.exclusive_from = config.exclusive_from;
-      box_config.semantics = config.semantics;
-      box_config.member0_burst = config.member0_burst;
-      box_config.grant_holdoff = config.grant_holdoff;
-      scripted_box = dining::build_scripted_box(engine, hosts, box_config);
-      for (std::uint32_t i = 0; i < config.n; ++i) {
-        add_clients_for(*scripted_box.diners[i], i);
-      }
-      // The scripted manager serializes all post-prefix grants, so every
-      // member conflicts with every other: grade against the clique.
-      dining::DiningInstanceConfig monitor_config;
-      monitor_config.port = kDiningPort;
-      monitor_config.tag = kDiningTag;
-      monitor_config.members = box_config.members;
-      monitor_config.graph = graph::make_clique(config.n);
-      monitor = std::make_unique<dining::DiningMonitor>(engine, monitor_config);
-      dining::DiningMonitor::attach(engine, *monitor);
-      break;
+
+    // Internal <>P modules (the box's own oracle): used by the real wait-
+    // free algorithm targets; inert (but ticking) elsewhere, keeping the
+    // builds uniform. Scripted mistake windows land here — they are
+    // *internal* detector mistakes the legal targets must absorb.
+    for (sim::ProcessId p = 0; p < config.n; ++p) {
+      auto oracle = std::make_shared<detect::OracleEventuallyPerfect>(
+          engine, p, config.n, config.detector_lag, config.mistakes,
+          /*tag=*/0xFD);
+      detectors.push_back(oracle);
+      hosts[p]->add_component(oracle, {});
     }
-    case TargetKind::kExtraction:
-    case TargetKind::kScriptedExtraction: {
-      if (config.target == TargetKind::kExtraction) {
-        factory = std::make_unique<reduce::WaitFreeBoxFactory>(
-            [&detectors](sim::ProcessId p) { return detectors[p].get(); });
-      } else {
+
+    switch (config.delay) {
+      case DelayKind::kFixed:
+        engine.set_delay_model(
+            std::make_unique<sim::FixedDelay>(config.delay_max));
+        break;
+      case DelayKind::kUniform:
+        engine.set_delay_model(std::make_unique<sim::UniformDelay>(
+            config.delay_min, config.delay_max));
+        break;
+      case DelayKind::kGeometric:
+        engine.set_delay_model(std::make_unique<sim::GeometricDelay>(
+            config.geo_p, config.delay_max));
+        break;
+      case DelayKind::kPartialSynchrony:
+        engine.set_delay_model(std::make_unique<sim::PartialSynchronyDelay>(
+            config.gst, config.delay_min, config.delay_max));
+        break;
+    }
+    switch (config.scheduler) {
+      case SchedulerKind::kRoundRobin:
+        engine.set_scheduler(std::make_unique<sim::RoundRobinScheduler>());
+        break;
+      case SchedulerKind::kRandom:
+        engine.set_scheduler(std::make_unique<sim::RandomScheduler>());
+        break;
+      case SchedulerKind::kWeighted:
+        engine.set_scheduler(
+            std::make_unique<sim::WeightedScheduler>(config.weights));
+        break;
+      case SchedulerKind::kPausing: {
+        std::vector<sim::PausingScheduler::Pause> pauses;
+        for (const PausePlan& plan : config.pauses) {
+          pauses.push_back({plan.pid, plan.from, plan.until});
+        }
+        engine.set_scheduler(
+            std::make_unique<sim::PausingScheduler>(std::move(pauses)));
+        break;
+      }
+    }
+    for (const CrashPlan& crash : config.crashes) {
+      engine.schedule_crash(crash.pid, crash.at);
+    }
+    if (has_network_adversary(config)) {
+      sim::NetConfig net;
+      // The adversary's stream is derived from — but independent of — the
+      // engine seed, so enabling it never perturbs the engine's own draws.
+      net.seed = mc::detail::mix64(config.seed ^ 0x6e65742d61647621ULL);
+      net.loss_rate = config.loss_rate;
+      net.dup_rate = config.dup_rate;
+      net.dup_spread = config.dup_spread;
+      net.partitions = config.partitions;
+      net.retransmit_every = config.retransmit_every;
+      net.retransmit_max = config.retransmit_max;
+      engine.set_network(std::move(net));
+    }
+
+    invariants.engine = &engine;
+    engine.trace().subscribe_kinds(
+        sim::kind_mask(sim::EventKind::kStep, sim::EventKind::kCrash),
+        [this](const sim::Event& e) { invariants.on_event(e); });
+
+    // --- target wiring ----------------------------------------------------
+    dining_target = !is_extraction_target(config.target);
+
+    const auto add_clients_for = [&](dining::DiningService& service,
+                                     std::uint32_t member) {
+      dining::ClientConfig client_config;
+      client_config.never_exit =
+          config.never_exit_member == static_cast<std::int32_t>(member);
+      auto client =
+          std::make_shared<dining::DinerClient>(service, client_config);
+      hosts[member]->add_component(client, {});
+      clients.push_back(std::move(client));
+    };
+
+    switch (config.target) {
+      case TargetKind::kDining: {
+        dining::DiningInstanceConfig instance_config;
+        instance_config.port = kDiningPort;
+        instance_config.tag = kDiningTag;
+        for (sim::ProcessId p = 0; p < config.n; ++p) {
+          instance_config.members.push_back(p);
+        }
+        instance_config.graph = make_graph(config.graph, config.n);
+        std::vector<const detect::FailureDetector*> fds;
+        for (const auto& d : detectors) fds.push_back(d.get());
+        dining_instance =
+            dining::build_dining_instance(hosts, instance_config, fds);
+        for (std::uint32_t i = 0; i < config.n; ++i) {
+          add_clients_for(*dining_instance.diners[i], i);
+        }
+        monitor =
+            std::make_unique<dining::DiningMonitor>(engine, instance_config);
+        dining::DiningMonitor::attach(engine, *monitor);
+        break;
+      }
+      case TargetKind::kScriptedDining:
+      case TargetKind::kBrokenForkBased: {
+        dining::ScriptedBoxConfig box_config;
+        box_config.port = kDiningPort;
+        box_config.tag = kDiningTag;
+        for (sim::ProcessId p = 0; p < config.n; ++p) {
+          box_config.members.push_back(p);
+        }
+        box_config.exclusive_from = config.exclusive_from;
+        box_config.semantics = config.semantics;
+        box_config.member0_burst = config.member0_burst;
+        box_config.grant_holdoff = config.grant_holdoff;
+        scripted_box = dining::build_scripted_box(engine, hosts, box_config);
+        for (std::uint32_t i = 0; i < config.n; ++i) {
+          add_clients_for(*scripted_box.diners[i], i);
+        }
+        // The scripted manager serializes all post-prefix grants, so every
+        // member conflicts with every other: grade against the clique.
+        dining::DiningInstanceConfig monitor_config;
+        monitor_config.port = kDiningPort;
+        monitor_config.tag = kDiningTag;
+        monitor_config.members = box_config.members;
+        monitor_config.graph = graph::make_clique(config.n);
+        monitor =
+            std::make_unique<dining::DiningMonitor>(engine, monitor_config);
+        dining::DiningMonitor::attach(engine, *monitor);
+        break;
+      }
+      case TargetKind::kExtraction:
+      case TargetKind::kScriptedExtraction: {
+        if (config.target == TargetKind::kExtraction) {
+          factory = std::make_unique<reduce::WaitFreeBoxFactory>(
+              [this](sim::ProcessId p) { return detectors[p].get(); });
+        } else {
+          factory = std::make_unique<reduce::ScriptedBoxFactory>(
+              engine, config.exclusive_from, config.semantics,
+              config.member0_burst);
+        }
+        extraction = reduce::build_full_extraction(hosts, *factory,
+                                                   reduce::ExtractionOptions{});
+        engine.trace().subscribe_kinds(
+            sim::kind_mask(sim::EventKind::kDetectorChange),
+            [this](const sim::Event& e) { history.on_event(e); });
+        for (const auto& pair : extraction.pairs) {
+          history.set_initial(pair.watcher, pair.subject, true);
+          graded_pairs.emplace_back(pair.watcher, pair.subject);
+        }
+        break;
+      }
+      case TargetKind::kBrokenSingleInstance: {
         factory = std::make_unique<reduce::ScriptedBoxFactory>(
             engine, config.exclusive_from, config.semantics,
             config.member0_burst);
+        single_pair = reduce::build_single_instance_pair(
+            *hosts[0], *hosts[1], 0, 1, *factory, /*base_port=*/2000,
+            kDiningTag, kExtractTag);
+        engine.trace().subscribe_kinds(
+            sim::kind_mask(sim::EventKind::kDetectorChange),
+            [this](const sim::Event& e) { history.on_event(e); });
+        history.set_initial(0, 1, true);
+        graded_pairs.emplace_back(0, 1);
+        break;
       }
-      extraction = reduce::build_full_extraction(hosts, *factory,
-                                                 reduce::ExtractionOptions{});
-      engine.trace().subscribe_kinds(
-          sim::kind_mask(sim::EventKind::kDetectorChange),
-          [&history](const sim::Event& e) { history.on_event(e); });
-      for (const auto& pair : extraction.pairs) {
-        history.set_initial(pair.watcher, pair.subject, true);
-        graded_pairs.emplace_back(pair.watcher, pair.subject);
-      }
-      break;
     }
-    case TargetKind::kBrokenSingleInstance: {
-      factory = std::make_unique<reduce::ScriptedBoxFactory>(
-          engine, config.exclusive_from, config.semantics,
-          config.member0_burst);
-      single_pair = reduce::build_single_instance_pair(
-          *hosts[0], *hosts[1], 0, 1, *factory, /*base_port=*/2000, kDiningTag,
-          kExtractTag);
-      engine.trace().subscribe_kinds(
-          sim::kind_mask(sim::EventKind::kDetectorChange),
-          [&history](const sim::Event& e) { history.on_event(e); });
-      history.set_initial(0, 1, true);
-      graded_pairs.emplace_back(0, 1);
-      break;
-    }
+
+    engine.init();
   }
+};
 
-  engine.init();
-  engine.run(config.steps);
+ConfigRun::ConfigRun(const FuzzConfig& config, RunCapture* capture)
+    : impl_(std::make_unique<Impl>(config, capture)) {}
 
-  if (capture != nullptr) {
-    capture->events = engine.trace().events();
-    capture->truncated = engine.trace().truncated();
-    capture->end_time = engine.now();
-  }
+ConfigRun::~ConfigRun() = default;
 
-  // --- stats ----------------------------------------------------------------
+sim::Engine& ConfigRun::engine() { return impl_->engine; }
+
+void ConfigRun::advance_to(sim::Time target) { impl_->engine.run_to(target); }
+
+void ConfigRun::schedule_crash(sim::ProcessId pid, sim::Time at) {
+  impl_->engine.schedule_crash(pid, at);
+}
+
+void ConfigRun::fill_capture() {
+  if (impl_->capture == nullptr) return;
+  impl_->capture->events = impl_->engine.trace().events();
+  impl_->capture->truncated = impl_->engine.trace().truncated();
+  impl_->capture->end_time = impl_->engine.now();
+}
+
+RunResult ConfigRun::grade(const FuzzConfig& graded) const {
+  const Impl& im = *impl_;
+  const sim::Engine& engine = im.engine;
+  RunResult result;
+  result.stats.deadline = convergence_deadline(graded);
+  result.stats.wait_bound = wait_free_bound(graded);
+
+  // --- stats --------------------------------------------------------------
   const sim::Time deadline = result.stats.deadline;
   result.stats.steps = engine.stats().steps;
   result.stats.messages_sent = engine.stats().messages_sent;
@@ -536,22 +586,22 @@ static RunResult run_config_impl(const FuzzConfig& raw, RunCapture* capture) {
   result.stats.messages_retransmitted = engine.stats().messages_retransmitted;
   result.stats.in_transit = engine.in_transit_count();
   result.stats.crashes = engine.stats().crashes;
-  if (monitor != nullptr) {
-    result.stats.total_meals = monitor->total_meals();
-    result.stats.exclusion_violations = monitor->exclusion_violations();
-    result.stats.late_violations = monitor->violations_since(deadline);
-    result.stats.last_violation = monitor->last_violation();
+  if (im.monitor != nullptr) {
+    result.stats.total_meals = im.monitor->total_meals();
+    result.stats.exclusion_violations = im.monitor->exclusion_violations();
+    result.stats.late_violations = im.monitor->violations_since(deadline);
+    result.stats.last_violation = im.monitor->last_violation();
   }
-  result.stats.detector_flips = history.flip_count();
-  for (const auto& [watcher, subject] : graded_pairs) {
+  result.stats.detector_flips = im.history.flip_count();
+  for (const auto& [watcher, subject] : im.graded_pairs) {
     if (engine.is_correct(watcher) && engine.is_correct(subject)) {
       result.stats.late_suspicion_episodes +=
-          history.suspicion_episodes_since(watcher, subject, deadline);
+          im.history.suspicion_episodes_since(watcher, subject, deadline);
     }
   }
 
-  // --- oracles (severity order: safety, liveness, detector, engine) --------
-  if (dining_target && monitor != nullptr) {
+  // --- oracles (severity order: safety, liveness, detector, engine) ------
+  if (im.dining_target && im.monitor != nullptr) {
     if (result.stats.late_violations > 0) {
       result.failures.push_back(
           {"wx_safety", result.stats.last_violation,
@@ -561,22 +611,22 @@ static RunResult run_config_impl(const FuzzConfig& raw, RunCapture* capture) {
                result.stats.last_violation)});
     }
     std::string wait_detail;
-    if (!monitor->wait_free(engine.now(), result.stats.wait_bound,
-                            &wait_detail)) {
+    if (!im.monitor->wait_free(engine.now(), result.stats.wait_bound,
+                               &wait_detail)) {
       result.failures.push_back({"wait_free", engine.now(), wait_detail});
     }
     if (result.stats.total_meals == 0) {
       result.failures.push_back(
           {"activity", engine.now(),
-           fmt("no diner completed a meal in %a steps", config.steps)});
+           fmt("no diner completed a meal in %a steps", graded.steps)});
     }
   }
-  if (is_extraction_target(config.target)) {
-    for (const auto& [watcher, subject] : graded_pairs) {
+  if (is_extraction_target(graded.target)) {
+    for (const auto& [watcher, subject] : im.graded_pairs) {
       if (!engine.is_correct(watcher) || !engine.is_correct(subject)) continue;
       const std::uint64_t late =
-          history.suspicion_episodes_since(watcher, subject, deadline);
-      const bool still = history.currently_suspects(watcher, subject);
+          im.history.suspicion_episodes_since(watcher, subject, deadline);
+      const bool still = im.history.currently_suspects(watcher, subject);
       if (late > 0 || still) {
         std::ostringstream detail;
         detail << "watcher " << watcher << " vs correct subject " << subject
@@ -584,27 +634,27 @@ static RunResult run_config_impl(const FuzzConfig& raw, RunCapture* capture) {
                << "deadline t=" << deadline
                << (still ? "; still suspecting at end of run" : "");
         result.failures.push_back({"detector_accuracy",
-                                   history.last_flip(watcher, subject),
+                                   im.history.last_flip(watcher, subject),
                                    detail.str()});
         break;  // one witness pair is evidence enough
       }
     }
-    const detect::Verdict completeness = history.strong_completeness(engine);
+    const detect::Verdict completeness = im.history.strong_completeness(engine);
     if (!completeness.holds) {
       result.failures.push_back(
           {"detector_completeness", completeness.convergence,
            completeness.detail});
     }
   }
-  if (invariants.time_regressed) {
-    result.failures.push_back({"engine", invariants.regressed_at,
+  if (im.invariants.time_regressed) {
+    result.failures.push_back({"engine", im.invariants.regressed_at,
                                "trace time went backwards"});
   }
-  if (invariants.dead_step) {
+  if (im.invariants.dead_step) {
     result.failures.push_back(
-        {"engine", invariants.dead_step_at,
+        {"engine", im.invariants.dead_step_at,
          fmt("process %a stepped at t=%b, at/after its crash time",
-             invariants.dead_step_pid, invariants.dead_step_at)});
+             im.invariants.dead_step_pid, im.invariants.dead_step_at)});
   }
   // Conservation with the adversary on: each duplicate is an extra
   // in-flight copy, each loss is already inside `dropped` (messages_lost is
@@ -622,8 +672,24 @@ static RunResult run_config_impl(const FuzzConfig& raw, RunCapture* capture) {
              accounted)});
   }
 
-  result.signature = compute_signature(config, result);
+  result.signature = compute_signature(graded, result);
   return result;
+}
+
+static RunResult run_config_impl(const FuzzConfig& raw, RunCapture* capture) {
+  const FuzzConfig config = normalize(raw);
+  ConfigRun run(config, capture);
+  run.advance_to(config.steps);
+  run.fill_capture();
+  return run.grade(config);
+}
+
+RunResult run_config(const FuzzConfig& raw) {
+  return run_config_impl(raw, nullptr);
+}
+
+RunResult run_config(const FuzzConfig& raw, RunCapture& capture) {
+  return run_config_impl(raw, &capture);
 }
 
 }  // namespace wfd::fuzz

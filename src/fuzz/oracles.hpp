@@ -28,6 +28,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -108,5 +109,58 @@ RunResult run_config(const FuzzConfig& config);
 
 /// Same, capturing the trace (and optionally metrics) along the way.
 RunResult run_config(const FuzzConfig& config, RunCapture& capture);
+
+/// One run-shape feature: a stable axis id plus the exact value
+/// compute_signature folds for that axis. The signature is the mix64-fold
+/// of this sequence in order (first axis seeds the hash), so the feature
+/// view and the signature can never drift apart; the coverage map hashes
+/// each (axis, value) pair into its own bucket instead of folding them.
+struct RunFeature {
+  std::uint32_t axis = 0;
+  std::uint64_t value = 0;
+};
+
+/// The ordered feature sequence of one graded run. Pure function of
+/// (normalized config, result) — same inputs, same features, bit for bit.
+std::vector<RunFeature> run_features(const FuzzConfig& config,
+                                     const RunResult& result);
+
+/// An incrementally executable graded run: the builder half of run_config,
+/// split out so prefix snapshots can share one constructed system between
+/// several variants. The contract that makes this sound:
+///
+///  * advance_to(T) is Engine::run_to — splitting a run into any milestone
+///    sequence is bit-identical to the cold run;
+///  * schedule_crash injects a future crash mid-run; nothing observes a
+///    pending crash before its tick, so injecting at the snapshot point is
+///    bit-identical to scheduling it before init() (the cold path);
+///  * grade() is read-only: grading at a milestone and then advancing
+///    further leaves the engine exactly where a never-graded run would be.
+///
+/// `config` must already be normalized; it provides the built system
+/// (population, adversaries, common crash plan). grade() takes the variant
+/// config actually being graded — same built fields, its own steps and
+/// crash plan — so one prefix serves a whole snapshot family.
+class ConfigRun {
+ public:
+  explicit ConfigRun(const FuzzConfig& config, RunCapture* capture = nullptr);
+  ~ConfigRun();
+  ConfigRun(const ConfigRun&) = delete;
+  ConfigRun& operator=(const ConfigRun&) = delete;
+
+  sim::Engine& engine();
+  /// Advance to tick `target` (no-op if already there or fully crashed).
+  void advance_to(sim::Time target);
+  /// Inject a crash for a tick strictly after now() (fork-resume path).
+  void schedule_crash(sim::ProcessId pid, sim::Time at);
+  /// Grade the current engine state as a completed run of `graded`.
+  RunResult grade(const FuzzConfig& graded) const;
+  /// Copy retained trace/end-time into the RunCapture (once, at the end).
+  void fill_capture();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace wfd::fuzz

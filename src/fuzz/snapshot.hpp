@@ -1,0 +1,101 @@
+// Prefix-snapshot execution of mutation families: instead of replaying
+// every variant from t=0, share the common schedule prefix once.
+//
+//  * runway families (variants identical except strictly ascending `steps`)
+//    need no snapshot at all: one engine advances through the milestones
+//    and is graded READ-ONLY at each (ConfigRun::grade is const), so
+//    grading milestone i and continuing is bit-identical to a cold run of
+//    milestone i+1 — K runs for ~1 engine-run of the longest variant;
+//
+//  * crash-suffix families (variants identical except each appends its own
+//    late crashes to a common stem) use the fork-server trick: the parent
+//    builds one engine, schedules the stem crashes, advances to
+//    S = min(divergent crash time) - 1, then fork()s per variant; the child
+//    injects its crashes (Engine::schedule_crash is legal mid-run, and
+//    nothing observes a pending crash before its tick), advances to the
+//    end, grades, ships the result + coverage buckets back over a pipe and
+//    _exit()s. OS copy-on-write is the state snapshot — no engine copy
+//    ever happens.
+//
+// Both paths are pinned bit-identical to cold replay (result, trace stream
+// and obs counters) by tests/test_fuzz_evolve.cpp over the whole
+// conformance-vector corpus; any verification failure (family shape not as
+// declared, fork/pipe error, child death) falls back to cold runs, so a
+// snapshot can be slower than advertised but never wrong.
+//
+// Fork safety: callers must be single-threaded when allow_snapshot is true
+// (the evolve campaign is; its parallelism is --jobs worker PROCESSES, not
+// threads).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/config.hpp"
+#include "fuzz/coverage.hpp"
+#include "fuzz/mutators.hpp"
+#include "fuzz/oracles.hpp"
+
+namespace wfd::fuzz {
+
+/// One graded variant: result plus its full coverage-bucket list (feature
+/// buckets + obs counter buckets, canonicalized).
+struct FamilyResult {
+  FuzzConfig config;  ///< the normalized variant that was graded
+  RunResult result;
+  std::vector<std::uint32_t> buckets;
+  bool resumed = false;  ///< served from a shared prefix, not a cold run
+};
+
+struct SnapshotStats {
+  std::uint64_t families = 0;
+  std::uint64_t cold_runs = 0;       ///< full replays from t=0
+  std::uint64_t milestone_runs = 0;  ///< runway grades past the first
+  std::uint64_t forked_runs = 0;     ///< crash-suffix children served
+};
+
+/// Grade every variant of `plan`, sharing prefixes where the family shape
+/// allows (and `allow_snapshot` permits). Results are in plan order. Pure
+/// function of the plan: cold, milestone and forked execution all yield
+/// bit-identical FamilyResults.
+std::vector<FamilyResult> run_family(const MutationPlan& plan,
+                                     bool allow_snapshot,
+                                     SnapshotStats* stats);
+
+/// Cold-run a single config with the evolve loop's standard capture (no
+/// trace retention, a private obs registry for counter coverage).
+FamilyResult cold_family_run(const FuzzConfig& config);
+
+// --- wire helpers ---------------------------------------------------------
+// Length-prefixed little-endian serialization used on the fork-server pipes
+// and re-used verbatim by the --jobs worker shards, so a FamilyResult reads
+// back identically no matter which process boundary it crossed.
+namespace wire {
+
+void put_u64(std::string* out, std::uint64_t value);
+void put_string(std::string* out, const std::string& value);
+void put_family_result(std::string* out, const FamilyResult& result);
+
+/// Buffered whole-stream reader (the writer side closes its fd to finish).
+class Reader {
+ public:
+  explicit Reader(std::string data) : data_(std::move(data)) {}
+  bool get_u64(std::uint64_t* value);
+  bool get_string(std::string* value);
+  bool get_family_result(FamilyResult* result);
+  bool at_end() const { return pos_ == data_.size(); }
+
+ private:
+  std::string data_;
+  std::size_t pos_ = 0;
+};
+
+/// Write all of `data` to `fd`, retrying on short writes/EINTR.
+bool write_all(int fd, const std::string& data);
+/// Read `fd` to EOF into `out`, retrying on EINTR.
+bool read_all(int fd, std::string* out);
+
+}  // namespace wire
+
+}  // namespace wfd::fuzz

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "fuzz/evolve.hpp"
 #include "fuzz/fuzzer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
@@ -58,6 +59,14 @@ struct Cli {
   bool quiet = false;
   std::string progress_json;
   std::uint64_t heartbeat_ms = 0;
+  // Evolve mode (coverage-guided campaign).
+  bool evolve = false;
+  std::uint64_t generations = 8;
+  std::uint32_t gen_size = 16;
+  std::uint32_t max_family = 6;
+  int jobs = 1;
+  bool snapshot = true;
+  std::string corpus_dir;
 };
 
 [[noreturn]] void usage(int code) {
@@ -80,6 +89,17 @@ struct Cli {
       "  --scenario PATH   run a *.scenario.json vector (or every one in a\n"
       "                    dir) through each engine it pins and compare the\n"
       "                    verdicts against its expect section\n"
+      "  --evolve          coverage-guided evolutionary campaign instead of\n"
+      "                    swarm sampling (uses --seeds, --target, shrink\n"
+      "                    flags; run count is --generations x --gen-size\n"
+      "                    slots, each possibly a multi-variant family)\n"
+      "  --generations N   evolve: generations per campaign (default 8)\n"
+      "  --gen-size N      evolve: mutation slots per generation (default 16)\n"
+      "  --max-family N    evolve: max variants per snapshot family (default 6)\n"
+      "  --jobs N          evolve: forked worker processes (default 1);\n"
+      "                    results are bit-identical at any width\n"
+      "  --corpus-dir DIR  evolve: load/save the on-disk corpus here\n"
+      "  --no-snapshot     evolve: disable prefix snapshots (cold runs only)\n"
       "  --quiet           suppress per-run narration\n"
       "  --progress-json F stream NDJSON progress records (one per batch,\n"
       "                    with a metrics-registry snapshot) to F\n"
@@ -128,6 +148,23 @@ Cli parse(int argc, char** argv) {
     } else if (arg == "--max-shrink") {
       cli.max_shrink =
           static_cast<std::uint32_t>(std::strtoul(value().c_str(), nullptr, 10));
+    } else if (arg == "--evolve") {
+      cli.evolve = true;
+    } else if (arg == "--generations") {
+      cli.generations = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--gen-size") {
+      cli.gen_size =
+          static_cast<std::uint32_t>(std::strtoul(value().c_str(), nullptr, 10));
+    } else if (arg == "--max-family") {
+      cli.max_family =
+          static_cast<std::uint32_t>(std::strtoul(value().c_str(), nullptr, 10));
+    } else if (arg == "--jobs") {
+      cli.jobs = std::atoi(value().c_str());
+      if (cli.jobs < 1) cli.jobs = 1;
+    } else if (arg == "--corpus-dir") {
+      cli.corpus_dir = value();
+    } else if (arg == "--no-snapshot") {
+      cli.snapshot = false;
     } else if (arg == "--expect-failure") {
       cli.expect_failure = true;
     } else if (arg == "--quiet") {
@@ -184,47 +221,152 @@ std::vector<fuzz::TargetKind> resolve_targets(
 }
 
 int replay_main(const Cli& cli) {
-  namespace fs = std::filesystem;
-  std::vector<std::string> files;
+  // The heavy lifting lives in fuzz::replay_path (recursive scan, per-file
+  // verdicts, nothing stops at the first divergence) so tests can pin the
+  // behavior without spawning this binary.
+  std::uint64_t passed = 0;
+  std::uint64_t total = 0;
+  bool any_failed = false;
   for (const std::string& path : cli.replay_paths) {
-    std::error_code ec;
-    if (fs::is_directory(path, ec)) {
-      for (const auto& entry : fs::directory_iterator(path, ec)) {
-        if (entry.path().extension() == ".repro") {
-          files.push_back(entry.path().string());
-        }
+    const fuzz::ReplayReport report = fuzz::replay_path(path);
+    for (const fuzz::ReplayReport::Item& item : report.items) {
+      if (item.ok) {
+        std::cout << "REPLAY OK  " << item.path << "\n";
+      } else {
+        std::cout << "REPLAY FAIL " << item.path << ": " << item.why << "\n";
       }
-    } else {
-      files.push_back(path);
     }
+    passed += report.passed;
+    total += report.items.size();
+    if (!report.all_ok()) any_failed = true;
   }
-  std::sort(files.begin(), files.end());
-  if (files.empty()) {
+  if (total == 0) {
     std::cout << "wfd_fuzz: nothing to replay\n";
     return 1;
   }
-  int failed = 0;
-  for (const std::string& file : files) {
-    fuzz::ReproCase repro;
-    std::string error;
-    if (!fuzz::load_repro_file(file, &repro, &error)) {
-      std::cout << "LOAD FAIL  " << file << ": " << error << "\n";
-      ++failed;
-      continue;
+  std::cout << passed << "/" << total << " cases reproduced\n";
+  return any_failed ? 1 : 0;
+}
+
+/// Write/verify one campaign repro; returns true iff the round trip
+/// reproduced the recorded outcome bit-identically.
+bool emit_repro(const fuzz::ReproCase& repro, const std::string& repro_dir,
+                std::uint64_t seed) {
+  std::string why;
+  bool ok;
+  if (!repro_dir.empty()) {
+    // Full round trip: serialize, reload, re-run, compare bit-exactly.
+    const std::string file = repro_dir + "/" +
+                             to_string(repro.config.target) + "-" +
+                             repro.oracle + "-seed" + std::to_string(seed) +
+                             ".repro";
+    fuzz::ReproCase reloaded;
+    ok = fuzz::save_repro_file(file, repro) &&
+         fuzz::load_repro_file(file, &reloaded, &why) &&
+         fuzz::replay_case(reloaded, &why);
+    std::cout << "  repro " << file << ": "
+              << (ok ? "replay reproduces the failure bit-identically"
+                     : "REPLAY MISMATCH: " + why)
+              << "\n";
+  } else {
+    ok = fuzz::replay_case(repro, &why);
+    std::cout << "  repro (" << repro.oracle << " at t=" << repro.at << "): "
+              << (ok ? "replay reproduces the failure bit-identically"
+                     : "REPLAY MISMATCH: " + why)
+              << "\n";
+  }
+  return ok;
+}
+
+int evolve_main(const Cli& cli) {
+  fuzz::EvolveOptions options;
+  options.generations = cli.generations;
+  options.generation_size = cli.gen_size;
+  options.max_family = cli.max_family;
+  options.jobs = cli.jobs;
+  options.snapshot = cli.snapshot;
+  options.targets = resolve_targets(cli.target_specs);
+  options.corpus_dir = cli.corpus_dir;
+  options.shrink = cli.shrink;
+  options.max_shrink_attempts = cli.max_shrink;
+
+  if (!cli.repro_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(cli.repro_dir, ec);
+  }
+
+  obs::Registry registry;
+  if (!cli.progress_json.empty()) options.metrics = &registry;
+
+  bench::JsonRows rows;
+  std::uint64_t total_failing = 0;
+  std::uint64_t repro_count = 0;
+  bool all_replays_ok = true;
+
+  for (std::uint64_t seed = cli.seed_lo; seed <= cli.seed_hi; ++seed) {
+    options.master_seed = seed;
+    const auto narrate = [&](const std::string& line) {
+      if (!cli.quiet) std::cout << "  [seed " << seed << "] " << line << "\n";
+    };
+    const fuzz::EvolveResult campaign =
+        fuzz::run_evolve_campaign(options, narrate);
+    const fuzz::EvolveStats& stats = campaign.stats;
+    total_failing += stats.failing;
+
+    std::cout << "evolve seed=" << seed << ": " << stats.executed << " runs ("
+              << stats.cold_runs << " cold, " << stats.milestone_runs
+              << " milestone, " << stats.forked_runs << " forked), "
+              << stats.failing << " failing, " << stats.coverage_bits
+              << " coverage bits, corpus " << stats.corpus_entries << " ("
+              << stats.novel << " novel), " << stats.shrink_runs
+              << " shrink runs, " << stats.elapsed_ms << " ms\n";
+    for (const auto& [oracle, count] : stats.oracle_failures) {
+      std::cout << "  oracle " << oracle << ": " << count << " failing run(s)\n";
     }
-    std::string why;
-    if (fuzz::replay_case(repro, &why)) {
-      std::cout << "REPLAY OK  " << file << " (" << repro.oracle;
-      if (repro.oracle != "none") std::cout << " at t=" << repro.at;
-      std::cout << ")\n";
-    } else {
-      std::cout << "REPLAY FAIL " << file << ": " << why << "\n";
-      ++failed;
+
+    rows.begin_row();
+    rows.field("mode", "evolve")
+        .field("master_seed", seed)
+        .field("executed", stats.executed)
+        .field("failing", stats.failing)
+        .field("coverage_bits", stats.coverage_bits)
+        .field("corpus_size", stats.corpus_entries)
+        .field("novel", stats.novel)
+        .field("families", stats.families)
+        .field("cold_runs", stats.cold_runs)
+        .field("milestone_runs", stats.milestone_runs)
+        .field("forked_runs", stats.forked_runs)
+        .field("shrink_runs", stats.shrink_runs)
+        .field("elapsed_ms", stats.elapsed_ms)
+        .field("repros", campaign.repros.size());
+    for (const auto& [oracle, count] : stats.oracle_failures) {
+      rows.field("fail_" + oracle, count);
+    }
+
+    for (const fuzz::ReproCase& repro : campaign.repros) {
+      if (repro.oracle == "none") continue;
+      ++repro_count;
+      all_replays_ok =
+          emit_repro(repro, cli.repro_dir, seed) && all_replays_ok;
     }
   }
-  std::cout << files.size() - failed << "/" << files.size()
-            << " cases reproduced\n";
-  return failed == 0 ? 0 : 1;
+
+  if (!cli.json_path.empty() && !rows.write_file(cli.json_path)) {
+    std::cout << "wfd_fuzz: cannot write " << cli.json_path << "\n";
+    return 2;
+  }
+  if (cli.expect_failure) {
+    const bool ok = repro_count > 0 && all_replays_ok;
+    std::cout << (ok ? "expected failure found, shrunk and reproduced\n"
+                     : "EXPECTED A FAILURE but none was found/reproduced\n");
+    return ok ? 0 : 1;
+  }
+  if (total_failing > 0) {
+    std::cout << total_failing << " oracle failure(s) — see repros above\n";
+    return 1;
+  }
+  std::cout << "all runs clean\n";
+  return 0;
 }
 
 int scenario_main(const Cli& cli) {
@@ -287,6 +429,7 @@ int main(int argc, char** argv) {
   }
   if (!cli.scenario_paths.empty()) return scenario_main(cli);
   if (!cli.replay_paths.empty()) return replay_main(cli);
+  if (cli.evolve) return evolve_main(cli);
 
   fuzz::CampaignOptions options;
   options.runs = cli.runs;
@@ -394,30 +537,8 @@ int main(int argc, char** argv) {
     for (const fuzz::ReproCase& repro : campaign.repros) {
       if (repro.oracle == "none") continue;
       ++repro_count;
-      std::string why;
-      bool ok;
-      if (!cli.repro_dir.empty()) {
-        // Full round trip: serialize, reload, re-run, compare bit-exactly.
-        const std::string file =
-            cli.repro_dir + "/" + to_string(repro.config.target) + "-" +
-            repro.oracle + "-seed" + std::to_string(seed) + ".repro";
-        fuzz::ReproCase reloaded;
-        ok = fuzz::save_repro_file(file, repro) &&
-             fuzz::load_repro_file(file, &reloaded, &why) &&
-             fuzz::replay_case(reloaded, &why);
-        std::cout << "  repro " << file << ": "
-                  << (ok ? "replay reproduces the failure bit-identically"
-                         : "REPLAY MISMATCH: " + why)
-                  << "\n";
-      } else {
-        ok = fuzz::replay_case(repro, &why);
-        std::cout << "  repro (" << repro.oracle << " at t=" << repro.at
-                  << "): "
-                  << (ok ? "replay reproduces the failure bit-identically"
-                         : "REPLAY MISMATCH: " + why)
-                  << "\n";
-      }
-      all_replays_ok = all_replays_ok && ok;
+      all_replays_ok =
+          emit_repro(repro, cli.repro_dir, seed) && all_replays_ok;
     }
   }
 

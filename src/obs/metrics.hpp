@@ -18,6 +18,7 @@
 // the same logical counter.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <array>
 #include <bit>
@@ -80,6 +81,19 @@ struct Snapshot {
   std::vector<Counter> counters;
   std::vector<Gauge> gauges;
   std::vector<Histogram> histograms;
+
+  /// Name-sorted counter view: the stable per-run export the fuzz coverage
+  /// map bucketizes (and the snapshot-group wire format ships across
+  /// forks). Sorting by name makes the export independent of metric
+  /// registration order, so two runs that brought their engines up in
+  /// different orders still export — and hash — identically.
+  std::vector<Counter> sorted_counters() const {
+    std::vector<Counter> out = counters;
+    std::sort(out.begin(), out.end(), [](const Counter& a, const Counter& b) {
+      return a.name < b.name;
+    });
+    return out;
+  }
 
   const Counter* find_counter(std::string_view name) const {
     for (const Counter& c : counters) {

@@ -274,6 +274,20 @@ std::uint64_t Engine::run(std::uint64_t n) {
   return executed;
 }
 
+Time Engine::run_to(Time target) {
+  // A live engine advances now_ by exactly 1 per executed step, so the
+  // remaining distance in ticks is the remaining step budget. Once the
+  // population fully crashes, the failed step() has already cost its one
+  // tick — exactly as in a cold run(n) — and live_ stays empty forever, so
+  // the guard makes every further call a no-op instead of re-paying a tick
+  // per call (which would break cold/resumed bit-identity).
+  while (now_ < target && !live_.empty()) {
+    const std::uint64_t want = target - now_;
+    if (run(want) < want) break;  // population fully crashed mid-stretch
+  }
+  return now_;
+}
+
 bool Engine::run_until(const std::function<bool()>& pred,
                        std::uint64_t max_steps, std::uint64_t check_every) {
   if (check_every == 0) check_every = 1;

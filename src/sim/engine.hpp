@@ -132,6 +132,15 @@ class Engine {
   bool step();
   /// Run `n` steps (or until all processes crashed). Returns steps executed.
   std::uint64_t run(std::uint64_t n);
+  /// Resume execution up to tick `target` (one step is one tick, so a fresh
+  /// engine after run_to(T) sits at now() == T unless the population fully
+  /// crashed first). The checkpoint/resume primitive behind fuzz prefix
+  /// snapshots: splitting one run into ANY sequence of run_to calls is
+  /// bit-identical to the single cold run(n) — including the all-crashed
+  /// edge, where the clock stops exactly one tick past the last live step
+  /// and further calls are no-ops (pinned by tests/test_fuzz_evolve.cpp
+  /// over the conformance-vector corpus). Returns now().
+  Time run_to(Time target);
   /// Run until `pred()` holds, checking every `check_every` steps; gives up
   /// after `max_steps`. Returns true iff the predicate held.
   bool run_until(const std::function<bool()>& pred, std::uint64_t max_steps,

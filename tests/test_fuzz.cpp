@@ -5,6 +5,8 @@
 // campaign's outcome does not depend on the worker thread count.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -242,6 +244,89 @@ TEST(FuzzCampaign, ThreadCountDoesNotChangeTheOutcome) {
   EXPECT_EQ(sequential.stats.failing, parallel.stats.failing);
   EXPECT_EQ(sequential.stats.corpus_size, parallel.stats.corpus_size);
   EXPECT_EQ(sequential.stats.total_steps, parallel.stats.total_steps);
+}
+
+TEST(FuzzShrink, AlreadyMinimalCaseComesBackUnchanged) {
+  // Shrink to a fixed point, then shrink the fixed point again: a 1-minimal
+  // case must survive a second pass bit-identically (ddmin is idempotent).
+  const ShrinkOutcome first =
+      shrink_case(normalize(broken_fork_based_config()), 120);
+  ASSERT_TRUE(first.reproduced);
+  const ShrinkOutcome second = shrink_case(first.repro.config, 120);
+  ASSERT_TRUE(second.reproduced);
+  EXPECT_EQ(config_to_json(second.repro.config),
+            config_to_json(first.repro.config));
+  EXPECT_EQ(second.repro.oracle, first.repro.oracle);
+  EXPECT_EQ(second.accepted, 0u);  // nothing simpler still fails
+}
+
+TEST(FuzzShrink, NonReproducingInputFailsLoudly) {
+  // A clean config handed to the shrinker must not delta-debug noise into a
+  // bogus reproducer: reproduced == false, oracle "none".
+  FuzzConfig clean = sample_config(5, 2, {TargetKind::kDining});
+  const RunResult check = run_config(clean);
+  ASSERT_TRUE(check.ok()) << check.primary()->oracle;
+  const ShrinkOutcome outcome = shrink_case(clean, 40);
+  EXPECT_FALSE(outcome.reproduced);
+  EXPECT_EQ(outcome.repro.oracle, "none");
+  EXPECT_EQ(outcome.accepted, 0u);
+}
+
+TEST(FuzzShrink, ReproJsonKeepsSchemaVersion) {
+  const ShrinkOutcome outcome =
+      shrink_case(normalize(broken_fork_based_config()), 40);
+  ASSERT_TRUE(outcome.reproduced);
+  const std::string text = repro_to_json(outcome.repro);
+  EXPECT_NE(text.find("\"schema_version\": 1"), std::string::npos);
+  ReproCase reloaded;
+  std::string error;
+  ASSERT_TRUE(repro_from_json(text, &reloaded, &error)) << error;
+  EXPECT_EQ(repro_to_json(reloaded), text);
+}
+
+TEST(FuzzReplayPath, DirectoryIsScannedRecursivelyAndFullyReported) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "wfd_fuzz_replay_path_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir / "nested");
+
+  const ShrinkOutcome good =
+      shrink_case(normalize(broken_fork_based_config()), 40);
+  ASSERT_TRUE(good.reproduced);
+  ReproCase drifted = good.repro;
+  drifted.at += 1;  // stored outcome no longer matches the run
+  ASSERT_TRUE(save_repro_file((dir / "a_good.repro").string(), good.repro));
+  ASSERT_TRUE(
+      save_repro_file((dir / "nested" / "drifted.repro").string(), drifted));
+  {
+    std::ofstream garbage(dir / "nested" / "garbage.repro");
+    garbage << "{not json";
+  }
+
+  const ReplayReport report = replay_path(dir.string());
+  // All three files found (recursion), all three reported (no early stop).
+  ASSERT_EQ(report.items.size(), 3u);
+  EXPECT_EQ(report.passed, 1u);
+  EXPECT_EQ(report.failed, 2u);
+  EXPECT_FALSE(report.all_ok());
+  // Sorted-path order: a_good first, then the nested pair.
+  EXPECT_TRUE(report.items[0].ok);
+  EXPECT_FALSE(report.items[1].ok);
+  EXPECT_FALSE(report.items[1].why.empty());
+  EXPECT_FALSE(report.items[2].ok);
+  fs::remove_all(dir);
+}
+
+TEST(FuzzReplayPath, EmptyDirectoryIsAFailingReport) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "wfd_fuzz_replay_empty";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const ReplayReport report = replay_path(dir.string());
+  EXPECT_TRUE(report.items.empty());
+  EXPECT_FALSE(report.all_ok());
+  fs::remove_all(dir);
 }
 
 TEST(FuzzCampaign, BrokenPoolYieldsAShrunkReproducer) {

@@ -1,0 +1,410 @@
+// The coverage-guided campaign's soundness contracts, pinned hard:
+//
+//  * prefix snapshots are bit-identical to cold replay — a run split into
+//    milestones (runway families) or resumed in a forked child (crash-suffix
+//    families) produces the same signature, stats, failures, retained trace
+//    and obs counters as running the variant from t=0, on every conformance
+//    vector and under both transit stores;
+//  * the corpus is order-independent — merging shard directories is a file
+//    union and loading admits the same set regardless of who wrote first;
+//  * campaign results are a pure function of the options, independent of
+//    --jobs; and
+//  * coverage guidance earns its keep: at an equal run budget the evolved
+//    campaign reaches strictly more feature-hash buckets than swarm
+//    sampling (the tentpole's acceptance criterion).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fuzz/corpus.hpp"
+#include "fuzz/coverage.hpp"
+#include "fuzz/evolve.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/mutators.hpp"
+#include "fuzz/oracles.hpp"
+#include "fuzz/snapshot.hpp"
+#include "obs/metrics.hpp"
+#include "scenario/adapters.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/rng.hpp"
+
+namespace wfd::fuzz {
+namespace {
+
+std::vector<std::string> vector_files() {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(WFD_VECTOR_DIR)) {
+    const std::string name = entry.path().filename().string();
+    if (name.find(".scenario.json") != std::string::npos) {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+struct CapturedRun {
+  RunResult result;
+  std::vector<sim::Event> events;
+  std::string counters;  ///< registry snapshot, canonical text form
+};
+
+std::string counters_text(const obs::Registry& registry) {
+  std::string text;
+  for (const auto& [name, value] : registry.snapshot().sorted_counters()) {
+    text += name + "=" + std::to_string(value) + "\n";
+  }
+  return text;
+}
+
+/// Cold reference run: full trace retention, bound registry.
+CapturedRun run_cold_captured(const FuzzConfig& config,
+                              sim::TransitKind transit) {
+  obs::Registry registry;
+  RunCapture capture;
+  capture.transit = transit;
+  capture.metrics = &registry;
+  CapturedRun out;
+  out.result = run_config(config, capture);
+  out.events = std::move(capture.events);
+  out.counters = counters_text(registry);
+  return out;
+}
+
+/// The same run split into milestone stops via ConfigRun::advance_to.
+CapturedRun run_split_captured(const FuzzConfig& config,
+                               sim::TransitKind transit,
+                               const std::vector<sim::Time>& stops) {
+  obs::Registry registry;
+  RunCapture capture;
+  capture.transit = transit;
+  capture.metrics = &registry;
+  CapturedRun out;
+  ConfigRun run(config, &capture);
+  for (const sim::Time stop : stops) run.advance_to(stop);
+  run.advance_to(config.steps);
+  out.result = run.grade(config);
+  run.fill_capture();
+  out.events = std::move(capture.events);
+  out.counters = counters_text(registry);
+  return out;
+}
+
+void expect_same_stats(const RunStats& a, const RunStats& b,
+                       const std::string& label) {
+  EXPECT_EQ(a.steps, b.steps) << label;
+  EXPECT_EQ(a.messages_sent, b.messages_sent) << label;
+  EXPECT_EQ(a.messages_delivered, b.messages_delivered) << label;
+  EXPECT_EQ(a.messages_dropped, b.messages_dropped) << label;
+  EXPECT_EQ(a.messages_lost, b.messages_lost) << label;
+  EXPECT_EQ(a.messages_duplicated, b.messages_duplicated) << label;
+  EXPECT_EQ(a.messages_retransmitted, b.messages_retransmitted) << label;
+  EXPECT_EQ(a.in_transit, b.in_transit) << label;
+  EXPECT_EQ(a.crashes, b.crashes) << label;
+  EXPECT_EQ(a.total_meals, b.total_meals) << label;
+  EXPECT_EQ(a.exclusion_violations, b.exclusion_violations) << label;
+  EXPECT_EQ(a.late_violations, b.late_violations) << label;
+  EXPECT_EQ(a.last_violation, b.last_violation) << label;
+  EXPECT_EQ(a.detector_flips, b.detector_flips) << label;
+  EXPECT_EQ(a.late_suspicion_episodes, b.late_suspicion_episodes) << label;
+  EXPECT_EQ(a.deadline, b.deadline) << label;
+  EXPECT_EQ(a.wait_bound, b.wait_bound) << label;
+}
+
+void expect_same_run(const CapturedRun& cold, const CapturedRun& split,
+                     const std::string& label) {
+  EXPECT_EQ(cold.result.signature, split.result.signature) << label;
+  expect_same_stats(cold.result.stats, split.result.stats, label);
+  ASSERT_EQ(cold.result.failures.size(), split.result.failures.size())
+      << label;
+  for (std::size_t i = 0; i < cold.result.failures.size(); ++i) {
+    EXPECT_EQ(cold.result.failures[i].oracle, split.result.failures[i].oracle)
+        << label;
+    EXPECT_EQ(cold.result.failures[i].at, split.result.failures[i].at)
+        << label;
+    EXPECT_EQ(cold.result.failures[i].detail,
+              split.result.failures[i].detail)
+        << label;
+  }
+  ASSERT_EQ(cold.events.size(), split.events.size()) << label;
+  for (std::size_t i = 0; i < cold.events.size(); ++i) {
+    const sim::Event& x = cold.events[i];
+    const sim::Event& y = split.events[i];
+    const bool same = x.time == y.time && x.kind == y.kind &&
+                      x.pid == y.pid && x.a == y.a && x.b == y.b &&
+                      x.c == y.c;
+    ASSERT_TRUE(same) << label << " event " << i << ": "
+                      << sim::to_string(x) << " vs " << sim::to_string(y);
+  }
+  EXPECT_EQ(cold.counters, split.counters) << label;
+}
+
+TEST(EvolveSnapshot, ResumeIsBitIdenticalToColdOnEveryConformanceVector) {
+  const std::vector<std::string> files = vector_files();
+  ASSERT_FALSE(files.empty());
+  for (const std::string& file : files) {
+    scenario::Scenario scenario;
+    std::string error;
+    ASSERT_TRUE(scenario::load_scenario_file(file, &scenario, &error))
+        << file << ": " << error;
+    const FuzzConfig config = normalize(scenario::to_fuzz_config(scenario));
+    const std::vector<sim::Time> stops = {config.steps / 3,
+                                          2 * config.steps / 3};
+    for (const sim::TransitKind transit :
+         {sim::TransitKind::kCalendar, sim::TransitKind::kSoa}) {
+      const std::string label =
+          scenario.name +
+          (transit == sim::TransitKind::kSoa ? " [soa]" : " [calendar]");
+      expect_same_run(run_cold_captured(config, transit),
+                      run_split_captured(config, transit, stops), label);
+    }
+  }
+}
+
+/// Find a deterministic crash-suffix family by walking the mutator over
+/// swarm parents with a fixed rng (the same path a campaign takes).
+MutationPlan find_crash_suffix_family() {
+  sim::Rng rng(42);
+  CoverageMap coverage;
+  for (int i = 0; i < 400; ++i) {
+    const FuzzConfig parent =
+        normalize(sample_config(7, i, legal_targets()));
+    MutationPlan plan = mutate(parent, 6, rng, coverage, {});
+    if (plan.crash_suffix_family && plan.variants.size() >= 2) return plan;
+  }
+  return {};
+}
+
+TEST(EvolveSnapshot, ForkedCrashInjectionEqualsColdReplay) {
+  const MutationPlan plan = find_crash_suffix_family();
+  ASSERT_GE(plan.variants.size(), 2u) << "no crash-suffix family found";
+
+  SnapshotStats stats;
+  const std::vector<FamilyResult> forked = run_family(plan, true, &stats);
+  ASSERT_EQ(forked.size(), plan.variants.size());
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_GT(stats.forked_runs, 0u) << "fork path never engaged";
+#endif
+
+  for (std::size_t i = 0; i < forked.size(); ++i) {
+    const FamilyResult cold = cold_family_run(plan.variants[i]);
+    const std::string label = "variant " + std::to_string(i);
+    EXPECT_EQ(forked[i].result.signature, cold.result.signature) << label;
+    expect_same_stats(forked[i].result.stats, cold.result.stats, label);
+    ASSERT_EQ(forked[i].result.failures.size(), cold.result.failures.size())
+        << label;
+    for (std::size_t f = 0; f < cold.result.failures.size(); ++f) {
+      EXPECT_EQ(forked[i].result.failures[f].oracle,
+                cold.result.failures[f].oracle)
+          << label;
+      EXPECT_EQ(forked[i].result.failures[f].at, cold.result.failures[f].at)
+          << label;
+    }
+    EXPECT_EQ(forked[i].buckets, cold.buckets) << label;
+  }
+}
+
+TEST(EvolveCoverage, FeatureHashIsStableAcrossTransitsAndCaptureModes) {
+  // Satellite 1: same (config, seed) -> same feature hash, however the run
+  // is instrumented or stored. The signature is the fold of run_features.
+  for (int i = 0; i < 6; ++i) {
+    const FuzzConfig config =
+        normalize(sample_config(13, i, legal_targets()));
+    const RunResult plain = run_config(config);
+    const CapturedRun calendar =
+        run_cold_captured(config, sim::TransitKind::kCalendar);
+    const CapturedRun soa = run_cold_captured(config, sim::TransitKind::kSoa);
+    EXPECT_EQ(plain.signature, calendar.result.signature);
+    EXPECT_EQ(plain.signature, soa.result.signature);
+    // Coverage buckets are a pure function of (config, result) too.
+    EXPECT_EQ(coverage_buckets(config, plain),
+              coverage_buckets(config, calendar.result));
+  }
+}
+
+CorpusEntry make_entry(std::uint64_t seed_index) {
+  const FuzzConfig config =
+      normalize(sample_config(21, seed_index, legal_targets()));
+  const FamilyResult run = cold_family_run(config);
+  CorpusEntry entry;
+  entry.config = run.config;
+  entry.signature = run.result.signature;
+  entry.buckets = run.buckets;
+  return entry;
+}
+
+TEST(EvolveCorpus, EntryJsonRoundTripsBitExactly) {
+  CorpusEntry entry = make_entry(0);
+  entry.novel_bits = 17;
+  const std::string text = corpus_entry_to_json(entry);
+  EXPECT_NE(text.find("\"schema_version\": 1"), std::string::npos);
+  CorpusEntry reloaded;
+  std::string error;
+  ASSERT_TRUE(corpus_entry_from_json(text, &reloaded, &error)) << error;
+  EXPECT_EQ(reloaded.signature, entry.signature);
+  EXPECT_EQ(reloaded.buckets, entry.buckets);
+  EXPECT_EQ(config_to_json(reloaded.config), config_to_json(entry.config));
+  EXPECT_EQ(corpus_entry_to_json(reloaded), text);
+}
+
+TEST(EvolveCorpus, MergeIsOrderIndependent) {
+  namespace fs = std::filesystem;
+  const fs::path base = fs::temp_directory_path() / "wfd_fuzz_corpus_merge";
+  fs::remove_all(base);
+
+  // Two shards with an overlapping entry, merged in both orders.
+  const std::vector<CorpusEntry> shard_a = {make_entry(0), make_entry(1)};
+  const std::vector<CorpusEntry> shard_b = {make_entry(1), make_entry(2),
+                                            make_entry(3)};
+  const auto save_shard = [](const std::vector<CorpusEntry>& entries,
+                             const std::string& dir) {
+    Corpus corpus;
+    CoverageMap map;
+    for (const CorpusEntry& entry : entries) corpus.admit(entry, map);
+    std::string error;
+    ASSERT_TRUE(corpus.save(dir, &error)) << error;
+  };
+
+  const std::string ab = (base / "ab").string();
+  const std::string ba = (base / "ba").string();
+  save_shard(shard_a, ab);
+  save_shard(shard_b, ab);  // union: content-addressed files never clobber
+  save_shard(shard_b, ba);
+  save_shard(shard_a, ba);
+
+  const auto load_signatures = [](const std::string& dir) {
+    Corpus corpus;
+    CoverageMap map;
+    std::string error;
+    corpus.load(dir, map, &error);
+    EXPECT_TRUE(error.empty()) << error;
+    std::set<std::uint64_t> signatures;
+    for (const CorpusEntry& entry : corpus.entries()) {
+      signatures.insert(entry.signature);
+    }
+    return std::make_pair(signatures, map.bits());
+  };
+  const auto [sig_ab, bits_ab] = load_signatures(ab);
+  const auto [sig_ba, bits_ba] = load_signatures(ba);
+  EXPECT_EQ(sig_ab, sig_ba);
+  EXPECT_EQ(bits_ab, bits_ba);
+  EXPECT_EQ(sig_ab.size(), 4u);  // the union, duplicates collapsed
+  fs::remove_all(base);
+}
+
+EvolveOptions small_campaign() {
+  EvolveOptions options;
+  options.master_seed = 5;
+  options.generations = 3;
+  options.generation_size = 8;
+  options.max_family = 4;
+  options.shrink = false;
+  return options;
+}
+
+TEST(EvolveCampaign, JobCountDoesNotChangeTheOutcome) {
+  EvolveOptions options = small_campaign();
+  options.jobs = 1;
+  const EvolveResult one = run_evolve_campaign(options);
+  options.jobs = 2;
+  const EvolveResult two = run_evolve_campaign(options);
+  options.jobs = 8;
+  const EvolveResult eight = run_evolve_campaign(options);
+
+  for (const EvolveResult* other : {&two, &eight}) {
+    EXPECT_EQ(one.stats.executed, other->stats.executed);
+    EXPECT_EQ(one.stats.failing, other->stats.failing);
+    EXPECT_EQ(one.stats.novel, other->stats.novel);
+    EXPECT_EQ(one.stats.coverage_bits, other->stats.coverage_bits);
+    EXPECT_EQ(one.stats.corpus_entries, other->stats.corpus_entries);
+    EXPECT_EQ(one.corpus_signatures, other->corpus_signatures);
+    EXPECT_EQ(one.repros.size(), other->repros.size());
+  }
+}
+
+TEST(EvolveCampaign, SnapshotModeDoesNotChangeTheOutcome) {
+  EvolveOptions options = small_campaign();
+  const EvolveResult snap = run_evolve_campaign(options);
+  options.snapshot = false;
+  const EvolveResult cold = run_evolve_campaign(options);
+  EXPECT_EQ(snap.stats.executed, cold.stats.executed);
+  EXPECT_EQ(snap.stats.failing, cold.stats.failing);
+  EXPECT_EQ(snap.stats.coverage_bits, cold.stats.coverage_bits);
+  EXPECT_EQ(snap.corpus_signatures, cold.corpus_signatures);
+  // And the campaign actually used the snapshot paths in snapshot mode.
+  EXPECT_GT(snap.stats.milestone_runs + snap.stats.forked_runs, 0u);
+  EXPECT_EQ(cold.stats.milestone_runs + cold.stats.forked_runs, 0u);
+}
+
+TEST(EvolveCampaign, CoverageGuidanceBeatsSwarmAtEqualRunBudget) {
+  // The tentpole's acceptance criterion: at an equal number of graded runs,
+  // the evolved campaign's coverage map strictly dominates swarm sampling's
+  // bucket count.
+  EvolveOptions options;
+  options.master_seed = 9;
+  options.generations = 5;
+  options.generation_size = 12;
+  options.max_family = 5;
+  options.shrink = false;
+  const EvolveResult evolved = run_evolve_campaign(options);
+  ASSERT_GT(evolved.stats.executed, 0u);
+
+  CoverageMap swarm;
+  for (std::uint64_t i = 0; i < evolved.stats.executed; ++i) {
+    const FamilyResult run = cold_family_run(
+        sample_config(options.master_seed, i, legal_targets()));
+    swarm.add(run.buckets);
+  }
+  EXPECT_GT(evolved.stats.coverage_bits, swarm.bits())
+      << "coverage guidance must beat swarm at " << evolved.stats.executed
+      << " runs";
+}
+
+TEST(EvolveCampaign, BrokenTargetYieldsAReplayableRepro) {
+  EvolveOptions options;
+  options.master_seed = 3;
+  options.generations = 2;
+  options.generation_size = 6;
+  options.max_family = 3;
+  options.targets = {TargetKind::kBrokenForkBased};
+  options.max_shrink_attempts = 60;
+  const EvolveResult campaign = run_evolve_campaign(options);
+  EXPECT_GT(campaign.stats.failing, 0u);
+  ASSERT_FALSE(campaign.repros.empty());
+  for (const ReproCase& repro : campaign.repros) {
+    std::string why;
+    EXPECT_TRUE(replay_case(repro, &why)) << why;
+  }
+}
+
+TEST(EvolveCampaign, CorpusDirectoryPersistsAndReloads) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "wfd_fuzz_evolve_corpus";
+  fs::remove_all(dir);
+
+  EvolveOptions options = small_campaign();
+  options.corpus_dir = dir.string();
+  const EvolveResult first = run_evolve_campaign(options);
+  EXPECT_GT(first.stats.corpus_entries, 0u);
+
+  // A second campaign over the saved corpus starts from its coverage: every
+  // saved signature is already known, so the reloaded corpus seeds the
+  // parent pool instead of re-counting the same shapes as novel.
+  const EvolveResult second = run_evolve_campaign(options);
+  std::set<std::uint64_t> first_signatures(first.corpus_signatures.begin(),
+                                           first.corpus_signatures.end());
+  for (const std::uint64_t signature : first_signatures) {
+    EXPECT_TRUE(std::binary_search(second.corpus_signatures.begin(),
+                                   second.corpus_signatures.end(), signature));
+  }
+  EXPECT_GE(second.corpus_signatures.size(), first.corpus_signatures.size());
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace wfd::fuzz

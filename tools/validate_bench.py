@@ -1,10 +1,10 @@
 #!/usr/bin/env python3
-"""Schema-check recorded model-checker bench rows (BENCH_e17.json).
+"""Schema-check recorded bench rows (BENCH_e17.json, BENCH_e23.json).
 
-A pure-stdlib mirror of the row shape bench_e17_mc_throughput emits (and
-the hand-curated pre/post baseline rows recorded at the repo root), run as
-a tier-1 ctest so a hand-edited row fails CI before any perf comparison
-trusts it. Checks, per row:
+A pure-stdlib mirror of the row shapes bench_e17_mc_throughput and
+bench_e23_fuzz_throughput emit (and the hand-curated pre/post baseline
+rows recorded at the repo root), run as a tier-1 ctest so a hand-edited
+row fails CI before any perf comparison trusts it. Checks, per row:
 
   * shape: a flat JSON object of scalars (nested objects allowed only for
     the embedded metrics-registry snapshot under "registry");
@@ -17,7 +17,13 @@ trusts it. Checks, per row:
     store at least 3x fewer (the recorded acceptance floor), and
     orbit_reduction_factor matches full_states / stored_states;
   * spill rows actually spilled (spilled_bytes > 0);
-  * every verdict in the file is "ok" — these are recorded green runs.
+  * every verdict in the file is "ok" — these are recorded green runs;
+  * fuzz-throughput (e23) rows come in alternated cold/snapshot pairs per
+    section, the recorded speedup_factor matches the pair's runs_per_sec
+    ratio, every speedup honors its min_speedup_factor floor, at least one
+    snapshot regime reaches the 10x acceptance floor, and the campaign
+    pair is bit-identical (same coverage_bits and corpus_size — a speedup
+    must never be bought with a different result).
 
 Exit 0 iff every row validates. Usage:
 
@@ -35,12 +41,17 @@ MODES = {"exclusive", "arbitrary", "-"}
 #: Non-negative integer count fields.
 COUNT_FIELDS = ("states", "transitions", "depth", "threads", "pairs",
                 "seen_bytes", "graph_bytes", "frontier_peak_bytes",
-                "spilled_bytes", "runs")
+                "spilled_bytes", "runs", "steps", "variants", "generations",
+                "gen_size", "coverage_bits", "corpus_size")
 #: Non-negative numeric measurement fields.
 RATE_FIELDS = ("states_per_sec", "best_states_per_sec", "seconds",
                "bytes_per_state", "orbit_reduction_factor",
-               "min_orbit_reduction_factor")
+               "min_orbit_reduction_factor", "runs_per_sec",
+               "speedup_factor", "min_speedup_factor")
 SYMMETRY_FLOOR = 3.0
+E23_SECTIONS = {"runway", "crash_suffix", "campaign"}
+E23_EXECUTIONS = {"cold", "snapshot"}
+E23_ACCEPTANCE_FLOOR = 10.0
 
 
 def fail(errors, path, i, why):
@@ -89,6 +100,77 @@ def check_row(errors, path, i, row):
               and factor < SYMMETRY_FLOOR):
             fail(errors, path, i, f"orbit_reduction_factor {factor} below "
                                   f"the {SYMMETRY_FLOOR}x acceptance floor")
+
+
+def is_e23(row):
+    return isinstance(row, dict) and row.get("bench") == "e23_fuzz_throughput"
+
+
+def check_e23_row(errors, path, i, row):
+    if row.get("section") not in E23_SECTIONS:
+        fail(errors, path, i, f"unknown e23 section {row.get('section')!r}")
+    if row.get("execution") not in E23_EXECUTIONS:
+        fail(errors, path, i,
+             f"unknown e23 execution {row.get('execution')!r}")
+    for field in ("runs", "seconds", "runs_per_sec"):
+        if field not in row:
+            fail(errors, path, i, f"e23 row missing {field!r}")
+    if row.get("execution") == "snapshot" and "speedup_factor" not in row:
+        fail(errors, path, i, "e23 snapshot row missing speedup_factor")
+    if row.get("execution") == "cold" and "speedup_factor" in row:
+        fail(errors, path, i, "e23 cold row must not carry speedup_factor")
+    floor = row.get("min_speedup_factor")
+    if floor is not None and row.get("speedup_factor", 0) < floor:
+        fail(errors, path, i,
+             f"speedup_factor {row.get('speedup_factor')} below the "
+             f"recorded {floor}x floor")
+
+
+def e23_group_key(row):
+    return (row.get("section"), row.get("seed"), row.get("steps"),
+            row.get("variants"), row.get("generations"),
+            row.get("gen_size"))
+
+
+def check_e23_groups(errors, path, rows):
+    """Alternated cold/snapshot pair consistency for fuzz-throughput rows."""
+    e23 = [(i, row) for i, row in enumerate(rows) if is_e23(row)]
+    if not e23:
+        return
+    groups = {}
+    for i, row in e23:
+        groups.setdefault(e23_group_key(row), []).append((i, row))
+    best = 0.0
+    for key, members in groups.items():
+        by_execution = {row.get("execution"): (i, row) for i, row in members}
+        if len(members) != 2 or set(by_execution) != E23_EXECUTIONS:
+            fail(errors, path, members[0][0],
+                 f"e23 group {key} must be exactly one cold + one snapshot "
+                 f"row")
+            continue
+        cold = by_execution["cold"][1]
+        i, snap = by_execution["snapshot"]
+        factor = snap.get("speedup_factor")
+        cold_rps = cold.get("runs_per_sec")
+        snap_rps = snap.get("runs_per_sec")
+        if factor is None or not cold_rps or snap_rps is None:
+            continue  # missing fields already reported per row
+        want = snap_rps / cold_rps
+        if abs(factor - want) > 0.01 * want:
+            fail(errors, path, i,
+                 f"speedup_factor {factor} != runs_per_sec ratio {want:.4f}")
+        best = max(best, factor)
+        if snap.get("section") == "campaign":
+            for field in ("coverage_bits", "corpus_size", "runs"):
+                if cold.get(field) != snap.get(field):
+                    fail(errors, path, i,
+                         f"campaign pair differs in {field}: "
+                         f"{cold.get(field)} vs {snap.get(field)} (snapshot "
+                         f"mode must be bit-identical to cold)")
+    if best < E23_ACCEPTANCE_FLOOR:
+        fail(errors, path, e23[0][0],
+             f"no snapshot regime reaches the {E23_ACCEPTANCE_FLOOR}x "
+             f"acceptance floor (best {best})")
 
 
 def group_key(row):
@@ -140,7 +222,10 @@ def validate_file(errors, path):
         return
     for i, row in enumerate(rows):
         check_row(errors, path, i, row)
+        if is_e23(row):
+            check_e23_row(errors, path, i, row)
     check_groups(errors, path, rows)
+    check_e23_groups(errors, path, rows)
 
 
 def main(argv):
