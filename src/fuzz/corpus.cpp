@@ -8,10 +8,28 @@
 
 #include "util/json.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 namespace wfd::fuzz {
 
 namespace fs = std::filesystem;
 using util::Json;
+
+namespace {
+
+/// Disambiguator for temporary file names: the pid where processes exist
+/// (forked corpus shards write into one directory), 0 elsewhere.
+std::uint64_t save_nonce() {
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<std::uint64_t>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
 
 std::string corpus_entry_file_name(std::uint64_t signature) {
   char buf[24];
@@ -116,14 +134,34 @@ bool Corpus::save(const std::string& dir, std::string* error) const {
   for (const CorpusEntry& entry : entries_) {
     const fs::path path = fs::path(dir) / corpus_entry_file_name(entry.signature);
     if (fs::exists(path, ec)) continue;  // content-addressed: already saved
-    std::ofstream out(path);
-    if (!out) {
-      if (error != nullptr) *error = "cannot write " + path.string();
-      return false;
+    // Write-then-rename so a crash or kill mid-write can never leave a
+    // truncated <sig>.json for the next load to choke on: the temporary's
+    // ".tmp" extension keeps it out of load()'s *.json scan, and rename()
+    // within one directory is atomic. The pid suffix keeps concurrent
+    // shards off each other's temporaries (the final contents are
+    // identical either way — the name is the content address).
+    const fs::path tmp = fs::path(
+        path.string() + "." + std::to_string(save_nonce()) + ".tmp");
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        if (error != nullptr) *error = "cannot write " + tmp.string();
+        return false;
+      }
+      out << corpus_entry_to_json(entry);
+      out.flush();
+      if (!out) {
+        if (error != nullptr) *error = "short write to " + tmp.string();
+        fs::remove(tmp, ec);
+        return false;
+      }
     }
-    out << corpus_entry_to_json(entry);
-    if (!out) {
-      if (error != nullptr) *error = "short write to " + path.string();
+    fs::rename(tmp, path, ec);
+    if (ec) {
+      if (error != nullptr) {
+        *error = "cannot rename " + tmp.string() + ": " + ec.message();
+      }
+      fs::remove(tmp, ec);
       return false;
     }
   }
@@ -152,10 +190,14 @@ std::uint64_t Corpus::load(const std::string& dir, CoverageMap& map,
     CorpusEntry entry;
     std::string parse_error;
     if (!in || !corpus_entry_from_json(buffer.str(), &entry, &parse_error)) {
+      // Skip-and-warn: a truncated or corrupt entry (e.g. a shard killed
+      // mid-write on a filesystem without atomic rename) must not sink the
+      // merge. The count is exported as fuzz.corpus.skipped_corrupt.
+      ++skipped_corrupt_;
       if (error != nullptr && error->empty()) {
         *error = name + ": " + (parse_error.empty() ? "unreadable" : parse_error);
       }
-      continue;  // a half-written shard file must not sink the campaign
+      continue;
     }
     if (admit(std::move(entry), map)) ++admitted;
   }

@@ -64,13 +64,19 @@ class Corpus {
 
   /// Load every *.json entry in `dir` (sorted-name order) through the
   /// normal admission rule. Returns the number of entries admitted;
-  /// malformed files are reported via `error` (first one) but don't stop
-  /// the load — a corpus survives a half-written shard file.
+  /// malformed files are reported via `error` (first one), counted into
+  /// skipped_corrupt(), and never stop the load — a corpus survives a
+  /// half-written or truncated shard file.
   std::uint64_t load(const std::string& dir, CoverageMap& map,
                      std::string* error);
 
+  /// Unreadable/corrupt entry files skipped across every load() so far
+  /// (campaigns export it as the fuzz.corpus.skipped_corrupt counter).
+  std::uint64_t skipped_corrupt() const { return skipped_corrupt_; }
+
  private:
   std::vector<CorpusEntry> entries_;
+  std::uint64_t skipped_corrupt_ = 0;
 };
 
 }  // namespace wfd::fuzz

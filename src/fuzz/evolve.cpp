@@ -220,7 +220,20 @@ EvolveResult run_evolve_campaign(
       narrate("loaded " + std::to_string(loaded) + " corpus entries from " +
               opts.corpus_dir);
     }
-    if (narrate && !error.empty()) {
+    if (corpus.skipped_corrupt() > 0) {
+      if (opts.metrics != nullptr) {
+        obs::Scope scope(*opts.metrics);
+        scope.add(opts.metrics->counter("fuzz.corpus.skipped_corrupt"),
+                  corpus.skipped_corrupt());
+      }
+      if (narrate) {
+        narrate("corpus load skipped " +
+                std::to_string(corpus.skipped_corrupt()) +
+                " corrupt entr" +
+                (corpus.skipped_corrupt() == 1 ? "y" : "ies") +
+                (error.empty() ? "" : " (first: " + error + ")"));
+      }
+    } else if (narrate && !error.empty()) {
       narrate("corpus load warning: " + error);
     }
     for (const CorpusEntry& entry : corpus.entries()) {
@@ -229,6 +242,11 @@ EvolveResult run_evolve_campaign(
   }
 
   for (std::uint64_t gen = 0; gen < opts.generations; ++gen) {
+    if (opts.abort != nullptr && opts.abort->load(std::memory_order_acquire)) {
+      if (narrate) narrate("campaign aborted before generation " +
+                           std::to_string(gen));
+      break;
+    }
     // Phase 1: materialize every slot's plan against the GENERATION-START
     // coverage map and corpus. This is the determinism hinge: nothing in
     // plan construction can see another slot's results.
@@ -300,6 +318,30 @@ EvolveResult run_evolve_campaign(
               std::to_string(coverage.bits()) + " coverage bits, corpus " +
               std::to_string(corpus.entries().size()));
     }
+    // Periodic corpus checkpoint: content-addressed write+rename saves are
+    // idempotent, so checkpointing every generation costs only the NEW
+    // entries and a kill between checkpoints loses at most one
+    // generation's discoveries.
+    if (opts.checkpoint_every > 0 && !opts.corpus_dir.empty() &&
+        (gen + 1) % opts.checkpoint_every == 0) {
+      std::string error;
+      if (!corpus.save(opts.corpus_dir, &error) && narrate) {
+        narrate("corpus checkpoint failed: " + error);
+      }
+    }
+    if (opts.on_generation) {
+      result.stats.coverage_bits = coverage.bits();
+      result.stats.corpus_entries = corpus.entries().size();
+      result.stats.families = snap_stats.families;
+      result.stats.cold_runs = snap_stats.cold_runs;
+      result.stats.milestone_runs = snap_stats.milestone_runs;
+      result.stats.forked_runs = snap_stats.forked_runs;
+      result.stats.elapsed_ms = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                start)
+              .count());
+      opts.on_generation(gen, result.stats);
+    }
   }
 
   if (!opts.corpus_dir.empty()) {
@@ -312,6 +354,9 @@ EvolveResult run_evolve_campaign(
   // Shrink phase: sequential, in parent, discovery order — identical at
   // every job width because the failing set is.
   for (const auto& [config, oracle] : to_shrink) {
+    if (opts.abort != nullptr && opts.abort->load(std::memory_order_acquire)) {
+      break;
+    }
     if (!opts.shrink) {
       const FuzzConfig normalized = normalize(config);
       const RunResult rerun = run_config(normalized);

@@ -20,6 +20,7 @@
 // threads — which also keeps the nested fork-server forks trivially safe.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -32,6 +33,8 @@
 #include "obs/metrics.hpp"
 
 namespace wfd::fuzz {
+
+struct EvolveStats;
 
 struct EvolveOptions {
   std::uint64_t master_seed = 1;
@@ -53,6 +56,22 @@ struct EvolveOptions {
   std::uint32_t max_shrink_attempts = 160;
   std::uint32_t max_repros = 4;
   obs::Registry* metrics = nullptr;  ///< optional campaign counters
+  /// Checkpoint the corpus to corpus_dir every N completed generations
+  /// (0 = only after the last). Saves are content-addressed write+rename,
+  /// so a checkpoint is always a consistent corpus on disk — the wfd_serve
+  /// --evolve mode sets 1 so a long campaign survives a daemon restart.
+  std::uint64_t checkpoint_every = 0;
+  /// Cooperative cancellation, polled between generations and between
+  /// shrink cases: when it goes true the campaign stops early and returns
+  /// whatever it has (stats/corpus reflect the completed generations).
+  /// Everything already executed stays deterministic. nullptr = never.
+  const std::atomic<bool>* abort = nullptr;
+  /// Fired after each generation's (single-threaded) accounting with the
+  /// 0-based generation index and the running stats; coverage_bits and
+  /// corpus_entries are up to date at the instant of the call. A long-
+  /// lived host (the serve daemon) streams these as progress heartbeats.
+  std::function<void(std::uint64_t generation, const EvolveStats& so_far)>
+      on_generation;
 };
 
 struct EvolveStats {

@@ -32,6 +32,44 @@ std::vector<TargetKind> broken_targets() {
   return {std::begin(kBroken), std::end(kBroken)};
 }
 
+bool resolve_target_pool(const std::vector<std::string>& specs,
+                         std::vector<TargetKind>* out, std::string* error) {
+  std::vector<TargetKind> pool;
+  const auto add = [&pool](TargetKind target) {
+    if (std::find(pool.begin(), pool.end(), target) == pool.end()) {
+      pool.push_back(target);
+    }
+  };
+  for (const std::string& spec : specs) {
+    std::size_t begin = 0;
+    while (begin <= spec.size()) {
+      const std::size_t comma = spec.find(',', begin);
+      const std::string name =
+          spec.substr(begin, comma == std::string::npos ? std::string::npos
+                                                        : comma - begin);
+      if (name == "legal") {
+        for (TargetKind t : legal_targets()) add(t);
+      } else if (name == "broken") {
+        for (TargetKind t : broken_targets()) add(t);
+      } else if (name == "all") {
+        for (TargetKind t : legal_targets()) add(t);
+        for (TargetKind t : broken_targets()) add(t);
+      } else if (!name.empty()) {
+        TargetKind target;
+        if (!target_from_string(name, &target)) {
+          if (error != nullptr) *error = "unknown target " + name;
+          return false;
+        }
+        add(target);
+      }
+      if (comma == std::string::npos) break;
+      begin = comma + 1;
+    }
+  }
+  *out = std::move(pool);
+  return true;
+}
+
 FuzzConfig sample_config(std::uint64_t master_seed, std::uint64_t index,
                          const std::vector<TargetKind>& pool) {
   sim::Rng rng(mc::detail::mix64(master_seed) ^
@@ -385,6 +423,9 @@ CampaignResult run_fuzz_campaign(
       8, static_cast<std::size_t>(opts.threads > 0 ? opts.threads : 1) * 4);
 
   for (;;) {
+    if (opts.abort != nullptr && opts.abort->load(std::memory_order_acquire)) {
+      break;  // requester gone: stop sampling, keep what we graded
+    }
     if (opts.runs > 0 && index >= opts.runs) break;
     if (opts.budget_ms > 0 && elapsed_ms() >= opts.budget_ms) break;
     std::size_t this_batch = batch_size;
@@ -464,6 +505,9 @@ CampaignResult run_fuzz_campaign(
   result.stats.corpus_size = corpus.size();
 
   for (const auto& [config, oracle] : to_shrink) {
+    if (opts.abort != nullptr && opts.abort->load(std::memory_order_acquire)) {
+      break;
+    }
     if (opts.shrink) {
       ShrinkOutcome outcome = shrink_case(config, opts.max_shrink_attempts);
       result.stats.shrink_runs += outcome.runs;

@@ -8,6 +8,7 @@
 // configuration order).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -46,6 +47,10 @@ struct CampaignOptions {
   std::function<void(std::uint64_t completed, std::uint64_t total,
                      std::uint64_t elapsed_ms)>
       on_progress;
+  /// Cooperative cancellation, polled between batches and between shrink
+  /// cases (a long-lived host sets it when the requesting client goes
+  /// away): when true the campaign stops early with the stats it has.
+  const std::atomic<bool>* abort = nullptr;
 };
 
 struct CampaignStats {
@@ -77,6 +82,16 @@ FuzzConfig sample_config(std::uint64_t master_seed, std::uint64_t index,
 std::vector<TargetKind> legal_targets();
 /// The deliberately-broken targets (campaigns must find these).
 std::vector<TargetKind> broken_targets();
+
+/// Expand target specs into a deduplicated pool, preserving first-mention
+/// order. Each spec is "legal" | "broken" | "all" or a comma-separated list
+/// of target names (empty segments are skipped). Shared by the wfd_fuzz CLI
+/// and the serve daemon's request parser so both surfaces accept the same
+/// vocabulary. Returns false with the offending name in `error` on an
+/// unknown target; an empty spec list yields an empty pool (campaign
+/// default, i.e. all legal targets).
+bool resolve_target_pool(const std::vector<std::string>& specs,
+                         std::vector<TargetKind>* out, std::string* error);
 
 struct ShrinkOutcome {
   ReproCase repro;           ///< minimal failing case with expected outcome

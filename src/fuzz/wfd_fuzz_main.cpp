@@ -22,6 +22,7 @@
 // outcome; replay — 0 iff every case reproduced; scenario — 0 iff every
 // pinned engine agreed with its expected verdict.
 #include <algorithm>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -37,6 +38,7 @@
 #include "obs/progress.hpp"
 #include "scenario/adapters.hpp"
 #include "scenario/scenario.hpp"
+#include "util/parse.hpp"
 
 namespace {
 
@@ -118,23 +120,36 @@ Cli parse(int argc, char** argv) {
       }
       return argv[++i];
     };
+    // Numeric flags go through the checked parser (util/parse.hpp): full
+    // consumption plus an explicit range, exit 2 naming the flag — so
+    // "--runs=abc" can never silently become a 0-run campaign again.
+    const auto u64 = [&](std::uint64_t lo, std::uint64_t hi) {
+      return util::flag_u64("wfd_fuzz", arg, value(), lo, hi);
+    };
     if (arg == "--target") {
       cli.target_specs.push_back(value());
     } else if (arg == "--runs") {
-      cli.runs = std::strtoull(value().c_str(), nullptr, 10);
+      cli.runs = u64(0, 100'000'000);
     } else if (arg == "--budget-ms") {
-      cli.budget_ms = std::strtoull(value().c_str(), nullptr, 10);
+      cli.budget_ms = u64(0, 86'400'000);
     } else if (arg == "--seeds") {
       const std::string spec = value();
       const std::size_t colon = spec.find(':');
-      cli.seed_lo = std::strtoull(spec.c_str(), nullptr, 10);
-      cli.seed_hi = colon == std::string::npos
-                        ? cli.seed_lo
-                        : std::strtoull(spec.c_str() + colon + 1, nullptr, 10);
+      const auto seed = [&](const std::string& text) {
+        std::uint64_t out = 0;
+        if (!util::parse_u64(text, &out)) {
+          std::cerr << "wfd_fuzz: --seeds expects A or A:B (integers), got '"
+                    << spec << "'\n";
+          std::exit(2);
+        }
+        return out;
+      };
+      cli.seed_lo = seed(spec.substr(0, colon));
+      cli.seed_hi =
+          colon == std::string::npos ? cli.seed_lo : seed(spec.substr(colon + 1));
       if (cli.seed_hi < cli.seed_lo) cli.seed_hi = cli.seed_lo;
     } else if (arg == "--threads") {
-      cli.threads = std::atoi(value().c_str());
-      if (cli.threads < 0) cli.threads = 0;
+      cli.threads = util::flag_int("wfd_fuzz", arg, value(), 0, 4096);
     } else if (arg == "--json") {
       cli.json_path = value();
     } else if (arg == "--repro-dir") {
@@ -146,21 +161,17 @@ Cli parse(int argc, char** argv) {
     } else if (arg == "--no-shrink") {
       cli.shrink = false;
     } else if (arg == "--max-shrink") {
-      cli.max_shrink =
-          static_cast<std::uint32_t>(std::strtoul(value().c_str(), nullptr, 10));
+      cli.max_shrink = static_cast<std::uint32_t>(u64(0, 1'000'000));
     } else if (arg == "--evolve") {
       cli.evolve = true;
     } else if (arg == "--generations") {
-      cli.generations = std::strtoull(value().c_str(), nullptr, 10);
+      cli.generations = u64(1, 1'000'000);
     } else if (arg == "--gen-size") {
-      cli.gen_size =
-          static_cast<std::uint32_t>(std::strtoul(value().c_str(), nullptr, 10));
+      cli.gen_size = static_cast<std::uint32_t>(u64(1, 1'000'000));
     } else if (arg == "--max-family") {
-      cli.max_family =
-          static_cast<std::uint32_t>(std::strtoul(value().c_str(), nullptr, 10));
+      cli.max_family = static_cast<std::uint32_t>(u64(1, 65'536));
     } else if (arg == "--jobs") {
-      cli.jobs = std::atoi(value().c_str());
-      if (cli.jobs < 1) cli.jobs = 1;
+      cli.jobs = util::flag_int("wfd_fuzz", arg, value(), 1, 4096);
     } else if (arg == "--corpus-dir") {
       cli.corpus_dir = value();
     } else if (arg == "--no-snapshot") {
@@ -172,7 +183,7 @@ Cli parse(int argc, char** argv) {
     } else if (arg == "--progress-json") {
       cli.progress_json = value();
     } else if (arg == "--heartbeat-ms") {
-      cli.heartbeat_ms = std::strtoull(value().c_str(), nullptr, 10);
+      cli.heartbeat_ms = u64(0, 86'400'000);
     } else if (arg == "--help" || arg == "-h") {
       usage(0);
     } else {
@@ -186,36 +197,10 @@ Cli parse(int argc, char** argv) {
 std::vector<fuzz::TargetKind> resolve_targets(
     const std::vector<std::string>& specs) {
   std::vector<fuzz::TargetKind> pool;
-  const auto add = [&pool](fuzz::TargetKind target) {
-    if (std::find(pool.begin(), pool.end(), target) == pool.end()) {
-      pool.push_back(target);
-    }
-  };
-  for (const std::string& spec : specs) {
-    std::size_t begin = 0;
-    while (begin <= spec.size()) {
-      const std::size_t comma = spec.find(',', begin);
-      const std::string name =
-          spec.substr(begin, comma == std::string::npos ? std::string::npos
-                                                        : comma - begin);
-      if (name == "legal") {
-        for (fuzz::TargetKind t : fuzz::legal_targets()) add(t);
-      } else if (name == "broken") {
-        for (fuzz::TargetKind t : fuzz::broken_targets()) add(t);
-      } else if (name == "all") {
-        for (fuzz::TargetKind t : fuzz::legal_targets()) add(t);
-        for (fuzz::TargetKind t : fuzz::broken_targets()) add(t);
-      } else if (!name.empty()) {
-        fuzz::TargetKind target;
-        if (!fuzz::target_from_string(name, &target)) {
-          std::cout << "wfd_fuzz: unknown target " << name << "\n";
-          usage(2);
-        }
-        add(target);
-      }
-      if (comma == std::string::npos) break;
-      begin = comma + 1;
-    }
+  std::string error;
+  if (!fuzz::resolve_target_pool(specs, &pool, &error)) {
+    std::cout << "wfd_fuzz: " << error << "\n";
+    usage(2);
   }
   return pool;  // empty = campaign default (legal)
 }
@@ -422,6 +407,13 @@ int scenario_main(const Cli& cli) {
 }  // namespace
 
 int main(int argc, char** argv) {
+#ifdef SIGPIPE
+  // The evolve loop's fork server and --jobs workers ship results over
+  // pipes; a reader that died mid-campaign must surface as an EPIPE write
+  // error (cold fallback / stripe re-run), never as a process-killing
+  // SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
   const Cli cli = parse(argc, argv);
   if (!cli.replay_paths.empty() && !cli.scenario_paths.empty()) {
     std::cout << "wfd_fuzz: --replay and --scenario are separate modes\n";

@@ -1,0 +1,134 @@
+// wfd_serve CLI: the long-lived campaign daemon (serve/serve.hpp).
+//
+//   wfd_serve --unix /tmp/wfd.sock --workers 2 --corpus-root corpora
+//   wfd_serve --tcp 0        # ephemeral loopback port, printed on stdout
+//
+// On startup the daemon prints one NDJSON readiness line on stdout —
+//   {"type":"ready","unix":"...","tcp_port":N,"pid":P}
+// — which is what tools/wfd_client.py --spawn waits for. SIGTERM/SIGINT
+// trigger a graceful drain: stop accepting, finish queued jobs, flush
+// results, exit 0.
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "obs/progress.hpp"
+#include "serve/serve.hpp"
+#include "util/parse.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace {
+
+volatile int g_notify_fd = -1;
+
+extern "C" void handle_terminate(int /*signal*/) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = g_notify_fd;
+  if (fd >= 0) {
+    const char byte = 1;
+    (void)!::write(fd, &byte, 1);  // async-signal-safe drain trigger
+  }
+#endif
+}
+
+[[noreturn]] void usage(int code) {
+  std::fputs(
+      "usage: wfd_serve (--unix PATH | --tcp PORT) [options]\n"
+      "\n"
+      "  --unix PATH            listen on a unix stream socket at PATH\n"
+      "  --tcp PORT             listen on loopback TCP (0 = ephemeral)\n"
+      "  --workers N            campaign worker threads (default 2;\n"
+      "                         0 = admission-only test mode)\n"
+      "  --queue-capacity N     bounded admission queue (default 16)\n"
+      "  --cache-capacity N     result-cache rows (default 256)\n"
+      "  --campaign-threads N   harness threads per campaign job (default 1)\n"
+      "  --corpus-root DIR      parent directory for named evolve corpora\n"
+      "  --quiet                suppress stderr narration\n"
+      "\n"
+      "Protocol: NDJSON over the socket, one JSON object per line; see\n"
+      "src/serve/serve.hpp for the request/response vocabulary.\n",
+      code == 0 ? stdout : stderr);
+  std::exit(code);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+#ifdef SIGPIPE
+  // A client that vanishes mid-stream must surface as EPIPE on the session
+  // write (torn down by the server), never as process death.
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
+  namespace serve = wfd::serve;
+  namespace util = wfd::util;
+
+  serve::ServerOptions options;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "wfd_serve: %s needs a value\n", arg.c_str());
+        usage(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--unix") {
+      options.unix_path = value();
+    } else if (arg == "--tcp") {
+      options.tcp_port = util::flag_int("wfd_serve", arg, value(), 0, 65535);
+    } else if (arg == "--workers") {
+      options.workers = util::flag_int("wfd_serve", arg, value(), 0, 256);
+    } else if (arg == "--queue-capacity") {
+      options.queue_capacity = static_cast<std::size_t>(
+          util::flag_u64("wfd_serve", arg, value(), 1, 1 << 20));
+    } else if (arg == "--cache-capacity") {
+      options.cache_capacity = static_cast<std::size_t>(
+          util::flag_u64("wfd_serve", arg, value(), 0, 1 << 20));
+    } else if (arg == "--campaign-threads") {
+      options.campaign_threads =
+          util::flag_int("wfd_serve", arg, value(), 1, 256);
+    } else if (arg == "--corpus-root") {
+      options.corpus_root = value();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else {
+      std::fprintf(stderr, "wfd_serve: unknown argument %s\n", arg.c_str());
+      usage(2);
+    }
+  }
+  if (!quiet) {
+    options.narrate = [](const std::string& message) {
+      std::fprintf(stderr, "wfd_serve: %s\n", message.c_str());
+    };
+  }
+
+  serve::Server server(std::move(options));
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "wfd_serve: %s\n", error.c_str());
+    return 1;
+  }
+
+  g_notify_fd = server.notify_fd();
+  std::signal(SIGTERM, handle_terminate);
+  std::signal(SIGINT, handle_terminate);
+
+  wfd::obs::JsonObject ready;
+  ready.field("type", "ready");
+  if (!server.unix_path().empty()) ready.field("unix", server.unix_path());
+  if (server.tcp_port() >= 0) ready.field("tcp_port", server.tcp_port());
+#if defined(__unix__) || defined(__APPLE__)
+  ready.field("pid", static_cast<std::uint64_t>(::getpid()));
+#endif
+  ready.write_line(std::cout);
+
+  server.run();  // blocks until a drain completes
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Checked numeric parsing for CLI flags and wire fields. The bare
+// strtoull/atoi idiom silently turns "--runs=abc" into 0 and wraps
+// out-of-range values; these helpers demand full consumption of the input
+// and an explicit range, and the flag_* wrappers exit with status 2 naming
+// the offending flag — the shared contract of the wfd_fuzz and wfd_serve
+// command lines.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <string_view>
+
+namespace wfd::util {
+
+/// Strict base-10 unsigned parse: the WHOLE of `text` must be digits that
+/// fit a u64. Empty strings, signs, whitespace, trailing junk ("12x"),
+/// hex prefixes and overflow all fail (out is untouched on failure).
+inline bool parse_u64(std::string_view text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const std::from_chars_result r = std::from_chars(first, last, value, 10);
+  if (r.ec != std::errc() || r.ptr != last) return false;
+  *out = value;
+  return true;
+}
+
+/// As parse_u64, additionally requiring lo <= value <= hi.
+inline bool parse_u64_range(std::string_view text, std::uint64_t lo,
+                            std::uint64_t hi, std::uint64_t* out) {
+  std::uint64_t value = 0;
+  if (!parse_u64(text, &value) || value < lo || value > hi) return false;
+  *out = value;
+  return true;
+}
+
+/// Strict base-10 signed parse with the same full-consumption rule (a
+/// leading '-' is the only non-digit accepted).
+inline bool parse_i64(std::string_view text, std::int64_t* out) {
+  if (text.empty() || text == "-") return false;
+  std::int64_t value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const std::from_chars_result r = std::from_chars(first, last, value, 10);
+  if (r.ec != std::errc() || r.ptr != last) return false;
+  *out = value;
+  return true;
+}
+
+/// Parse-or-die for CLI flags: returns the value, or prints
+/// "<program>: <flag> expects an integer in [lo, hi], got '<text>'" and
+/// exits 2 (the usage-error status both CLIs reserve).
+inline std::uint64_t flag_u64(const char* program, const std::string& flag,
+                              std::string_view text, std::uint64_t lo = 0,
+                              std::uint64_t hi =
+                                  std::numeric_limits<std::uint64_t>::max()) {
+  std::uint64_t value = 0;
+  if (!parse_u64_range(text, lo, hi, &value)) {
+    std::fprintf(stderr,
+                 "%s: %s expects an integer in [%llu, %llu], got '%.*s'\n",
+                 program, flag.c_str(), static_cast<unsigned long long>(lo),
+                 static_cast<unsigned long long>(hi),
+                 static_cast<int>(text.size()), text.data());
+    std::exit(2);
+  }
+  return value;
+}
+
+/// flag_u64 for int-typed flags (thread/worker counts, ports).
+inline int flag_int(const char* program, const std::string& flag,
+                    std::string_view text, int lo, int hi) {
+  return static_cast<int>(flag_u64(program, flag, text,
+                                   static_cast<std::uint64_t>(lo),
+                                   static_cast<std::uint64_t>(hi)));
+}
+
+}  // namespace wfd::util

@@ -16,6 +16,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <set>
 #include <string>
 #include <vector>
@@ -295,6 +296,70 @@ TEST(EvolveCorpus, MergeIsOrderIndependent) {
   EXPECT_EQ(bits_ab, bits_ba);
   EXPECT_EQ(sig_ab.size(), 4u);  // the union, duplicates collapsed
   fs::remove_all(base);
+}
+
+TEST(EvolveCorpus, TruncatedEntrySurvivesReloadRoundTrip) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "wfd_fuzz_corpus_corrupt";
+  fs::remove_all(dir);
+
+  // A healthy corpus on disk...
+  {
+    Corpus corpus;
+    CoverageMap map;
+    for (std::uint64_t i = 0; i < 3; ++i) corpus.admit(make_entry(i), map);
+    std::string error;
+    ASSERT_TRUE(corpus.save(dir.string(), &error)) << error;
+  }
+  // ...plus the two artifacts of a writer killed mid-save: a truncated
+  // entry that DID reach its final name (the pre-rename world this bugfix
+  // retires, still possible via a torn disk), and an orphaned .tmp the
+  // atomic path leaves behind when the kill lands before rename().
+  const std::string full = corpus_entry_to_json(make_entry(7));
+  {
+    std::ofstream torn(dir / "00deadbeef000000.json", std::ios::binary);
+    torn << full.substr(0, full.size() / 2);
+  }
+  {
+    std::ofstream orphan(dir / "0123456789abcdef.json.4242.tmp",
+                         std::ios::binary);
+    orphan << full.substr(0, 10);
+  }
+
+  // Reload: the three healthy entries come back, the torn file is skipped
+  // and counted, the .tmp is invisible to the *.json scan.
+  Corpus reloaded;
+  CoverageMap map;
+  std::string error;
+  EXPECT_EQ(reloaded.load(dir.string(), map, &error), 3u);
+  EXPECT_EQ(reloaded.skipped_corrupt(), 1u);
+  EXPECT_NE(error.find("00deadbeef000000"), std::string::npos) << error;
+  std::set<std::uint64_t> signatures;
+  for (const CorpusEntry& entry : reloaded.entries()) {
+    signatures.insert(entry.signature);
+  }
+  EXPECT_EQ(signatures.size(), 3u);
+
+  // Round trip: re-saving into a fresh directory carries every healthy
+  // entry across unchanged (and nothing else).
+  const fs::path copy = fs::temp_directory_path() / "wfd_fuzz_corpus_copy";
+  fs::remove_all(copy);
+  ASSERT_TRUE(reloaded.save(copy.string(), &error)) << error;
+  Corpus round;
+  CoverageMap map2;
+  EXPECT_EQ(round.load(copy.string(), map2, &error), 3u);
+  EXPECT_EQ(round.skipped_corrupt(), 0u);
+  std::set<std::uint64_t> round_signatures;
+  for (const CorpusEntry& entry : round.entries()) {
+    round_signatures.insert(entry.signature);
+  }
+  EXPECT_EQ(round_signatures, signatures);
+  // Atomic saves leave no .tmp droppings behind on the success path.
+  for (const auto& file : fs::directory_iterator(copy)) {
+    EXPECT_EQ(file.path().extension(), ".json") << file.path();
+  }
+  fs::remove_all(dir);
+  fs::remove_all(copy);
 }
 
 EvolveOptions small_campaign() {

@@ -1,0 +1,99 @@
+// Checked CLI numeric parsing (util/parse.hpp): the strict full-consumption
+// contract that replaced the bare strtoull/atoi flag parsing in wfd_fuzz and
+// wfd_serve — garbage, empty, overflow and trailing-junk inputs must all be
+// rejected outright, and the flag_* wrappers must exit 2 naming the flag.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "util/parse.hpp"
+
+namespace wfd::util {
+namespace {
+
+TEST(ParseU64, AcceptsPlainDecimal) {
+  std::uint64_t value = 0;
+  EXPECT_TRUE(parse_u64("0", &value));
+  EXPECT_EQ(value, 0u);
+  EXPECT_TRUE(parse_u64("42", &value));
+  EXPECT_EQ(value, 42u);
+  EXPECT_TRUE(parse_u64("18446744073709551615", &value));  // UINT64_MAX
+  EXPECT_EQ(value, std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ParseU64, RejectsGarbageEmptyAndTrailingJunk) {
+  std::uint64_t value = 77;
+  EXPECT_FALSE(parse_u64("", &value));
+  EXPECT_FALSE(parse_u64("abc", &value));
+  EXPECT_FALSE(parse_u64("12x", &value));   // trailing junk
+  EXPECT_FALSE(parse_u64("x12", &value));
+  EXPECT_FALSE(parse_u64("1 2", &value));
+  EXPECT_FALSE(parse_u64(" 12", &value));   // leading whitespace
+  EXPECT_FALSE(parse_u64("12 ", &value));
+  EXPECT_FALSE(parse_u64("+12", &value));   // signs are junk for unsigned
+  EXPECT_FALSE(parse_u64("-1", &value));
+  EXPECT_FALSE(parse_u64("0x10", &value));  // no hex prefixes
+  EXPECT_FALSE(parse_u64("1.5", &value));
+  EXPECT_EQ(value, 77u);  // untouched on every failure
+}
+
+TEST(ParseU64, RejectsOverflowInsteadOfWrapping) {
+  std::uint64_t value = 77;
+  EXPECT_FALSE(parse_u64("18446744073709551616", &value));  // UINT64_MAX + 1
+  EXPECT_FALSE(parse_u64("99999999999999999999999999", &value));
+  EXPECT_EQ(value, 77u);
+}
+
+TEST(ParseU64Range, EnforcesBothBounds) {
+  std::uint64_t value = 0;
+  EXPECT_TRUE(parse_u64_range("5", 1, 10, &value));
+  EXPECT_EQ(value, 5u);
+  EXPECT_TRUE(parse_u64_range("1", 1, 10, &value));
+  EXPECT_TRUE(parse_u64_range("10", 1, 10, &value));
+  EXPECT_FALSE(parse_u64_range("0", 1, 10, &value));
+  EXPECT_FALSE(parse_u64_range("11", 1, 10, &value));
+  EXPECT_FALSE(parse_u64_range("junk", 1, 10, &value));
+}
+
+TEST(ParseI64, AcceptsSignedRejectsJunk) {
+  std::int64_t value = 0;
+  EXPECT_TRUE(parse_i64("-12", &value));
+  EXPECT_EQ(value, -12);
+  EXPECT_TRUE(parse_i64("12", &value));
+  EXPECT_EQ(value, 12);
+  EXPECT_FALSE(parse_i64("", &value));
+  EXPECT_FALSE(parse_i64("-", &value));
+  EXPECT_FALSE(parse_i64("--1", &value));
+  EXPECT_FALSE(parse_i64("1-", &value));
+  EXPECT_FALSE(parse_i64("9223372036854775808", &value));  // INT64_MAX + 1
+}
+
+using ParseDeath = ::testing::Test;
+
+TEST(ParseDeath, FlagU64ExitsTwoNamingTheFlag) {
+  EXPECT_EXIT({ (void)flag_u64("prog", "--runs", "abc", 0, 100); },
+              ::testing::ExitedWithCode(2), "--runs expects an integer");
+  EXPECT_EXIT({ (void)flag_u64("prog", "--runs", "", 0, 100); },
+              ::testing::ExitedWithCode(2), "--runs expects an integer");
+  EXPECT_EXIT({ (void)flag_u64("prog", "--runs", "101", 0, 100); },
+              ::testing::ExitedWithCode(2), "expects an integer in \\[0, 100\\]");
+  EXPECT_EXIT(
+      { (void)flag_u64("prog", "--budget-ms", "18446744073709551616"); },
+      ::testing::ExitedWithCode(2), "--budget-ms expects an integer");
+}
+
+TEST(ParseDeath, FlagIntExitsTwoOnRangeAndJunk) {
+  EXPECT_EXIT({ (void)flag_int("prog", "--threads", "4096x", 0, 4096); },
+              ::testing::ExitedWithCode(2), "--threads expects an integer");
+  EXPECT_EXIT({ (void)flag_int("prog", "--threads", "-1", 0, 4096); },
+              ::testing::ExitedWithCode(2), "--threads expects an integer");
+}
+
+TEST(ParseDeath, FlagU64ReturnsTheValueOnGoodInput) {
+  EXPECT_EQ(flag_u64("prog", "--runs", "12", 0, 100), 12u);
+  EXPECT_EQ(flag_int("prog", "--threads", "8", 0, 4096), 8);
+}
+
+}  // namespace
+}  // namespace wfd::util

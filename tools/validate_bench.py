@@ -52,10 +52,45 @@ SYMMETRY_FLOOR = 3.0
 E23_SECTIONS = {"runway", "crash_suffix", "campaign"}
 E23_EXECUTIONS = {"cold", "snapshot"}
 E23_ACCEPTANCE_FLOOR = 10.0
+#: Namespaces a row's embedded metrics-registry snapshot may draw from —
+#: the prefixes registered by obs::Registry users across the tree
+#: (flat.* sharded engine, fuzz.* campaigns, mc.* exploration, serve.*
+#: daemon admission/cache/session counters, sim.* event loop).
+REGISTRY_PREFIXES = ("flat.", "fuzz.", "mc.", "serve.", "sim.")
+#: The exact member set of a histogram entry in a registry snapshot.
+HISTOGRAM_FIELDS = {"count", "sum", "mean", "p50", "p99"}
 
 
 def fail(errors, path, i, why):
     errors.append(f"{path}: row {i}: {why}")
+
+
+def check_registry(errors, path, i, registry):
+    """An embedded obs-registry snapshot: known-namespace names mapping to
+    counter/gauge numbers or {count,sum,mean,p50,p99} histogram objects."""
+    if not isinstance(registry, dict):
+        fail(errors, path, i, "registry must be a JSON object")
+        return
+    for name, value in registry.items():
+        if not name.startswith(REGISTRY_PREFIXES):
+            fail(errors, path, i,
+                 f"registry key {name!r} outside the known namespaces "
+                 f"{'/'.join(p.rstrip('.') for p in REGISTRY_PREFIXES)}")
+        if isinstance(value, dict):
+            if set(value) != HISTOGRAM_FIELDS:
+                fail(errors, path, i,
+                     f"registry histogram {name!r} must have exactly "
+                     f"{sorted(HISTOGRAM_FIELDS)}, got {sorted(value)}")
+            elif any(not isinstance(v, (int, float)) or isinstance(v, bool)
+                     or v < 0 for v in value.values()):
+                fail(errors, path, i,
+                     f"registry histogram {name!r} holds a negative or "
+                     f"non-numeric field")
+        elif (not isinstance(value, (int, float)) or isinstance(value, bool)
+              or value < 0):
+            fail(errors, path, i,
+                 f"registry value {name!r} must be a non-negative number "
+                 f"or a histogram object, got {value!r}")
 
 
 def check_row(errors, path, i, row):
@@ -65,6 +100,8 @@ def check_row(errors, path, i, row):
     for key, value in row.items():
         if isinstance(value, (dict, list)) and key != "registry":
             fail(errors, path, i, f"nested value in scalar field {key!r}")
+    if "registry" in row:
+        check_registry(errors, path, i, row["registry"])
     for field in COUNT_FIELDS:
         if field in row and not (isinstance(row[field], int)
                                  and not isinstance(row[field], bool)
